@@ -1,0 +1,28 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module reproduces one row/figure of the paper (see
+DESIGN.md's per-experiment index) and records its measured series in
+``benchmark.extra_info`` so the numbers survive into pytest-benchmark's
+JSON output; a short human-readable series is also printed.
+"""
+
+import pytest
+
+
+def report(title: str, series: dict) -> None:
+    """Print a labeled series (visible with ``pytest -s``; always stored by
+    the callers in benchmark.extra_info)."""
+    print(f"\n[{title}]")
+    for key, value in series.items():
+        print(f"  {key}: {value}")
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach a measured series to the benchmark record and echo it."""
+
+    def _record(title: str, series: dict) -> None:
+        benchmark.extra_info[title] = series
+        report(title, series)
+
+    return _record

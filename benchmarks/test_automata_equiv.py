@@ -1,0 +1,125 @@
+"""E10 — Lemmas 11 and 12: the correctness core of the §3 procedure,
+exercised as benchmarks.
+
+* Lemma 11: the LOOPS fixpoint equals product reachability — we time both
+  loop-evaluation strategies and assert agreement.
+* Lemma 12: 2ATA acceptance (parity-game product) equals direct Table II
+  satisfaction — timed head-to-head on the same corpus.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    NFEvaluator,
+    accepts,
+    build_twoata,
+    eliminate_skips,
+    loops_fixpoint,
+    path_to_automaton,
+)
+from repro.semantics import evaluate_nodes
+from repro.trees import random_tree
+from repro.xpath import parse_node, parse_path
+
+FORMULAS = [
+    "p and not q",
+    "<down[p]>",
+    "not <down*[p]>",
+    "eq(down*, down/down)",
+]
+
+
+def corpus(seed: int, count: int = 5, max_nodes: int = 7):
+    rng = random.Random(seed)
+    return [random_tree(rng, max_nodes, ["p", "q"]) for _ in range(count)]
+
+
+class TestLemma11:
+    @pytest.mark.parametrize("strategy", ["fixpoint", "reachability"])
+    def test_loop_evaluation(self, benchmark, record, strategy):
+        automaton = eliminate_skips(
+            path_to_automaton(parse_path("(down[p] union right)*/up*"))
+        )
+        trees = corpus(701, count=4, max_nodes=6)
+
+        if strategy == "fixpoint":
+            def run():
+                return [len(loops_fixpoint(t, automaton)) for t in trees]
+        else:
+            def run():
+                counts = []
+                for t in trees:
+                    evaluator = NFEvaluator(t)
+                    total = 0
+                    for q in range(automaton.num_states):
+                        for q2 in range(automaton.num_states):
+                            total += len(
+                                evaluator.loop_nodes(automaton.shift(q, q2)))
+                    counts.append(total + 0)
+                return counts
+
+        counts = benchmark(run)
+        record("loop triple counts", {"strategy": strategy, "counts": counts})
+
+    def test_agreement(self, benchmark, record):
+        automaton = eliminate_skips(
+            path_to_automaton(parse_path("down*[p]/up*")))
+        trees = corpus(702, count=4, max_nodes=6)
+
+        def run():
+            for t in trees:
+                evaluator = NFEvaluator(t)
+                loops = loops_fixpoint(t, automaton, evaluator)
+                for n in t.nodes:
+                    for q in range(automaton.num_states):
+                        for q2 in range(automaton.num_states):
+                            expected = n in evaluator.loop_nodes(
+                                automaton.shift(q, q2))
+                            assert ((n, q, q2) in loops) == expected
+            return True
+
+        assert benchmark(run)
+        record("Lemma 11", {"status": "fixpoint == reachability"})
+
+
+class TestLemma12:
+    @pytest.mark.parametrize("engine", ["twoata", "direct"])
+    def test_satisfaction_check(self, benchmark, record, engine):
+        formulas = [parse_node(src) for src in FORMULAS]
+        automata = [build_twoata(phi) for phi in formulas]
+        trees = corpus(703, count=4, max_nodes=6)
+
+        if engine == "twoata":
+            def run():
+                return [
+                    accepts(ata, t) for ata in automata for t in trees
+                ]
+        else:
+            def run():
+                return [
+                    bool(evaluate_nodes(t, phi))
+                    for phi in formulas for t in trees
+                ]
+
+        verdicts = benchmark(run)
+        record("verdict vector", {"engine": engine,
+                                  "positives": sum(verdicts)})
+
+    def test_agreement(self, benchmark, record):
+        formulas = [parse_node(src) for src in FORMULAS]
+        automata = [build_twoata(phi) for phi in formulas]
+        trees = corpus(704, count=4, max_nodes=6)
+
+        def run():
+            for phi, ata in zip(formulas, automata):
+                for t in trees:
+                    assert accepts(ata, t) == bool(evaluate_nodes(t, phi))
+            return True
+
+        assert benchmark(run)
+        record("Lemma 12", {
+            "status": "2ATA acceptance == Table II satisfaction",
+            "pairs_checked": len(formulas) * len(trees),
+        })

@@ -1,0 +1,91 @@
+"""E7 — Figures 3–5 / Theorems 27–29: the ATM hardness encodings.
+
+For each of the three reductions we build the formula for small machines,
+encode the machine's actual computation as the figure's tree layout, and
+verify the load-bearing equivalence: the formula holds on the encoding iff
+the machine accepts.  The measured quantities are formula construction cost,
+formula size (polynomial in |w| — that's what makes the reductions
+polynomial), and evaluation cost on the encodings.
+"""
+
+import pytest
+
+from repro.lowerbounds import (
+    all_ones_machine,
+    downward_reduction,
+    encode_strategy_tree,
+    encode_strategy_tree_downward,
+    encode_strategy_tree_forward,
+    first_symbol_machine,
+    forward_reduction,
+    parity_machine,
+    vertical_reduction,
+)
+from repro.semantics import holds_at
+from repro.xpath.measures import size
+
+REDUCTIONS = {
+    "vertical-6.2": (vertical_reduction, encode_strategy_tree),
+    "forward-6.3": (forward_reduction, encode_strategy_tree_forward),
+    "downward-6.4": (downward_reduction, encode_strategy_tree_downward),
+}
+
+MACHINES = {
+    "existential": (first_symbol_machine(), ["a", "b"]),
+    "deterministic": (parity_machine(), ["10", "11"]),
+    "universal": (all_ones_machine(), ["11", "10"]),
+}
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("reduction_name", sorted(REDUCTIONS))
+    def test_formula_construction(self, benchmark, record, reduction_name):
+        build, _ = REDUCTIONS[reduction_name]
+        machine, words = MACHINES["deterministic"]
+
+        reduction = benchmark(build, machine, words[0])
+        record("construction", {
+            "reduction": reduction_name,
+            "word": words[0],
+            "formula_size": size(reduction.formula),
+        })
+
+    @pytest.mark.parametrize("reduction_name", sorted(REDUCTIONS))
+    def test_size_is_polynomial_in_word(self, benchmark, record,
+                                        reduction_name):
+        build, _ = REDUCTIONS[reduction_name]
+        machine = parity_machine()
+        sizes = {k: size(build(machine, "0" * k).formula) for k in (1, 2, 3)}
+        # Polynomial: growth factor does not itself grow fast.
+        assert sizes[3] / sizes[2] < (sizes[2] / sizes[1]) * 3
+        benchmark(lambda: None)
+        record("E7 formula sizes vs |w|", {reduction_name: sizes})
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("reduction_name", sorted(REDUCTIONS))
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_holds_iff_accepts(self, benchmark, record, reduction_name,
+                               machine_name):
+        build, encode = REDUCTIONS[reduction_name]
+        machine, words = MACHINES[machine_name]
+        prepared = [
+            (word, build(machine, word), encode(machine, word),
+             machine.accepts(word, 2 ** len(word)))
+            for word in words
+        ]
+
+        def run():
+            results = []
+            for word, reduction, tree, accepts in prepared:
+                holds = holds_at(tree, reduction.formula, 0)
+                assert holds == accepts, (reduction_name, word)
+                results.append((word, accepts))
+            return results
+
+        outcome = benchmark(run)
+        record("sat ⟺ accept", {
+            "reduction": reduction_name,
+            "machine": machine_name,
+            "cases": outcome,
+        })

@@ -1,0 +1,117 @@
+"""E8 — Propositions 4/5/6: the static-analysis inter-reductions.
+
+The propositions claim *polynomial* reductions; we measure the actual size
+overhead of each transformation across growing inputs and verify the
+round-trip semantics on concrete instances.
+"""
+
+import pytest
+
+from repro.analysis import (
+    containment_to_node_unsat,
+    edtd_sat_to_sat,
+    node_satisfiable,
+    sat_to_edtd_sat,
+)
+from repro.analysis.reductions import encode_witness_tree
+from repro.edtd import DTD, book_edtd
+from repro.semantics import evaluate_nodes
+from repro.trees import XMLTree
+from repro.xpath import parse_node, parse_path
+from repro.xpath.measures import size
+
+
+def chain_pair(n: int):
+    alpha = parse_path("/".join(["down[p]"] * n))
+    beta = parse_path("/".join(["down"] * n))
+    return alpha, beta
+
+
+class TestProposition4:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_reduction_cost(self, benchmark, record, n):
+        alpha, beta = chain_pair(n)
+        reduction = benchmark(containment_to_node_unsat, alpha, beta)
+        record("Prop 4 sizes", {
+            "n": n,
+            "input_size": size(alpha) + size(beta),
+            "formula_size": size(reduction.formula),
+        })
+
+    def test_overhead_is_linear(self, benchmark, record):
+        ratios = {}
+        for n in (2, 4, 8):
+            alpha, beta = chain_pair(n)
+            reduction = containment_to_node_unsat(alpha, beta)
+            ratios[n] = size(reduction.formula) / (size(alpha) + size(beta))
+        assert max(ratios.values()) / min(ratios.values()) < 2
+        benchmark(lambda: None)
+        record("E8 Prop 4 overhead factors", ratios)
+
+    def test_roundtrip(self, benchmark, record):
+        alpha, beta = parse_path("down*"), parse_path("down")
+        reduction = containment_to_node_unsat(alpha, beta)
+
+        def run():
+            return node_satisfiable(reduction.formula, max_nodes=4)
+
+        result = benchmark(run)
+        assert result  # not contained → satisfiable
+        tree, (d, e) = reduction.decode(result.witness, result.witness_node)
+        record("Prop 4 counterexample", {
+            "tree": str(tree.to_spec()),
+            "pair": (d, e),
+        })
+
+
+class TestProposition5:
+    @pytest.mark.parametrize("source", [
+        "p and <down[q]>",
+        "not <up> and <down*[p]>",
+    ])
+    def test_reduction_cost(self, benchmark, record, source):
+        phi = parse_node(source)
+        reduction = benchmark(sat_to_edtd_sat, phi)
+        record("Prop 5 sizes", {
+            "input_size": size(phi),
+            "formula_size": size(reduction.formula),
+            "edtd_size": reduction.edtd.size(),
+        })
+
+
+class TestProposition6:
+    def test_reduction_cost_book_schema(self, benchmark, record):
+        book = book_edtd()
+        phi = parse_node("Image and not Paragraph")
+        reduction = benchmark(edtd_sat_to_sat, phi, book)
+        record("Prop 6 sizes (book schema)", {
+            "input_size": size(phi),
+            "schema_size": book.size(),
+            "formula_size": size(reduction.formula),
+        })
+
+    def test_constructive_roundtrip(self, benchmark, record):
+        schema = DTD({"recipe": "title step+", "title": "eps", "step": "eps"},
+                     root="recipe")
+        phi = parse_node("recipe and <down[step]>")
+        reduction = edtd_sat_to_sat(phi, schema)
+        document = XMLTree.build(("recipe", ["title", "step"]))
+
+        def run():
+            encoded = encode_witness_tree(document, schema)
+            return 0 in evaluate_nodes(encoded, reduction.formula)
+
+        assert benchmark(run)
+        record("Prop 6 roundtrip", {"document": str(document.to_spec())})
+
+    def test_overhead_grows_with_schema(self, benchmark, record):
+        phi = parse_node("a")
+        sizes = {}
+        for width in (1, 2, 3):
+            rules = {"a": " ".join(["b"] * width), "b": "eps"}
+            schema = DTD(rules, root="a")
+            reduction = edtd_sat_to_sat(phi, schema)
+            sizes[width] = size(reduction.formula)
+        assert sizes[3] > sizes[1]
+        benchmark(lambda: None)
+        record("E8 Prop 6 formula size vs content-model width", sizes)

@@ -1,0 +1,90 @@
+"""E9 — §8 succinctness: Theorems 34 and 35, measured.
+
+Two curves, as in the paper's argument:
+
+* the CoreXPath(∩) side: ``φ_k`` has size O(k²);
+* the automaton side: the minimal DFA for the ``φ_k`` word property grows
+  doubly exponentially (≥ 2^{2^k} by Etessami–Vardi–Wilke); we build it
+  exactly for k = 1, 2 (and report that k = 3 exceeds the budget).
+
+Plus the Theorem 34 upper-bound pipeline sizes for ∩ → ≈ translation.
+"""
+
+import pytest
+
+from repro.succinctness import (
+    cap_chain,
+    measure_cap_translation,
+    minimal_dfa_size_for_phi_k,
+    phi_k,
+    phi_k_property,
+    violation_nfa,
+)
+from repro.xpath import parse_node
+from repro.xpath.measures import size
+
+
+class TestPhiKFamily:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_formula_side_quadratic(self, benchmark, record, k):
+        formula = benchmark(phi_k, k)
+        record("φ_k formula", {"k": k, "size": size(formula)})
+
+    def test_quadratic_summary(self, benchmark, record):
+        sizes = {k: size(phi_k(k)) for k in range(1, 7)}
+        # Quadratic growth: size(2k)/size(k) bounded by ~4.
+        assert sizes[6] / sizes[3] < 6
+        benchmark(lambda: None)
+        record("E9 |φ_k| (CoreXPath(∩), O(k²))", sizes)
+
+
+class TestAutomatonSide:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_minimal_dfa(self, benchmark, record, k):
+        nfa_states, dfa_states, _ = benchmark(minimal_dfa_size_for_phi_k, k)
+        assert dfa_states >= 2 ** (2 ** k) / 2
+        record("minimal DFA for the φ_k property", {
+            "k": k,
+            "violation_nfa_states": nfa_states,
+            "min_dfa_states": dfa_states,
+            "theory_lower_bound": 2 ** (2 ** k),
+        })
+
+    def test_separation_summary(self, benchmark, record):
+        rows = {}
+        for k in (1, 2):
+            formula_size = size(phi_k(k))
+            _, dfa_states, _ = minimal_dfa_size_for_phi_k(k)
+            rows[k] = {
+                "cap_formula": formula_size,
+                "min_dfa": dfa_states,
+                "ratio": round(dfa_states / formula_size, 2),
+            }
+        # The separation widens with k — the Theorem 35 shape.
+        assert rows[2]["ratio"] > rows[1]["ratio"] * 3
+        benchmark(lambda: None)
+        record("E9 succinctness separation (k = 3 determinization exceeds "
+               "the benchmark budget; NFA alone has "
+               f"{violation_nfa(3).num_states} states)", rows)
+
+
+class TestTheorem34Pipeline:
+    @pytest.mark.parametrize("source", [
+        "<down intersect down[p]>",
+        "not <(down*[p]) intersect (down*[q])>",
+    ])
+    def test_cap_to_eq_sizes(self, benchmark, record, source):
+        phi = parse_node(source)
+        report = benchmark(measure_cap_translation, phi)
+        record("Theorem 34 pipeline", report)
+
+    def test_exponential_blowup_documented(self, benchmark, record):
+        reports = {
+            n: measure_cap_translation(
+                parse_node(f"<{'/'.join(['down'] * n)} intersect down*>"))
+            for n in (1, 2, 3)
+        }
+        growth = {n: r["output_size"] for n, r in reports.items()}
+        assert growth[3] > growth[1]
+        benchmark(lambda: None)
+        record("E9 ∩→≈ output sizes", growth)

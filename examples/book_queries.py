@@ -1,0 +1,63 @@
+"""The paper's §2.2 running examples on the Book EDTD, one per extension:
+
+* CoreXPath(≈): the first image of each chapter, via a path equality;
+* CoreXPath(∩): following images within the same chapter;
+* CoreXPath(−): the *first* following image within the same chapter;
+* CoreXPath(*): the first image of each chapter again, by a first-child
+  walk that skips image-less subtrees.
+
+Run with:  python examples/book_queries.py
+"""
+
+import random
+
+from repro import evaluate_path, parse_path, to_paper
+from repro.edtd import book_edtd, random_conforming_tree
+from repro.trees import to_indented
+
+FIRST_IMAGE_EQ = parse_path(
+    "down*[Image and not eq((up*/(left+/down*))[Image], "
+    "up+[Chapter]/down+[Image])]"
+)
+FOLLOWING_IMAGES_CAP = parse_path(
+    "(up*/(right+/down*))[Image] intersect up+[Chapter]/down+[Image]"
+)
+FIRST_FOLLOWING_MINUS = parse_path(
+    "((up*/(right+/down*))[Image] intersect up+[Chapter]/down+[Image])"
+    " except ((up*/(right+/down*))[Image]/(up*/(right+/down*))[Image])"
+)
+FIRST_IMAGE_STAR = parse_path(
+    "down[Chapter]/(down[not <left>] union "
+    ".[not <down*[Image]>]/right)*[Image]"
+)
+
+
+def main() -> None:
+    book = book_edtd()
+    rng = random.Random(2024)
+    tree = random_conforming_tree(book, rng, max_nodes=30)
+    print("document:")
+    print(to_indented(tree))
+
+    print(f"\nCoreXPath(≈) — first image per chapter:\n  {to_paper(FIRST_IMAGE_EQ)}")
+    first_images = sorted(evaluate_path(tree, FIRST_IMAGE_EQ).get(0, frozenset()))
+    print(f"  -> nodes {first_images}")
+
+    print(f"\nCoreXPath(*) — the same, via a guided walk:")
+    via_star = sorted(evaluate_path(tree, FIRST_IMAGE_STAR).get(0, frozenset()))
+    print(f"  -> nodes {via_star}")
+    assert via_star == first_images, "the two formulations must agree"
+
+    if first_images:
+        anchor = first_images[0]
+        print(f"\nCoreXPath(∩) — images after node {anchor} in its chapter:")
+        following = evaluate_path(tree, FOLLOWING_IMAGES_CAP)
+        print(f"  -> {sorted(following.get(anchor, frozenset()))}")
+
+        print(f"\nCoreXPath(−) — only the first of those:")
+        first_following = evaluate_path(tree, FIRST_FOLLOWING_MINUS)
+        print(f"  -> {sorted(first_following.get(anchor, frozenset()))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: parse XPath expressions, evaluate them on documents, and
+decide containment/satisfiability.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    book_edtd,
+    contains,
+    evaluate_path,
+    from_xml,
+    parse_node,
+    parse_path,
+    satisfiable,
+    to_paper,
+)
+
+DOCUMENT = """
+<Book>
+  <Chapter>
+    <Section><Paragraph/><Image/></Section>
+    <Section><Section><Image/></Section><Paragraph/></Section>
+  </Chapter>
+  <Chapter><Section><Image/></Section></Chapter>
+</Book>
+"""
+
+
+def main() -> None:
+    # 1. Parse a document and a query; evaluate the query.
+    tree = from_xml(DOCUMENT)
+    query = parse_path("down*[Section]/down[Image]")
+    print(f"query (paper notation): {to_paper(query)}")
+    relation = evaluate_path(tree, query)
+    images = sorted(relation.get(tree.root, frozenset()))
+    print(f"images directly under a section: nodes {images}")
+
+    # 2. Containment: every filtered step is contained in the plain one.
+    specific = parse_path("down[Chapter]/down[Section]")
+    general = parse_path("down/down")
+    verdict = contains(specific, general)
+    print(f"'{to_paper(specific)}' ⊑ '{to_paper(general)}': "
+          f"{verdict.contained} (conclusive: {verdict.conclusive})")
+
+    # 3. Non-containment comes with a counterexample document.
+    verdict = contains(general, specific)
+    print(f"converse containment: {verdict.contained}; counterexample tree: "
+          f"{verdict.counterexample.to_spec()} pair {verdict.counterexample_pair}")
+
+    # 4. Satisfiability with intersection — decided conclusively by the
+    #    Figure 2 engine for downward-∩ inputs.
+    phi = parse_node("<down[Image] intersect down[Paragraph]>")
+    result = satisfiable(phi)
+    print(f"'{to_paper(phi)}' satisfiable: {bool(result)} "
+          f"(conclusive: {result.conclusive})")
+
+    # 5. The same question relative to the paper's book schema.
+    phi2 = parse_node("Paragraph and <down>")
+    schema_result = satisfiable(phi2, edtd=book_edtd())
+    print(f"'{to_paper(phi2)}' satisfiable under the book DTD: "
+          f"{bool(schema_result)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Top-level static-analysis API: satisfiability, containment, equivalence.
+
+Dispatches per fragment:
+
+* CoreXPath↓(∩) inputs (the EXPSPACE row of Table I) go to the complete
+  Figure 2 procedure (:mod:`repro.analysis.expspace`), via the Prop. 4/5
+  reductions when the problem arrives as containment or without a schema.
+  Verdicts from this engine are always conclusive.
+* Everything else goes to the bounded model-search engine
+  (:mod:`repro.analysis.engines`), the documented substitute for the paper's
+  2-EXPTIME/non-elementary procedures: witnesses are conclusive, "no witness
+  up to n nodes" is exact but bounded.
+"""
+
+from __future__ import annotations
+
+from ..edtd import EDTD
+from ..xpath.ast import NodeExpr, PathExpr
+from ..xpath.fragments import DOWNWARD_CAP
+from .engines import DEFAULT_MAX_NODES, check_containment, node_satisfiable
+from .expspace import TooManyModalAtoms, downward_cap_satisfiable
+from .problems import ContainmentResult, SatResult, Verdict
+from .reductions import containment_to_node_unsat, sat_to_edtd_sat
+
+__all__ = ["satisfiable", "contains", "equivalent"]
+
+
+def _try_expspace(phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
+    """Run the complete Figure 2 engine if the input fits its fragment."""
+    if not DOWNWARD_CAP.admits(phi):
+        return None
+    if edtd is None:
+        reduction = sat_to_edtd_sat(phi)
+        if not DOWNWARD_CAP.admits(reduction.formula):
+            return None
+        try:
+            inner = downward_cap_satisfiable(reduction.formula, reduction.edtd)
+        except TooManyModalAtoms:
+            return None
+        if inner.verdict is Verdict.SATISFIABLE:
+            tree, node = reduction.decode(inner.witness, inner.witness_node)
+            return SatResult(Verdict.SATISFIABLE, tree, node,
+                             explored_up_to=tree.size,
+                             trees_checked=inner.trees_checked)
+        return inner
+    try:
+        return downward_cap_satisfiable(phi, edtd)
+    except TooManyModalAtoms:
+        return None
+
+
+def satisfiable(
+    phi: NodeExpr,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> SatResult:
+    """Node satisfiability (§2.3), optionally w.r.t. an EDTD.
+
+    ``method``: ``"auto"`` picks the complete Figure 2 engine when the input
+    is CoreXPath↓(∩) (conclusive verdicts), else falls back to bounded
+    search; ``"expspace"`` forces the former (raises if inapplicable);
+    ``"bounded"`` forces the latter.
+    """
+    if method not in ("auto", "expspace", "bounded"):
+        raise ValueError(f"unknown method {method!r}")
+    if method in ("auto", "expspace"):
+        result = _try_expspace(phi, edtd)
+        if result is not None:
+            return result
+        if method == "expspace":
+            raise ValueError(
+                "the Figure 2 engine needs a CoreXPath↓(∩) input "
+                f"(violations: {DOWNWARD_CAP.violations(phi)})"
+            )
+    return node_satisfiable(phi, max_nodes=max_nodes, edtd=edtd)
+
+
+def contains(
+    alpha: PathExpr,
+    beta: PathExpr,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> ContainmentResult:
+    """Path containment ``α ⊑ β`` (§2.3), optionally w.r.t. an EDTD.
+
+    With ``method="auto"``, downward-∩ inputs are decided conclusively via
+    the Prop. 4 reduction into the Figure 2 engine; other inputs are checked
+    by exhaustive counterexample search up to ``max_nodes``.
+    """
+    if method not in ("auto", "expspace", "bounded"):
+        raise ValueError(f"unknown method {method!r}")
+    if method in ("auto", "expspace"):
+        reduction = containment_to_node_unsat(alpha, beta, edtd)
+        result = _try_expspace(reduction.formula, reduction.edtd)
+        if result is not None:
+            if result.verdict is Verdict.SATISFIABLE:
+                tree, pair = reduction.decode(result.witness, result.witness_node)
+                return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
+                                         explored_up_to=tree.size,
+                                         trees_checked=result.trees_checked)
+            return ContainmentResult(Verdict.UNSATISFIABLE,
+                                     trees_checked=result.trees_checked)
+        if method == "expspace":
+            raise ValueError(
+                "the Figure 2 engine needs CoreXPath↓(∩) inputs"
+            )
+    return check_containment(alpha, beta, max_nodes=max_nodes, edtd=edtd)
+
+
+def equivalent(
+    alpha: PathExpr,
+    beta: PathExpr,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> ContainmentResult:
+    """Two-sided containment.  Returns the first failing direction's result
+    (or the weaker of the two positive verdicts)."""
+    forward = contains(alpha, beta, edtd=edtd, method=method, max_nodes=max_nodes)
+    if forward.verdict is Verdict.SATISFIABLE:
+        return forward
+    backward = contains(beta, alpha, edtd=edtd, method=method, max_nodes=max_nodes)
+    if backward.verdict is Verdict.SATISFIABLE:
+        return backward
+    weaker = Verdict.UNSATISFIABLE
+    if Verdict.NO_WITNESS_WITHIN_BOUND in (forward.verdict, backward.verdict):
+        weaker = Verdict.NO_WITNESS_WITHIN_BOUND
+    return ContainmentResult(
+        weaker,
+        explored_up_to=min(filter(None, (forward.explored_up_to,
+                                         backward.explored_up_to)), default=None),
+        trees_checked=forward.trees_checked + backward.trees_checked,
+    )

@@ -1,0 +1,331 @@
+"""The Figure 2 algorithm: satisfiability of CoreXPath↓(∩) w.r.t. an EDTD
+(Theorems 23/24; EXPSPACE upper bound).
+
+The paper presents a *nondeterministic* procedure that guesses a branch of
+complete types (Definition 22) within the Lemma 21 depth bound.  We
+implement its deterministic equivalent as a bottom-up *type elimination*
+fixpoint, which is how one actually runs such algorithms:
+
+1. Enumerate all complete types for ``φ₀`` and ``D`` — a choice of abstract
+   label ``s ∈ Δ`` plus a truth assignment to the "modal atoms" (the
+   ``aux(φ₀)`` suffixes starting with ``↓`` or ``↓*``); all other members of
+   ``cl(φ₀)`` are derived bottom-up along the ≺ order of Theorem 23, and
+   assignments violating the closure conditions are discarded.
+2. Iteratively collect the *realizable* types: ``t`` is added once some
+   children-type word is (a) accepted by the content-model NFA of ``t``'s
+   abstract label, (b) made of already-realizable types ``t'`` with
+   ``t ⇒ t'``, and (c) covers every demand of ``t``.  The word search runs
+   over (NFA-state-set, unmet-demands) configurations with visited-set
+   pruning — the finite-configuration analogue of the paper's
+   ``k ≤ (|aux(φ₀)|+1)·|D|`` branching bound.
+3. ``φ₀`` is satisfiable w.r.t. ``D`` iff some realizable type contains
+   ``φ₀`` and the root type.
+
+Because children always use types realized in an earlier round, a witness
+tree can be reconstructed; :func:`downward_cap_satisfiable` returns it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from ..edtd import EDTD
+from ..trees import XMLTree
+from ..xpath.ast import And, Label, NodeExpr, Not, SomePath, Top
+from ..xpath.measures import node_subexpressions
+from .problems import SatResult, Verdict
+from .simplepaths import DOWN, DOWN_STAR, SimplePath, instantiate, suffixes
+
+__all__ = ["downward_cap_satisfiable", "TypeSystem", "CompleteType",
+           "TooManyModalAtoms"]
+
+
+class TooManyModalAtoms(RuntimeError):
+    """The type space would be too large to enumerate explicitly."""
+
+
+@dataclass(frozen=True)
+class CompleteType:
+    """A complete type (Definition 22): an abstract label plus the set of
+    true ``aux`` suffixes and true node subexpressions."""
+
+    abstract: str
+    true_suffixes: frozenset[SimplePath]
+    true_subs: frozenset[NodeExpr]
+
+    def holds_suffix(self, suffix: SimplePath) -> bool:
+        return suffix in self.true_suffixes
+
+    def holds(self, expr: NodeExpr) -> bool:
+        return expr in self.true_subs
+
+
+#: A demand (Definition 22): ("down", remainder) must hold at some child;
+#: ("star", suffix) must hold at some child (and propagates).
+Demand = tuple[str, SimplePath]
+
+
+class TypeSystem:
+    """The ``sub``/``inst``/``aux`` machinery for one input ``(φ₀, D)``."""
+
+    def __init__(self, phi0: NodeExpr, edtd: EDTD, max_modal_atoms: int = 18):
+        self.phi0 = phi0
+        self.edtd = edtd
+        self.subs: list[NodeExpr] = sorted(node_subexpressions(phi0), key=repr)
+        self.inst: dict[NodeExpr, frozenset[SimplePath]] = {}
+        all_suffixes: set[SimplePath] = set()
+        for sub in self.subs:
+            if isinstance(sub, SomePath):
+                members = instantiate(sub.path)
+                self.inst[sub] = members
+                for member in members:
+                    all_suffixes.update(suffixes(member))
+        self.all_suffixes = sorted(all_suffixes, key=repr)
+        self.modal_atoms: list[SimplePath] = [
+            suffix for suffix in self.all_suffixes
+            if suffix and suffix[0] in (DOWN, DOWN_STAR)
+        ]
+        if len(self.modal_atoms) > max_modal_atoms:
+            raise TooManyModalAtoms(
+                f"{len(self.modal_atoms)} modal atoms (> {max_modal_atoms}); "
+                "the explicit type enumeration would not fit in memory"
+            )
+
+    # ---------------------------------------------------------------- types
+
+    def derive_type(self, abstract: str,
+                    assignment: dict[SimplePath, bool]) -> CompleteType | None:
+        """Close a modal-atom assignment under the Definition 22 conditions;
+        None if the ↓*-monotonicity condition is violated."""
+        concrete = self.edtd.projection[abstract]
+        suffix_truth: dict[SimplePath, bool] = {}
+        sub_truth: dict[NodeExpr, bool] = {}
+
+        def truth_suffix(suffix: SimplePath) -> bool:
+            cached = suffix_truth.get(suffix)
+            if cached is not None:
+                return cached
+            if not suffix:
+                value = True
+            elif suffix[0] in (DOWN, DOWN_STAR):
+                value = assignment[suffix]
+            else:
+                value = truth_sub(suffix[0]) and truth_suffix(suffix[1:])
+            suffix_truth[suffix] = value
+            return value
+
+        def truth_sub(expr: NodeExpr) -> bool:
+            cached = sub_truth.get(expr)
+            if cached is not None:
+                return cached
+            match expr:
+                case Label(name=name):
+                    value = name == concrete
+                case Top():
+                    value = True
+                case Not(child=c):
+                    value = not truth_sub(c)
+                case And(left=a, right=b):
+                    value = truth_sub(a) and truth_sub(b)
+                case SomePath():
+                    value = any(truth_suffix(member) for member in self.inst[expr])
+                case _:
+                    raise ValueError(
+                        f"{type(expr).__name__} is outside CoreXPath↓(∩)"
+                    )
+            sub_truth[expr] = value
+            return value
+
+        for suffix in self.all_suffixes:
+            truth_suffix(suffix)
+        for sub in self.subs:
+            truth_sub(sub)
+        # Closure condition: ⟨β⟩ ∈ t implies ⟨↓*/β⟩ ∈ t.
+        for suffix in self.modal_atoms:
+            if suffix[0] == DOWN_STAR and truth_suffix(suffix[1:]) \
+                    and not assignment[suffix]:
+                return None
+        return CompleteType(
+            abstract,
+            frozenset(s for s, true in suffix_truth.items() if true),
+            frozenset(e for e, true in sub_truth.items() if true),
+        )
+
+    def all_types(self) -> list[CompleteType]:
+        """Every complete type for ``(φ₀, D)``."""
+        types: list[CompleteType] = []
+        for abstract in sorted(self.edtd.abstract_labels):
+            for bits in itertools.product(
+                    (False, True), repeat=len(self.modal_atoms)):
+                assignment = dict(zip(self.modal_atoms, bits))
+                complete = self.derive_type(abstract, assignment)
+                if complete is not None:
+                    types.append(complete)
+        return types
+
+    # -------------------------------------------------- demands and ⇒
+
+    def demands(self, t: CompleteType) -> frozenset[Demand]:
+        result: set[Demand] = set()
+        for suffix in self.modal_atoms:
+            if not t.holds_suffix(suffix):
+                continue
+            if suffix[0] == DOWN:
+                result.add(("down", suffix[1:]))
+            elif not t.holds_suffix(suffix[1:]):  # ↓*/β with ⟨β⟩ ∉ t
+                result.add(("star", suffix))
+        return frozenset(result)
+
+    def child_compatible(self, t: CompleteType, child: CompleteType) -> bool:
+        """``t ⇒ child`` (Definition 22)."""
+        for suffix in self.modal_atoms:
+            if suffix[0] == DOWN:
+                if child.holds_suffix(suffix[1:]) and not t.holds_suffix(suffix):
+                    return False
+            else:
+                if child.holds_suffix(suffix) and not t.holds_suffix(suffix):
+                    return False
+        return True
+
+    def child_discharges(self, demand: Demand, child: CompleteType) -> bool:
+        kind, suffix = demand
+        return child.holds_suffix(suffix)
+
+
+def downward_cap_satisfiable(phi0: NodeExpr, edtd: EDTD,
+                             max_modal_atoms: int = 18) -> SatResult:
+    """Decide satisfiability of a CoreXPath↓(∩) node expression w.r.t. an
+    EDTD by the (determinized) Figure 2 algorithm.  Complete: the verdict is
+    always conclusive.  Returns a witness tree when satisfiable.
+
+    Figure 2 tests its input at the *root*; satisfiability at an arbitrary
+    node is the same as ``⟨↓*[φ₀]⟩`` at the root, which stays inside the
+    downward fragment, so we run the algorithm on that wrapper.
+    """
+    from ..semantics import evaluate_nodes
+    from ..xpath.ast import AxisClosure, Axis, Filter, SomePath
+
+    wrapped = SomePath(Filter(AxisClosure(Axis.DOWN), phi0))
+    system = TypeSystem(wrapped, edtd, max_modal_atoms)
+    candidate_space = len(edtd.abstract_labels) * 2 ** len(system.modal_atoms)
+    if candidate_space > 60_000:
+        raise TooManyModalAtoms(
+            f"{candidate_space} candidate types; the explicit enumeration "
+            "would be too large"
+        )
+    types = system.all_types()
+    demand_table = {t: system.demands(t) for t in types}
+
+    realizable: dict[CompleteType, tuple[CompleteType, ...]] = {}
+    last_attempt: dict[CompleteType, int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for t in types:
+            if t in realizable:
+                continue
+            # Re-attempt only when new types became realizable since the
+            # last try for this t.
+            if last_attempt.get(t) == len(realizable):
+                continue
+            last_attempt[t] = len(realizable)
+            word = _find_children_word(system, t, demand_table[t], realizable)
+            if word is not None:
+                realizable[t] = word
+                changed = True
+
+    for t in types:
+        if t.abstract == edtd.root_type and t.holds(wrapped) and t in realizable:
+            witness = _reconstruct(system, t, realizable)
+            nodes = evaluate_nodes(witness, phi0)
+            if not nodes:
+                raise AssertionError(
+                    "Figure 2 certificate did not yield a model — "
+                    "type-system bug"
+                )
+            return SatResult(Verdict.SATISFIABLE, witness, min(nodes),
+                             explored_up_to=witness.size,
+                             trees_checked=len(types))
+    return SatResult(Verdict.UNSATISFIABLE, trees_checked=len(types))
+
+
+def _find_children_word(
+    system: TypeSystem,
+    t: CompleteType,
+    demands: frozenset[Demand],
+    realizable: dict[CompleteType, tuple[CompleteType, ...]],
+) -> tuple[CompleteType, ...] | None:
+    """A word t₁…t_k of realizable, ``t ⇒ tᵢ``-compatible types accepted by
+    the content-model NFA of ``t`` and discharging all demands; None if no
+    such word exists.  BFS over (NFA states, unmet demands) configurations.
+
+    Candidates are collapsed by their *profile* — abstract label plus the
+    subset of ``t``'s demands they discharge — since two children with the
+    same profile are interchangeable for this search; this keeps the
+    branching factor at ``|Δ| · 2^{|demands|}`` instead of the number of
+    realizable types."""
+    nfa = system.edtd.content_nfa(t.abstract)
+    profiles: dict[tuple, CompleteType] = {}
+    for child in realizable:
+        if not system.child_compatible(t, child):
+            continue
+        profile = (
+            child.abstract,
+            frozenset(d for d in demands if system.child_discharges(d, child)),
+        )
+        profiles.setdefault(profile, child)
+    candidates = list(profiles.values())
+
+    start = (frozenset(nfa.initial), demands)
+    parents: dict[tuple, tuple[tuple, CompleteType] | None] = {start: None}
+    queue = deque([start])
+    while queue:
+        config = queue.popleft()
+        states, unmet = config
+        if not unmet and states & nfa.accepting:
+            word: list[CompleteType] = []
+            cursor = config
+            while parents[cursor] is not None:
+                cursor, child = parents[cursor]  # type: ignore[misc]
+                word.append(child)
+            word.reverse()
+            return tuple(word)
+        for child in candidates:
+            step: set[int] = set()
+            for state in states:
+                step |= nfa.successors(state, child.abstract)
+            if not step:
+                continue
+            remaining = frozenset(
+                demand for demand in unmet
+                if not system.child_discharges(demand, child)
+            )
+            successor = (frozenset(step), remaining)
+            if successor not in parents:
+                parents[successor] = (config, child)
+                queue.append(successor)
+    return None
+
+
+def _reconstruct(
+    system: TypeSystem,
+    t: CompleteType,
+    realizable: dict[CompleteType, tuple[CompleteType, ...]],
+) -> XMLTree:
+    """Build a witness tree from the realizability certificates.  Terminates
+    because every child in a certificate was realized in an earlier fixpoint
+    round (the BFS only used already-realizable candidates)."""
+    labels: list[str] = []
+    parents: list[int | None] = []
+
+    def emit(current: CompleteType, parent: int | None) -> None:
+        labels.append(system.edtd.projection[current.abstract])
+        parents.append(parent)
+        me = len(labels) - 1
+        for child in realizable[current]:
+            emit(child, me)
+
+    emit(t, None)
+    return XMLTree(labels, parents)

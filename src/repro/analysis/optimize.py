@@ -1,0 +1,172 @@
+"""Workload-level query optimization built on containment.
+
+The paper's Related Work motivates containment by "redundancy elimination in
+answers to multiple XPath queries" [Tajima & Fukui 2004] and index/update
+applications.  This module packages the corresponding operations:
+
+* :func:`containment_graph` — the ⊑ preorder over a workload;
+* :func:`equivalence_classes` — its strongly connected components
+  (semantically equivalent queries);
+* :func:`minimal_cover` — drop queries subsumed by others (their answers
+  are unions of the remaining answers);
+* :func:`simplify_union` — remove redundant members of a union query.
+
+Verdicts come from :func:`repro.analysis.contains`; with ``method="auto"``
+downward-∩ workloads get conclusive answers, anything else is checked by
+bounded counterexample search (sound for "not contained", bounded evidence
+for "contained" — the three-valued bookkeeping is preserved on the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..edtd import EDTD
+from ..xpath.ast import PathExpr, Union
+from .containment import contains
+from .engines import DEFAULT_MAX_NODES
+from .problems import Verdict
+
+__all__ = [
+    "ContainmentGraph",
+    "containment_graph",
+    "equivalence_classes",
+    "minimal_cover",
+    "simplify_union",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentGraph:
+    """The ⊑ relation over a list of queries.
+
+    ``edges[i]`` is the set of j with query_i ⊑ query_j; ``conclusive`` is
+    False if any single verdict was only bounded evidence.
+    """
+
+    queries: tuple[PathExpr, ...]
+    edges: dict[int, frozenset[int]]
+    conclusive: bool
+
+    def contained_in(self, i: int) -> frozenset[int]:
+        return self.edges[i]
+
+    def equivalent_pairs(self) -> list[tuple[int, int]]:
+        return [
+            (i, j)
+            for i in range(len(self.queries))
+            for j in self.edges[i]
+            if i < j and i in self.edges[j]
+        ]
+
+
+def containment_graph(
+    queries: list[PathExpr],
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> ContainmentGraph:
+    """Compute all pairwise containments of a workload."""
+    edges: dict[int, set[int]] = {i: set() for i in range(len(queries))}
+    conclusive = True
+    for i, alpha in enumerate(queries):
+        for j, beta in enumerate(queries):
+            if i == j:
+                edges[i].add(j)
+                continue
+            result = contains(alpha, beta, edtd=edtd, method=method,
+                              max_nodes=max_nodes)
+            if result.contained:
+                edges[i].add(j)
+                conclusive = conclusive and result.conclusive
+    return ContainmentGraph(
+        tuple(queries),
+        {i: frozenset(targets) for i, targets in edges.items()},
+        conclusive,
+    )
+
+
+def equivalence_classes(graph: ContainmentGraph) -> list[list[int]]:
+    """Partition query indices into semantic-equivalence classes
+    (mutual containment), each sorted, classes ordered by first member."""
+    assigned: dict[int, int] = {}
+    classes: list[list[int]] = []
+    for i in range(len(graph.queries)):
+        if i in assigned:
+            continue
+        members = [
+            j for j in sorted(graph.edges[i])
+            if i in graph.edges[j] and j not in assigned
+        ]
+        for member in members:
+            assigned[member] = len(classes)
+        classes.append(members)
+    return classes
+
+
+def minimal_cover(graph: ContainmentGraph) -> list[int]:
+    """Indices of a minimal sub-workload whose members are not strictly
+    contained in any other member (the "maximal" queries; every dropped
+    query's answer is a subset of some kept query's answer).
+
+    Among equivalent queries, the smallest index is kept.
+    """
+    classes = equivalence_classes(graph)
+    representatives = [members[0] for members in classes]
+    kept = []
+    for rep in representatives:
+        strictly_above = [
+            other for other in representatives
+            if other != rep and other in graph.edges[rep]
+            and rep not in graph.edges[other]
+        ]
+        if not strictly_above:
+            kept.append(rep)
+    return sorted(kept)
+
+
+def simplify_union(
+    query: PathExpr,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> PathExpr:
+    """Drop union members contained in the union of the others.
+
+    Returns a (possibly) smaller equivalent query; non-union queries are
+    returned unchanged.  A member is dropped when the containment check
+    reports it contained — conclusively for the complete engines, or with
+    no counterexample up to ``max_nodes`` for the bounded one (in which
+    case the simplification is exact up to documents of that size; pick the
+    bound accordingly).
+    """
+    members = _union_members(query)
+    if len(members) == 1:
+        return query
+    kept = list(members)
+    changed = True
+    while changed and len(kept) > 1:
+        changed = False
+        for index, member in enumerate(kept):
+            rest = kept[:index] + kept[index + 1:]
+            rest_union = _rebuild_union(rest)
+            verdict = contains(member, rest_union, edtd=edtd, method=method,
+                               max_nodes=max_nodes)
+            if verdict.contained:
+                kept.pop(index)
+                changed = True
+                break
+    return _rebuild_union(kept)
+
+
+def _union_members(query: PathExpr) -> list[PathExpr]:
+    if isinstance(query, Union):
+        return _union_members(query.left) + _union_members(query.right)
+    return [query]
+
+
+def _rebuild_union(members: list[PathExpr]) -> PathExpr:
+    result = members[0]
+    for member in members[1:]:
+        result = Union(result, member)
+    return result

@@ -1,0 +1,76 @@
+"""The static-analysis problems of §2.3 and their answer types.
+
+Three problems: *path containment*, *path satisfiability* and *node
+satisfiability*, each optionally relativized to an EDTD.  Because the general
+procedures in this reproduction decide them by bounded model search (see
+DESIGN.md §2), answers are three-valued: a positive answer comes with a
+witness, a negative one records up to which model size the search was
+exhaustive — and is marked *conclusive* when a small-model theorem covers
+that bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..trees import XMLTree
+
+__all__ = ["Verdict", "SatResult", "ContainmentResult"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a satisfiability or containment check."""
+
+    #: Satisfiable / not contained — a concrete witness tree exists.
+    SATISFIABLE = "satisfiable"
+    #: Proven unsatisfiable / contained (the search bound was conclusive).
+    UNSATISFIABLE = "unsatisfiable"
+    #: No witness up to the search bound; not a proof.
+    NO_WITNESS_WITHIN_BOUND = "no-witness-within-bound"
+
+
+@dataclass(frozen=True)
+class SatResult:
+    """Result of a (node or path) satisfiability check."""
+
+    verdict: Verdict
+    witness: XMLTree | None = None
+    witness_node: int | None = None
+    explored_up_to: int | None = None
+    trees_checked: int = 0
+
+    def __bool__(self) -> bool:
+        """Truthy iff satisfiable."""
+        return self.verdict is Verdict.SATISFIABLE
+
+    @property
+    def conclusive(self) -> bool:
+        return self.verdict is not Verdict.NO_WITNESS_WITHIN_BOUND
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Result of a containment check ``α ⊑ β``.
+
+    A *counterexample* is a tree plus a pair in ``[[α]] \\ [[β]]``.
+    """
+
+    verdict: Verdict
+    counterexample: XMLTree | None = None
+    counterexample_pair: tuple[int, int] | None = None
+    explored_up_to: int | None = None
+    trees_checked: int = 0
+
+    def __bool__(self) -> bool:
+        """Truthy iff containment *holds* (as far as the check could tell);
+        use :attr:`conclusive` to distinguish proof from bounded evidence."""
+        return self.verdict is not Verdict.SATISFIABLE
+
+    @property
+    def contained(self) -> bool:
+        return self.verdict is not Verdict.SATISFIABLE
+
+    @property
+    def conclusive(self) -> bool:
+        return self.verdict is not Verdict.NO_WITNESS_WITHIN_BOUND

@@ -1,0 +1,379 @@
+"""The polynomial inter-reductions of Propositions 4, 5 and 6.
+
+* :func:`containment_to_node_unsat` — Prop. 4: ``α ⊑ β`` iff a decorated
+  formula ``⟨ᾱ[1]⟩ ∧ ¬⟨β̄[1]⟩`` is unsatisfiable, where each label ``p`` is
+  split into marked/unmarked variants ``(p, 0)``, ``(p, 1)`` and exactly one
+  node carries a mark.  Also the EDTD-relativized variant with the fresh
+  super-root ``s``.
+* :func:`sat_to_edtd_sat` — Prop. 5: plain satisfiability reduces to
+  satisfiability w.r.t. a maximally permissive EDTD (plus super-root).
+* :func:`edtd_sat_to_sat` — Prop. 6: satisfiability w.r.t. an EDTD reduces
+  to plain satisfiability via *witness trees*, whose labels carry an abstract
+  type and an NFA state and whose shape encodes accepting runs of the
+  content-model automata.  The resulting formula is plain CoreXPath (no
+  transitive-closure operator needed, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..edtd import EDTD
+from ..regexes import NFA
+from ..trees import XMLTree
+from ..xpath.ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Filter,
+    Label,
+    NodeExpr,
+    Not,
+    PathExpr,
+    SomePath,
+)
+from ..xpath.builders import and_all, down, down_star, left, or_all, right, up
+from ..xpath.measures import labels_used
+from ..xpath.rewrite import relativize_axes, substitute_label
+
+__all__ = [
+    "NodeSatReduction",
+    "EDTDSatReduction",
+    "containment_to_node_unsat",
+    "sat_to_edtd_sat",
+    "edtd_sat_to_sat",
+    "decorate",
+    "MARKED",
+    "UNMARKED",
+]
+
+MARKED = 1
+UNMARKED = 0
+
+
+def decorate(label: str, mark: int) -> str:
+    """The decorated label ``(p, i)`` of Prop. 4, as a string."""
+    return f"{label}#{mark}"
+
+
+def fresh_label(taken: frozenset[str], stem: str = "z") -> str:
+    """A label not occurring in ``taken``."""
+    candidate = stem
+    counter = 0
+    while candidate in taken:
+        candidate = f"{stem}{counter}"
+        counter += 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class NodeSatReduction:
+    """Output of Prop. 4: containment holds iff ``formula`` is unsatisfiable
+    (w.r.t. ``edtd`` when present).  ``decode`` maps a witness tree of the
+    formula back to a containment counterexample ``(tree, (d, e))``."""
+
+    formula: NodeExpr
+    edtd: EDTD | None
+    decode: Callable[[XMLTree, int], tuple[XMLTree, tuple[int, int]]]
+
+
+def containment_to_node_unsat(alpha: PathExpr, beta: PathExpr,
+                              edtd: EDTD | None = None) -> NodeSatReduction:
+    """Prop. 4: ``α ⊑ β`` (w.r.t. ``edtd``) iff the returned formula is
+    unsatisfiable (w.r.t. the returned EDTD)."""
+    gamma = set(labels_used(alpha) | labels_used(beta))
+    gamma.add(fresh_label(frozenset(gamma)))
+    gamma = sorted(gamma)
+
+    def bar(path: PathExpr, super_root: str | None) -> PathExpr:
+        decorated = path
+        for label in gamma:
+            both = or_all([Label(decorate(label, UNMARKED)),
+                           Label(decorate(label, MARKED))])
+            decorated = substitute_label(decorated, label, both)
+        if super_root is not None:
+            decorated = relativize_axes(decorated, Not(Label(super_root)))
+        return decorated  # type: ignore[return-value]
+
+    one = or_all([Label(decorate(label, MARKED)) for label in gamma])
+
+    if edtd is None:
+        formula = And(SomePath(Filter(bar(alpha, None), one)),
+                      Not(SomePath(Filter(bar(beta, None), one))))
+        out_edtd = None
+        super_root = None
+    else:
+        super_root = fresh_label(
+            frozenset(edtd.concrete_labels())
+            | frozenset(decorate(p, i) for p in gamma for i in (0, 1)),
+            stem="s",
+        )
+        out_edtd = _decorated_edtd(edtd, super_root)
+        formula = and_all([
+            Not(Label(super_root)),
+            SomePath(Filter(bar(alpha, super_root), one)),
+            Not(SomePath(Filter(bar(beta, super_root), one))),
+        ])
+
+    bar_alpha_marked = Filter(bar(alpha, super_root), one)
+
+    def decode(tree: XMLTree, node: int) -> tuple[XMLTree, tuple[int, int]]:
+        from ..semantics import evaluate_path
+
+        # A model need not mark exactly one node (the canonical models of
+        # the proof do, arbitrary ones may not): any marked ᾱ-target of the
+        # witness node works, since no marked node is β̄-reachable from it.
+        targets = evaluate_path(tree, bar_alpha_marked).get(node)
+        if not targets:
+            raise ValueError("witness node has no marked ᾱ-target")
+        target = min(targets)
+        if super_root is not None:
+            # Drop the fresh super-root; node ids shift by one.
+            plain = tree.drop_root()
+            offset = 1
+        else:
+            plain = tree
+            offset = 0
+        undecorated = plain.relabel(lambda p: p.rsplit("#", 1)[0])
+        return undecorated, (node - offset, target - offset)
+
+    return NodeSatReduction(formula, out_edtd, decode)
+
+
+def _decorated_edtd(edtd: EDTD, super_root: str) -> EDTD:
+    """``D̄`` from the proof of Prop. 4."""
+    from ..regexes.ast import Alt, Concat, Empty, Epsilon, KleeneStar, Regex, Symbol
+
+    def bar_regex(regex: Regex) -> Regex:
+        match regex:
+            case Symbol(name=name):
+                return Alt(Symbol(_abstract(name, UNMARKED)),
+                           Symbol(_abstract(name, MARKED)))
+            case Concat(left=a, right=b):
+                return Concat(bar_regex(a), bar_regex(b))
+            case Alt(left=a, right=b):
+                return Alt(bar_regex(a), bar_regex(b))
+            case KleeneStar(inner=a):
+                return KleeneStar(bar_regex(a))
+            case Empty() | Epsilon():
+                return regex
+        raise TypeError(f"unknown regex {regex!r}")
+
+    def _abstract(name: str, mark: int) -> str:
+        return f"{name}#{mark}"
+
+    abstract = {super_root}
+    content: dict[str, Regex] = {}
+    projection: dict[str, str] = {super_root: super_root}
+    content[super_root] = Alt(Symbol(_abstract(edtd.root_type, UNMARKED)),
+                              Symbol(_abstract(edtd.root_type, MARKED)))
+    for label in edtd.abstract_labels:
+        for mark in (UNMARKED, MARKED):
+            name = _abstract(label, mark)
+            abstract.add(name)
+            content[name] = bar_regex(edtd.content[label])
+            projection[name] = decorate(edtd.projection[label], mark)
+    return EDTD(frozenset(abstract), content, super_root, projection)
+
+
+@dataclass(frozen=True)
+class EDTDSatReduction:
+    """Output of Prop. 5 / Prop. 6: ``formula`` (w.r.t. ``edtd`` if any) is
+    satisfiable iff the original input was.  ``decode`` maps a witness tree
+    and node of the output problem back to one of the input problem."""
+
+    formula: NodeExpr
+    edtd: EDTD | None
+    decode: Callable[[XMLTree, int], tuple[XMLTree, int]]
+
+
+def sat_to_edtd_sat(phi: NodeExpr) -> EDTDSatReduction:
+    """Prop. 5: plain node satisfiability reduces to the EDTD-relativized
+    version, via a maximally permissive DTD with a fresh super-root."""
+    gamma = sorted(labels_used(phi) | {fresh_label(labels_used(phi))})
+    super_root = fresh_label(frozenset(gamma), stem="s")
+    anything = " | ".join(gamma)
+    rules = {super_root: anything}
+    for label in gamma:
+        rules[label] = f"({anything})*"
+    edtd = EDTD.from_rules(rules, root_type=super_root)
+    relativized = relativize_axes(phi, Not(Label(super_root)))
+    formula = And(relativized, Not(Label(super_root)))  # type: ignore[arg-type]
+
+    def decode(tree: XMLTree, node: int) -> tuple[XMLTree, int]:
+        return tree.drop_root(), node - 1
+
+    return EDTDSatReduction(formula, edtd, decode)
+
+
+def witness_label(abstract: str, owner: str, state_index: int) -> str:
+    """The witness-tree label ``(t, q)`` of Prop. 6, where ``q`` is state
+    ``state_index`` of the content-model NFA of ``owner``."""
+    return f"{abstract}|{owner}:{state_index}"
+
+
+def encode_witness_tree(tree: XMLTree, edtd: EDTD) -> XMLTree:
+    """Encode a tree conforming to ``edtd`` as a Prop. 6 *witness tree*:
+    each node is labeled ``(L'(n), q)`` with ``L'`` a witnessing typing and
+    ``q`` the state of the parent's content-model NFA before reading it.
+    The output satisfies the structural formula built by
+    :func:`edtd_sat_to_sat` at its root."""
+    typing = edtd.witness_typing(tree)
+    if typing is None:
+        raise ValueError("the tree does not conform to the EDTD")
+
+    labels = [""] * tree.size
+    # Root: the state component is arbitrary; use state 0 of its own NFA.
+    labels[tree.root] = witness_label(typing[tree.root], typing[tree.root], 0)
+
+    def assign(node: int) -> None:
+        kids = tree.children(node)
+        if not kids:
+            return
+        nfa = edtd.content_nfa(typing[node])
+        word = [typing[kid] for kid in kids]
+        run = _find_run(nfa, word)
+        if run is None:
+            raise AssertionError("witness typing admitted no accepting run")
+        for kid, state in zip(kids, run[:-1]):
+            labels[kid] = witness_label(typing[kid], typing[node], state)
+            assign(kid)
+
+    assign(tree.root)
+    return XMLTree(labels, tree._parent)  # noqa: SLF001 - same-package access
+
+
+def _find_run(nfa: NFA, word: list[str]) -> list[int] | None:
+    """An accepting run ``s_0 … s_k`` of ``nfa`` on ``word`` (single states,
+    found by backtracking)."""
+
+    def search(position: int, state: int) -> list[int] | None:
+        if position == len(word):
+            return [state] if state in nfa.accepting else None
+        for successor in sorted(nfa.successors(state, word[position])):
+            rest = search(position + 1, successor)
+            if rest is not None:
+                return [state, *rest]
+        return None
+
+    for start in sorted(nfa.initial):
+        run = search(0, start)
+        if run is not None:
+            return run
+    return None
+
+
+def edtd_sat_to_sat(phi: NodeExpr, edtd: EDTD) -> EDTDSatReduction:
+    """Prop. 6: satisfiability w.r.t. an EDTD reduces to plain satisfiability
+    via witness trees.
+
+    Witness-tree labels are pairs ``(t, q)`` of an abstract type and an NFA
+    state (of *some* content-model automaton), encoded as strings
+    ``"t|owner:i"``.  The formula conjoins, per the proof: (1) the root's
+    type is the root type, (2a) first children carry initial states of the
+    parent's automaton, (2b) adjacent siblings respect its transition
+    relation, (2c) last children can step to a final state, (3) leaves'
+    automata accept ε — plus ``⟨↓*[φ']⟩`` at the root for the input formula
+    with each label replaced by its matching witness labels.
+    """
+    automata: dict[str, NFA] = {
+        label: edtd.content_nfa(label) for label in sorted(edtd.abstract_labels)
+    }
+    # The global state space: states of every automaton, disjointly named.
+    states = [
+        (owner, index)
+        for owner in sorted(automata)
+        for index in range(automata[owner].num_states)
+    ]
+
+    def label_of(abstract: str, state: tuple[str, int]) -> str:
+        return f"{abstract}|{state[0]}:{state[1]}"
+
+    witness_labels = [
+        (abstract, state)
+        for abstract in sorted(edtd.abstract_labels)
+        for state in states
+    ]
+
+    def labels_with(predicate) -> list[NodeExpr]:
+        return [Label(label_of(a, s)) for a, s in witness_labels if predicate(a, s)]
+
+    conjuncts: list[NodeExpr] = []
+
+    # (1) The root's abstract type is the root type (any state component).
+    conjuncts.append(or_all(labels_with(lambda a, s: a == edtd.root_type)))
+
+    first_child: PathExpr = Filter(down, Not(SomePath(left)))
+    last_child_test: NodeExpr = Not(SomePath(right))
+
+    def every_under(parent_test: NodeExpr, child_path: PathExpr,
+                    child_test: NodeExpr) -> NodeExpr:
+        """¬⟨↓*[parent]/child_path[child]⟩."""
+        return Not(SomePath(
+            Filter(Filter(down_star, parent_test) / child_path, child_test)
+        ))
+
+    for parent_abstract in sorted(edtd.abstract_labels):
+        nfa = automata[parent_abstract]
+        parent_test = or_all(labels_with(lambda a, s, p=parent_abstract: a == p))
+        # (2a) First children carry an initial state of the parent's automaton.
+        bad_first = or_all(labels_with(
+            lambda a, s, p=parent_abstract: not (
+                s[0] == p and s[1] in automata[p].initial
+            )
+        ))
+        conjuncts.append(every_under(parent_test, first_child, bad_first))
+        # (2b) Sibling transitions: a child (p, q) followed by (p'', q'')
+        # requires (q, p, q'') ∈ δ of the parent's automaton.
+        for child_abstract, child_state in witness_labels:
+            if child_state[0] != parent_abstract:
+                continue  # already excluded by (2a)/(2b) state-space checks
+            allowed_next = nfa.successors(child_state[1], child_abstract)
+            bad_next = or_all(labels_with(
+                lambda a, s, p=parent_abstract, ok=allowed_next: not (
+                    s[0] == p and s[1] in ok
+                )
+            ))
+            child_label = Label(label_of(child_abstract, child_state))
+            conjuncts.append(Not(SomePath(
+                Filter(Filter(down_star, parent_test) / Filter(down, child_label)
+                       / right, bad_next)
+            )))
+            # (2c) A last child (p, q) requires some accepting successor.
+            can_finish = bool(allowed_next & nfa.accepting)
+            if not can_finish:
+                conjuncts.append(every_under(
+                    parent_test, down, And(child_label, last_child_test)
+                ))
+    # (3) Leaves' automata accept the empty word.
+    bad_leaf = or_all(labels_with(
+        lambda a, s: not automata[a].accepts_epsilon()
+    ))
+    conjuncts.append(Not(SomePath(
+        Filter(down_star, And(bad_leaf, Not(SomePath(down))))
+    )))
+
+    # The input formula, over witness labels.
+    phi_prime = phi
+    for concrete in sorted(labels_used(phi)):
+        replacement = or_all(labels_with(
+            lambda a, s, c=concrete: edtd.projection[a] == c
+        ))
+        phi_prime = substitute_label(phi_prime, concrete, replacement)
+
+    formula = and_all([
+        *conjuncts,
+        Not(SomePath(up)),                       # evaluated at the root
+        SomePath(Filter(down_star, phi_prime)),  # φ holds somewhere below
+    ])
+
+    def decode(tree: XMLTree, node: int) -> tuple[XMLTree, int]:
+        def project(label: str) -> str:
+            abstract = label.rsplit("|", 1)[0]
+            return edtd.projection[abstract]
+
+        return tree.relabel(project), node
+
+    return EDTDSatReduction(formula, None, decode)

@@ -1,0 +1,130 @@
+"""Witness minimization: present the smallest counterexample we can.
+
+The bounded engines already return size-minimal witnesses (they enumerate by
+size), but witnesses produced by the Figure 2 engine's type certificates or
+by randomized search can be large.  :func:`shrink_witness` greedily deletes
+subtrees and splices out internal nodes while a caller-supplied predicate
+keeps holding — the classic delta-debugging loop, specialized to trees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..trees import XMLTree
+
+__all__ = ["shrink_witness", "shrink_sat_witness", "shrink_counterexample"]
+
+
+def _delete_subtree(tree: XMLTree, victim: int) -> XMLTree | None:
+    """The tree with the subtree rooted at ``victim`` removed; None if that
+    would delete the root."""
+    if victim == tree.root:
+        return None
+    labels: list[str] = []
+    parents: list[int | None] = []
+
+    def emit(node: int, parent_new: int | None) -> None:
+        labels.append(tree.label(node))
+        parents.append(parent_new)
+        me = len(labels) - 1
+        for child in tree.children(node):
+            if child != victim:
+                emit(child, me)
+
+    emit(tree.root, None)
+    return XMLTree(labels, parents)
+
+
+def _splice_node(tree: XMLTree, victim: int) -> XMLTree | None:
+    """The tree with ``victim`` removed and its children attached, in order,
+    to victim's parent at victim's former position; None for the root."""
+    if tree.parent(victim) is None:
+        return None
+    labels: list[str] = []
+    parents: list[int | None] = []
+
+    def emit(node: int, parent_new: int | None) -> None:
+        if node == victim:
+            for child in tree.children(node):
+                emit(child, parent_new)
+            return
+        labels.append(tree.label(node))
+        parents.append(parent_new)
+        me = len(labels) - 1
+        for child in tree.children(node):
+            emit(child, me)
+
+    emit(tree.root, None)
+    return XMLTree(labels, parents)
+
+
+def shrink_witness(tree: XMLTree,
+                   predicate: Callable[[XMLTree], bool]) -> XMLTree:
+    """Greedily minimize ``tree`` while ``predicate(tree)`` stays true.
+
+    Tries, in rounds until a fixpoint: deleting each subtree (largest
+    first), then splicing out each internal node.  The result still
+    satisfies the predicate; the input must.
+    """
+    if not predicate(tree):
+        raise ValueError("the initial witness does not satisfy the predicate")
+    current = tree
+    changed = True
+    while changed:
+        changed = False
+        # Delete subtrees, biggest savings first.
+        nodes = sorted(
+            (n for n in current.nodes if n != current.root),
+            key=lambda n: -len(current.descendants_or_self(n)),
+        )
+        for victim in nodes:
+            if victim >= current.size:
+                continue
+            candidate = _delete_subtree(current, victim)
+            if candidate is not None and predicate(candidate):
+                current = candidate
+                changed = True
+                break
+        if changed:
+            continue
+        for victim in list(current.nodes):
+            candidate = _splice_node(current, victim)
+            if candidate is not None and predicate(candidate):
+                current = candidate
+                changed = True
+                break
+        if changed:
+            continue
+        # The root is unreachable by the operations above; when it has a
+        # single child, try promoting that child.
+        if len(current.children(current.root)) == 1:
+            candidate = current.drop_root()
+            if predicate(candidate):
+                current = candidate
+                changed = True
+    return current
+
+
+def shrink_sat_witness(tree: XMLTree, phi) -> XMLTree:
+    """Minimize a model of a node expression (it must stay satisfiable
+    *somewhere* in the tree)."""
+    from ..semantics import holds_somewhere
+
+    return shrink_witness(tree, lambda t: holds_somewhere(t, phi))
+
+
+def shrink_counterexample(tree: XMLTree, alpha, beta) -> XMLTree:
+    """Minimize a containment counterexample: some α-pair must remain that
+    is not a β-pair."""
+    from ..semantics import evaluate_path
+
+    def still_refutes(candidate: XMLTree) -> bool:
+        left = evaluate_path(candidate, alpha)
+        right = evaluate_path(candidate, beta)
+        return any(
+            targets - right.get(source, frozenset())
+            for source, targets in left.items()
+        )
+
+    return shrink_witness(tree, still_refutes)

@@ -1,0 +1,161 @@
+"""Simple-path instantiation for CoreXPath↓(∩) (Lemma 20).
+
+A *simple* path expression is a composition ``α₁/…/α_n`` where each ``α_i``
+is ``↓``, ``↓*`` or ``.[φ]``.  Lemma 20 rewrites any CoreXPath↓(∩) path
+expression into an equivalent union ``⋃ inst(α)`` of simple path expressions,
+eliminating both ``∪`` and ``∩`` at single-exponential cost; the length of
+each member stays linear (≤ 4·|α|).  This is the preprocessing step of the
+Figure 2 EXPSPACE algorithm.
+
+Simple paths are represented as tuples of atoms: ``Axis.DOWN`` for ``↓``,
+``"star"`` for ``↓*``, and a node expression for ``.[φ]``.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import (
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Filter,
+    Intersect,
+    NodeExpr,
+    PathExpr,
+    Self,
+    Seq,
+    Top,
+    Union,
+)
+from ..xpath.builders import seq_all
+
+__all__ = [
+    "SimplePath",
+    "DOWN",
+    "DOWN_STAR",
+    "instantiate",
+    "intersect_simple",
+    "simple_to_path",
+    "simple_length",
+    "suffixes",
+]
+
+#: Atom markers for ``↓`` and ``↓*``; the third atom kind is a NodeExpr.
+DOWN = "down"
+DOWN_STAR = "down*"
+
+#: A simple path: a tuple of atoms (possibly empty = the identity ε).
+SimplePath = tuple
+
+
+def simple_length(simple: SimplePath) -> int:
+    return len(simple)
+
+
+def suffixes(simple: SimplePath):
+    """All suffixes ``α_i/…/α_n`` (including the full path and ε)."""
+    for start in range(len(simple) + 1):
+        yield simple[start:]
+
+
+def intersect_simple(first: SimplePath, second: SimplePath) -> frozenset[SimplePath]:
+    """``int{α, β}``: simple paths whose union is ``α ∩ β`` (Lemma 20)."""
+    memo: dict[tuple[SimplePath, SimplePath], frozenset[SimplePath]] = {}
+
+    def go(a: SimplePath, b: SimplePath) -> frozenset[SimplePath]:
+        key = (a, b)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = _intersect_raw(a, b, go)
+        memo[key] = result
+        return result
+
+    return go(first, second)
+
+
+def _intersect_raw(a: SimplePath, b: SimplePath, go) -> frozenset[SimplePath]:
+    # int{α} = {α}: one side exhausted and the other empty.
+    if not a and not b:
+        return frozenset({()})
+    if not a or not b:
+        # int{ε, β} cases (symmetric).
+        shorter, longer = (a, b) if not a else (b, a)
+        head, tail = longer[0], longer[1:]
+        if head == DOWN:
+            return frozenset()
+        if head == DOWN_STAR:
+            return go(shorter, tail)
+        # head is a filter .[φ]
+        return frozenset({(head, *rest) for rest in go(shorter, tail)})
+    head_a, tail_a = a[0], a[1:]
+    head_b, tail_b = b[0], b[1:]
+    # Filters commute out first (int{.[φ]/α, β} = .[φ]/int{α, β}).
+    if isinstance(head_a, NodeExpr) or (head_a not in (DOWN, DOWN_STAR)):
+        return frozenset({(head_a, *rest) for rest in go(tail_a, b)})
+    if isinstance(head_b, NodeExpr) or (head_b not in (DOWN, DOWN_STAR)):
+        return frozenset({(head_b, *rest) for rest in go(a, tail_b)})
+    if head_a == DOWN and head_b == DOWN:
+        return frozenset({(DOWN, *rest) for rest in go(tail_a, tail_b)})
+    if head_a == DOWN and head_b == DOWN_STAR:
+        return go(a, tail_b) | frozenset({(DOWN, *rest) for rest in go(tail_a, b)})
+    if head_a == DOWN_STAR and head_b == DOWN:
+        return go(tail_a, b) | frozenset({(DOWN, *rest) for rest in go(a, tail_b)})
+    # Both start with ↓*.
+    return (frozenset({(DOWN_STAR, *rest) for rest in go(tail_a, b)})
+            | frozenset({(DOWN_STAR, *rest) for rest in go(a, tail_b)}))
+
+
+def instantiate(path: PathExpr) -> frozenset[SimplePath]:
+    """``inst(α)``: simple paths whose union is equivalent to ``α``.
+
+    Only defined for CoreXPath↓(∩) path expressions (axes ``↓``/``↓*``,
+    ``.``, ``/``, ``∪``, ``∩``, filters).
+    """
+    match path:
+        case AxisStep(axis=Axis.DOWN):
+            return frozenset({(DOWN,)})
+        case AxisClosure(axis=Axis.DOWN):
+            return frozenset({(DOWN_STAR,)})
+        case Self():
+            return frozenset({((Top()),)})
+        case Filter(path=AxisStep(axis=Axis.DOWN), predicate=p):
+            return frozenset({(DOWN, p)})
+        case Filter(path=AxisClosure(axis=Axis.DOWN), predicate=p):
+            return frozenset({(DOWN_STAR, p)})
+        case Filter(path=Self(), predicate=p):
+            return frozenset({(p,)})
+        case Filter(path=inner, predicate=p):
+            return frozenset({
+                (*simple, p) for simple in instantiate(inner)
+            })
+        case Seq(left=a, right=b):
+            return frozenset({
+                (*sa, *sb) for sa in instantiate(a) for sb in instantiate(b)
+            })
+        case Union(left=a, right=b):
+            return instantiate(a) | instantiate(b)
+        case Intersect(left=a, right=b):
+            result: set[SimplePath] = set()
+            for sa in instantiate(a):
+                for sb in instantiate(b):
+                    result |= intersect_simple(sa, sb)
+            return frozenset(result)
+    raise ValueError(
+        f"{type(path).__name__} is outside CoreXPath↓(∩); "
+        "inst(α) is only defined for the downward fragment"
+    )
+
+
+def simple_to_path(simple: SimplePath) -> PathExpr:
+    """Back to an ordinary path expression (ε becomes ``.[⊤]``)."""
+    parts: list[PathExpr] = []
+    for atom in simple:
+        if atom == DOWN:
+            parts.append(AxisStep(Axis.DOWN))
+        elif atom == DOWN_STAR:
+            parts.append(AxisClosure(Axis.DOWN))
+        else:
+            parts.append(Filter(Self(), atom))
+    if not parts:
+        return Filter(Self(), Top())
+    return seq_all(parts)

@@ -1,0 +1,49 @@
+"""Path automata, the CoreXPath_NFA(*, loop) normal form, EPAs, and 2ATAs."""
+
+from .nf import (
+    Step,
+    NFExpr,
+    NFLabel,
+    NFTop,
+    NFNot,
+    NFAnd,
+    NFLoop,
+    PathAutomaton,
+    nf_size,
+    nf_negate,
+    nf_labels_used,
+    nf_subexpressions,
+)
+from .normalform import (
+    to_normal_form,
+    path_to_automaton,
+    eliminate_skips,
+    NormalFormError,
+)
+from .evaluate import NFEvaluator, possible_steps, loops_fixpoint
+from .twoata import TwoATA, build_twoata, accepts, closure
+from .epa import (
+    EPA,
+    LetNF,
+    Environment,
+    FreshLabels,
+    path_to_epa,
+    node_to_let_nf,
+    intersect_epas,
+    nf_substitute_label,
+)
+from .letelim import eliminate_lets
+from .toexpr import automaton_to_path, nf_to_expr, letnf_to_expr, epa_to_path
+
+__all__ = [
+    "Step", "NFExpr", "NFLabel", "NFTop", "NFNot", "NFAnd", "NFLoop",
+    "PathAutomaton", "nf_size", "nf_negate", "nf_labels_used",
+    "nf_subexpressions",
+    "to_normal_form", "path_to_automaton", "eliminate_skips", "NormalFormError",
+    "NFEvaluator", "possible_steps", "loops_fixpoint",
+    "TwoATA", "build_twoata", "accepts", "closure",
+    "EPA", "LetNF", "Environment", "FreshLabels", "path_to_epa",
+    "node_to_let_nf", "intersect_epas", "nf_substitute_label",
+    "eliminate_lets",
+    "automaton_to_path", "nf_to_expr", "letnf_to_expr", "epa_to_path",
+]

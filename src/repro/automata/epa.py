@@ -1,0 +1,413 @@
+"""Extended path automata with ``let`` environments (§4, Lemmas 15–17).
+
+``CoreXPath_NFA(*, loop, let)`` extends the normal form with node expressions
+``let p := φ in ψ``.  We represent a let-expression as a pair
+``(core, environment)`` where ``environment`` is the sequence
+``ρ = (p₁, φ₁), …, (p_n, φ_n)``; an *extended path automaton* (EPA) is the
+pair ``(π, ρ)``.  Expansion substitutes definitions front-to-back, so a
+definition may reference labels bound *later* in the sequence — exactly the
+scoping Lemma 15 relies on (the fresh ``p_{π,q,r}`` pairs precede ρ₁ρ₂ whose
+labels they mention).
+
+* :func:`intersect_epas` — Lemma 15: an EPA for ``π₁^{ρ₁} ∩ π₂^{ρ₂}`` with
+  ``|π^∩|_S = |π₁|_S · |π₂|_S``, using ``loop``-tests to cut detours short.
+* :func:`path_to_epa` / :func:`node_to_let_nf` — the Lemma 16 translation
+  from CoreXPath(*, ∩) (single-exponential overall; polynomial for bounded
+  intersection depth, Lemma 17).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..xpath.ast import (
+    And,
+    AxisClosure,
+    AxisStep,
+    Filter,
+    Intersect,
+    Label,
+    NodeExpr,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+)
+from .nf import (
+    NFAnd,
+    NFExpr,
+    NFLabel,
+    NFLoop,
+    NFNot,
+    NFTop,
+    PathAutomaton,
+    Step,
+    nf_labels_used,
+    nf_size,
+)
+from .normalform import NormalFormError, eliminate_skips, path_to_automaton
+
+__all__ = [
+    "Environment",
+    "EPA",
+    "LetNF",
+    "nf_substitute_label",
+    "intersect_epas",
+    "path_to_epa",
+    "node_to_let_nf",
+    "FreshLabels",
+]
+
+#: ``ρ``: a sequence of (label, definition) pairs.
+Environment = tuple[tuple[str, NFExpr], ...]
+
+
+class FreshLabels:
+    """Generates globally fresh let-bound label names (``@let0``, ...)."""
+
+    def __init__(self, prefix: str = "@let"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+
+def environment_size(environment: Environment) -> int:
+    """``|ρ| = Σ (|φ_i| + 1)`` (§4.1)."""
+    return sum(nf_size(defn) + 1 for _, defn in environment)
+
+
+def nf_substitute_label(expr: NFExpr, name: str, replacement: NFExpr) -> NFExpr:
+    """Replace the label ``name`` by ``replacement`` everywhere in ``expr``,
+    descending into automata test transitions.
+
+    Identity-preserving: subexpressions without an occurrence of ``name``
+    are returned as the *same object* (let-elimination relies on this to
+    recognize its gadgets by ``id`` across substitution rounds).
+    """
+    match expr:
+        case NFLabel(name=n):
+            return replacement if n == name else expr
+        case NFTop():
+            return expr
+        case NFNot(child=c):
+            new_child = nf_substitute_label(c, name, replacement)
+            return expr if new_child is c else NFNot(new_child)
+        case NFAnd(left=a, right=b):
+            new_left = nf_substitute_label(a, name, replacement)
+            new_right = nf_substitute_label(b, name, replacement)
+            if new_left is a and new_right is b:
+                return expr
+            return NFAnd(new_left, new_right)
+        case NFLoop(automaton=auto):
+            new_auto = automaton_substitute_label(auto, name, replacement)
+            return expr if new_auto is auto else NFLoop(new_auto)
+    raise TypeError(f"unknown normal-form expression {expr!r}")
+
+
+def automaton_substitute_label(auto: PathAutomaton, name: str,
+                               replacement: NFExpr) -> PathAutomaton:
+    changed = False
+    transitions = []
+    for source, symbol, target in auto.transitions:
+        if isinstance(symbol, NFExpr):
+            new_symbol = nf_substitute_label(symbol, name, replacement)
+            changed = changed or new_symbol is not symbol
+            transitions.append((source, new_symbol, target))
+        else:
+            transitions.append((source, symbol, target))
+    if not changed:
+        return auto
+    return PathAutomaton(auto.num_states, frozenset(transitions),
+                         auto.initial, auto.final)
+
+
+def _expanded_definitions(environment: Environment) -> dict[str, NFExpr]:
+    """Fully expand an environment's definitions.
+
+    A definition may reference labels bound *later* in the sequence, so we
+    expand back-to-front: by the time a definition is processed, everything
+    it can reference is already fully expanded.  (Exponential in general —
+    that is the point of the ``let`` construct.)
+    """
+    expanded: dict[str, NFExpr] = {}
+    for name, definition in reversed(environment):
+        if name in expanded:
+            raise ValueError(f"environment binds {name!r} twice")
+        for used in nf_labels_used(definition):
+            if used in expanded:
+                definition = nf_substitute_label(definition, used, expanded[used])
+        expanded[name] = definition
+    return expanded
+
+
+@dataclass(frozen=True)
+class LetNF:
+    """A let-expression ``let ρ in core`` over the normal form."""
+
+    core: NFExpr
+    environment: Environment = ()
+
+    def expand(self) -> NFExpr:
+        """Substitute all definitions away (may be exponential)."""
+        expanded = _expanded_definitions(self.environment)
+        expr = self.core
+        for used in nf_labels_used(expr):
+            if used in expanded:
+                expr = nf_substitute_label(expr, used, expanded[used])
+        return expr
+
+    def size(self) -> int:
+        """``|let ρ in ψ| = |ρ| + |ψ|``."""
+        return nf_size(self.core) + environment_size(self.environment)
+
+
+@dataclass(frozen=True)
+class EPA:
+    """An extended path automaton ``(π, ρ)`` — a succinct form of ``π^ρ``."""
+
+    automaton: PathAutomaton
+    environment: Environment = ()
+
+    def expand(self) -> PathAutomaton:
+        """``π^ρ``: substitute all bound labels by their definitions."""
+        expanded = _expanded_definitions(self.environment)
+        auto = self.automaton
+        used: set[str] = set()
+        for _, test, _ in auto.test_transitions():
+            used |= nf_labels_used(test)
+        for name in used:
+            if name in expanded:
+                auto = automaton_substitute_label(auto, name, expanded[name])
+        return auto
+
+    @property
+    def num_states(self) -> int:
+        """``|π|_S``."""
+        return self.automaton.num_states
+
+    def size(self) -> int:
+        """``|(π, ρ)| = |π| + |ρ|``."""
+        return self.automaton.size() + environment_size(self.environment)
+
+
+# ------------------------------------------------------------------ Lemma 15
+
+
+def intersect_epas(first: EPA, second: EPA, fresh: FreshLabels) -> EPA:
+    """Lemma 15: an EPA equivalent to ``π₁^{ρ₁} ∩ π₂^{ρ₂}``.
+
+    The product automaton tracks both traces along the unique cycle-free path
+    between the endpoints; detours either trace makes are cut short by
+    ``loop``-tests: fresh labels ``p_{π_i,q,r}`` bound to ``loop((π_i)_{q,r})``
+    let one component jump from ``q`` to ``r`` at the same tree node.
+    """
+    auto1, env1 = first.automaton, first.environment
+    auto2, env2 = second.automaton, second.environment
+
+    def pack(q: int, q2: int) -> int:
+        return q * auto2.num_states + q2
+
+    transitions: set = set()
+    new_pairs: list[tuple[str, NFExpr]] = []
+
+    # Synchronized basic steps.
+    steps2: dict[Step, list[tuple[int, int]]] = {}
+    for source, symbol, target in auto2.step_transitions():
+        steps2.setdefault(symbol, []).append((source, target))
+    for source, symbol, target in auto1.step_transitions():
+        for source2, target2 in steps2.get(symbol, ()):
+            transitions.add((pack(source, source2), symbol, pack(target, target2)))
+
+    # Loop-test jumps for the first component: (⟨q,q'⟩, .[p_{π₁,q,r}], ⟨r,q'⟩).
+    # Pairs with q = r (a trivially-true loop, hence a no-op jump) and pairs
+    # where r is not even graph-reachable from q (a trivially-false loop,
+    # hence a dead transition) are pruned — a semantics-preserving shortcut
+    # over the paper's "for all q, r" formulation.
+    reach1 = _reachable_pairs(auto1)
+    for q, r in sorted(reach1):
+        if q == r:
+            continue
+        name = fresh.fresh()
+        new_pairs.append((name, NFLoop(auto1.shift(q, r))))
+        test = NFLabel(name)
+        for q2 in range(auto2.num_states):
+            transitions.add((pack(q, q2), test, pack(r, q2)))
+    # ... and for the second component.
+    reach2 = _reachable_pairs(auto2)
+    for q2, r2 in sorted(reach2):
+        if q2 == r2:
+            continue
+        name = fresh.fresh()
+        new_pairs.append((name, NFLoop(auto2.shift(q2, r2))))
+        test = NFLabel(name)
+        for q in range(auto1.num_states):
+            transitions.add((pack(q, q2), test, pack(q, r2)))
+
+    product = PathAutomaton(
+        auto1.num_states * auto2.num_states,
+        frozenset(transitions),
+        pack(auto1.initial, auto2.initial),
+        pack(auto1.final, auto2.final),
+    )
+    # New pairs first: their definitions mention labels of ρ₁/ρ₂, which are
+    # bound later in the sequence (front-to-back expansion resolves them).
+    return EPA(product, tuple(new_pairs) + env1 + env2)
+
+
+def _reachable_pairs(auto: PathAutomaton) -> set[tuple[int, int]]:
+    """Pairs (q, r) with r reachable from q in the automaton graph."""
+    adjacency: dict[int, set[int]] = {}
+    for source, _, target in auto.transitions:
+        adjacency.setdefault(source, set()).add(target)
+    pairs: set[tuple[int, int]] = set()
+    for start in range(auto.num_states):
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for successor in adjacency.get(state, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        pairs.update((start, state) for state in seen)
+    return pairs
+
+
+# ------------------------------------------------------------------ Lemma 16
+
+
+def _renumber(auto: PathAutomaton, offset: int, total: int) -> set:
+    return {
+        (source + offset, symbol, target + offset)
+        for source, symbol, target in auto.transitions
+    }
+
+
+def path_to_epa(path: PathExpr, fresh: FreshLabels | None = None) -> EPA:
+    """Lemma 16(2): translate a CoreXPath(*, ∩) path expression to an EPA.
+
+    Single-exponential in general; polynomial when the intersection depth is
+    bounded (Lemma 17) — the benchmark ``test_table1_cap`` measures both.
+    """
+    fresh = fresh or FreshLabels()
+
+    match path:
+        case AxisStep() | AxisClosure() | Self():
+            return EPA(eliminate_skips(path_to_automaton(path)), ())
+        case Seq(left=a, right=b):
+            return _squeeze(_concat_epa(path_to_epa(a, fresh), path_to_epa(b, fresh)))
+        case Union(left=a, right=b):
+            return _squeeze(_union_epa(path_to_epa(a, fresh), path_to_epa(b, fresh)))
+        case Star(path=a):
+            return _squeeze(_star_epa(path_to_epa(a, fresh)))
+        case Filter(path=a, predicate=p):
+            inner = path_to_epa(a, fresh)
+            predicate = node_to_let_nf(p, fresh)
+            name = fresh.fresh()
+            auto = inner.automaton
+            final = auto.num_states
+            transitions = set(auto.transitions)
+            transitions.add((auto.final, NFLabel(name), final))
+            new_auto = PathAutomaton(auto.num_states + 1, frozenset(transitions),
+                                     auto.initial, final)
+            env = ((name, predicate.core),) + predicate.environment + inner.environment
+            return EPA(new_auto, env)
+        case Intersect(left=a, right=b):
+            return intersect_epas(path_to_epa(a, fresh), path_to_epa(b, fresh), fresh)
+    raise NormalFormError(
+        f"{type(path).__name__} is outside CoreXPath(*, ∩)"
+    )
+
+
+def _squeeze(epa: EPA) -> EPA:
+    """Remove ``.[⊤]`` glue transitions introduced by the Thompson-style
+    combinators (keeps the Lemma 16/17 size bounds, only tighter)."""
+    return EPA(eliminate_skips(epa.automaton), epa.environment)
+
+
+def _concat_epa(first: EPA, second: EPA) -> EPA:
+    auto1, auto2 = first.automaton, second.automaton
+    total = auto1.num_states + auto2.num_states
+    transitions = _renumber(auto1, 0, total) | _renumber(auto2, auto1.num_states, total)
+    transitions.add((auto1.final, NFTop(), auto2.initial + auto1.num_states))
+    auto = PathAutomaton(total, frozenset(transitions), auto1.initial,
+                         auto2.final + auto1.num_states)
+    return EPA(auto, first.environment + second.environment)
+
+
+def _union_epa(first: EPA, second: EPA) -> EPA:
+    auto1, auto2 = first.automaton, second.automaton
+    offset2 = auto1.num_states
+    total = auto1.num_states + auto2.num_states + 2
+    start, end = total - 2, total - 1
+    transitions = _renumber(auto1, 0, total) | _renumber(auto2, offset2, total)
+    skip = NFTop()
+    transitions |= {
+        (start, skip, auto1.initial),
+        (start, skip, auto2.initial + offset2),
+        (auto1.final, skip, end),
+        (auto2.final + offset2, skip, end),
+    }
+    return EPA(PathAutomaton(total, frozenset(transitions), start, end),
+               first.environment + second.environment)
+
+
+def _star_epa(inner: EPA) -> EPA:
+    auto = inner.automaton
+    total = auto.num_states + 2
+    start, end = total - 2, total - 1
+    transitions = _renumber(auto, 0, total)
+    skip = NFTop()
+    transitions |= {
+        (start, skip, end),
+        (start, skip, auto.initial),
+        (auto.final, skip, auto.initial),
+        (auto.final, skip, end),
+    }
+    return EPA(PathAutomaton(total, frozenset(transitions), start, end),
+               inner.environment)
+
+
+def node_to_let_nf(expr: NodeExpr, fresh: FreshLabels | None = None) -> LetNF:
+    """Lemma 16(1): translate a CoreXPath(*, ∩) node expression to a
+    let-expression over the normal form.
+
+    ``α ≈ β`` is accepted as well, via the §2.2 equivalence ``⟨α ∩ β⟩``.
+    """
+    fresh = fresh or FreshLabels()
+    match expr:
+        case Label(name=name):
+            return LetNF(NFLabel(name), ())
+        case Top():
+            return LetNF(NFTop(), ())
+        case Not(child=c):
+            inner = node_to_let_nf(c, fresh)
+            return LetNF(NFNot(inner.core), inner.environment)
+        case And(left=a, right=b):
+            left = node_to_let_nf(a, fresh)
+            right = node_to_let_nf(b, fresh)
+            return LetNF(NFAnd(left.core, right.core),
+                         left.environment + right.environment)
+        case SomePath(path=a):
+            epa = path_to_epa(a, fresh)
+            auto = epa.automaton
+            # π': let the final state roam freely, then loop(π') ⟺ ⟨α⟩.
+            transitions = set(auto.transitions)
+            for step in Step:
+                transitions.add((auto.final, step, auto.final))
+            roaming = PathAutomaton(auto.num_states, frozenset(transitions),
+                                    auto.initial, auto.final)
+            return LetNF(NFLoop(roaming), epa.environment)
+        case PathEquality(left=a, right=b):
+            return node_to_let_nf(SomePath(Intersect(a, b)), fresh)
+    raise NormalFormError(
+        f"{type(expr).__name__} is outside CoreXPath(*, ∩)"
+    )

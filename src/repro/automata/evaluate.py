@@ -1,0 +1,195 @@
+"""Semantics of ``CoreXPath_NFA(*, loop)`` on XML trees (Definition 7).
+
+``[[π]]`` is computed by reachability in the product of the tree and the
+automaton; ``loop(π)`` at ``n`` holds iff ``(n, q_F)`` is product-reachable
+from ``(n, q_I)``.  :func:`loops_fixpoint` implements the *inductive*
+characterization of Lemma 11 instead; the two must agree — a property the
+test suite checks, since Lemma 11 is the correctness core of the 2ATA
+construction.
+"""
+
+from __future__ import annotations
+
+from ..trees import XMLTree
+from .nf import NFAnd, NFExpr, NFLabel, NFLoop, NFNot, NFTop, PathAutomaton, Step
+
+__all__ = ["NFEvaluator", "possible_steps", "loops_fixpoint"]
+
+
+def possible_steps(tree: XMLTree, node: int) -> frozenset[Step]:
+    """``POSS-STEPS(n)`` minus ε: which basic steps exist at ``node``."""
+    steps = set()
+    if tree.first_child(node) is not None:
+        steps.add(Step.FIRST_CHILD)
+    parent = tree.parent(node)
+    if parent is not None and tree.prev_sibling(node) is None:
+        steps.add(Step.PARENT_OF_FIRST)
+    if tree.next_sibling(node) is not None:
+        steps.add(Step.RIGHT)
+    if tree.prev_sibling(node) is not None:
+        steps.add(Step.LEFT)
+    return frozenset(steps)
+
+
+def step_target(tree: XMLTree, node: int, step: Step) -> int | None:
+    """``n · a``: the node reached by performing ``step`` at ``node``."""
+    if step is Step.FIRST_CHILD:
+        return tree.first_child(node)
+    if step is Step.PARENT_OF_FIRST:
+        if tree.prev_sibling(node) is None:
+            return tree.parent(node)
+        return None
+    if step is Step.RIGHT:
+        return tree.next_sibling(node)
+    return tree.prev_sibling(node)
+
+
+class NFEvaluator:
+    """Evaluator for normal-form node expressions and path automata on one
+    tree."""
+
+    def __init__(self, tree: XMLTree):
+        self.tree = tree
+        self._node_memo: dict[int, tuple[NFExpr, frozenset[int]]] = {}
+
+    # --------------------------------------------------------------- queries
+
+    def nodes(self, expr: NFExpr) -> frozenset[int]:
+        """``[[expr]]_NExpr``."""
+        cached = self._node_memo.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        result = self._nodes_raw(expr)
+        self._node_memo[id(expr)] = (expr, result)
+        return result
+
+    def _nodes_raw(self, expr: NFExpr) -> frozenset[int]:
+        tree = self.tree
+        match expr:
+            case NFLabel(name=name):
+                return frozenset(tree.nodes_with_label(name))
+            case NFTop():
+                return frozenset(tree.nodes)
+            case NFNot(child=c):
+                return frozenset(tree.nodes) - self.nodes(c)
+            case NFAnd(left=a, right=b):
+                return self.nodes(a) & self.nodes(b)
+            case NFLoop(automaton=auto):
+                return self.loop_nodes(auto)
+        raise TypeError(f"unknown normal-form expression {expr!r}")
+
+    def relation(self, automaton: PathAutomaton) -> dict[int, frozenset[int]]:
+        """``[[π]]_PExpr`` as source → targets, via product reachability."""
+        edges = self._product_edges(automaton)
+        result: dict[int, frozenset[int]] = {}
+        for source in self.tree.nodes:
+            reached = self._reach(edges, (source, automaton.initial))
+            targets = frozenset(
+                node for (node, state) in reached if state == automaton.final
+            )
+            if targets:
+                result[source] = targets
+        return result
+
+    def loop_nodes(self, automaton: PathAutomaton) -> frozenset[int]:
+        """``[[loop(π)]]``: nodes ``n`` with ``(n, n) ∈ [[π]]``."""
+        edges = self._product_edges(automaton)
+        satisfied = set()
+        for node in self.tree.nodes:
+            reached = self._reach(edges, (node, automaton.initial))
+            if (node, automaton.final) in reached:
+                satisfied.add(node)
+        return frozenset(satisfied)
+
+    # ------------------------------------------------------------- machinery
+
+    def _product_edges(self, automaton: PathAutomaton):
+        """Adjacency of the product graph: (node, state) → [(node', state')]."""
+        tree = self.tree
+        edges: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for source_state, symbol, target_state in automaton.transitions:
+            if isinstance(symbol, Step):
+                for node in tree.nodes:
+                    target_node = step_target(tree, node, symbol)
+                    if target_node is not None:
+                        edges.setdefault((node, source_state), []).append(
+                            (target_node, target_state)
+                        )
+            else:
+                for node in self.nodes(symbol):
+                    edges.setdefault((node, source_state), []).append(
+                        (node, target_state)
+                    )
+        return edges
+
+    @staticmethod
+    def _reach(edges, start):
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            position = frontier.pop()
+            for successor in edges.get(position, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+
+def loops_fixpoint(tree: XMLTree, automaton: PathAutomaton,
+                   evaluator: NFEvaluator | None = None) -> set[tuple[int, int, int]]:
+    """The set ``LOOPS_π`` of Lemma 11, by its inductive definition.
+
+    ``(n, q, q') ∈ LOOPS_π`` iff ``n ∈ [[loop(π_{q,q'})]]``.  Computed as a
+    chaotic fixpoint over the two closure rules (step-wrapped detours and
+    same-node transitivity).
+    """
+    evaluator = evaluator or NFEvaluator(tree)
+    states = range(automaton.num_states)
+
+    loops: set[tuple[int, int, int]] = set()
+    # LOOPS^(0): reflexive triples and satisfied test transitions.
+    for node in tree.nodes:
+        for state in states:
+            loops.add((node, state, state))
+    for source, test, target in automaton.test_transitions():
+        for node in evaluator.nodes(test):
+            loops.add((node, source, target))
+
+    step_trans = list(automaton.step_transitions())
+    # Index: by (step, source-state) and by (converse-step entries for rule 1).
+    changed = True
+    while changed:
+        changed = False
+        additions: set[tuple[int, int, int]] = set()
+        # Rule (1): n --τ--> m, (m, qj, qk) ∈ LOOPS, (qi, τ, qj) ∈ Δ,
+        # (qk, τ˘, qℓ) ∈ Δ  ⇒  (n, qi, qℓ).
+        for (qi, tau, qj) in step_trans:
+            returns = [
+                (qk, ql) for (qk, sym, ql) in step_trans if sym is tau.converse
+            ]
+            if not returns:
+                continue
+            for node in tree.nodes:
+                target = step_target(tree, node, tau)
+                if target is None:
+                    continue
+                for qk, ql in returns:
+                    if (target, qj, qk) in loops and (node, qi, ql) not in loops:
+                        additions.add((node, qi, ql))
+        # Rule (2): transitivity at the same node.
+        by_node: dict[int, list[tuple[int, int]]] = {}
+        for (node, a, b) in loops:
+            by_node.setdefault(node, []).append((a, b))
+        for node, pairs in by_node.items():
+            forward: dict[int, set[int]] = {}
+            for a, b in pairs:
+                forward.setdefault(a, set()).add(b)
+            for a, mids in forward.items():
+                for mid in list(mids):
+                    for b in forward.get(mid, ()):
+                        if (node, a, b) not in loops:
+                            additions.add((node, a, b))
+        if additions:
+            loops |= additions
+            changed = True
+    return loops

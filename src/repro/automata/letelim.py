@@ -1,0 +1,190 @@
+"""Elimination of the ``let`` construct (Lemma 18).
+
+Transforms a let-expression ``let ρ in ψ`` over ``CoreXPath_NFA(*, loop)``
+into an *equi-satisfiable* plain normal-form expression of polynomial size.
+The idea of the paper's proof: materialize each bound label ``p`` as an
+auxiliary leaf child of the nodes where ``p`` is supposed to hold, make the
+main formula blind to auxiliary nodes (relativize every basic step to real
+nodes), and axiomatize that ``⟨↓[p]⟩`` holds exactly where ``p``'s definition
+does.
+
+Two structural axioms keep the encoding sound: auxiliary nodes are leaves,
+and no real node sits to the right of an auxiliary node.  One deviation from
+the paper's literal text: its ``equiv(ψ, χ)`` quantifies over *all* nodes,
+including the auxiliary ones, where definitions like ``¬q`` would hold
+spuriously; we restrict the equivalence to real nodes (guarding the
+universal quantifier by ``¬⋁P``), which is what the proof's argument needs.
+"""
+
+from __future__ import annotations
+
+from .epa import LetNF, nf_substitute_label
+from .nf import (
+    NFAnd,
+    NFExpr,
+    NFLabel,
+    NFLoop,
+    NFNot,
+    NFTop,
+    PathAutomaton,
+    Step,
+    nf_negate,
+)
+
+__all__ = [
+    "eliminate_lets",
+    "nf_or",
+    "nf_or_all",
+    "nf_and_all",
+    "nf_somewhere",
+    "nf_exists_down",
+    "nf_exists_right",
+    "relativize_steps",
+]
+
+
+def nf_or(left: NFExpr, right: NFExpr) -> NFExpr:
+    """``φ ∨ ψ = ¬(¬φ ∧ ¬ψ)`` at the normal-form level."""
+    return NFNot(NFAnd(nf_negate(left), nf_negate(right)))
+
+
+def nf_or_all(parts: list[NFExpr]) -> NFExpr:
+    if not parts:
+        return NFNot(NFTop())
+    result = parts[0]
+    for part in parts[1:]:
+        result = nf_or(result, part)
+    return result
+
+
+def nf_and_all(parts: list[NFExpr]) -> NFExpr:
+    if not parts:
+        return NFTop()
+    result = parts[0]
+    for part in parts[1:]:
+        result = NFAnd(result, part)
+    return result
+
+
+def _roam_loops(state: int) -> set:
+    """Self-loop transitions on all four basic steps (reaches any tree node,
+    since the tree is connected under ↓₁/↑₁/→/←)."""
+    return {(state, step, state) for step in Step}
+
+
+def nf_somewhere(expr: NFExpr) -> NFExpr:
+    """``∃m. m ⊨ expr`` as a loop: roam anywhere, test, roam back."""
+    transitions = _roam_loops(0) | _roam_loops(1) | {(0, expr, 1)}
+    return NFLoop(PathAutomaton(2, frozenset(transitions), 0, 1))
+
+
+def nf_exists_down(expr: NFExpr) -> NFExpr:
+    """``⟨↓[expr]⟩``: some child satisfies ``expr``."""
+    transitions = {
+        (0, Step.FIRST_CHILD, 1),
+        (1, Step.RIGHT, 1),
+        (1, expr, 2),
+    } | _roam_loops(2)
+    return NFLoop(PathAutomaton(3, frozenset(transitions), 0, 2))
+
+
+def nf_exists_right(expr: NFExpr) -> NFExpr:
+    """``⟨→[expr]⟩``: the next sibling exists and satisfies ``expr``."""
+    transitions = {(0, Step.RIGHT, 1), (1, expr, 2)} | _roam_loops(2)
+    return NFLoop(PathAutomaton(3, frozenset(transitions), 0, 2))
+
+
+def relativize_steps(expr: NFExpr, guard: NFExpr,
+                     skip: frozenset[int] = frozenset()) -> NFExpr:
+    """Insert a ``[guard]`` test after every basic step in every automaton
+    occurring in ``expr`` (making it blind to guard-violating nodes).
+
+    Subexpressions whose ``id()`` is in ``skip`` are left untouched — the
+    let-elimination gadgets ``⟨↓[p]⟩`` must keep *seeing* the auxiliary
+    nodes the rest of the formula is blinded to.
+    """
+    if id(expr) in skip:
+        return expr
+    match expr:
+        case NFLabel() | NFTop():
+            return expr
+        case NFNot(child=c):
+            return NFNot(relativize_steps(c, guard, skip))
+        case NFAnd(left=a, right=b):
+            return NFAnd(relativize_steps(a, guard, skip),
+                         relativize_steps(b, guard, skip))
+        case NFLoop(automaton=auto):
+            return NFLoop(_relativize_automaton(auto, guard, skip))
+    raise TypeError(f"unknown normal-form expression {expr!r}")
+
+
+def _relativize_automaton(auto: PathAutomaton, guard: NFExpr,
+                          skip: frozenset[int] = frozenset()) -> PathAutomaton:
+    transitions: set = set()
+    next_state = auto.num_states
+    for source, symbol, target in auto.transitions:
+        if isinstance(symbol, Step):
+            middle = next_state
+            next_state += 1
+            transitions.add((source, symbol, middle))
+            transitions.add((middle, guard, target))
+        else:
+            transitions.add((source, relativize_steps(symbol, guard, skip),
+                             target))
+    return PathAutomaton(next_state, frozenset(transitions),
+                         auto.initial, auto.final)
+
+
+def eliminate_lets(let_expr: LetNF) -> NFExpr:
+    """Lemma 18: an equi-satisfiable plain normal-form expression, polynomial
+    in the size of ``let_expr``.
+
+    The bound labels of the environment must be distinct (the Lemma 16
+    translation guarantees this via fresh names).
+    """
+    environment = let_expr.environment
+    if not environment:
+        return let_expr.core
+    bound = [name for name, _ in environment]
+    if len(set(bound)) != len(bound):
+        raise ValueError("environment binds a label twice")
+
+    any_aux = nf_or_all([NFLabel(name) for name in bound])
+    real = nf_negate(any_aux)
+    # One gadget object per bound label; substitution reuses the object, so
+    # its id() identifies every occurrence for the relativization skip-set.
+    gadgets = {name: nf_exists_down(NFLabel(name)) for name in bound}
+    skip = frozenset(id(gadget) for gadget in gadgets.values())
+
+    def star(expr: NFExpr) -> NFExpr:
+        """Replace each bound label p by the ⟨↓[p]⟩ gadget, then relativize
+        everything *except* the gadgets to real nodes.  (Substituting after
+        relativizing would also rewrite the p's inside the ¬⋁P guards,
+        wrongly blinding the formula to real nodes carrying aux children.)"""
+        result = expr
+        for name in bound:
+            result = nf_substitute_label(result, name, gadgets[name])
+        return relativize_steps(result, real, skip)
+
+    # The satisfying node itself must be a real node, so that a model of the
+    # output decodes (by deleting auxiliary leaves) to a model of the input.
+    conjuncts: list[NFExpr] = [NFAnd(real, star(let_expr.core))]
+    for name, definition in environment:
+        marker = nf_exists_down(NFLabel(name))
+        meaning = star(definition)
+        # equiv over real nodes: no real node separates marker and meaning.
+        conjuncts.append(NFNot(nf_somewhere(
+            nf_and_all([real, marker, nf_negate(meaning)])
+        )))
+        conjuncts.append(NFNot(nf_somewhere(
+            nf_and_all([real, meaning, nf_negate(marker)])
+        )))
+    # Auxiliary nodes are leaves ...
+    conjuncts.append(NFNot(nf_somewhere(
+        NFAnd(any_aux, nf_exists_down(NFTop()))
+    )))
+    # ... and have no real nodes to their right.
+    conjuncts.append(NFNot(nf_somewhere(
+        NFAnd(any_aux, nf_exists_right(real))
+    )))
+    return nf_and_all(conjuncts)

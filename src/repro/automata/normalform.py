@@ -1,0 +1,242 @@
+"""Linear translation CoreXPath(*, ≈) → CoreXPath_NFA(*, loop) (§3.1).
+
+The four normalization steps of the paper:
+
+1. Path equalities become loops: ``α ≈ β`` ⇒ ``loop(α/β˘)``; in particular
+   ``loop(α) = α ≈ .``.
+2. ``⟨α⟩`` is eliminated: ``⟨α⟩`` ⇒ ``loop(α/↑*/↓*)``.
+3. The vertical axes are replaced by the first-child axis and its converse:
+   ``↓ = ↓₁/→*`` and ``↑ = ←*/↑₁``.
+4. Path expressions become NFAs over basic steps and tests, via a Thompson
+   construction (skip transitions are tests ``.[⊤]``).
+
+The composite translation is linear in the size of the input.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Filter,
+    Label,
+    NodeExpr,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+)
+from ..xpath.builders import down_star, up_star
+from ..xpath.rewrite import converse
+from .nf import NFAnd, NFExpr, NFLabel, NFLoop, NFNot, NFTop, PathAutomaton, Step
+
+__all__ = [
+    "to_normal_form",
+    "path_to_automaton",
+    "eliminate_skips",
+    "NormalFormError",
+]
+
+
+class NormalFormError(ValueError):
+    """The expression is outside CoreXPath(*, ≈) and has no normal form."""
+
+
+_SKIP: NFExpr = NFTop()
+
+
+class _Builder:
+    """Accumulates the transition table of one automaton under construction."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: set = set()
+
+    def fresh(self) -> int:
+        self.count += 1
+        return self.count - 1
+
+    def add(self, source: int, symbol, target: int) -> None:
+        self.transitions.add((source, symbol, target))
+
+    def finish(self, initial: int, final: int) -> PathAutomaton:
+        return PathAutomaton(self.count, frozenset(self.transitions), initial, final)
+
+
+def path_to_automaton(path: PathExpr) -> PathAutomaton:
+    """Translate a CoreXPath(*, ≈) path expression into a path automaton."""
+    builder = _Builder()
+    start, end = _build(path, builder)
+    return builder.finish(start, end)
+
+
+def _build(path: PathExpr, builder: _Builder) -> tuple[int, int]:
+    start, end = builder.fresh(), builder.fresh()
+    match path:
+        case AxisStep(axis=Axis.DOWN):
+            # ↓ = ↓₁/→* : go to the first child, then zero or more → steps.
+            builder.add(start, Step.FIRST_CHILD, end)
+            builder.add(end, Step.RIGHT, end)
+        case AxisStep(axis=Axis.UP):
+            # ↑ = ←*/↑₁.
+            builder.add(start, Step.LEFT, start)
+            builder.add(start, Step.PARENT_OF_FIRST, end)
+        case AxisStep(axis=Axis.RIGHT):
+            builder.add(start, Step.RIGHT, end)
+        case AxisStep(axis=Axis.LEFT):
+            builder.add(start, Step.LEFT, end)
+        case AxisClosure(axis=axis):
+            inner_start, inner_end = _build(AxisStep(axis), builder)
+            builder.add(start, _SKIP, end)
+            builder.add(start, _SKIP, inner_start)
+            builder.add(inner_end, _SKIP, inner_start)
+            builder.add(inner_end, _SKIP, end)
+        case Self():
+            builder.add(start, _SKIP, end)
+        case Seq(left=a, right=b):
+            a_start, a_end = _build(a, builder)
+            b_start, b_end = _build(b, builder)
+            builder.add(start, _SKIP, a_start)
+            builder.add(a_end, _SKIP, b_start)
+            builder.add(b_end, _SKIP, end)
+        case Union(left=a, right=b):
+            a_start, a_end = _build(a, builder)
+            b_start, b_end = _build(b, builder)
+            builder.add(start, _SKIP, a_start)
+            builder.add(start, _SKIP, b_start)
+            builder.add(a_end, _SKIP, end)
+            builder.add(b_end, _SKIP, end)
+        case Filter(path=a, predicate=p):
+            a_start, a_end = _build(a, builder)
+            builder.add(start, _SKIP, a_start)
+            builder.add(a_end, to_normal_form(p), end)
+        case Star(path=a):
+            a_start, a_end = _build(a, builder)
+            builder.add(start, _SKIP, end)
+            builder.add(start, _SKIP, a_start)
+            builder.add(a_end, _SKIP, a_start)
+            builder.add(a_end, _SKIP, end)
+        case _:
+            raise NormalFormError(
+                f"{type(path).__name__} is outside CoreXPath(*, ≈); "
+                "translate ∩ via repro.automata.epa, − and for are non-elementary"
+            )
+    return start, end
+
+
+def eliminate_skips(auto: PathAutomaton) -> PathAutomaton:
+    """Remove ``.[⊤]`` skip transitions (the Thompson construction's ε-moves)
+    and drop states left without incident transitions.
+
+    Language-preserving for the automaton's own relation (and hence for every
+    ``loop``/2ATA use of it); shrinks ``cl(φ')`` substantially since that set
+    contains a state pair for *every* pair of automaton states.
+    """
+    skip = NFTop()
+    n = auto.num_states
+    skip_next: list[set[int]] = [set() for _ in range(n)]
+    for source, symbol, target in auto.transitions:
+        if isinstance(symbol, NFExpr) and symbol == skip:
+            skip_next[source].add(target)
+
+    def skip_closure(state: int) -> set[int]:
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for successor in skip_next[current]:
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    closures = [skip_closure(state) for state in range(n)]
+    hard = [
+        (source, symbol, target)
+        for source, symbol, target in auto.transitions
+        if not (isinstance(symbol, NFExpr) and symbol == skip)
+    ]
+    new_transitions: set = set()
+    for source in range(n):
+        for mid in closures[source]:
+            for (trans_source, symbol, target) in hard:
+                if trans_source == mid:
+                    new_transitions.add((source, symbol, target))
+    # Redirect acceptance: a hard step into a state that skip-reaches the
+    # final state may as well land on the final state directly.
+    for source, symbol, target in list(new_transitions):
+        if auto.final in closures[target]:
+            new_transitions.add((source, symbol, auto.final))
+    # Preserve the empty trace (identity pairs) if initial skip-reaches final.
+    if auto.final in closures[auto.initial] and auto.initial != auto.final:
+        new_transitions.add((auto.initial, skip, auto.final))
+
+    # Keep only states on some initial→final path: every trace (and every
+    # sub-loop pair the Table III recursion can generate) stays within the
+    # forward-reachable ∩ backward-reachable states.
+    forward = _graph_reach(new_transitions, auto.initial, reverse=False)
+    backward = _graph_reach(new_transitions, auto.final, reverse=True)
+    used = (forward & backward) | {auto.initial, auto.final}
+    kept = {
+        (source, symbol, target)
+        for source, symbol, target in new_transitions
+        if source in used and target in used
+    }
+    renumber = {old: new for new, old in enumerate(sorted(used))}
+    compacted = frozenset(
+        (renumber[source], symbol, renumber[target])
+        for source, symbol, target in kept
+    )
+    return PathAutomaton(len(renumber), compacted,
+                         renumber[auto.initial], renumber[auto.final])
+
+
+def _graph_reach(transitions, start: int, reverse: bool) -> set[int]:
+    adjacency: dict[int, list[int]] = {}
+    for source, _, target in transitions:
+        if reverse:
+            source, target = target, source
+        adjacency.setdefault(source, []).append(target)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for successor in adjacency.get(state, ()):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+#: ``↑*/↓*`` — travels from any node to any node (used to eliminate ⟨α⟩).
+_ANYWHERE: PathExpr = Seq(up_star, down_star)
+
+
+def to_normal_form(expr: NodeExpr) -> NFExpr:
+    """Translate a CoreXPath(*, ≈) node expression into the normal form."""
+    match expr:
+        case Label(name=name):
+            return NFLabel(name)
+        case Top():
+            return NFTop()
+        case Not(child=c):
+            return NFNot(to_normal_form(c))
+        case And(left=a, right=b):
+            return NFAnd(to_normal_form(a), to_normal_form(b))
+        case SomePath(path=a):
+            # ⟨α⟩ = loop(α/↑*/↓*): follow α, then travel back to the start —
+            # possible from anywhere, so the loop exists iff α has a target.
+            return NFLoop(eliminate_skips(path_to_automaton(Seq(a, _ANYWHERE))))
+        case PathEquality(left=a, right=b):
+            # α ≈ β = loop(α/β˘).
+            return NFLoop(eliminate_skips(path_to_automaton(Seq(a, converse(b)))))
+    raise NormalFormError(
+        f"{type(expr).__name__} is outside CoreXPath(*, ≈)"
+    )

@@ -1,0 +1,195 @@
+"""Translating automata back to path expressions (Lemma 33).
+
+* :func:`automaton_to_path` — a ``CoreXPath(*, ≈)`` path expression
+  equivalent to a path automaton, by McNaughton–Yamada state elimination over
+  the path-expression algebra (``∪`` for edge joins, ``/`` for concatenation,
+  ``(·)*`` for loops).  Basic steps are expressed exactly as in §3.1:
+  ``↓₁ = ↓[¬⟨←⟩]`` and ``↑₁ = .[¬⟨←⟩]/↑``.
+* :func:`nf_to_expr` — a node expression for a normal-form expression, using
+  ``loop(π) = π ≈ .``.
+* :func:`letnf_to_expr` / :func:`epa_to_path` — Lemma 33(3): expand the
+  ``let`` environment at the expression level (exponential in general).
+
+Composed with the Lemma 16 translation this yields the Theorem 34 pipeline
+``CoreXPath(*, ∩) → CoreXPath(*, ≈)`` whose size growth the succinctness
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import (
+    And,
+    Axis,
+    AxisStep,
+    Filter,
+    Label,
+    NodeExpr,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+)
+from ..xpath.rewrite import substitute_label
+from .epa import EPA, LetNF
+from .nf import NFAnd, NFExpr, NFLabel, NFLoop, NFNot, NFTop, PathAutomaton, Step
+
+__all__ = ["automaton_to_path", "nf_to_expr", "letnf_to_expr", "epa_to_path"]
+
+#: Marker for the empty relation in the elimination tables.
+_EMPTY = None
+
+_FIRST_CHILD_PATH: PathExpr = Filter(
+    AxisStep(Axis.DOWN), Not(SomePath(AxisStep(Axis.LEFT)))
+)
+_PARENT_OF_FIRST_PATH: PathExpr = Seq(
+    Filter(Self(), Not(SomePath(AxisStep(Axis.LEFT)))), AxisStep(Axis.UP)
+)
+
+
+def _step_path(step: Step) -> PathExpr:
+    if step is Step.FIRST_CHILD:
+        return _FIRST_CHILD_PATH
+    if step is Step.PARENT_OF_FIRST:
+        return _PARENT_OF_FIRST_PATH
+    if step is Step.RIGHT:
+        return AxisStep(Axis.RIGHT)
+    return AxisStep(Axis.LEFT)
+
+
+def _join(left, right):
+    """Union in the elimination algebra (None = empty relation)."""
+    if left is _EMPTY:
+        return right
+    if right is _EMPTY:
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def _chain(left, right):
+    """Concatenation in the elimination algebra."""
+    if left is _EMPTY or right is _EMPTY:
+        return _EMPTY
+    if isinstance(left, Self):
+        return right
+    if isinstance(right, Self):
+        return left
+    return Seq(left, right)
+
+
+def _loop(inner):
+    """Reflexive-transitive closure in the elimination algebra."""
+    if inner is _EMPTY or isinstance(inner, Self):
+        return Self()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def automaton_to_path(auto: PathAutomaton) -> PathExpr:
+    """A CoreXPath(*, ≈) path expression equivalent to ``auto``."""
+    edges: dict[tuple[int, int], PathExpr] = {}
+
+    def add_edge(source: int, target: int, path: PathExpr) -> None:
+        edges[(source, target)] = _join(edges.get((source, target), _EMPTY), path)
+
+    for source, symbol, target in auto.transitions:
+        if isinstance(symbol, Step):
+            add_edge(source, target, _step_path(symbol))
+        elif isinstance(symbol, NFTop):
+            add_edge(source, target, Self())
+        else:
+            add_edge(source, target, Filter(Self(), nf_to_expr(symbol)))
+
+    initial, final = auto.initial, auto.final
+
+    def edge(a: int, b: int):
+        return edges.get((a, b), _EMPTY)
+
+    middle = [s for s in range(auto.num_states) if s not in (initial, final)]
+
+    def degree(state: int) -> int:
+        return sum(1 for pair in edges if state in pair)
+
+    for victim in sorted(middle, key=degree):
+        self_loop = _loop(edge(victim, victim))
+        incoming = [(a, path) for (a, b), path in list(edges.items())
+                    if b == victim and a != victim]
+        outgoing = [(b, path) for (a, b), path in list(edges.items())
+                    if a == victim and b != victim]
+        for (a, _) in incoming:
+            edges.pop((a, victim), None)
+        for (b, _) in outgoing:
+            edges.pop((victim, b), None)
+        edges.pop((victim, victim), None)
+        for a, into in incoming:
+            for b, out in outgoing:
+                bypass = _chain(_chain(into, self_loop), out)
+                if bypass is not _EMPTY:
+                    edges[(a, b)] = _join(edge(a, b), bypass)
+
+    if initial == final:
+        return _loop(edge(initial, initial))
+    loop_i = _loop(edge(initial, initial))
+    loop_f = _loop(edge(final, final))
+    forward = edge(initial, final)
+    if forward is _EMPTY:
+        return Filter(Self(), Not(Top()))  # the empty relation
+    backward = edge(final, initial)
+    step = _chain(_chain(loop_i, forward), loop_f)
+    if backward is _EMPTY:
+        return step if step is not _EMPTY else Filter(Self(), Not(Top()))
+    back = _chain(_chain(backward, loop_i), _chain(forward, loop_f))
+    return _chain(step, _loop(back))
+
+
+def nf_to_expr(expr: NFExpr) -> NodeExpr:
+    """A CoreXPath(*, ≈) node expression equivalent to a normal-form
+    expression; ``loop(π)`` becomes ``π-expression ≈ .``."""
+    match expr:
+        case NFLabel(name=name):
+            return Label(name)
+        case NFTop():
+            return Top()
+        case NFNot(child=c):
+            return Not(nf_to_expr(c))
+        case NFAnd(left=a, right=b):
+            return And(nf_to_expr(a), nf_to_expr(b))
+        case NFLoop(automaton=auto):
+            return PathEquality(automaton_to_path(auto), Self())
+    raise TypeError(f"unknown normal-form expression {expr!r}")
+
+
+def letnf_to_expr(let_expr: LetNF) -> NodeExpr:
+    """Lemma 33(3): translate core and definitions, then substitute the
+    definitions front-to-back at the expression level."""
+    result = nf_to_expr(let_expr.core)
+    remaining = [(name, nf_to_expr(defn)) for name, defn in let_expr.environment]
+    while remaining:
+        name, defn = remaining.pop(0)
+        result = substitute_label(result, name, defn)
+        remaining = [
+            (other, substitute_label(other_defn, name, defn))
+            for other, other_defn in remaining
+        ]
+    return result
+
+
+def epa_to_path(epa: EPA) -> PathExpr:
+    """A CoreXPath(*, ≈) path expression for an extended path automaton."""
+    result = automaton_to_path(epa.automaton)
+    remaining = [(name, nf_to_expr(defn)) for name, defn in epa.environment]
+    while remaining:
+        name, defn = remaining.pop(0)
+        result = substitute_label(result, name, defn)
+        remaining = [
+            (other, substitute_label(other_defn, name, defn))
+            for other, other_defn in remaining
+        ]
+    return result

@@ -1,0 +1,297 @@
+"""Two-way alternating tree automata (Definitions 8–9) and the reduction of
+satisfiability to 2ATA acceptance (§3.3, Table III, Lemma 12).
+
+Given a CoreXPath(*, ≈) node expression ``φ``, :func:`build_twoata`
+constructs the 2ATA ``A_φ`` whose states are the expressions in ``cl(φ')``
+with ``φ' = loop(↓*[φ]/↑*)``, whose transition function is exactly Table III,
+and whose parity condition assigns 1 to ``loop`` states and 2 to all others.
+``A_φ`` accepts an XML tree iff the tree satisfies ``φ`` at some node
+(Lemma 12) — a fact the test suite verifies against the direct semantics.
+
+Acceptance of a *given finite tree* is decided exactly, by solving the parity
+game on the product of tree and automaton (:func:`accepts`).  Emptiness of
+``L(A_φ)`` — Theorem 10's EXPTIME result via automata on infinite binary
+trees — is substituted by the bounded search engine of
+:mod:`repro.analysis.engines`; see DESIGN.md §2 item 1.
+
+Implementation notes: states are interned to integers (indices into
+``cl(φ')``) and transition formulas are hash-consed tuples —
+``("true",)``, ``("false",)``, ``("atom", move, state_index)``,
+``("and", child_indices)``, ``("or", child_indices)`` — so that building and
+solving the acceptance game never hashes deep expression trees.
+"""
+
+from __future__ import annotations
+
+from ..games import ParityGame, solve_parity
+from ..trees import XMLTree
+from ..xpath.ast import Axis, AxisClosure, Filter, NodeExpr, Seq
+from .evaluate import possible_steps, step_target
+from .nf import (
+    NFAnd,
+    NFExpr,
+    NFLabel,
+    NFLoop,
+    NFNot,
+    NFTop,
+    PathAutomaton,
+    Step,
+    nf_negate,
+    nf_subexpressions,
+)
+from .normalform import eliminate_skips, path_to_automaton
+
+__all__ = ["TwoATA", "closure", "build_twoata", "accepts"]
+
+#: ε is represented by the move ``"eps"``; the other moves are :class:`Step`.
+EPS = "eps"
+
+
+def closure(phi_prime: NFExpr) -> frozenset[NFExpr]:
+    """``cl(φ')`` (§3.3): subexpressions, all state-shifted loops, and single
+    negations."""
+    base: set[NFExpr] = set(nf_subexpressions(phi_prime))
+    for expr in list(base):
+        if isinstance(expr, NFLoop):
+            automaton = expr.automaton
+            for q in range(automaton.num_states):
+                for q_prime in range(automaton.num_states):
+                    base.add(NFLoop(automaton.shift(q, q_prime)))
+    closed = set(base)
+    for expr in base:
+        if not isinstance(expr, NFNot):
+            closed.add(NFNot(expr))
+    return frozenset(closed)
+
+
+class TwoATA:
+    """The 2ATA ``A_φ`` with states ``{q_ψ | ψ ∈ cl(φ')}``.
+
+    ``state_exprs[i]`` is the normal-form expression of state ``i``;
+    ``initial`` is the index of ``q_{φ'}``.
+    """
+
+    def __init__(self, phi_prime: NFExpr):
+        self.initial_expr = phi_prime
+        self.state_exprs: list[NFExpr] = sorted(closure(phi_prime), key=repr)
+        self._state_ids: dict[NFExpr, int] = {
+            expr: index for index, expr in enumerate(self.state_exprs)
+        }
+        self.initial = self._state_ids[phi_prime]
+        self._priorities = [
+            1 if isinstance(expr, NFLoop) else 2 for expr in self.state_exprs
+        ]
+        # Hash-consed transition formulas; index 0 is true, 1 is false.
+        self._formula_table: list[tuple] = [("true",), ("false",)]
+        self._formula_ids: dict[tuple, int] = {("true",): 0, ("false",): 1}
+        self._delta_memo: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def num_states(self) -> int:
+        return len(self.state_exprs)
+
+    def priority(self, state: int) -> int:
+        """``Acc``: 1 for ``loop`` states (they must not persist forever on a
+        path of the run), 2 for everything else."""
+        return self._priorities[state]
+
+    def state_of(self, expr: NFExpr) -> int:
+        return self._state_ids[expr]
+
+    def formula(self, index: int) -> tuple:
+        """The hash-consed transition formula node with the given index."""
+        return self._formula_table[index]
+
+    # ------------------------------------------------------ formula building
+
+    def _intern(self, node: tuple) -> int:
+        index = self._formula_ids.get(node)
+        if index is None:
+            index = len(self._formula_table)
+            self._formula_table.append(node)
+            self._formula_ids[node] = index
+        return index
+
+    def _atom(self, move, state: int) -> int:
+        return self._intern(("atom", move, state))
+
+    def _conj(self, children: list[int]) -> int:
+        if 1 in children:
+            return 1
+        children = sorted({child for child in children if child != 0})
+        if not children:
+            return 0  # empty conjunction is true
+        if len(children) == 1:
+            return children[0]
+        return self._intern(("and", tuple(children)))
+
+    def _disj(self, children: list[int]) -> int:
+        if 0 in children:
+            return 0
+        children = sorted({child for child in children if child != 1})
+        if not children:
+            return 1  # empty disjunction is false
+        if len(children) == 1:
+            return children[0]
+        return self._intern(("or", tuple(children)))
+
+    # ------------------------------------------------------------ transition
+
+    def delta(self, state: int, label: str, poss_steps: frozenset[Step]) -> int:
+        """Table III; returns the index of the transition formula."""
+        key = (state, label, poss_steps)
+        index = self._delta_memo.get(key)
+        if index is None:
+            index = self._delta_raw(state, label, poss_steps)
+            self._delta_memo[key] = index
+        return index
+
+    def _delta_raw(self, state: int, label: str,
+                   poss_steps: frozenset[Step]) -> int:
+        expr = self.state_exprs[state]
+        match expr:
+            case NFLabel(name=name):
+                return 0 if name == label else 1
+            case NFTop():
+                return 0
+            case NFAnd(left=a, right=b):
+                return self._conj([self._atom(EPS, self.state_of(a)),
+                                   self._atom(EPS, self.state_of(b))])
+            case NFLoop(automaton=auto):
+                return self._delta_loop(auto, poss_steps, positive=True)
+            case NFNot(child=child):
+                return self._delta_negative(child, label, poss_steps)
+        raise TypeError(f"unknown state expression {expr!r}")
+
+    def _delta_negative(self, child: NFExpr, label: str,
+                        poss_steps: frozenset[Step]) -> int:
+        match child:
+            case NFLabel(name=name):
+                return 1 if name == label else 0
+            case NFTop():
+                return 1
+            case NFNot(child=inner):
+                # ¬¬ψ does not occur in cl(φ'), but resolve it for safety.
+                return self.delta(self.state_of(inner), label, poss_steps)
+            case NFAnd(left=a, right=b):
+                return self._disj([
+                    self._atom(EPS, self.state_of(nf_negate(a))),
+                    self._atom(EPS, self.state_of(nf_negate(b))),
+                ])
+            case NFLoop(automaton=auto):
+                return self._delta_loop(auto, poss_steps, positive=False)
+        raise TypeError(f"unknown negated state expression {child!r}")
+
+    def _delta_loop(self, auto: PathAutomaton, poss_steps: frozenset[Step],
+                    positive: bool) -> int:
+        q_init, q_final = auto.initial, auto.final
+        if q_init == q_final:
+            return 0 if positive else 1
+
+        def loop_atom(move, q: int, q_prime: int) -> int:
+            loop_expr: NFExpr = NFLoop(auto.shift(q, q_prime))
+            if not positive:
+                loop_expr = NFNot(loop_expr)
+            return self._atom(move, self.state_of(loop_expr))
+
+        parts: list[int] = []
+        # Direct test transitions from q_I to q_F.
+        for source, test, target in auto.test_transitions():
+            if source == q_init and target == q_final:
+                target_expr = test if positive else nf_negate(test)
+                parts.append(self._atom(EPS, self.state_of(target_expr)))
+        # Step out and return: (q_I, τ, q_k) and (q_ℓ, τ˘, q_F).
+        for source, tau, q_k in auto.step_transitions():
+            if source != q_init or tau not in poss_steps:
+                continue
+            for q_l, sym, target in auto.step_transitions():
+                if target == q_final and sym is tau.converse:
+                    parts.append(loop_atom(tau, q_k, q_l))
+        # Split the loop at an intermediate state.  q_k ∈ {q_I, q_F} is
+        # redundant (it yields a trivial ⊤-half plus the state itself), so it
+        # is pruned; the halves are built in negated (dual) form when
+        # positive=False, so only the outer connective flips below.
+        for q_k in range(auto.num_states):
+            if q_k in (q_init, q_final):
+                continue
+            halves = [loop_atom(EPS, q_init, q_k), loop_atom(EPS, q_k, q_final)]
+            parts.append(self._conj(halves) if positive else self._disj(halves))
+        return self._disj(parts) if positive else self._conj(parts)
+
+
+def build_twoata(phi: NodeExpr) -> TwoATA:
+    """The 2ATA ``A_φ`` for a CoreXPath(*, ≈) node expression ``φ``.
+
+    ``φ' = loop(↓*[φ]/↑*)`` holds at the root iff ``φ`` holds somewhere, so
+    the automaton starts at the root in state ``q_{φ'}``.
+    """
+    wrapped = Seq(Filter(AxisClosure(Axis.DOWN), phi), AxisClosure(Axis.UP))
+    phi_prime: NFExpr = NFLoop(eliminate_skips(path_to_automaton(wrapped)))
+    return TwoATA(phi_prime)
+
+
+def accepts(automaton: TwoATA, tree: XMLTree) -> bool:
+    """Does ``automaton`` accept ``tree``?  Decided exactly by solving the
+    parity game on the (reachable part of the) product of tree and automaton:
+    Eve resolves disjunctions (the nondeterminism of the run), Adam
+    conjunctions (the alternation); priorities come from ``Acc``.
+    """
+    # Positions: ("st", node, state) | ("f", node, formula_index) | sinks.
+    eve_sink = ("win", 0, 0)
+    adam_sink = ("win", 1, 1)
+    owner = {eve_sink: 0, adam_sink: 1}
+    priority = {eve_sink: 2, adam_sink: 1}
+    moves: dict = {eve_sink: (eve_sink,), adam_sink: (adam_sink,)}
+
+    root_position = ("st", tree.root, automaton.initial)
+    pending = [root_position]
+    seen = {root_position}
+    poss = {node: possible_steps(tree, node) for node in tree.nodes}
+
+    def push(position) -> None:
+        if position not in seen:
+            seen.add(position)
+            pending.append(position)
+
+    while pending:
+        position = pending.pop()
+        kind, node, payload = position
+        if kind == "st":
+            formula_index = automaton.delta(payload, tree.label(node), poss[node])
+            successor = ("f", node, formula_index)
+            owner[position] = 0
+            priority[position] = automaton.priority(payload)
+            moves[position] = (successor,)
+            push(successor)
+            continue
+        formula = automaton.formula(payload)
+        priority[position] = 2
+        tag = formula[0]
+        if tag == "true":
+            owner[position] = 0
+            moves[position] = (eve_sink,)
+        elif tag == "false":
+            owner[position] = 0
+            moves[position] = (adam_sink,)
+        elif tag == "atom":
+            _, move, state = formula
+            target = node if move == EPS else step_target(tree, node, move)
+            owner[position] = 0
+            if target is None:
+                moves[position] = (adam_sink,)
+            else:
+                successor = ("st", target, state)
+                moves[position] = (successor,)
+                push(successor)
+        else:
+            owner[position] = 0 if tag == "or" else 1
+            successors = tuple(("f", node, child) for child in formula[1])
+            moves[position] = successors
+            for successor in successors:
+                push(successor)
+
+    game = ParityGame(owner, priority, moves)
+    win_eve, _ = solve_parity(game)
+    return root_position in win_eve

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+
+* ``evaluate PATH [--doc FILE | --xml STRING] [--from NODE]`` — evaluate a
+  path expression on a document and print the selected pairs/nodes.
+* ``satisfiable NODE_EXPR [--schema FILE] [--max-nodes N]`` — decide node
+  satisfiability; prints the verdict and a witness document if one exists.
+* ``contains ALPHA BETA [--schema FILE] [--max-nodes N]`` — decide path
+  containment; prints the verdict and a counterexample if one exists.
+* ``translate EXPR --to {eq,for,normal-form,official}`` — run one of the
+  paper's translations on an expression and print the result.
+* ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
+
+Schemas are text files with one ``label = content-model`` rule per line; the
+first rule's label is the root type (lines like ``label -> concrete`` after
+a ``%projection`` marker define an EDTD projection).  Expressions use the
+library's ASCII syntax (see ``repro.xpath.parser``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import contains as _contains
+from .analysis import satisfiable as _satisfiable
+from .edtd import EDTD
+from .semantics import evaluate_path
+from .trees import XMLTree, from_xml, to_indented
+from .xpath import parse_node, parse_path, to_paper, to_source
+
+__all__ = ["main", "load_schema"]
+
+
+def load_schema(path: str) -> EDTD:
+    """Parse the CLI schema format into an :class:`EDTD`."""
+    rules: dict[str, str] = {}
+    projection: dict[str, str] = {}
+    root: str | None = None
+    in_projection = False
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "%projection":
+                in_projection = True
+                continue
+            if in_projection:
+                name, _, concrete = line.partition("->")
+                projection[name.strip()] = concrete.strip()
+                continue
+            name, separator, body = line.partition("=")
+            if not separator:
+                raise ValueError(f"bad schema rule: {line!r}")
+            name = name.strip()
+            rules[name] = body.strip()
+            if root is None:
+                root = name
+    if root is None:
+        raise ValueError("schema file has no rules")
+    return EDTD.from_rules(rules, root_type=root,
+                           projection=projection or None)
+
+
+def _load_document(args) -> XMLTree:
+    if args.doc:
+        with open(args.doc, encoding="utf-8") as handle:
+            return from_xml(handle.read())
+    if args.xml:
+        return from_xml(args.xml)
+    raise SystemExit("provide a document via --doc FILE or --xml STRING")
+
+
+def _cmd_evaluate(args) -> int:
+    tree = _load_document(args)
+    path = parse_path(args.path)
+    relation = evaluate_path(tree, path)
+    if args.from_node is not None:
+        targets = sorted(relation.get(args.from_node, frozenset()))
+        print(f"from node {args.from_node}: {targets}")
+    else:
+        for source in sorted(relation):
+            print(f"{source} -> {sorted(relation[source])}")
+    return 0
+
+
+def _cmd_satisfiable(args) -> int:
+    phi = parse_node(args.expr)
+    edtd = load_schema(args.schema) if args.schema else None
+    result = _satisfiable(phi, edtd=edtd, max_nodes=args.max_nodes)
+    print(f"verdict: {result.verdict.value} (conclusive: {result.conclusive})")
+    if result.witness is not None:
+        print("witness document:")
+        print(to_indented(result.witness))
+        print(f"satisfied at node {result.witness_node}")
+        return 0
+    return 0 if result.conclusive else 2
+
+
+def _cmd_contains(args) -> int:
+    alpha = parse_path(args.alpha)
+    beta = parse_path(args.beta)
+    edtd = load_schema(args.schema) if args.schema else None
+    result = _contains(alpha, beta, edtd=edtd, max_nodes=args.max_nodes)
+    print(f"contained: {result.contained} (conclusive: {result.conclusive})")
+    if result.counterexample is not None:
+        d, e = result.counterexample_pair
+        print(f"counterexample (pair {d} -> {e}):")
+        print(to_indented(result.counterexample))
+        return 1
+    return 0 if result.conclusive else 2
+
+
+def _cmd_translate(args) -> int:
+    if args.to == "official":
+        from .xpath.official import to_official
+        try:
+            expr = parse_path(args.expr)
+        except Exception:  # noqa: BLE001 - fall back to node expressions
+            expr = parse_node(args.expr)
+        print(to_official(expr))
+        return 0
+    if args.to == "eq":
+        from .automata import FreshLabels, node_to_let_nf, path_to_epa
+        from .automata.toexpr import epa_to_path, letnf_to_expr
+        try:
+            path = parse_path(args.expr)
+            translated = epa_to_path(path_to_epa(path, FreshLabels()))
+        except Exception:  # noqa: BLE001
+            node = parse_node(args.expr)
+            translated = letnf_to_expr(node_to_let_nf(node, FreshLabels()))
+        print(to_source(translated))
+        return 0
+    if args.to == "for":
+        from .lowerbounds import eliminate_complements
+        path = parse_path(args.expr)
+        print(to_source(eliminate_complements(path)))
+        return 0
+    if args.to == "normal-form":
+        from .automata import to_normal_form
+        node = parse_node(args.expr)
+        print(repr(to_normal_form(node)))
+        return 0
+    raise SystemExit(f"unknown translation target {args.to!r}")
+
+
+def _cmd_validate(args) -> int:
+    edtd = load_schema(args.schema)
+    tree = _load_document(args)
+    try:
+        edtd.validate(tree)
+    except ValueError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print("valid")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    try:
+        expr = parse_path(args.expr)
+    except Exception:  # noqa: BLE001
+        expr = parse_node(args.expr)
+    from .xpath import size
+    from .xpath.fragments import fragment_of
+    print(f"paper notation: {to_paper(expr)}")
+    print(f"size: {size(expr)}")
+    print(f"fragment: {fragment_of(expr).name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoreXPath containment & satisfiability "
+                    "(ten Cate & Lutz, PODS 2007)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = commands.add_parser("evaluate", help="evaluate a path on a document")
+    evaluate.add_argument("path")
+    evaluate.add_argument("--doc")
+    evaluate.add_argument("--xml")
+    evaluate.add_argument("--from", dest="from_node", type=int, default=None)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    sat = commands.add_parser("satisfiable", help="node satisfiability")
+    sat.add_argument("expr")
+    sat.add_argument("--schema")
+    sat.add_argument("--max-nodes", type=int, default=6)
+    sat.set_defaults(func=_cmd_satisfiable)
+
+    cont = commands.add_parser("contains", help="path containment")
+    cont.add_argument("alpha")
+    cont.add_argument("beta")
+    cont.add_argument("--schema")
+    cont.add_argument("--max-nodes", type=int, default=6)
+    cont.set_defaults(func=_cmd_contains)
+
+    translate = commands.add_parser("translate", help="run a paper translation")
+    translate.add_argument("expr")
+    translate.add_argument("--to", required=True,
+                           choices=["eq", "for", "normal-form", "official"])
+    translate.set_defaults(func=_cmd_translate)
+
+    validate = commands.add_parser("validate", help="EDTD conformance")
+    validate.add_argument("--schema", required=True)
+    validate.add_argument("--doc")
+    validate.add_argument("--xml")
+    validate.set_defaults(func=_cmd_validate)
+
+    show = commands.add_parser("show", help="inspect an expression")
+    show.add_argument("expr")
+    show.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Extended DTDs (Definition 2): schemas, conformance, generation."""
+
+from .edtd import EDTD, DTD, ConformanceError
+from .examples import book_edtd, nested_sections_edtd, book_sample_rules
+from .generate import random_conforming_tree, GenerationBudgetExceeded
+from .encode import dtd_to_corexpath_star, content_model_to_path
+
+__all__ = [
+    "EDTD",
+    "DTD",
+    "ConformanceError",
+    "book_edtd",
+    "nested_sections_edtd",
+    "book_sample_rules",
+    "random_conforming_tree",
+    "GenerationBudgetExceeded",
+    "dtd_to_corexpath_star",
+    "content_model_to_path",
+]

@@ -1,0 +1,213 @@
+"""Extended DTDs (Definition 2) and conformance checking.
+
+An EDTD is ``(Δ, P, r, μ)``: a finite set of abstract labels, a content model
+``P(t)`` (a regular expression over Δ) per abstract label, a root type, and a
+projection ``μ : Δ → Σ`` to concrete labels.  Standard DTDs are the special
+case with ``Δ = Σ`` and ``μ`` the identity.  EDTDs capture exactly the
+regular tree languages [Papakonstantinou & Vianu 2000].
+
+Conformance of a tree is decided by searching for the witnessing typing
+``L' : N → Δ`` bottom-up: for each node we compute the set of abstract types
+it can take, by checking the children's type-word against each candidate
+content-model NFA (a product-style subset search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..regexes import NFA, Regex, parse_regex, regex_size, symbols_of, thompson_nfa
+from ..trees import XMLTree
+
+__all__ = ["EDTD", "DTD", "ConformanceError"]
+
+
+class ConformanceError(ValueError):
+    """Raised by :meth:`EDTD.validate` with an explanation of the failure."""
+
+
+@dataclass(frozen=True, eq=False)
+class EDTD:
+    """An extended DTD ``(Δ, P, r, μ)``.
+
+    ``content`` maps each abstract label to its content-model regex over
+    abstract labels; ``projection`` maps abstract labels to concrete ones.
+    """
+
+    abstract_labels: frozenset[str]
+    content: Mapping[str, Regex]
+    root_type: str
+    projection: Mapping[str, str]
+    _nfas: dict[str, NFA] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.root_type not in self.abstract_labels:
+            raise ValueError(f"root type {self.root_type!r} not among abstract labels")
+        for label in self.abstract_labels:
+            if label not in self.content:
+                raise ValueError(f"no content model for abstract label {label!r}")
+            if label not in self.projection:
+                raise ValueError(f"no projection for abstract label {label!r}")
+            stray = symbols_of(self.content[label]) - self.abstract_labels
+            if stray:
+                raise ValueError(
+                    f"content model of {label!r} mentions unknown labels {sorted(stray)}"
+                )
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def from_rules(cls, rules: Mapping[str, str], root_type: str,
+                   projection: Mapping[str, str] | None = None) -> "EDTD":
+        """Build from textual content models, e.g.
+        ``{"book": "chapter+", "chapter": "section+", ...}``.
+
+        Labels missing from ``rules`` but used in content models get the empty
+        content model ε.  ``projection`` defaults to the identity (a DTD).
+        """
+        content: dict[str, Regex] = {
+            label: parse_regex(body) for label, body in rules.items()
+        }
+        mentioned: set[str] = set(content)
+        for regex in content.values():
+            mentioned |= symbols_of(regex)
+        mentioned.add(root_type)
+        for label in mentioned:
+            content.setdefault(label, parse_regex("eps"))
+        abstract = frozenset(content)
+        if projection is None:
+            projection = {label: label for label in abstract}
+        return cls(abstract, content, root_type, dict(projection))
+
+    # ------------------------------------------------------------------ size
+
+    def size(self) -> int:
+        """§2.3: the sum of the content-model regex sizes."""
+        return sum(regex_size(regex) for regex in self.content.values())
+
+    def concrete_labels(self) -> frozenset[str]:
+        """The image of μ."""
+        return frozenset(self.projection.values())
+
+    @property
+    def is_dtd(self) -> bool:
+        """True iff this is a plain DTD (identity projection)."""
+        return all(key == value for key, value in self.projection.items())
+
+    def content_nfa(self, abstract_label: str) -> NFA:
+        """The (cached) NFA of ``P(abstract_label)``."""
+        nfa = self._nfas.get(abstract_label)
+        if nfa is None:
+            nfa = thompson_nfa(self.content[abstract_label]).without_epsilon()
+            self._nfas[abstract_label] = nfa
+        return nfa
+
+    def max_nfa_states(self) -> int:
+        """``|D|`` as used by the Figure 2 algorithm: the maximum number of
+        states of any content-model NFA."""
+        return max(
+            self.content_nfa(label).num_states for label in self.abstract_labels
+        )
+
+    # ----------------------------------------------------------- conformance
+
+    def typing_candidates(self, tree: XMLTree) -> list[frozenset[str]]:
+        """For each node, the abstract labels it can take in *some* witnessing
+        typing ``L'`` (bottom-up fixpoint).  Node conformance holds iff the
+        root's set contains the root type."""
+        candidates: list[frozenset[str]] = [frozenset()] * tree.size
+        for node in range(tree.size - 1, -1, -1):
+            kids = tree.children(node)
+            options: set[str] = set()
+            for abstract in self.abstract_labels:
+                if self.projection[abstract] != tree.label(node):
+                    continue
+                if self._children_word_accepted(self.content_nfa(abstract),
+                                                [candidates[kid] for kid in kids]):
+                    options.add(abstract)
+            candidates[node] = frozenset(options)
+        return candidates
+
+    @staticmethod
+    def _children_word_accepted(nfa: NFA, child_options: list[frozenset[str]]) -> bool:
+        """Is some word ``w_1 … w_k`` with ``w_i ∈ child_options[i]`` accepted?"""
+        current = set(nfa.initial)
+        for options in child_options:
+            step: set[int] = set()
+            for state in current:
+                for symbol in options:
+                    step |= nfa.successors(state, symbol)
+            current = step
+            if not current:
+                return False
+        return bool(current & nfa.accepting)
+
+    def conforms(self, tree: XMLTree) -> bool:
+        """True iff ``tree`` conforms to this EDTD (Definition 2)."""
+        return self.root_type in self.typing_candidates(tree)[tree.root]
+
+    def validate(self, tree: XMLTree) -> None:
+        """Like :meth:`conforms` but raises a :class:`ConformanceError`
+        naming the shallowest node whose subtree admits no typing."""
+        candidates = self.typing_candidates(tree)
+        if self.root_type in candidates[tree.root]:
+            return
+        for node in tree.nodes:
+            if not candidates[node]:
+                raise ConformanceError(
+                    f"node {node} (label {tree.label(node)!r}, depth "
+                    f"{tree.depth(node)}) admits no abstract type"
+                )
+        raise ConformanceError(
+            f"root admits types {sorted(candidates[tree.root])} but not the "
+            f"root type {self.root_type!r}"
+        )
+
+    def witness_typing(self, tree: XMLTree) -> list[str] | None:
+        """A concrete witnessing typing ``L'`` (one abstract label per node),
+        or None if the tree does not conform."""
+        candidates = self.typing_candidates(tree)
+        if self.root_type not in candidates[tree.root]:
+            return None
+        typing = [""] * tree.size
+
+        def assign(node: int, abstract: str) -> None:
+            typing[node] = abstract
+            kids = tree.children(node)
+            word = self._find_children_word(
+                self.content_nfa(abstract), [candidates[kid] for kid in kids]
+            )
+            assert word is not None
+            for kid, kid_abstract in zip(kids, word):
+                assign(kid, kid_abstract)
+
+        assign(tree.root, self.root_type)
+        return typing
+
+    @staticmethod
+    def _find_children_word(nfa: NFA,
+                            child_options: list[frozenset[str]]) -> list[str] | None:
+        """A concrete accepted word with the i-th letter from
+        ``child_options[i]``, via backtracking over NFA state sets."""
+        k = len(child_options)
+
+        def search(position: int, states: frozenset[int]) -> list[str] | None:
+            if position == k:
+                return [] if states & nfa.accepting else None
+            for symbol in sorted(child_options[position]):
+                step: set[int] = set()
+                for state in states:
+                    step |= nfa.successors(state, symbol)
+                if step:
+                    rest = search(position + 1, frozenset(step))
+                    if rest is not None:
+                        return [symbol, *rest]
+            return None
+
+        return search(0, frozenset(nfa.initial))
+
+
+def DTD(rules: Mapping[str, str], root: str) -> EDTD:
+    """A standard DTD: abstract labels coincide with concrete ones."""
+    return EDTD.from_rules(rules, root)

@@ -1,0 +1,36 @@
+"""The paper's running EDTD examples (§2.1 and §2.2)."""
+
+from __future__ import annotations
+
+from .edtd import DTD, EDTD
+
+__all__ = ["book_edtd", "nested_sections_edtd", "book_sample_rules"]
+
+#: Content models of the §2.2 book schema.
+book_sample_rules = {
+    "Book": "Chapter+",
+    "Chapter": "Section+",
+    "Section": "(Section | Paragraph | Image)+",
+    "Paragraph": "eps",
+    "Image": "eps",
+}
+
+
+def book_edtd() -> EDTD:
+    """The §2.2 example: books of chapters of (arbitrarily nested) sections
+    whose leaves are paragraphs and images.  This one is a plain DTD."""
+    return DTD(book_sample_rules, root="Book")
+
+
+def nested_sections_edtd(max_depth: int = 3) -> EDTD:
+    """The §2.1 example EDTD not expressible as a DTD: section nesting of
+    depth at most ``max_depth``.  Abstract labels ``s1 … s_max_depth`` all
+    project to the concrete label ``s``."""
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    rules = {}
+    for level in range(1, max_depth):
+        rules[f"s{level}"] = f"s{level + 1}?"
+    rules[f"s{max_depth}"] = "eps"
+    projection = {f"s{level}": "s" for level in range(1, max_depth + 1)}
+    return EDTD.from_rules(rules, root_type="s1", projection=projection)

@@ -1,0 +1,93 @@
+"""Generation of trees conforming to an EDTD.
+
+Used to produce schema-respecting workloads for the benchmarks and for
+randomized conformance tests (everything we generate must validate, and
+mutations of it usually must not).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..regexes import NFA
+from ..trees import XMLTree
+from .edtd import EDTD
+
+__all__ = ["random_conforming_tree", "GenerationBudgetExceeded"]
+
+
+class GenerationBudgetExceeded(RuntimeError):
+    """The sampler could not produce a conforming tree within its budget."""
+
+
+def random_conforming_tree(
+    edtd: EDTD,
+    rng: random.Random,
+    max_nodes: int = 60,
+    prefer_short: float = 0.5,
+) -> XMLTree:
+    """Sample a tree conforming to ``edtd`` with at most ``max_nodes`` nodes.
+
+    Children words are sampled by random walks on the content-model NFAs,
+    biased toward accepting states by ``prefer_short`` so generation
+    terminates; if the budget is exhausted, sampling restarts (a bounded
+    number of times) before giving up.
+    """
+    for _ in range(64):
+        result = _try_generate(edtd, rng, max_nodes, prefer_short)
+        if result is not None:
+            return result
+    raise GenerationBudgetExceeded(
+        f"could not sample a conforming tree with <= {max_nodes} nodes"
+    )
+
+
+def _try_generate(edtd: EDTD, rng: random.Random, max_nodes: int,
+                  prefer_short: float) -> XMLTree | None:
+    labels: list[str] = []
+    parents: list[int | None] = []
+
+    def emit(abstract: str, parent: int | None) -> bool:
+        if len(labels) >= max_nodes:
+            return False
+        labels.append(edtd.projection[abstract])
+        parents.append(parent)
+        me = len(labels) - 1
+        word = _random_accepted_word(
+            edtd.content_nfa(abstract), rng, max_nodes - len(labels), prefer_short
+        )
+        if word is None:
+            return False
+        for child_abstract in word:
+            if not emit(child_abstract, me):
+                return False
+        return True
+
+    if emit(edtd.root_type, None):
+        return XMLTree(labels, parents)
+    return None
+
+
+def _random_accepted_word(nfa: NFA, rng: random.Random, budget: int,
+                          prefer_short: float) -> list[str] | None:
+    """A random word accepted by ``nfa`` with length at most ``budget``."""
+    word: list[str] = []
+    states = frozenset(nfa.initial)
+    for _ in range(budget + 1):
+        can_stop = bool(states & nfa.accepting)
+        moves = [
+            (symbol, target)
+            for state in states
+            for (source, symbol), targets in nfa.transitions.items()
+            if source == state
+            for target in targets
+        ]
+        if can_stop and (not moves or rng.random() < prefer_short):
+            return word
+        if not moves:
+            return None
+        symbol, _ = rng.choice(moves)
+        step = {t for s in states for t in nfa.successors(s, symbol)}
+        states = frozenset(step)
+        word.append(symbol)
+    return None

@@ -1,0 +1,5 @@
+"""Finite two-player games substrate (parity games, Zielonka's algorithm)."""
+
+from .parity import ParityGame, solve_parity, solve_cobuchi
+
+__all__ = ["ParityGame", "solve_parity", "solve_cobuchi"]

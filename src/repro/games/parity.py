@@ -1,0 +1,195 @@
+"""Parity games and Zielonka's algorithm.
+
+The acceptance condition of the paper's 2ATAs (Definition 9) is a parity
+condition; whether a given 2ATA accepts a given finite XML tree reduces to
+deciding the winner of a finite parity game on the product of the tree and
+the automaton (:mod:`repro.automata.acceptance`).  This module provides the
+generic game substrate:
+
+* :func:`solve_parity` — Zielonka's recursive algorithm, any priorities;
+* :func:`solve_cobuchi` — an independent fixpoint solver for the two-priority
+  case (priorities ⊆ {1, 2}), used to cross-check Zielonka in tests.
+
+Conventions: player 0 ("Eve", the automaton) wins an infinite play iff the
+*minimum* priority seen infinitely often is even — matching Definition 9,
+where the lowest number assigned to a state occurring infinitely often must
+be even.  Every position must have at least one successor (build sinks as
+self-loops: an even-priority self-loop is winning for Eve, odd for Adam).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["ParityGame", "solve_parity", "solve_cobuchi"]
+
+Position = Hashable
+
+
+@dataclass
+class ParityGame:
+    """A finite two-player parity game.
+
+    ``owner[v]`` is 0 (Eve) or 1 (Adam); ``priority[v]`` a nonnegative int;
+    ``moves[v]`` the nonempty tuple of successors.
+    """
+
+    owner: dict[Position, int]
+    priority: dict[Position, int]
+    moves: dict[Position, tuple[Position, ...]]
+    _predecessors: dict[Position, list[Position]] | None = field(
+        default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        positions = set(self.owner)
+        if set(self.priority) != positions or set(self.moves) != positions:
+            raise ValueError("owner, priority and moves must share one key set")
+        for position, succs in self.moves.items():
+            if not succs:
+                raise ValueError(
+                    f"position {position!r} has no moves; encode dead ends as "
+                    "self-loop sinks"
+                )
+            for succ in succs:
+                if succ not in positions:
+                    raise ValueError(f"move {position!r} -> {succ!r} leaves the game")
+
+    @property
+    def positions(self) -> set[Position]:
+        return set(self.owner)
+
+    def predecessors(self) -> dict[Position, list[Position]]:
+        if self._predecessors is None:
+            preds: dict[Position, list[Position]] = {v: [] for v in self.owner}
+            for source, succs in self.moves.items():
+                for target in succs:
+                    preds[target].append(source)
+            self._predecessors = preds
+        return self._predecessors
+
+
+def _attractor(game: ParityGame, player: int, targets: Iterable[Position],
+               region: set[Position]) -> set[Position]:
+    """The ``player``-attractor of ``targets`` inside ``region``.
+
+    ``region`` is the current subgame's position set; moves leaving it are
+    ignored (Zielonka only ever removes attractors, so subgames stay total).
+    """
+    preds = game.predecessors()
+    attr = {v for v in targets if v in region}
+    out_degree = {
+        v: sum(1 for s in game.moves[v] if s in region) for v in region
+    }
+    frontier = list(attr)
+    while frontier:
+        position = frontier.pop()
+        for pred in preds[position]:
+            if pred not in region or pred in attr:
+                continue
+            if game.owner[pred] == player:
+                attr.add(pred)
+                frontier.append(pred)
+            else:
+                out_degree[pred] -= 1
+                if out_degree[pred] == 0:
+                    attr.add(pred)
+                    frontier.append(pred)
+    return attr
+
+
+def solve_parity(game: ParityGame) -> tuple[set[Position], set[Position]]:
+    """Zielonka's algorithm.  Returns ``(win_eve, win_adam)``, a partition of
+    all positions (parity games are determined)."""
+
+    def solve(region: set[Position]) -> tuple[set[Position], set[Position]]:
+        if not region:
+            return set(), set()
+        lowest = min(game.priority[v] for v in region)
+        player = lowest % 2  # 0 if the lowest priority is even (good for Eve)
+        opponent = 1 - player
+        best = {v for v in region if game.priority[v] == lowest}
+        attr = _attractor(game, player, best, region)
+        rest = region - attr
+        win_sub = solve(rest)
+        if not win_sub[opponent]:
+            result: tuple[set[Position], set[Position]] = (set(), set())
+            result[player].update(region)
+            return result
+        escape = _attractor(game, opponent, win_sub[opponent], region)
+        win_rest = solve(region - escape)
+        win_rest[opponent].update(escape)
+        return win_rest
+
+    return solve(game.positions)
+
+
+def solve_cobuchi(game: ParityGame) -> tuple[set[Position], set[Position]]:
+    """Direct solver for two-priority games with priorities ⊆ {1, 2}.
+
+    Eve wins a play iff priority-1 positions occur only finitely often
+    (min-inf-even with priorities {1, 2} means eventually only 2s).  This is
+    a co-Büchi game for Eve; we solve it with the classical nested fixpoint:
+    repeatedly compute the set from which Adam can force infinitely many
+    priority-1 visits, and remove its Adam-attractor.
+
+    Independent of :func:`solve_parity`; used to cross-check it.
+    """
+    bad_priorities = set(game.priority.values()) - {1, 2}
+    if bad_priorities:
+        raise ValueError(f"solve_cobuchi needs priorities in {{1,2}}, got {bad_priorities}")
+
+    region = game.positions
+    win_adam: set[Position] = set()
+    while True:
+        # Adam wins (within `region`) iff he can force visiting priority-1
+        # positions infinitely often: a Büchi objective with target set ones.
+        ones = {v for v in region if game.priority[v] == 1}
+        recur = _buchi_win(game, player=1, targets=ones, region=region)
+        if not recur:
+            return region, win_adam
+        escape = _attractor(game, 1, recur, region)
+        win_adam |= escape
+        region = region - escape
+
+
+def _buchi_win(game: ParityGame, player: int, targets: set[Position],
+               region: set[Position]) -> set[Position]:
+    """Positions in ``region`` from which ``player`` can force visiting
+    ``targets`` infinitely often (standard greatest-fixpoint computation)."""
+    current = set(targets)
+    while True:
+        # Positions from which player can reach `current` in >= 1 step.
+        reach = _attractor_strict(game, player, current, region)
+        new = {v for v in targets if v in reach}
+        if new == current:
+            return _attractor(game, player, new, region) & region if new else set()
+        current = new
+
+
+def _controlled_predecessors(game: ParityGame, player: int,
+                             targets: set[Position],
+                             region: set[Position]) -> set[Position]:
+    """``CPre``: positions from which ``player`` forces entering ``targets``
+    in exactly one step (within ``region``)."""
+    cpre: set[Position] = set()
+    for position in region:
+        succs = [s for s in game.moves[position] if s in region]
+        if not succs:
+            continue
+        if game.owner[position] == player:
+            if any(s in targets for s in succs):
+                cpre.add(position)
+        elif all(s in targets for s in succs):
+            cpre.add(position)
+    return cpre
+
+
+def _attractor_strict(game: ParityGame, player: int, targets: set[Position],
+                      region: set[Position]) -> set[Position]:
+    """Positions from which ``player`` forces reaching ``targets`` in at
+    least one step (targets themselves qualify only via a successor):
+    ``CPre_player(Attr_player(targets))``."""
+    attr = _attractor(game, player, targets, region)
+    return _controlled_predecessors(game, player, attr, region)

@@ -1,0 +1,43 @@
+"""The §6/§7 lower-bound machinery: ATMs, hardness reductions, encodings."""
+
+from .atm import (
+    ATM,
+    Configuration,
+    ComputationNode,
+    LEFT,
+    RIGHT,
+    first_symbol_machine,
+    parity_machine,
+    all_ones_machine,
+)
+from .vertical import VerticalReduction, vertical_reduction, encode_strategy_tree
+from .forward import (
+    ForwardReduction,
+    forward_reduction,
+    encode_strategy_tree_forward,
+)
+from .downward import (
+    DownwardReduction,
+    downward_reduction,
+    encode_strategy_tree_downward,
+)
+from .starfree import (
+    in_fragment_f,
+    starfree_to_path,
+    empty_path,
+    nonemptiness_as_containment,
+)
+from .forloop import eliminate_complements, fresh_variables
+from .multilabel import encode_formula
+
+__all__ = [
+    "ATM", "Configuration", "ComputationNode", "LEFT", "RIGHT",
+    "first_symbol_machine", "parity_machine", "all_ones_machine",
+    "VerticalReduction", "vertical_reduction", "encode_strategy_tree",
+    "ForwardReduction", "forward_reduction", "encode_strategy_tree_forward",
+    "DownwardReduction", "downward_reduction", "encode_strategy_tree_downward",
+    "in_fragment_f", "starfree_to_path", "empty_path",
+    "nonemptiness_as_containment",
+    "eliminate_complements", "fresh_variables",
+    "encode_formula",
+]

@@ -1,0 +1,276 @@
+"""Alternating Turing machines (§6.1).
+
+An ATM ``M = (Q, Λ, Γ, q₀, Δ)`` has states partitioned into existential and
+universal ones plus one accepting and one rejecting state.  Acceptance of
+ATMs with finite computations is the usual AND/OR evaluation over the
+configuration graph [Chandra, Kozen & Stockmeyer 1981].
+
+Machines here run on a fixed-length tape (the space bound ``2^k`` of the
+§6.2/§6.4 reductions); a configuration is ``(state, tape, head)``.  The
+hardness reductions assume machines never move off either tape end and have
+only finite computations — :func:`ATM.accepts` enforces both with explicit
+errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "ATM",
+    "Configuration",
+    "LEFT",
+    "RIGHT",
+    "first_symbol_machine",
+    "parity_machine",
+    "all_ones_machine",
+]
+
+LEFT = "L"
+RIGHT = "R"
+
+#: ``(state, tape, head)``.
+Configuration = tuple[str, tuple[str, ...], int]
+
+
+@dataclass(frozen=True)
+class ATM:
+    """An alternating Turing machine.
+
+    ``transitions`` contains tuples ``(q, a, q', b, M)``: in state ``q``
+    reading ``a``, write ``b``, enter ``q'``, move ``M ∈ {L, R}``.
+    """
+
+    existential: frozenset[str]
+    universal: frozenset[str]
+    accepting: str
+    rejecting: str
+    initial: str
+    input_alphabet: frozenset[str]
+    work_alphabet: frozenset[str]
+    blank: str
+    transitions: frozenset[tuple[str, str, str, str, str]]
+
+    def __post_init__(self) -> None:
+        if self.existential & self.universal:
+            raise ValueError("existential and universal states must be disjoint")
+        control = self.existential | self.universal
+        if self.accepting in control or self.rejecting in control:
+            raise ValueError("halting states must not be existential/universal")
+        if self.initial not in control:
+            raise ValueError("the initial state must be existential or universal")
+        if self.blank not in self.work_alphabet:
+            raise ValueError("the blank symbol must be in the work alphabet")
+        if not self.input_alphabet <= self.work_alphabet:
+            raise ValueError("the input alphabet must be within the work alphabet")
+        for q, a, q2, b, move in self.transitions:
+            if q not in control:
+                raise ValueError(f"transition from halting state {q!r}")
+            if q2 not in self.states:
+                raise ValueError(f"transition into unknown state {q2!r}")
+            if a not in self.work_alphabet or b not in self.work_alphabet:
+                raise ValueError("transition symbols must be in the work alphabet")
+            if move not in (LEFT, RIGHT):
+                raise ValueError(f"bad move {move!r}")
+
+    @property
+    def states(self) -> frozenset[str]:
+        return (self.existential | self.universal
+                | {self.accepting, self.rejecting})
+
+    def moves(self, state: str, symbol: str) -> list[tuple[str, str, str]]:
+        """``Δ(q, a)``: the applicable ``(q', b, M)`` triples, sorted."""
+        return sorted(
+            (q2, b, move)
+            for (q, a, q2, b, move) in self.transitions
+            if q == state and a == symbol
+        )
+
+    # --------------------------------------------------------------- running
+
+    def initial_configuration(self, word: Iterable[str],
+                              tape_length: int) -> Configuration:
+        word = list(word)
+        if len(word) > tape_length:
+            raise ValueError("word longer than the tape")
+        if not set(word) <= self.input_alphabet:
+            raise ValueError("word uses symbols outside the input alphabet")
+        tape = tuple(word) + (self.blank,) * (tape_length - len(word))
+        return (self.initial, tape, 0)
+
+    def successors(self, config: Configuration) -> list[Configuration]:
+        state, tape, head = config
+        if state in (self.accepting, self.rejecting):
+            return []
+        result = []
+        for q2, b, move in self.moves(state, tape[head]):
+            new_tape = tape[:head] + (b,) + tape[head + 1:]
+            new_head = head - 1 if move == LEFT else head + 1
+            if not 0 <= new_head < len(tape):
+                raise ValueError(
+                    f"machine moved off the tape at {config!r}; the reductions "
+                    "assume the space bound is respected"
+                )
+            result.append((q2, new_tape, new_head))
+        return result
+
+    def accepts(self, word: Iterable[str], tape_length: int,
+                max_configurations: int = 100_000) -> bool:
+        """AND/OR evaluation over the configuration graph.
+
+        Raises if a configuration repeats along a branch (the reductions
+        assume finite computations) or the exploration budget is exceeded.
+        """
+        memo: dict[Configuration, bool] = {}
+        on_stack: set[Configuration] = set()
+
+        def evaluate(config: Configuration) -> bool:
+            if config in memo:
+                return memo[config]
+            if config in on_stack:
+                raise ValueError("infinite computation (configuration cycle)")
+            if len(memo) > max_configurations:
+                raise ValueError("configuration budget exceeded")
+            state = config[0]
+            if state == self.accepting:
+                value = True
+            elif state == self.rejecting:
+                value = False
+            else:
+                on_stack.add(config)
+                succs = self.successors(config)
+                if not succs:
+                    raise ValueError(
+                        f"control state {state!r} has no applicable transition; "
+                        "make halting explicit via the accepting/rejecting states"
+                    )
+                if state in self.existential:
+                    value = any(evaluate(s) for s in succs)
+                else:
+                    value = all(evaluate(s) for s in succs)
+                on_stack.discard(config)
+            memo[config] = value
+            return value
+
+        return evaluate(self.initial_configuration(word, tape_length))
+
+    def strategy_tree(self, word: Iterable[str], tape_length: int) -> "ComputationNode":
+        """The computation tree used by the reduction tests: universal
+        configurations keep all successors; existential ones keep a single
+        accepting successor if any, else their first successor."""
+        memo: dict[Configuration, bool] = {}
+
+        def accepting_from(config: Configuration) -> bool:
+            if config in memo:
+                return memo[config]
+            state = config[0]
+            if state == self.accepting:
+                value = True
+            elif state == self.rejecting:
+                value = False
+            else:
+                memo[config] = False  # cycle guard (machines are finite anyway)
+                succs = self.successors(config)
+                if state in self.existential:
+                    value = any(accepting_from(s) for s in succs)
+                else:
+                    value = all(accepting_from(s) for s in succs)
+            memo[config] = value
+            return value
+
+        def build(config: Configuration) -> ComputationNode:
+            state = config[0]
+            if state in (self.accepting, self.rejecting):
+                return ComputationNode(config, ())
+            succs = self.successors(config)
+            if state in self.existential:
+                chosen = next(
+                    (s for s in succs if accepting_from(s)), succs[0]
+                )
+                return ComputationNode(config, (build(chosen),))
+            return ComputationNode(config, tuple(build(s) for s in succs))
+
+        return build(self.initial_configuration(word, tape_length))
+
+
+@dataclass(frozen=True)
+class ComputationNode:
+    """A node of a computation (strategy) tree."""
+
+    configuration: Configuration
+    children: tuple["ComputationNode", ...]
+
+    def contains_state(self, state: str) -> bool:
+        if self.configuration[0] == state:
+            return True
+        return any(child.contains_state(state) for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+# --------------------------------------------------------- example machines
+
+
+def first_symbol_machine() -> ATM:
+    """Accepts words whose first symbol is ``a`` (purely existential)."""
+    return ATM(
+        existential=frozenset({"q0"}),
+        universal=frozenset(),
+        accepting="qa",
+        rejecting="qr",
+        initial="q0",
+        input_alphabet=frozenset({"a", "b"}),
+        work_alphabet=frozenset({"a", "b", "_"}),
+        blank="_",
+        transitions=frozenset({
+            ("q0", "a", "qa", "a", RIGHT),
+            ("q0", "b", "qr", "b", RIGHT),
+            ("q0", "_", "qr", "_", RIGHT),
+        }),
+    )
+
+
+def all_ones_machine() -> ATM:
+    """Accepts words over {0,1} (padded by blanks) containing no ``0``:
+    walks right universally branching on "check here" vs "continue"."""
+    return ATM(
+        existential=frozenset(),
+        universal=frozenset({"q0"}),
+        accepting="qa",
+        rejecting="qr",
+        initial="q0",
+        input_alphabet=frozenset({"0", "1"}),
+        work_alphabet=frozenset({"0", "1", "_"}),
+        blank="_",
+        transitions=frozenset({
+            ("q0", "1", "q0", "1", RIGHT),
+            ("q0", "1", "qa", "1", RIGHT),
+            ("q0", "0", "qr", "0", RIGHT),
+            ("q0", "_", "qa", "_", LEFT),
+        }),
+    )
+
+
+def parity_machine() -> ATM:
+    """Accepts words over {0,1} with an even number of ``1``-s — a
+    deterministic two-state machine exercising state changes and writes."""
+    return ATM(
+        existential=frozenset({"even", "odd"}),
+        universal=frozenset(),
+        accepting="qa",
+        rejecting="qr",
+        initial="even",
+        input_alphabet=frozenset({"0", "1"}),
+        work_alphabet=frozenset({"0", "1", "_"}),
+        blank="_",
+        transitions=frozenset({
+            ("even", "0", "even", "0", RIGHT),
+            ("even", "1", "odd", "1", RIGHT),
+            ("odd", "0", "odd", "0", RIGHT),
+            ("odd", "1", "even", "1", RIGHT),
+            ("even", "_", "qa", "_", LEFT),
+            ("odd", "_", "qr", "_", LEFT),
+        }),
+    )

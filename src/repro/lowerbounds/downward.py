@@ -1,0 +1,324 @@
+"""The EXPSPACE-hardness reduction for CoreXPath↓(∩) (§6.4, Theorem 29).
+
+Reduces the word problem of an exponentially *time*-bounded ATM: with only
+the downward axes available, a computation is laid out as downward chains of
+cells (Figure 5).  Two binary counters identify positions: ``C`` (bits
+``c_i``) numbers the ``2^k`` cells within a configuration and ``D`` (bits
+``d_i``) numbers the ``2^k`` configurations along a branch.  Head moves are
+communicated by the ``m_{M,q}`` markers checked against the ``↓`` child (the
+§6.3 trick with ``α'_Rcur`` replaced by ``↓``).
+
+Chains run until both counters are maximal, so computations are padded with
+head-less copy configurations after halting; ``φ''_acc`` forbids the
+rejecting state anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees import MultiLabelTree, XMLTree
+from ..xpath.ast import (
+    Filter,
+    Intersect,
+    Label,
+    NodeExpr,
+    Not,
+    PathExpr,
+    Self,
+    SomePath,
+)
+from ..xpath.builders import and_all, down, down_star, every, implies, or_all
+from .atm import ATM, ComputationNode, LEFT, RIGHT
+from .encoding import (
+    at_most_one_state,
+    c_bit,
+    d_bit,
+    exactly_one_symbol,
+    marker_label,
+    some_state,
+    state_label,
+    symbol_label,
+    value_equals,
+)
+
+__all__ = ["DownwardReduction", "downward_reduction", "encode_strategy_tree_downward"]
+
+
+@dataclass(frozen=True)
+class DownwardReduction:
+    """``φ''_{M',w}`` together with its ingredients."""
+
+    machine: ATM
+    word: tuple[str, ...]
+    k: int
+    formula: NodeExpr
+    conjuncts: dict[str, NodeExpr]
+
+
+def _intersect_all(paths: list[PathExpr]) -> PathExpr:
+    result = paths[0]
+    for path in paths[1:]:
+        result = Intersect(result, path)
+    return result
+
+
+def downward_reduction(machine: ATM, word: str | tuple[str, ...]) -> DownwardReduction:
+    """Build ``φ''_{M',w}`` (§6.4): satisfiable iff the exponentially
+    time-bounded machine accepts ``w`` within ``2^k`` steps on ``2^k`` cells,
+    where ``k = |w|``."""
+    word = tuple(word)
+    k = len(word)
+    if k < 1:
+        raise ValueError("the reduction needs a nonempty input word")
+
+    def cbit(i: int) -> NodeExpr:
+        return Label(c_bit(i))
+
+    def dbit(i: int) -> NodeExpr:
+        return Label(d_bit(i))
+
+    a_cell: PathExpr = down_star
+
+    def eq_i(test: NodeExpr, travel: PathExpr) -> PathExpr:
+        return (Filter(Self(), test) / travel[test]) | \
+               (Filter(Self(), Not(test)) / travel[Not(test)])
+
+    # α''_>cur: strictly-below cells of the same configuration (equal D).
+    down_plus_path: PathExpr = down / down_star
+    a_gtcur = _intersect_all(
+        [down_plus_path, *[eq_i(dbit(i), down_plus_path) for i in range(k)]]
+    )
+
+    # α''_nxt: descend to the next configuration (D+1), any cell.
+    def d_increment_parts(travel: PathExpr) -> list[PathExpr]:
+        parts = []
+        for i in range(k):
+            carry = and_all([dbit(j) for j in range(i)])
+            no_carry = or_all([Not(dbit(j)) for j in range(i)])
+            flip = Filter(Self(), carry) / (
+                (Filter(Self(), dbit(i)) / travel[Not(dbit(i))])
+                | (Filter(Self(), Not(dbit(i))) / travel[dbit(i)])
+            )
+            keep = Filter(Self(), no_carry) / eq_i(dbit(i), travel)
+            parts.append(flip | keep)
+        return parts
+
+    a_nxt = _intersect_all([down_star, *d_increment_parts(down_star)])
+
+    # α''_=nxt: next configuration, same cell (equal C on top of D+1).
+    a_eq_nxt = _intersect_all(
+        [eq_i(cbit(i), a_nxt) for i in range(k)]
+    )
+
+    states = sorted(machine.states)
+    symbols = sorted(machine.work_alphabet)
+
+    max_c = and_all([cbit(i) for i in range(k)])
+    max_d = and_all([dbit(i) for i in range(k)])
+
+    # φ''_conf: the counters along the chain.  The evaluation node is the
+    # chain's first cell: C = 0, D = 0; every non-final cell has a child;
+    # children increment C (mod 2^k) and increment D exactly when C rolls
+    # over.
+    conf_parts: list[NodeExpr] = [
+        value_equals(0, k, c_bit),
+        value_equals(0, k, d_bit),
+        every(a_cell, implies(Not(and_all([max_c, max_d])), SomePath(down))),
+    ]
+    for i in range(k):
+        carry = and_all([cbit(j) for j in range(i)])
+        no_carry = or_all([Not(cbit(j)) for j in range(i)])
+        # C-increment on every child.
+        conf_parts.append(every(
+            a_cell[and_all([carry, cbit(i)])], every(down, Not(cbit(i)))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([carry, Not(cbit(i))])], every(down, cbit(i))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([no_carry, cbit(i)])], every(down, cbit(i))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([no_carry, Not(cbit(i))])], every(down, Not(cbit(i)))
+        ))
+        # D-increment exactly at C-rollover.
+        d_carry = and_all([max_c] + [dbit(j) for j in range(i)])
+        d_no_carry = and_all([max_c, or_all([Not(dbit(j)) for j in range(i)])])
+        conf_parts.append(every(
+            a_cell[and_all([d_carry, dbit(i)])], every(down, Not(dbit(i)))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([d_carry, Not(dbit(i))])], every(down, dbit(i))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([d_no_carry, dbit(i)])], every(down, dbit(i))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([d_no_carry, Not(dbit(i))])], every(down, Not(dbit(i)))
+        ))
+        # D stays fixed while C has not rolled over.
+        conf_parts.append(every(
+            a_cell[and_all([Not(max_c), dbit(i)])], every(down, dbit(i))
+        ))
+        conf_parts.append(every(
+            a_cell[and_all([Not(max_c), Not(dbit(i))])], every(down, Not(dbit(i)))
+        ))
+    conf = and_all(conf_parts)
+
+    # φ''_tape: symbols and the initial configuration (D = 0 cells).
+    within_word = or_all([value_equals(j, k, c_bit) for j in range(k)])
+    initial = every(a_cell, implies(value_equals(0, k, d_bit), and_all([
+        *[
+            implies(value_equals(j, k, c_bit), Label(symbol_label(word[j])))
+            for j in range(k)
+        ],
+        implies(Not(within_word), Label(symbol_label(machine.blank))),
+        implies(value_equals(0, k, c_bit), Label(state_label(machine.initial))),
+        implies(Not(value_equals(0, k, c_bit)), Not(some_state(machine))),
+    ])))
+    tape = and_all([
+        every(a_cell, exactly_one_symbol(machine)),
+        every(a_cell, at_most_one_state(machine)),
+        initial,
+    ])
+
+    # φ''_head: at most one head per configuration (checked downward).
+    head = every(a_cell, and_all([
+        implies(Label(state_label(q)),
+                every(a_gtcur, Not(Label(state_label(q2)))))
+        for q in states for q2 in states
+    ]))
+
+    # φ''_id: non-head cells keep their symbol in the next configuration.
+    ident = every(a_cell, and_all([
+        implies(and_all([Label(symbol_label(a)), Not(some_state(machine))]),
+                every(a_eq_nxt, Label(symbol_label(a))))
+        for a in symbols
+    ]))
+
+    # φ''_Δ with the §6.3 markers, neighbor checks via ↓.
+    def transition_witness(p: str, b: str, move: str) -> NodeExpr:
+        return SomePath(Filter(a_eq_nxt, and_all([
+            Label(symbol_label(b)),
+            Label(marker_label(move, p)),
+        ])))
+
+    delta_parts: list[NodeExpr] = []
+    for q in sorted(machine.existential | machine.universal):
+        for a in symbols:
+            options = [transition_witness(p, b, move)
+                       for (p, b, move) in machine.moves(q, a)]
+            trigger = and_all([Label(state_label(q)), Label(symbol_label(a))])
+            if q in machine.existential:
+                delta_parts.append(implies(trigger, or_all(options)))
+            else:
+                delta_parts.append(implies(trigger, and_all(options)))
+    delta = every(a_cell, and_all(delta_parts))
+
+    # φ''_mark: markers against the ↓ child (the C+1 cell of the same
+    # configuration, except at rollover where no marker may sit anyway).
+    mark = every(a_cell, and_all([
+        and_all([
+            implies(SomePath(down[Label(marker_label(LEFT, q))]),
+                    Label(state_label(q))),
+            implies(Label(marker_label(RIGHT, q)),
+                    and_all([implies(Not(max_c),
+                                     SomePath(down[Label(state_label(q))]))])),
+        ])
+        for q in states
+    ]))
+
+    acc = every(a_cell, Not(Label(state_label(machine.rejecting))))
+
+    conjuncts = {
+        "conf": conf, "tape": tape, "head": head, "id": ident,
+        "delta": delta, "mark": mark, "acc": acc,
+    }
+    formula = and_all(list(conjuncts.values()))
+    return DownwardReduction(machine, word, k, formula, conjuncts)
+
+
+def encode_strategy_tree_downward(machine: ATM,
+                                  word: str | tuple[str, ...]) -> MultiLabelTree:
+    """The intended model of ``φ''_{M',w}`` (Figure 5): per branch of the
+    strategy tree, a chain of 2^k configurations of 2^k cells each, padded
+    with head-less copies after halting."""
+    word = tuple(word)
+    k = len(word)
+    size = 2 ** k
+    computation = machine.strategy_tree(word, size)
+
+    labelsets: list[set[str]] = []
+    parents: list[int | None] = []
+
+    def new_node(labels: set[str], parent: int | None) -> int:
+        labelsets.append(labels)
+        parents.append(parent)
+        return len(labelsets) - 1
+
+    def bits(value: int, name) -> set[str]:
+        return {name(i) for i in range(k) if (value >> i) & 1}
+
+    def emit_marked_config(parent: int, marker: tuple[int, str],
+                           node: ComputationNode, d_value: int) -> None:
+        if d_value >= size:
+            return
+        state, tape, head = node.configuration
+        marker_cell, marker_name = marker
+        last = parent
+        for c_value in range(size):
+            labels = bits(c_value, c_bit) | bits(d_value, d_bit)
+            labels.add(symbol_label(tape[c_value]))
+            if head == c_value:
+                labels.add(state_label(state))
+            if c_value == marker_cell:
+                labels.add(marker_name)
+            last = new_node(labels, last)
+        successors = node.children
+        if not successors and d_value + 1 < size:
+            emit_plain_chain(last, tape, d_value + 1)
+            return
+        for successor in successors:
+            emit_marked_config(last, _with_marker(node, successor, machine),
+                               successor, d_value + 1)
+
+    def emit_plain_chain(parent: int, tape: tuple[str, ...], d_value: int) -> None:
+        last = parent
+        for d in range(d_value, size):
+            for c_value in range(size):
+                labels = bits(c_value, c_bit) | bits(d, d_bit)
+                labels.add(symbol_label(tape[c_value]))
+                last = new_node(labels, last)
+
+    def _with_marker(parent_node: ComputationNode, child: ComputationNode,
+                     machine: ATM) -> tuple[int, str]:
+        parent_head = parent_node.configuration[2]
+        child_state, _, child_head = child.configuration
+        move = RIGHT if child_head > parent_head else LEFT
+        return (parent_head, marker_label(move, child_state))
+
+    state, tape, head = computation.configuration
+    root_labels = bits(0, c_bit) | bits(0, d_bit)
+    root_labels.add(symbol_label(tape[0]))
+    if head == 0:
+        root_labels.add(state_label(state))
+    # Re-emit uniformly via emit_marked_config-style loop: build the first
+    # configuration by hand, then successors.
+    last = new_node(root_labels, None)
+    for c_value in range(1, size):
+        labels = bits(c_value, c_bit) | bits(0, d_bit)
+        labels.add(symbol_label(tape[c_value]))
+        if head == c_value:
+            labels.add(state_label(state))
+        last = new_node(labels, last)
+    successors = computation.children
+    if not successors:
+        emit_plain_chain(last, tape, 1)
+    else:
+        for successor in successors:
+            emit_marked_config(last, _with_marker(computation, successor, machine),
+                               successor, 1)
+
+    skeleton = XMLTree([""] * len(labelsets), parents)
+    return MultiLabelTree(skeleton, [frozenset(ls) for ls in labelsets])

@@ -1,0 +1,97 @@
+"""Shared conventions for the §6 hardness reductions.
+
+The reductions label multi-labeled tree nodes with machine states, tape
+symbols, binary counter bits, and markers.  To keep these namespaces
+disjoint regardless of the machine's own naming, labels are prefixed:
+
+* ``q:<state>`` — the head is here in state ``<state>``;
+* ``sym:<a>`` — the tape symbol of this cell;
+* ``c<i>`` / ``d<i>`` — bit ``i`` of the cell counter ``C`` / the
+  configuration counter ``D`` (§6.4);
+* ``r`` — configuration-root marker;
+* ``m:<M>:<q>`` — the §6.3/§6.4 head markers ``m_{M,q}``.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import Label, NodeExpr
+from ..xpath.builders import and_all, or_all
+from .atm import ATM
+
+__all__ = [
+    "state_label",
+    "symbol_label",
+    "c_bit",
+    "d_bit",
+    "marker_label",
+    "ROOT_MARKER",
+    "value_equals",
+    "some_state",
+    "exactly_one_symbol",
+    "at_most_one_state",
+]
+
+ROOT_MARKER = "r"
+
+
+def state_label(state: str) -> str:
+    return f"q:{state}"
+
+
+def symbol_label(symbol: str) -> str:
+    return f"sym:{symbol}"
+
+
+def c_bit(i: int) -> str:
+    return f"c{i}"
+
+
+def d_bit(i: int) -> str:
+    return f"d{i}"
+
+
+def marker_label(move: str, state: str) -> str:
+    return f"m:{move}:{state}"
+
+
+def value_equals(value: int, k: int, bit_name=c_bit) -> NodeExpr:
+    """``C = value`` as a conjunction over the ``k`` bits (LSB is bit 0)."""
+    from ..xpath.ast import Not
+
+    parts: list[NodeExpr] = []
+    for i in range(k):
+        bit = Label(bit_name(i))
+        parts.append(bit if (value >> i) & 1 else Not(bit))
+    return and_all(parts)
+
+
+def some_state(machine: ATM) -> NodeExpr:
+    """``⋁_{q ∈ Q} q`` — some head state is on this cell."""
+    return or_all([Label(state_label(q)) for q in sorted(machine.states)])
+
+
+def exactly_one_symbol(machine: ATM) -> NodeExpr:
+    """Every cell carries exactly one tape symbol (part of φ_tape)."""
+    from ..xpath.ast import Not
+
+    symbols = sorted(machine.work_alphabet)
+    options = []
+    for a in symbols:
+        others = and_all([
+            Not(Label(symbol_label(b))) for b in symbols if b != a
+        ])
+        options.append(and_all([Label(symbol_label(a)), others]))
+    return or_all(options)
+
+
+def at_most_one_state(machine: ATM) -> NodeExpr:
+    """No cell carries two distinct head states (part of φ_tape)."""
+    from ..xpath.ast import And, Not
+
+    states = sorted(machine.states)
+    parts: list[NodeExpr] = []
+    for i, q in enumerate(states):
+        for q2 in states[i + 1:]:
+            parts.append(Not(And(Label(state_label(q)),
+                                 Label(state_label(q2)))))
+    return and_all(parts)

@@ -1,0 +1,55 @@
+"""The non-elementary lower bound for CoreXPath↓(for) (§7, Theorem 31).
+
+A single node variable suffices to express path complementation::
+
+    α − β  ≡  for $i in α return .[¬⟨β[. is $i]⟩]/↓*[. is $i]
+
+``$i`` ranges over the α-targets; the filter discards those also reachable
+by β; ``↓*[. is $i]`` then actually travels to ``$i`` (downward expressions
+only reach descendants, so ``↓*`` suffices — the general-axes variant uses
+``↑*/↓*`` instead).  Hence CoreXPath↓(for) inherits the non-elementary
+hardness of CoreXPath↓(−) from Theorem 30.
+"""
+
+from __future__ import annotations
+
+from ..xpath.ast import Complement, PathExpr
+from ..xpath.measures import axes_used, operators_used
+from ..xpath.ast import Axis
+from ..xpath.rewrite import complement_via_for
+
+__all__ = ["eliminate_complements", "fresh_variables"]
+
+
+def fresh_variables(prefix: str = "v"):
+    """An endless supply of fresh variable names."""
+    counter = 0
+    while True:
+        yield f"{prefix}{counter}"
+        counter += 1
+
+
+def eliminate_complements(path: PathExpr, downward_only: bool | None = None,
+                          _vars=None) -> PathExpr:
+    """Rewrite every ``−`` in ``path`` into a one-variable for-loop
+    (Theorem 31), bottom-up.  The result is complement-free and equivalent.
+
+    ``downward_only`` selects the paper's ``↓*`` travel (valid when the
+    operands are downward); by default it is inferred from the axes used.
+    """
+    if _vars is None:
+        _vars = fresh_variables()
+    if downward_only is None:
+        downward_only = axes_used(path) <= {Axis.DOWN}
+
+    from ..xpath.rewrite import map_paths
+
+    def transform(sub: PathExpr) -> PathExpr:
+        if isinstance(sub, Complement):
+            return complement_via_for(sub, var=next(_vars),
+                                      downward_only=downward_only)
+        return sub
+
+    result = map_paths(path, transform)
+    assert "minus" not in operators_used(result)
+    return result

@@ -1,0 +1,286 @@
+"""The 2-EXPTIME-hardness reduction for CoreXPath↓→(∩) (§6.3, Theorem 28).
+
+Same exponentially space-bounded ATM word problem as §6.2, but without
+upward axes: a configuration is a *horizontal* sequence of ``2^k`` cell
+siblings below an ``r``-marked node (Figure 4), followed (to the right) by
+the ``r``-marked roots of its successor configurations.  Since one cannot
+travel up or left, the head markers ``m_{M,q}`` carry "the head moves
+here" information to where it can be checked by looking right only
+(``φ'_mark``).
+
+One repair to the source text: the third conjunct of ``φ'_conf`` is printed
+as ``every(α'_cell, ⊥)`` in the article, which would be vacuously false; the
+intended constraint in context is that cell nodes are leaves, i.e.
+``every(α'_cell/↓, ⊥)``, which is what we implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees import MultiLabelTree, XMLTree
+from ..xpath.ast import (
+    Filter,
+    Intersect,
+    Label,
+    NodeExpr,
+    Not,
+    PathExpr,
+    Self,
+    SomePath,
+)
+from ..xpath.builders import (
+    and_all,
+    bottom,
+    down,
+    down_star,
+    every,
+    implies,
+    or_all,
+    right_plus,
+)
+from .atm import ATM, ComputationNode, LEFT, RIGHT
+from .encoding import (
+    ROOT_MARKER,
+    at_most_one_state,
+    c_bit,
+    exactly_one_symbol,
+    marker_label,
+    some_state,
+    state_label,
+    symbol_label,
+    value_equals,
+)
+
+__all__ = ["ForwardReduction", "forward_reduction", "encode_strategy_tree_forward"]
+
+
+@dataclass(frozen=True)
+class ForwardReduction:
+    """``φ'_{M,w}`` together with its ingredients."""
+
+    machine: ATM
+    word: tuple[str, ...]
+    k: int
+    formula: NodeExpr
+    conjuncts: dict[str, NodeExpr]
+
+
+def _intersect_all(paths: list[PathExpr]) -> PathExpr:
+    result = paths[0]
+    for path in paths[1:]:
+        result = Intersect(result, path)
+    return result
+
+
+def _union_all(paths: list[PathExpr]) -> PathExpr:
+    result = paths[0]
+    for path in paths[1:]:
+        result = result | path
+    return result
+
+
+def forward_reduction(machine: ATM, word: str | tuple[str, ...]) -> ForwardReduction:
+    """Build ``φ'_{M,w}`` (§6.3)."""
+    word = tuple(word)
+    k = len(word)
+    if k < 1:
+        raise ValueError("the reduction needs a nonempty input word")
+
+    marker = Label(ROOT_MARKER)
+    a_root: PathExpr = down_star[marker]
+    a_cell: PathExpr = down_star[Not(marker)]
+    # The source's α'_nxt = →+[r]/↓ and α'_>cur = →+ are restricted to
+    # ¬r endpoints here: configuration roots carry no counter bits, so they
+    # would otherwise masquerade as C = 0 cells in the bitwise-equality
+    # intersections.
+    a_nxt: PathExpr = right_plus[marker] / down[Not(marker)]
+    a_gtcur: PathExpr = right_plus[Not(marker)]
+
+    def bit(i: int) -> NodeExpr:
+        return Label(c_bit(i))
+
+    def eq_i(i: int, travel: PathExpr) -> PathExpr:
+        return (Filter(Self(), bit(i)) / travel[bit(i)]) | \
+               (Filter(Self(), Not(bit(i))) / travel[Not(bit(i))])
+
+    def neq_i(i: int, travel: PathExpr) -> PathExpr:
+        return (Filter(Self(), bit(i)) / travel[Not(bit(i))]) | \
+               (Filter(Self(), Not(bit(i))) / travel[bit(i)])
+
+    a_eq_cur = _intersect_all([eq_i(i, a_gtcur) for i in range(k)])
+    a_neq_cur = _union_all([neq_i(i, a_gtcur) for i in range(k)])
+    a_eq_nxt = _intersect_all([eq_i(i, a_nxt) for i in range(k)])
+
+    def a_rcur() -> PathExpr:
+        parts = []
+        for i in range(k):
+            carry = and_all([bit(j) for j in range(i)])
+            no_carry = or_all([Not(bit(j)) for j in range(i)])
+            flip = Filter(Self(), carry) / neq_i(i, a_gtcur)
+            keep = Filter(Self(), no_carry) / eq_i(i, a_gtcur)
+            parts.append(flip | keep)
+        return _intersect_all(parts)
+
+    rcur = a_rcur()
+
+    states = sorted(machine.states)
+    symbols = sorted(machine.work_alphabet)
+    cell_labels = [symbol_label(a) for a in symbols] + \
+        [state_label(q) for q in states] + \
+        [marker_label(move, q) for move in (LEFT, RIGHT) for q in states]
+
+    max_value = and_all([bit(i) for i in range(k)])
+
+    # φ'_conf: counters along sibling sequences.
+    conf = and_all([
+        # Every configuration root has a C = 0 cell child.
+        every(a_root, SomePath(down[and_all(
+            [Not(bit(i)) for i in range(k)] + [Not(marker)]
+        )])),
+        # Every non-maximal cell has a C+1 cell to its right.
+        every(a_cell, implies(Not(max_value), SomePath(Filter(rcur, Not(marker))))),
+        # Cells are leaves (see the module docstring on the source typo).
+        every(a_cell / down, bottom),
+        # After the first r child, everything to the right is r-marked:
+        # cells first, then the successor-configuration roots.
+        every(a_root / down[marker] / right_plus, marker),
+    ])
+
+    uni = every(a_cell, and_all([
+        and_all([
+            implies(Label(a), every(a_eq_cur, Label(a))),
+            implies(Not(Label(a)), every(a_eq_cur, Not(Label(a)))),
+        ])
+        for a in cell_labels
+    ]))
+
+    within_word = or_all([value_equals(j, k) for j in range(k)])
+    initial = every(down[Not(marker)], and_all([
+        *[
+            implies(value_equals(j, k), Label(symbol_label(word[j])))
+            for j in range(k)
+        ],
+        implies(Not(within_word), Label(symbol_label(machine.blank))),
+        implies(value_equals(0, k), Label(state_label(machine.initial))),
+        implies(Not(value_equals(0, k)), Not(some_state(machine))),
+    ]))
+    tape = and_all([
+        every(a_cell, exactly_one_symbol(machine)),
+        every(a_cell, at_most_one_state(machine)),
+        initial,
+    ])
+
+    head = every(a_cell, and_all([
+        implies(Label(state_label(q)),
+                every(a_neq_cur, Not(Label(state_label(q2)))))
+        for q in states for q2 in states
+    ]))
+
+    ident = every(a_cell, and_all([
+        implies(and_all([Label(symbol_label(a)), Not(some_state(machine))]),
+                every(a_eq_nxt, Label(symbol_label(a))))
+        for a in symbols
+    ]))
+
+    def transition_witness(p: str, b: str, move: str) -> NodeExpr:
+        return SomePath(Filter(a_eq_nxt, and_all([
+            Label(symbol_label(b)),
+            Label(marker_label(move, p)),
+        ])))
+
+    delta_parts: list[NodeExpr] = []
+    for q in sorted(machine.existential | machine.universal):
+        for a in symbols:
+            options = [transition_witness(p, b, move)
+                       for (p, b, move) in machine.moves(q, a)]
+            trigger = and_all([Label(state_label(q)), Label(symbol_label(a))])
+            if q in machine.existential:
+                delta_parts.append(implies(trigger, or_all(options)))
+            else:
+                delta_parts.append(implies(trigger, and_all(options)))
+    delta = every(a_cell, and_all(delta_parts))
+
+    # φ'_mark: the markers mean what they should, checked rightward only:
+    # a right neighbor marked m_{L,q} puts the head (state q) here; m_{R,q}
+    # here puts the head on the right neighbor.
+    mark = every(a_cell, and_all([
+        and_all([
+            implies(SomePath(Filter(rcur, Label(marker_label(LEFT, q)))),
+                    Label(state_label(q))),
+            implies(Label(marker_label(RIGHT, q)),
+                    SomePath(Filter(rcur, Label(state_label(q))))),
+        ])
+        for q in states
+    ]))
+
+    acc = every(a_cell, Not(Label(state_label(machine.rejecting))))
+
+    conjuncts = {
+        "conf": conf, "uni": uni, "tape": tape, "head": head,
+        "id": ident, "delta": delta, "mark": mark, "acc": acc,
+    }
+    formula = and_all(list(conjuncts.values()))
+    return ForwardReduction(machine, word, k, formula, conjuncts)
+
+
+def encode_strategy_tree_forward(machine: ATM,
+                                 word: str | tuple[str, ...]) -> MultiLabelTree:
+    """The intended model of ``φ'_{M,w}`` (Figure 4): each configuration is
+    a run of ``2^k`` cell siblings; successor configurations follow as
+    ``r``-marked siblings to the right, one per alternation branch."""
+    word = tuple(word)
+    k = len(word)
+    tape_length = 2 ** k
+    computation = machine.strategy_tree(word, tape_length)
+
+    labelsets: list[set[str]] = []
+    parents: list[int | None] = []
+
+    def new_node(labels: set[str], parent: int | None) -> int:
+        labelsets.append(labels)
+        parents.append(parent)
+        return len(labelsets) - 1
+
+    def cell_labels(node: ComputationNode, index: int) -> set[str]:
+        state, tape, head = node.configuration
+        labels = {c_bit(i) for i in range(k) if (index >> i) & 1}
+        labels.add(symbol_label(tape[index]))
+        if head == index:
+            labels.add(state_label(state))
+        # Head markers describe each *child* configuration: cell `index` of
+        # the successor is marked m_{M,q} if the head moved M-wards into its
+        # neighborhood — i.e. the successor head sits at index∓1 … the §6.3
+        # convention: the successor's head cell's M-opposite neighbor…
+        return labels
+
+    def attach_config(parent: int, node: ComputationNode,
+                      markers: dict[int, str]) -> None:
+        """Emit the 2^k cells of this configuration (with the given head
+        markers) and then, as right siblings, its successor configurations."""
+        for index in range(tape_length):
+            labels = cell_labels(node, index)
+            if index in markers:
+                labels.add(markers[index])
+            new_node(labels, parent)
+        for successor in node.children:
+            config_root = new_node({ROOT_MARKER}, parent)
+            attach_config(config_root, successor,
+                          _markers_for(node, successor))
+        # Note: preorder numbering is preserved because each successor's
+        # whole subtree is emitted before the next sibling root.
+
+    def _markers_for(parent_node: ComputationNode,
+                     child: ComputationNode) -> dict[int, str]:
+        """m_{M,q} on the successor's written cell: the head of the parent
+        was at `h`; the transition moved M and entered q, so the successor
+        carries the marker at cell `h` (the cell that was written)."""
+        parent_head = parent_node.configuration[2]
+        child_state, _, child_head = child.configuration
+        move = RIGHT if child_head > parent_head else LEFT
+        return {parent_head: marker_label(move, child_state)}
+
+    global_root = new_node({ROOT_MARKER}, None)
+    attach_config(global_root, computation, {})
+    skeleton = XMLTree([""] * len(labelsets), parents)
+    return MultiLabelTree(skeleton, [frozenset(ls) for ls in labelsets])

@@ -1,0 +1,67 @@
+"""Lemma 25: from multi-labeled trees back to standard XML trees.
+
+The §6 reductions use multi-labeled trees for convenience.  Lemma 25 removes
+them: every node of the multi-labeled tree becomes an ``x``-marked node
+whose carried labels move to auxiliary leaf children (the tree side is
+:func:`repro.trees.encode_multilabel_tree`); on the formula side each label
+test ``p`` becomes ``⟨↓[p]⟩`` and the axes are restricted to ``x``-marked
+nodes.
+
+Auxiliary children are appended *after* the real children, so for fragments
+with sibling axes we additionally assert that no auxiliary node has an
+``x``-marked right sibling; auxiliary nodes are always asserted to be
+leaves.  Both axioms are scoped to the subtree of the evaluation node, as in
+the paper's sketch (``¬⟨↓*[¬x]/↓⟩``).
+"""
+
+from __future__ import annotations
+
+from ..trees import REAL_NODE_MARKER
+from ..xpath.ast import (
+    Axis,
+    AxisStep,
+    Filter,
+    Label,
+    NodeExpr,
+    Not,
+    SomePath,
+)
+from ..xpath.builders import and_all, down, down_star, right
+from ..xpath.measures import axes_used, labels_used
+from ..xpath.rewrite import relativize_axes, substitute_label
+
+__all__ = ["encode_formula"]
+
+
+def encode_formula(phi: NodeExpr, marker: str = REAL_NODE_MARKER) -> NodeExpr:
+    """``φ'`` of Lemma 25: satisfiable over standard trees iff ``φ`` is
+    satisfiable over multi-labeled trees.
+
+    Works for any fragment; the structural axioms emitted depend on the
+    axes ``φ`` uses.
+    """
+    if marker in labels_used(phi):
+        raise ValueError(f"marker label {marker!r} occurs in the formula")
+    real = Label(marker)
+
+    # (ii) make the formula blind to auxiliary nodes, (i) read labels off
+    # the auxiliary children.  Order matters: relativize first so the ⟨↓[p]⟩
+    # gadgets (which must see auxiliary nodes) are not themselves guarded.
+    transformed = relativize_axes(phi, real)
+    for name in sorted(labels_used(phi)):
+        transformed = substitute_label(
+            transformed, name, SomePath(Filter(down, Label(name)))
+        )
+
+    axioms: list[NodeExpr] = [
+        real,
+        # Auxiliary nodes are leaves.
+        Not(SomePath(Filter(down_star, Not(real)) / down)),
+    ]
+    used = axes_used(phi)
+    if Axis.RIGHT in used or Axis.LEFT in used:
+        # Auxiliary children sit to the right of all real children.
+        axioms.append(Not(SomePath(
+            Filter(down_star, Not(real)) / Filter(right, real)
+        )))
+    return and_all([transformed, *axioms])

@@ -1,0 +1,108 @@
+"""The non-elementary lower bound for CoreXPath(−) (§7, Theorem 30).
+
+The fragment ``F`` allows only ``↓[p] | ↓* | α/β | α − β``.  Star-free
+expression nonemptiness — non-elementary by Stockmeyer — reduces to
+containment in ``F``: ``tr(r)`` relates ``n`` to ``m`` iff the labels along
+the strict downward path from ``n`` to ``m`` spell a word of ``L(r)``, so
+``L(r) ≠ ∅`` iff ``tr(r)`` is *not* contained in the empty relation
+``↓* − ↓*``.
+
+One repair to the paper's construction: it sets ``tr(−r) = ↓⁺ − tr(r)``,
+whose universe misses the length-0 path, so ``ε ∈ L(−r)`` is lost — and a
+language like ``{ε}`` (definable as ``−((a ∪ −a)·(−∅))``-style) would be
+mapped to an empty relation, breaking the nonemptiness equivalence.  We use
+``tr(−r) = ↓* − tr(r)``, which makes the word/path correspondence exact for
+*all* words including ε (and stays within the fragment ``F``).
+"""
+
+from __future__ import annotations
+
+from ..regexes.starfree import (
+    SFComplement,
+    SFConcat,
+    SFSymbol,
+    SFUnion,
+    StarFree,
+)
+from ..xpath.ast import (
+    AxisClosure,
+    Axis,
+    AxisStep,
+    Complement,
+    Filter,
+    Label,
+    PathExpr,
+    Seq,
+    Top,
+)
+
+__all__ = [
+    "in_fragment_f",
+    "starfree_to_path",
+    "empty_path",
+    "nonemptiness_as_containment",
+]
+
+_DOWN = AxisStep(Axis.DOWN)
+_DOWN_STAR = AxisClosure(Axis.DOWN)
+#: ``↓⁺`` as the fragment allows it: ``↓[⊤]/↓*``.
+_DOWN_PLUS = Seq(Filter(_DOWN, Top()), _DOWN_STAR)
+
+
+def in_fragment_f(path: PathExpr) -> bool:
+    """Is ``path`` in the fragment ``F`` of Theorem 30?
+    (``↓[p] | ↓* | α/β | α − β``, with ``∪``/``∩`` as derived operators —
+    we check the primitive grammar here.)"""
+    match path:
+        case AxisClosure(axis=Axis.DOWN):
+            return True
+        case Filter(path=AxisStep(axis=Axis.DOWN), predicate=Label() | Top()):
+            return True
+        case Seq(left=a, right=b) | Complement(left=a, right=b):
+            return in_fragment_f(a) and in_fragment_f(b)
+    return False
+
+
+def _union(left: PathExpr, right: PathExpr) -> PathExpr:
+    """``α ∪ β`` within F: ``↓* − ((↓* − α) ∩ (↓* − β))`` where the inner
+    intersection is itself ``γ − (γ − δ)`` (proof of Theorem 30).
+
+    Note: complementation in the reduction is always relative to ``↓⁺``-like
+    relations, for which ``↓*`` is a superset, so the relative complement
+    through ``↓*`` computes the true union.
+    """
+    not_left = Complement(_DOWN_STAR, left)
+    not_right = Complement(_DOWN_STAR, right)
+    meet = Complement(not_left, Complement(not_left, not_right))
+    return Complement(_DOWN_STAR, meet)
+
+
+def starfree_to_path(expr: StarFree) -> PathExpr:
+    """``tr(r)`` from the proof of Theorem 30:
+
+    * ``tr(a) = ↓[a]``
+    * ``tr(r s) = tr(r)/tr(s)``
+    * ``tr(r ∪ s) = tr(r) ∪ tr(s)`` (expanded via ``−``)
+    * ``tr(−r) = ↓* − tr(r)`` (see the module docstring on the ε repair)
+    """
+    match expr:
+        case SFSymbol(name=name):
+            return Filter(_DOWN, Label(name))
+        case SFConcat(left=a, right=b):
+            return Seq(starfree_to_path(a), starfree_to_path(b))
+        case SFUnion(left=a, right=b):
+            return _union(starfree_to_path(a), starfree_to_path(b))
+        case SFComplement(inner=a):
+            return Complement(_DOWN_STAR, starfree_to_path(a))
+    raise TypeError(f"unknown star-free expression {expr!r}")
+
+
+def empty_path() -> PathExpr:
+    """``↓* − ↓*`` — the empty relation, the right-hand side of the
+    containment in Theorem 30."""
+    return Complement(_DOWN_STAR, _DOWN_STAR)
+
+
+def nonemptiness_as_containment(expr: StarFree) -> tuple[PathExpr, PathExpr]:
+    """``L(r) ≠ ∅`` iff the first path is **not** contained in the second."""
+    return starfree_to_path(expr), empty_path()

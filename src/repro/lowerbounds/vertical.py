@@ -1,0 +1,272 @@
+"""The 2-EXPTIME-hardness reduction for CoreXPath↓↑(∩) (§6.2, Theorem 27).
+
+Reduces the word problem of an exponentially space-bounded ATM to node
+satisfiability: ``w ∈ L(M)`` iff ``φ_{M,w}`` is satisfiable over
+multi-labeled trees.  Configurations are the depth-``k`` leaves of binary
+"triangle" trees hanging below ``r``-marked roots (Figure 3); a binary
+counter ``C`` over bits ``c_0 … c_{k-1}`` identifies the ``2^k`` tape cells,
+and path intersection synchronizes counter values across configurations.
+
+Besides the formula, :func:`encode_strategy_tree` builds the multi-labeled
+tree that encodes an actual computation of the machine — the model the
+correctness argument constructs — so tests can check
+``M accepts w ⟺ φ_{M,w} holds on the encoding``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees import MultiLabelTree, XMLTree
+from ..xpath.ast import Filter, Intersect, Label, NodeExpr, Not, PathExpr, Self, SomePath
+from ..xpath.builders import (
+    and_all,
+    down,
+    down_star,
+    every,
+    implies,
+    or_all,
+    repeat,
+    up,
+)
+from .atm import ATM, ComputationNode, LEFT, RIGHT
+from .encoding import (
+    ROOT_MARKER,
+    at_most_one_state,
+    c_bit,
+    exactly_one_symbol,
+    some_state,
+    state_label,
+    symbol_label,
+    value_equals,
+)
+
+__all__ = ["VerticalReduction", "vertical_reduction", "encode_strategy_tree"]
+
+
+def _intersect_all(paths: list[PathExpr]) -> PathExpr:
+    if not paths:
+        raise ValueError("empty intersection")
+    result = paths[0]
+    for path in paths[1:]:
+        result = Intersect(result, path)
+    return result
+
+
+@dataclass(frozen=True)
+class VerticalReduction:
+    """``φ_{M,w}`` together with its ingredients, for inspection."""
+
+    machine: ATM
+    word: tuple[str, ...]
+    k: int
+    formula: NodeExpr
+    conjuncts: dict[str, NodeExpr]
+
+
+def vertical_reduction(machine: ATM, word: str | tuple[str, ...]) -> VerticalReduction:
+    """Build ``φ_{M,w}`` (§6.2) for an input word of length ``k ≥ 1``;
+    configurations then have ``2^k`` tape cells."""
+    word = tuple(word)
+    k = len(word)
+    if k < 1:
+        raise ValueError("the reduction needs a nonempty input word")
+
+    marker = Label(ROOT_MARKER)
+    # Navigation (§6.2): roots, cells, same-configuration and
+    # successor-configuration travel.
+    a_root: PathExpr = down_star[marker]
+    a_cell: PathExpr = a_root / repeat(down, k)
+    a_cur: PathExpr = repeat(up, k) / repeat(down, k)
+    a_nxt: PathExpr = (repeat(up, k + 1) / down[Not(marker)]
+                       / down[marker] / repeat(down, k))
+
+    def bit(i: int) -> NodeExpr:
+        return Label(c_bit(i))
+
+    def eq_i(i: int, travel: PathExpr) -> PathExpr:
+        return (Filter(Self(), bit(i)) / travel[bit(i)]) | \
+               (Filter(Self(), Not(bit(i))) / travel[Not(bit(i))])
+
+    def neq_i(i: int, travel: PathExpr) -> PathExpr:
+        return (Filter(Self(), bit(i)) / travel[Not(bit(i))]) | \
+               (Filter(Self(), Not(bit(i))) / travel[bit(i)])
+
+    a_eq_cur = _intersect_all([eq_i(i, a_cur) for i in range(k)])
+    a_neq_cur = or_all_paths([neq_i(i, a_cur) for i in range(k)])
+    a_eq_nxt = _intersect_all([eq_i(i, a_nxt) for i in range(k)])
+
+    def stepped(direction: str) -> PathExpr:
+        """α_Rcur / α_Lcur: same configuration, cell index ±1."""
+        parts = []
+        for i in range(k):
+            if direction == RIGHT:
+                carry = and_all([bit(j) for j in range(i)])
+                no_carry = or_all([Not(bit(j)) for j in range(i)])
+            else:
+                carry = and_all([Not(bit(j)) for j in range(i)])
+                no_carry = or_all([bit(j) for j in range(i)])
+            flip = Filter(Self(), carry) / neq_i(i, a_cur)
+            keep = Filter(Self(), no_carry) / eq_i(i, a_cur)
+            parts.append(flip | keep)
+        return _intersect_all(parts)
+
+    a_rcur = stepped(RIGHT)
+    a_lcur = stepped(LEFT)
+
+    states = sorted(machine.states)
+    symbols = sorted(machine.work_alphabet)
+    cell_labels = [symbol_label(a) for a in symbols] + [state_label(q) for q in states]
+
+    # φ_conf: below every r node, a depth-k binary tree realizing every
+    # counter value, with bit i fixed for the whole subtree at level i.
+    conf = and_all([
+        every(
+            a_root / repeat(down, i),
+            and_all([
+                SomePath(down[and_all([bit(i), every(down_star, bit(i))])]),
+                SomePath(down[and_all([Not(bit(i)),
+                                       every(down_star, Not(bit(i)))])]),
+            ]),
+        )
+        for i in range(k)
+    ])
+
+    # φ_uni: cells of a configuration with equal counter values agree on all
+    # symbol and state labels.
+    uni = every(a_cell, and_all([
+        and_all([
+            implies(Label(a), every(a_eq_cur, Label(a))),
+            implies(Not(Label(a)), every(a_eq_cur, Not(Label(a)))),
+        ])
+        for a in cell_labels
+    ]))
+
+    # φ_tape: symbol uniqueness plus the initial configuration (reachable by
+    # ↓[r] from the evaluation node): w on the first k cells, blanks after,
+    # head in the initial state on cell 0.
+    initial_cell = down[marker] / repeat(down, k)
+    within_word = or_all([value_equals(j, k) for j in range(k)])
+    initial = every(initial_cell, and_all([
+        *[
+            implies(value_equals(j, k), Label(symbol_label(word[j])))
+            for j in range(k)
+        ],
+        implies(Not(within_word), Label(symbol_label(machine.blank))),
+        implies(value_equals(0, k), Label(state_label(machine.initial))),
+        implies(Not(value_equals(0, k)), Not(some_state(machine))),
+    ]))
+    tape = and_all([
+        every(a_cell, exactly_one_symbol(machine)),
+        every(a_cell, at_most_one_state(machine)),
+        initial,
+    ])
+
+    # φ_head: at most one head per configuration.
+    head = every(a_cell, and_all([
+        implies(Label(state_label(q)), every(a_neq_cur, Not(Label(state_label(q2)))))
+        for q in states for q2 in states
+    ]))
+
+    # φ_id: cells away from the head keep their symbol in the successor.
+    ident = every(a_cell, and_all([
+        implies(and_all([Label(symbol_label(a)), Not(some_state(machine))]),
+                every(a_eq_nxt, Label(symbol_label(a))))
+        for a in symbols
+    ]))
+
+    # φ_Δ: transitions.  Existential heads pick one transition; universal
+    # heads require all of them, each witnessed in some successor
+    # configuration with the written symbol and the moved head.
+    def transition_witness(p: str, b: str, move: str) -> NodeExpr:
+        travel = a_rcur if move == RIGHT else a_lcur
+        return SomePath(Filter(a_eq_nxt, and_all([
+            Label(symbol_label(b)),
+            every(travel, Label(state_label(p))),
+        ])))
+
+    delta_parts: list[NodeExpr] = []
+    for q in sorted(machine.existential | machine.universal):
+        for a in symbols:
+            options = [transition_witness(p, b, move)
+                       for (p, b, move) in machine.moves(q, a)]
+            trigger = and_all([Label(state_label(q)), Label(symbol_label(a))])
+            if q in machine.existential:
+                delta_parts.append(implies(trigger, or_all(options)))
+            else:
+                delta_parts.append(implies(trigger, and_all(options)))
+    delta = every(a_cell, and_all(delta_parts))
+
+    # φ_acc: the rejecting state never occurs (computations are finite).
+    acc = every(a_cell, Not(Label(state_label(machine.rejecting))))
+
+    conjuncts = {
+        "conf": conf, "uni": uni, "tape": tape, "head": head,
+        "id": ident, "delta": delta, "acc": acc,
+    }
+    formula = and_all(list(conjuncts.values()))
+    return VerticalReduction(machine, word, k, formula, conjuncts)
+
+
+def or_all_paths(paths: list[PathExpr]) -> PathExpr:
+    if not paths:
+        raise ValueError("empty union")
+    result = paths[0]
+    for path in paths[1:]:
+        result = result | path
+    return result
+
+
+# --------------------------------------------------------------- the model
+
+
+def encode_strategy_tree(machine: ATM, word: str | tuple[str, ...]) -> MultiLabelTree:
+    """The intended model of ``φ_{M,w}``: the machine's strategy tree laid
+    out as in Figure 3.  If the machine accepts, the formula holds at the
+    root of this tree; if it rejects, φ_acc fails on it."""
+    word = tuple(word)
+    k = len(word)
+    tape_length = 2 ** k
+    computation = machine.strategy_tree(word, tape_length)
+
+    labelsets: list[set[str]] = []
+    parents: list[int | None] = []
+
+    def new_node(labels: set[str], parent: int | None) -> int:
+        labelsets.append(labels)
+        parents.append(parent)
+        return len(labelsets) - 1
+
+    def attach(parent: int, node: ComputationNode) -> None:
+        root = new_node({ROOT_MARKER}, parent)
+        _triangle_from_root(root, node.configuration)
+        for successor in node.children:
+            intermediate = new_node(set(), parent)
+            attach(intermediate, successor)
+
+    def _triangle_from_root(root: int, config) -> None:
+        if k == 0:
+            raise ValueError("k must be >= 1")
+        state, tape, head = config
+
+        def grow(parent: int, depth: int, prefix: int) -> None:
+            if depth == k:
+                # parent is already the cell node.
+                return
+            for value in (0, 1):
+                child_prefix = prefix | (value << depth)
+                labels = {c_bit(i) for i in range(depth + 1)
+                          if (child_prefix >> i) & 1}
+                if depth + 1 == k:
+                    labels.add(symbol_label(tape[child_prefix]))
+                    if head == child_prefix:
+                        labels.add(state_label(state))
+                child = new_node(labels, parent)
+                grow(child, depth + 1, child_prefix)
+
+        grow(root, 0, 0)
+
+    global_root = new_node(set(), None)
+    attach(global_root, computation)
+    skeleton = XMLTree([""] * len(labelsets), parents)
+    return MultiLabelTree(skeleton, [frozenset(ls) for ls in labelsets])

@@ -1,0 +1,47 @@
+"""Regular-language substrate: regexes, NFAs, DFAs, star-free expressions."""
+
+from .ast import (
+    Regex,
+    Empty,
+    Epsilon,
+    Symbol,
+    Concat,
+    Alt,
+    KleeneStar,
+    concat_all,
+    alt_all,
+    plus,
+    optional,
+    regex_size,
+    symbols_of,
+)
+from .parser import parse_regex, regex_to_source, RegexSyntaxError
+from .nfa import NFA, thompson_nfa, EPSILON
+from .dfa import DFA, determinize
+from .to_regex import nfa_to_regex, eliminate_states
+from .starfree import (
+    StarFree,
+    SFSymbol,
+    SFConcat,
+    SFUnion,
+    SFComplement,
+    starfree_size,
+    starfree_alphabet,
+    starfree_dfa,
+    starfree_min_dfa,
+    starfree_accepts,
+    starfree_nonempty,
+    starfree_witness,
+)
+
+__all__ = [
+    "Regex", "Empty", "Epsilon", "Symbol", "Concat", "Alt", "KleeneStar",
+    "concat_all", "alt_all", "plus", "optional", "regex_size", "symbols_of",
+    "parse_regex", "regex_to_source", "RegexSyntaxError",
+    "NFA", "thompson_nfa", "EPSILON",
+    "DFA", "determinize",
+    "nfa_to_regex", "eliminate_states",
+    "StarFree", "SFSymbol", "SFConcat", "SFUnion", "SFComplement",
+    "starfree_size", "starfree_alphabet", "starfree_dfa", "starfree_min_dfa",
+    "starfree_accepts", "starfree_nonempty", "starfree_witness",
+]

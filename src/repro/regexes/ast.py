@@ -1,0 +1,135 @@
+"""Regular expressions over an arbitrary symbol alphabet.
+
+EDTDs (Definition 2) assign a regular expression over abstract labels to each
+abstract label, so symbols here are full label strings, not single
+characters.  The AST is immutable and hashable; language operations live in
+:mod:`repro.regexes.nfa` / :mod:`repro.regexes.dfa`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Alt",
+    "KleeneStar",
+    "concat_all",
+    "alt_all",
+    "plus",
+    "optional",
+    "regex_size",
+    "symbols_of",
+]
+
+
+class Regex:
+    """Base class.  Sugar: ``a + b`` concat, ``a | b`` alternation,
+    ``a.star()``."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "Regex") -> "Concat":
+        return Concat(self, other)
+
+    def __or__(self, other: "Regex") -> "Alt":
+        return Alt(self, other)
+
+    def star(self) -> "KleeneStar":
+        return KleeneStar(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Regex):
+    """The empty language ∅."""
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The language {ε}."""
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol(Regex):
+    """A single alphabet symbol (a full label string)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(Regex):
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True, slots=True)
+class KleeneStar(Regex):
+    inner: Regex
+
+
+def concat_all(parts) -> Regex:
+    """Concatenation of a sequence; empty sequence is ε."""
+    parts = list(parts)
+    if not parts:
+        return Epsilon()
+    result = parts[0]
+    for part in parts[1:]:
+        result = Concat(result, part)
+    return result
+
+
+def alt_all(parts) -> Regex:
+    """Alternation of a sequence; empty sequence is ∅."""
+    parts = list(parts)
+    if not parts:
+        return Empty()
+    result = parts[0]
+    for part in parts[1:]:
+        result = Alt(result, part)
+    return result
+
+
+def plus(inner: Regex) -> Regex:
+    """``r+ := r r*``."""
+    return Concat(inner, KleeneStar(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """``r? := r | ε``."""
+    return Alt(inner, Epsilon())
+
+
+def regex_size(regex: Regex) -> int:
+    """Number of nodes in the syntax tree (§2.3's size measure for EDTDs)."""
+    match regex:
+        case Empty() | Epsilon() | Symbol():
+            return 1
+        case Concat(left=a, right=b) | Alt(left=a, right=b):
+            return 1 + regex_size(a) + regex_size(b)
+        case KleeneStar(inner=a):
+            return 1 + regex_size(a)
+    raise TypeError(f"unknown regex {regex!r}")
+
+
+def symbols_of(regex: Regex) -> frozenset[str]:
+    """The set of symbols occurring in ``regex``."""
+    match regex:
+        case Empty() | Epsilon():
+            return frozenset()
+        case Symbol(name=n):
+            return frozenset({n})
+        case Concat(left=a, right=b) | Alt(left=a, right=b):
+            return symbols_of(a) | symbols_of(b)
+        case KleeneStar(inner=a):
+            return symbols_of(a)
+    raise TypeError(f"unknown regex {regex!r}")

@@ -1,0 +1,222 @@
+"""Deterministic finite automata: subset construction, minimization,
+complementation, equivalence.
+
+The DFA machinery backs the star-free-expression substrate (Theorem 30 needs
+language complementation) and the succinctness measurements of §8 (minimal
+DFA sizes witness the doubly-exponential lower bound of Theorem 35).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from .nfa import NFA
+
+__all__ = ["DFA", "determinize"]
+
+
+@dataclass
+class DFA:
+    """A complete DFA over a fixed finite alphabet.
+
+    ``transitions[state][symbol]`` is always defined (completeness); state 0
+    is initial.
+    """
+
+    alphabet: frozenset
+    num_states: int
+    initial: int
+    accepting: frozenset[int]
+    transitions: dict[int, dict[Hashable, int]]
+
+    def __post_init__(self) -> None:
+        for state in range(self.num_states):
+            row = self.transitions.get(state)
+            if row is None or set(row) != set(self.alphabet):
+                raise ValueError(f"DFA is not complete at state {state}")
+
+    # ------------------------------------------------------------ operations
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        state = self.initial
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            state = self.transitions[state][symbol]
+        return state in self.accepting
+
+    def complement(self) -> "DFA":
+        """DFA for Σ* minus this language (alphabet-relative complement)."""
+        return DFA(
+            self.alphabet,
+            self.num_states,
+            self.initial,
+            frozenset(range(self.num_states)) - self.accepting,
+            self.transitions,
+        )
+
+    def product(self, other: "DFA", mode: str = "and") -> "DFA":
+        """Product DFA; ``mode`` is ``'and'`` (intersection) or ``'or'``."""
+        if self.alphabet != other.alphabet:
+            raise ValueError("product requires identical alphabets")
+
+        def pack(a: int, b: int) -> int:
+            return a * other.num_states + b
+
+        transitions: dict[int, dict[Hashable, int]] = {}
+        for a in range(self.num_states):
+            for b in range(other.num_states):
+                row = {
+                    symbol: pack(self.transitions[a][symbol],
+                                 other.transitions[b][symbol])
+                    for symbol in self.alphabet
+                }
+                transitions[pack(a, b)] = row
+        if mode == "and":
+            accepting = frozenset(
+                pack(a, b)
+                for a in self.accepting for b in other.accepting
+            )
+        elif mode == "or":
+            accepting = frozenset(
+                pack(a, b)
+                for a in range(self.num_states) for b in range(other.num_states)
+                if a in self.accepting or b in other.accepting
+            )
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        return DFA(
+            self.alphabet,
+            self.num_states * other.num_states,
+            pack(self.initial, other.initial),
+            accepting,
+            transitions,
+        )
+
+    def is_empty(self) -> bool:
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            if state in self.accepting:
+                return False
+            for target in self.transitions[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return True
+
+    def some_word(self) -> list | None:
+        """A shortest accepted word, or None if the language is empty."""
+        from collections import deque
+
+        parent: dict[int, tuple[int, Hashable] | None] = {self.initial: None}
+        queue = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                word: list = []
+                cursor = state
+                while parent[cursor] is not None:
+                    prev, symbol = parent[cursor]  # type: ignore[misc]
+                    word.append(symbol)
+                    cursor = prev
+                word.reverse()
+                return word
+            for symbol in sorted(self.alphabet, key=repr):
+                target = self.transitions[state][symbol]
+                if target not in parent:
+                    parent[target] = (state, symbol)
+                    queue.append(target)
+        return None
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality (same alphabet required)."""
+        base = self.product(other, mode="and")
+
+        def unpack(packed: int) -> tuple[int, int]:
+            return divmod(packed, other.num_states)
+
+        xor_accepting = frozenset(
+            packed for packed in range(base.num_states)
+            if (unpack(packed)[0] in self.accepting)
+            != (unpack(packed)[1] in other.accepting)
+        )
+        diff = DFA(self.alphabet, base.num_states, base.initial,
+                   xor_accepting, base.transitions)
+        return diff.is_empty()
+
+    def minimize(self) -> "DFA":
+        """Moore's partition-refinement minimization (reachable part only)."""
+        # Restrict to reachable states first.
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions[state].values():
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        states = sorted(reachable)
+        symbols = sorted(self.alphabet, key=repr)
+
+        # Initial partition: accepting vs non-accepting.
+        block_of = {
+            state: (1 if state in self.accepting else 0) for state in states
+        }
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block_of: dict[int, int] = {}
+            for state in states:
+                signature = (
+                    block_of[state],
+                    tuple(block_of[self.transitions[state][symbol]] for symbol in symbols),
+                )
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block_of[state] = signatures[signature]
+            if len(signatures) == len(set(block_of.values())):
+                block_of = new_block_of
+                break
+            block_of = new_block_of
+
+        num_blocks = len(set(block_of.values()))
+        transitions: dict[int, dict[Hashable, int]] = {b: {} for b in range(num_blocks)}
+        for state in states:
+            block = block_of[state]
+            for symbol in symbols:
+                transitions[block][symbol] = block_of[self.transitions[state][symbol]]
+        accepting = frozenset(
+            block_of[state] for state in states if state in self.accepting
+        )
+        return DFA(self.alphabet, num_blocks, block_of[self.initial],
+                   accepting, transitions)
+
+
+def determinize(nfa: NFA, alphabet: frozenset) -> DFA:
+    """Subset construction, producing a complete DFA over ``alphabet``."""
+    nfa = nfa.without_epsilon()
+    start = frozenset(nfa.initial)
+    index: dict[frozenset[int], int] = {start: 0}
+    order: list[frozenset[int]] = [start]
+    transitions: dict[int, dict[Hashable, int]] = {}
+    position = 0
+    while position < len(order):
+        current = order[position]
+        row: dict[Hashable, int] = {}
+        for symbol in alphabet:
+            step: set[int] = set()
+            for state in current:
+                step |= nfa.successors(state, symbol)
+            target = frozenset(step)
+            if target not in index:
+                index[target] = len(order)
+                order.append(target)
+            row[symbol] = index[target]
+        transitions[position] = row
+        position += 1
+    accepting = frozenset(
+        idx for subset, idx in index.items() if subset & nfa.accepting
+    )
+    return DFA(frozenset(alphabet), len(order), 0, accepting, transitions)

@@ -1,0 +1,218 @@
+"""Nondeterministic finite automata over arbitrary hashable symbols.
+
+Used for EDTD content models (Proposition 6 converts each ``P(t)`` to an NFA
+"by standard techniques"), for the Figure 2 algorithm's sibling-word checks,
+and as the backbone of path automata.  The Thompson construction keeps the
+automaton linear in the regex; ε-transitions are supported and can be
+eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from .ast import Alt, Concat, Empty, Epsilon, KleeneStar, Regex, Symbol
+
+__all__ = ["NFA", "thompson_nfa"]
+
+#: Marker for ε-transitions.
+EPSILON = None
+
+
+@dataclass
+class NFA:
+    """An NFA with integer states.  ``transitions`` maps
+    ``(state, symbol)`` to a set of successor states; the symbol ``None``
+    denotes ε."""
+
+    num_states: int
+    initial: frozenset[int]
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Hashable], frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for state in self.initial | self.accepting:
+            if not 0 <= state < self.num_states:
+                raise ValueError(f"state {state} out of range")
+
+    # ------------------------------------------------------------- accessors
+
+    def successors(self, state: int, symbol: Hashable) -> frozenset[int]:
+        return self.transitions.get((state, symbol), frozenset())
+
+    def alphabet(self) -> frozenset:
+        """Symbols with at least one transition (ε excluded)."""
+        return frozenset(sym for (_, sym) in self.transitions if sym is not EPSILON)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        seen = set(states)
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.successors(state, EPSILON):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    # ------------------------------------------------------------ operations
+
+    def accepts(self, word: Sequence[Hashable]) -> bool:
+        current = self.epsilon_closure(self.initial)
+        for symbol in word:
+            step: set[int] = set()
+            for state in current:
+                step |= self.successors(state, symbol)
+            current = self.epsilon_closure(step)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def is_empty(self) -> bool:
+        """True iff the recognized language is empty."""
+        seen = set(self.initial)
+        frontier = list(seen)
+        while frontier:
+            state = frontier.pop()
+            if state in self.accepting:
+                return False
+            for (source, _), targets in self.transitions.items():
+                if source == state:
+                    for target in targets:
+                        if target not in seen:
+                            seen.add(target)
+                            frontier.append(target)
+        return not (seen & self.accepting)
+
+    def accepts_epsilon(self) -> bool:
+        return bool(self.epsilon_closure(self.initial) & self.accepting)
+
+    def without_epsilon(self) -> "NFA":
+        """An equivalent NFA with no ε-transitions."""
+        new_transitions: dict[tuple[int, Hashable], set[int]] = {}
+        closures = {state: self.epsilon_closure((state,)) for state in range(self.num_states)}
+        accepting = set()
+        for state in range(self.num_states):
+            reach = closures[state]
+            if reach & self.accepting:
+                accepting.add(state)
+            for mid in reach:
+                for (source, symbol), targets in self.transitions.items():
+                    if source == mid and symbol is not EPSILON:
+                        bucket = new_transitions.setdefault((state, symbol), set())
+                        for target in targets:
+                            bucket |= closures[target]
+        return NFA(
+            self.num_states,
+            self.initial,
+            frozenset(accepting),
+            {key: frozenset(val) for key, val in new_transitions.items()},
+        )
+
+    def reversed(self) -> "NFA":
+        """The NFA for the reversed language."""
+        transitions: dict[tuple[int, Hashable], set[int]] = {}
+        for (source, symbol), targets in self.transitions.items():
+            for target in targets:
+                transitions.setdefault((target, symbol), set()).add(source)
+        return NFA(
+            self.num_states,
+            self.accepting,
+            self.initial,
+            {key: frozenset(val) for key, val in transitions.items()},
+        )
+
+    def product(self, other: "NFA") -> "NFA":
+        """NFA for the intersection of the two languages (on ε-free inputs)."""
+        left = self.without_epsilon()
+        right = other.without_epsilon()
+
+        def pack(a: int, b: int) -> int:
+            return a * right.num_states + b
+
+        transitions: dict[tuple[int, Hashable], set[int]] = {}
+        for (ls, symbol), lts in left.transitions.items():
+            for rs in range(right.num_states):
+                rts = right.successors(rs, symbol)
+                if not rts:
+                    continue
+                bucket = transitions.setdefault((pack(ls, rs), symbol), set())
+                bucket.update(pack(lt, rt) for lt in lts for rt in rts)
+        initial = frozenset(pack(a, b) for a in left.initial for b in right.initial)
+        accepting = frozenset(
+            pack(a, b) for a in left.accepting for b in right.accepting
+        )
+        return NFA(
+            left.num_states * right.num_states,
+            initial,
+            accepting,
+            {key: frozenset(val) for key, val in transitions.items()},
+        )
+
+    def renumbered(self, offset: int, total: int) -> "NFA":
+        """This NFA with all states shifted by ``offset`` in a space of
+        ``total`` states (helper for disjoint unions)."""
+        return NFA(
+            total,
+            frozenset(s + offset for s in self.initial),
+            frozenset(s + offset for s in self.accepting),
+            {
+                (source + offset, symbol): frozenset(t + offset for t in targets)
+                for (source, symbol), targets in self.transitions.items()
+            },
+        )
+
+
+def thompson_nfa(regex: Regex) -> NFA:
+    """Thompson's construction: an ε-NFA with one initial and one accepting
+    state, linear in the size of ``regex``."""
+    transitions: dict[tuple[int, Hashable], set[int]] = {}
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def add(source: int, symbol: Hashable, target: int) -> None:
+        transitions.setdefault((source, symbol), set()).add(target)
+
+    def build(node: Regex) -> tuple[int, int]:
+        start, end = fresh(), fresh()
+        match node:
+            case Empty():
+                pass  # no transition: start never reaches end
+            case Epsilon():
+                add(start, EPSILON, end)
+            case Symbol(name=name):
+                add(start, name, end)
+            case Concat(left=a, right=b):
+                a_start, a_end = build(a)
+                b_start, b_end = build(b)
+                add(start, EPSILON, a_start)
+                add(a_end, EPSILON, b_start)
+                add(b_end, EPSILON, end)
+            case Alt(left=a, right=b):
+                a_start, a_end = build(a)
+                b_start, b_end = build(b)
+                add(start, EPSILON, a_start)
+                add(start, EPSILON, b_start)
+                add(a_end, EPSILON, end)
+                add(b_end, EPSILON, end)
+            case KleeneStar(inner=a):
+                a_start, a_end = build(a)
+                add(start, EPSILON, a_start)
+                add(start, EPSILON, end)
+                add(a_end, EPSILON, a_start)
+                add(a_end, EPSILON, end)
+            case _:
+                raise TypeError(f"unknown regex {node!r}")
+        return start, end
+
+    start, end = build(regex)
+    return NFA(
+        counter[0],
+        frozenset((start,)),
+        frozenset((end,)),
+        {key: frozenset(val) for key, val in transitions.items()},
+    )

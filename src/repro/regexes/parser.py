@@ -1,0 +1,154 @@
+"""Parser and printer for regular expressions over multi-character symbols.
+
+Syntax (loosest-binding first)::
+
+    alt    := concat ('|' concat)*
+    concat := postfix postfix*            -- juxtaposition
+    postfix := primary ('*' | '+' | '?')*
+    primary := SYMBOL | 'eps' | 'empty' | '(' alt ')'
+
+Symbols are identifiers ``[A-Za-z_][A-Za-z0-9_@#]*`` (so EDTD content models
+like ``(section | para | image)+`` read naturally); ``eps`` and ``empty``
+denote ε and ∅.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    KleeneStar,
+    Regex,
+    Symbol,
+    optional,
+    plus,
+)
+
+__all__ = ["parse_regex", "regex_to_source", "RegexSyntaxError"]
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on malformed regular-expression input."""
+
+
+_TOKEN = re.compile(r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_@#]*)|(?P<punct>[|*+?()]))")
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match or match.end() == match.start():
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise RegexSyntaxError(f"cannot tokenize at: {rest[:20]!r}")
+        pos = match.end()
+        if match.group("ident"):
+            tokens.append(("ident", match.group("ident")))
+        else:
+            tokens.append(("punct", match.group("punct")))
+    return tokens
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the textual syntax into a :class:`Regex`."""
+    tokens = _tokenize(text)
+    position = 0
+
+    def peek():
+        return tokens[position] if position < len(tokens) else None
+
+    def alt() -> Regex:
+        nonlocal position
+        result = concat()
+        while peek() == ("punct", "|"):
+            position += 1
+            result = Alt(result, concat())
+        return result
+
+    def concat() -> Regex:
+        nonlocal position
+        parts = [postfix()]
+        while True:
+            token = peek()
+            if token is None or token in (("punct", "|"), ("punct", ")")):
+                break
+            parts.append(postfix())
+        result = parts[0]
+        for part in parts[1:]:
+            result = Concat(result, part)
+        return result
+
+    def postfix() -> Regex:
+        nonlocal position
+        result = primary()
+        while True:
+            token = peek()
+            if token == ("punct", "*"):
+                position += 1
+                result = KleeneStar(result)
+            elif token == ("punct", "+"):
+                position += 1
+                result = plus(result)
+            elif token == ("punct", "?"):
+                position += 1
+                result = optional(result)
+            else:
+                return result
+
+    def primary() -> Regex:
+        nonlocal position
+        token = peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of input")
+        position += 1
+        kind, value = token
+        if kind == "ident":
+            if value == "eps":
+                return Epsilon()
+            if value == "empty":
+                return Empty()
+            return Symbol(value)
+        if value == "(":
+            inner = alt()
+            if peek() != ("punct", ")"):
+                raise RegexSyntaxError("missing ')'")
+            position += 1
+            return inner
+        raise RegexSyntaxError(f"unexpected token {value!r}")
+
+    result = alt()
+    if position != len(tokens):
+        raise RegexSyntaxError(f"trailing input: {tokens[position:]!r}")
+    return result
+
+
+def regex_to_source(regex: Regex) -> str:
+    """Render a regex in the parseable syntax."""
+    # Precedence: alt(0) < concat(1) < postfix(2).
+    def go(node: Regex, minimum: int) -> str:
+        match node:
+            case Empty():
+                return "empty"
+            case Epsilon():
+                return "eps"
+            case Symbol(name=n):
+                return n
+            case Concat(left=a, right=b):
+                text = f"{go(a, 1)} {go(b, 2)}"
+                return text if minimum <= 1 else f"({text})"
+            case Alt(left=a, right=b):
+                text = f"{go(a, 0)} | {go(b, 1)}"
+                return text if minimum <= 0 else f"({text})"
+            case KleeneStar(inner=a):
+                return f"{go(a, 3)}*" if isinstance(a, (Symbol, Epsilon, Empty)) \
+                    else f"({go(a, 0)})*"
+        raise TypeError(f"unknown regex {node!r}")
+
+    return go(regex, 0)

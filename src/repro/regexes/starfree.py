@@ -1,0 +1,171 @@
+"""Star-free expressions (proof of Theorem 30).
+
+Star-free expressions are built from symbols by concatenation, union, and
+*complement* (relative to Σ*)::
+
+    r, s := a | (r s) | (r ∪ s) | −r
+
+Their nonemptiness problem is non-elementary [Stockmeyer 1974], which is the
+source of the paper's non-elementary lower bounds for CoreXPath(−) and
+CoreXPath(for).  Language operations are realized via complete DFAs over the
+expression's finite alphabet, so every operation is exact; the cost of the
+complement chain (one determinization per nesting level) is precisely the
+tower growth the benchmark ``test_table1_complement`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .ast import Symbol as RegexSymbol
+from .dfa import DFA, determinize
+from .nfa import thompson_nfa
+
+__all__ = [
+    "StarFree",
+    "SFSymbol",
+    "SFConcat",
+    "SFUnion",
+    "SFComplement",
+    "starfree_size",
+    "starfree_alphabet",
+    "starfree_dfa",
+    "starfree_min_dfa",
+    "starfree_accepts",
+    "starfree_nonempty",
+    "starfree_witness",
+]
+
+
+class StarFree:
+    """Base class of star-free expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "StarFree") -> "SFConcat":
+        return SFConcat(self, other)
+
+    def __or__(self, other: "StarFree") -> "SFUnion":
+        return SFUnion(self, other)
+
+    def __neg__(self) -> "SFComplement":
+        return SFComplement(self)
+
+
+@dataclass(frozen=True, slots=True)
+class SFSymbol(StarFree):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class SFConcat(StarFree):
+    left: StarFree
+    right: StarFree
+
+
+@dataclass(frozen=True, slots=True)
+class SFUnion(StarFree):
+    left: StarFree
+    right: StarFree
+
+
+@dataclass(frozen=True, slots=True)
+class SFComplement(StarFree):
+    inner: StarFree
+
+
+def starfree_size(expr: StarFree) -> int:
+    match expr:
+        case SFSymbol():
+            return 1
+        case SFConcat(left=a, right=b) | SFUnion(left=a, right=b):
+            return 1 + starfree_size(a) + starfree_size(b)
+        case SFComplement(inner=a):
+            return 1 + starfree_size(a)
+    raise TypeError(f"unknown star-free expression {expr!r}")
+
+
+def starfree_alphabet(expr: StarFree) -> frozenset[str]:
+    match expr:
+        case SFSymbol(name=n):
+            return frozenset({n})
+        case SFConcat(left=a, right=b) | SFUnion(left=a, right=b):
+            return starfree_alphabet(a) | starfree_alphabet(b)
+        case SFComplement(inner=a):
+            return starfree_alphabet(a)
+    raise TypeError(f"unknown star-free expression {expr!r}")
+
+
+def starfree_dfa(expr: StarFree, alphabet: frozenset[str] | None = None) -> DFA:
+    """A complete DFA for ``expr``'s language over ``alphabet``.
+
+    Complementation is relative to ``alphabet``* (Σ in Theorem 30's proof is
+    the expression's own alphabet unless a larger one is supplied).  Each
+    complement incurs one determinization — the non-elementary cost center.
+    """
+    if alphabet is None:
+        alphabet = starfree_alphabet(expr)
+    if not alphabet:
+        raise ValueError("star-free expressions need a nonempty alphabet")
+
+    def build(node: StarFree) -> DFA:
+        match node:
+            case SFSymbol(name=name):
+                return determinize(thompson_nfa(RegexSymbol(name)), alphabet)
+            case SFConcat(left=a, right=b):
+                return _concat_dfa(build(a), build(b), alphabet)
+            case SFUnion(left=a, right=b):
+                return build(a).product(build(b), mode="or").minimize()
+            case SFComplement(inner=a):
+                return build(a).complement().minimize()
+        raise TypeError(f"unknown star-free expression {node!r}")
+
+    return build(expr)
+
+
+def _concat_dfa(left: DFA, right: DFA, alphabet: frozenset[str]) -> DFA:
+    """Concatenate two DFA languages (via an NFA, then re-determinize)."""
+    from .nfa import EPSILON, NFA
+
+    total = left.num_states + right.num_states
+    transitions: dict[tuple[int, object], set[int]] = {}
+    for state in range(left.num_states):
+        for symbol, target in left.transitions[state].items():
+            transitions.setdefault((state, symbol), set()).add(target)
+    offset = left.num_states
+    for state in range(right.num_states):
+        for symbol, target in right.transitions[state].items():
+            transitions.setdefault((state + offset, symbol), set()).add(target + offset)
+    for state in left.accepting:
+        transitions.setdefault((state, EPSILON), set()).add(right.initial + offset)
+    nfa = NFA(
+        total,
+        frozenset((left.initial,)),
+        frozenset(s + offset for s in right.accepting),
+        {key: frozenset(val) for key, val in transitions.items()},
+    )
+    return determinize(nfa, alphabet).minimize()
+
+
+def starfree_min_dfa(expr: StarFree, alphabet: frozenset[str] | None = None) -> DFA:
+    """The minimal complete DFA for ``expr`` (size measurements of E4)."""
+    return starfree_dfa(expr, alphabet).minimize()
+
+
+def starfree_accepts(expr: StarFree, word: Sequence[str],
+                     alphabet: frozenset[str] | None = None) -> bool:
+    if alphabet is None:
+        alphabet = starfree_alphabet(expr) | frozenset(word)
+    return starfree_dfa(expr, alphabet).accepts(word)
+
+
+def starfree_nonempty(expr: StarFree, alphabet: frozenset[str] | None = None) -> bool:
+    """The (non-elementary) nonemptiness problem of Theorem 30's reduction."""
+    return not starfree_dfa(expr, alphabet).is_empty()
+
+
+def starfree_witness(expr: StarFree,
+                     alphabet: frozenset[str] | None = None) -> list[str] | None:
+    """A shortest word in the language, or None if empty."""
+    return starfree_dfa(expr, alphabet).some_word()

@@ -1,0 +1,136 @@
+"""NFA → regular expression by state elimination (McNaughton–Yamada).
+
+Lemma 33(2) converts a path automaton into an equivalent CoreXPath(*, ≈)
+path expression "by a standard construction ... of size at most 2^{4m+3}"
+[McNaughton & Yamada 1960; Ellul et al. 2004].  This module implements that
+standard construction generically: it works for NFAs over *any* symbol type,
+so :mod:`repro.automata.toexpr` can run it over the path-automaton alphabet
+(axes and tests) directly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .ast import Alt, Concat, Empty, Epsilon, KleeneStar, Regex, Symbol
+from .nfa import EPSILON, NFA
+
+__all__ = ["nfa_to_regex", "eliminate_states"]
+
+
+def _simplify_alt(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, Empty):
+        return right
+    if isinstance(right, Empty):
+        return left
+    if left == right:
+        return left
+    return Alt(left, right)
+
+
+def _simplify_concat(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, Empty) or isinstance(right, Empty):
+        return Empty()
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Concat(left, right)
+
+
+def _simplify_star(inner: Regex) -> Regex:
+    if isinstance(inner, (Empty, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, KleeneStar):
+        return inner
+    return KleeneStar(inner)
+
+
+def eliminate_states(
+    num_states: int,
+    edges: dict[tuple[int, int], Regex],
+    initial: int,
+    final: int,
+) -> Regex:
+    """Eliminate all states except ``initial``/``final`` from a generalized
+    NFA whose edges carry regexes, returning the regex of the language from
+    ``initial`` to ``final``."""
+
+    def edge(a: int, b: int) -> Regex:
+        return edges.get((a, b), Empty())
+
+    def set_edge(a: int, b: int, value: Regex) -> None:
+        if isinstance(value, Empty):
+            edges.pop((a, b), None)
+        else:
+            edges[(a, b)] = value
+
+    middle = [s for s in range(num_states) if s not in (initial, final)]
+
+    def degree(state: int) -> int:
+        return sum(1 for pair in edges if state in pair)
+
+    # Eliminate low-degree states first: keeps intermediate regexes smaller.
+    for victim in sorted(middle, key=degree):
+        loop = _simplify_star(edge(victim, victim))
+        incoming = [(a, r) for (a, b), r in list(edges.items())
+                    if b == victim and a != victim]
+        outgoing = [(b, r) for (a, b), r in list(edges.items())
+                    if a == victim and b != victim]
+        for (a, _) in incoming:
+            edges.pop((a, victim), None)
+        for (b, _) in outgoing:
+            edges.pop((victim, b), None)
+        edges.pop((victim, victim), None)
+        for a, r_in in incoming:
+            for b, r_out in outgoing:
+                bypass = _simplify_concat(_simplify_concat(r_in, loop), r_out)
+                set_edge(a, b, _simplify_alt(edge(a, b), bypass))
+
+    if initial == final:
+        return _simplify_star(edge(initial, initial))
+    loop_i = _simplify_star(edge(initial, initial))
+    loop_f = _simplify_star(edge(final, final))
+    forward = edge(initial, final)
+    backward = edge(final, initial)
+    # L = loop_i forward loop_f (backward loop_i forward loop_f)*
+    step = _simplify_concat(_simplify_concat(loop_i, forward), loop_f)
+    back = _simplify_concat(_simplify_concat(backward, loop_i),
+                            _simplify_concat(forward, loop_f))
+    return _simplify_concat(step, _simplify_star(back))
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """A regular expression for ``nfa``'s language.  Symbols of the NFA must
+    be strings (they become :class:`Symbol` leaves); ε-transitions become
+    :class:`Epsilon` edges."""
+    # Add a fresh initial and final state so elimination is uniform.
+    total = nfa.num_states + 2
+    new_initial = nfa.num_states
+    new_final = nfa.num_states + 1
+    edges: dict[tuple[int, int], Regex] = {}
+
+    def join(a: int, b: int, value: Regex) -> None:
+        existing = edges.get((a, b), Empty())
+        edges[(a, b)] = _simplify_alt(existing, value)
+
+    for (source, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            if symbol is EPSILON:
+                join(source, target, Epsilon())
+            else:
+                join(source, target, _symbol_leaf(symbol))
+    for state in nfa.initial:
+        join(new_initial, state, Epsilon())
+    for state in nfa.accepting:
+        join(state, new_final, Epsilon())
+    return eliminate_states(total, edges, new_initial, new_final)
+
+
+def _symbol_leaf(symbol: Hashable) -> Regex:
+    if isinstance(symbol, str):
+        return Symbol(symbol)
+    raise TypeError(
+        f"nfa_to_regex needs string symbols, got {symbol!r}; "
+        "use eliminate_states directly for structured alphabets"
+    )

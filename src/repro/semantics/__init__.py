@@ -1,0 +1,23 @@
+"""Denotational semantics of CoreXPath and all extensions (Table II, §7)."""
+
+from .evaluator import (
+    Evaluator,
+    Relation,
+    evaluate_path,
+    evaluate_nodes,
+    holds_somewhere,
+    holds_at,
+    path_contained_on,
+    relation_pairs,
+)
+
+__all__ = [
+    "Evaluator",
+    "Relation",
+    "evaluate_path",
+    "evaluate_nodes",
+    "holds_somewhere",
+    "holds_at",
+    "path_contained_on",
+    "relation_pairs",
+]

@@ -1,0 +1,17 @@
+"""Succinctness (§8): expression families, measured translations, automata."""
+
+from .families import phi_k, phi_k_property, tower, LABEL_P, LABEL_Q
+from .wordauto import violation_nfa, minimal_dfa_size_for_phi_k, self_check
+from .translations import (
+    measure_cap_translation,
+    measure_path_cap_translation,
+    cap_chain,
+    cap_tower,
+)
+
+__all__ = [
+    "phi_k", "phi_k_property", "tower", "LABEL_P", "LABEL_Q",
+    "violation_nfa", "minimal_dfa_size_for_phi_k", "self_check",
+    "measure_cap_translation", "measure_path_cap_translation",
+    "cap_chain", "cap_tower",
+]

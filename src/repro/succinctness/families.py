@@ -1,0 +1,96 @@
+"""Expression families for the §8 succinctness results.
+
+* :func:`phi_k` — the Theorem 35 family: a CoreXPath(∩) node expression of
+  size O(k²) expressing the word property ``φ_k`` ("two pp-anchored
+  positions whose k even-offset successors agree also agree at offset 2k"),
+  which every CoreXPath(*, ≈) expression — indeed every 2ATA-convertible
+  one — needs ~2^{2^k} automaton states for [Etessami–Vardi–Wilke 2002].
+* :func:`phi_k_property` — a direct decision procedure for the property on
+  label words, used to validate :func:`phi_k` and to drive the minimal-DFA
+  measurements in :mod:`repro.succinctness.wordauto`.
+* :func:`tower` — the tower function for the non-elementary statements.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xpath.ast import (
+    Filter,
+    Intersect,
+    Label,
+    NodeExpr,
+    Not,
+    PathExpr,
+    Self,
+    SomePath,
+    Union,
+)
+from ..xpath.builders import down, down_star, implies, repeat, up, up_star
+
+__all__ = ["phi_k", "phi_k_property", "tower", "LABEL_P", "LABEL_Q"]
+
+LABEL_P = "p"
+LABEL_Q = "q"
+
+_P = Label(LABEL_P)
+_Q = Label(LABEL_Q)
+
+#: ``≡``: two chain nodes carry the same label (on {p,q}-labeled words,
+#: where any node reaches any other via ↑*/↓*).
+_SAME = Union(
+    Filter(Self(), _P) / (up_star / down_star[_P]),
+    Filter(Self(), _Q) / (up_star / down_star[_Q]),
+)
+#: ``≢``: different labels.
+_DIFF = Union(
+    Filter(Self(), _P) / (up_star / down_star[_Q]),
+    Filter(Self(), _Q) / (up_star / down_star[_P]),
+)
+
+
+def _alpha(ell: int, comparison: PathExpr) -> PathExpr:
+    """``(↓)^{2ℓ} / comparison / (↑)^{2ℓ}``: relates u_i to u_j iff the
+    nodes 2ℓ below them compare as requested."""
+    return repeat(down, 2 * ell) / comparison / repeat(up, 2 * ell)
+
+
+def phi_k(k: int) -> NodeExpr:
+    """The Theorem 35 expression: on unary {p,q}-trees (words), ``φ_k``
+    holds at *every* node iff the word property holds.  Size is O(k²)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    meet = _alpha(0, _SAME)
+    for ell in range(1, k):
+        meet = Intersect(meet, _alpha(ell, _SAME))
+    meet = Intersect(meet, _alpha(k, _DIFF))
+    anchor = _P & SomePath(down[_P])  # p ∧ ⟨↓[p]⟩ — a "pp" position
+    return implies(anchor, Not(SomePath(Filter(meet, anchor))))
+
+
+def phi_k_property(word: Sequence[str], k: int) -> bool:
+    """The property ``φ_k`` on a word ``u_1 … u_n`` (1-based in the paper):
+
+    for all ``i, j ≤ n − 2k``: if ``u_i u_{i+1} = pp = u_j u_{j+1}`` and
+    ``u_{i+2ℓ} = u_{j+2ℓ}`` for all ``ℓ < k``, then ``u_{i+2k} = u_{j+2k}``.
+    """
+    n = len(word)
+    anchors = [
+        i for i in range(n - 2 * k)
+        if word[i] == LABEL_P and i + 1 < n and word[i + 1] == LABEL_P
+    ]
+    for i in anchors:
+        for j in anchors:
+            if all(word[i + 2 * ell] == word[j + 2 * ell] for ell in range(k)):
+                if word[i + 2 * k] != word[j + 2 * k]:
+                    return False
+    return True
+
+
+def tower(height: int, base: int = 2) -> int:
+    """``tower(0) = 1``, ``tower(h+1) = base^tower(h)`` — the growth rate of
+    the non-elementary bounds (Theorems 30, 31, 36)."""
+    value = 1
+    for _ in range(height):
+        value = base ** value
+    return value

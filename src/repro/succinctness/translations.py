@@ -1,0 +1,87 @@
+"""Measured translation pipelines for the §8 succinctness comparisons.
+
+Each function returns plain size dictionaries so benchmarks and
+EXPERIMENTS.md can report the growth curves:
+
+* :func:`measure_path_cap_translation` / :func:`measure_cap_translation` —
+  CoreXPath(*, ∩) → EPA (Lemma 16/17) → CoreXPath(*, ≈) (Lemma 33): the
+  Theorem 34 pipeline.  The final expression-level step is exponential in
+  the automaton size, so it can be switched off for larger instances.
+* :func:`cap_chain` — a *bounded-intersection-depth* family (depth 1, size
+  linear in the parameter): Lemma 17 predicts polynomial EPA growth.
+* :func:`cap_tower` — *nested* intersections (depth grows linearly):
+  Lemma 16's exponential regime.
+"""
+
+from __future__ import annotations
+
+from ..automata import FreshLabels, node_to_let_nf, path_to_epa
+from ..automata.toexpr import epa_to_path, letnf_to_expr
+from ..xpath.ast import Intersect, NodeExpr, PathExpr, Seq
+from ..xpath.builders import down, down_star
+from ..xpath.measures import intersection_depth, size
+
+__all__ = [
+    "measure_cap_translation",
+    "measure_path_cap_translation",
+    "cap_chain",
+    "cap_tower",
+]
+
+#: The intersection block both families are built from.
+_BLOCK: PathExpr = Intersect(down_star, Seq(down, down_star))
+
+
+def cap_chain(length: int) -> PathExpr:
+    """``(↓* ∩ ↓/↓*) / (↓* ∩ ↓/↓*) / …`` — ``length`` composed intersection
+    blocks; the intersection depth stays 1 while the size grows linearly."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    result: PathExpr = _BLOCK
+    for _ in range(length - 1):
+        result = Seq(result, _BLOCK)
+    return result
+
+
+def cap_tower(depth: int) -> PathExpr:
+    """Left-nested intersections: ``(…((b ∩ b) ∩ b)…)`` with each level
+    intersecting against a composed copy, so the intersection depth grows
+    linearly with ``depth`` — the Lemma 16 exponential regime."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    level: PathExpr = _BLOCK
+    for _ in range(depth - 1):
+        level = Intersect(Seq(level, down_star), Seq(down_star, level))
+    return level
+
+
+def measure_path_cap_translation(path: PathExpr,
+                                 include_expression: bool = True) -> dict[str, int]:
+    """Sizes along the CoreXPath(*, ∩) → EPA → CoreXPath(*, ≈) pipeline.
+
+    ``include_expression=False`` skips the Lemma 33 state elimination, whose
+    output is exponential in the EPA and quickly becomes enormous."""
+    epa = path_to_epa(path, FreshLabels())
+    result = {
+        "input_size": size(path),
+        "intersection_depth": intersection_depth(path),
+        "epa_states": epa.num_states,
+        "epa_size": epa.size(),
+    }
+    if include_expression:
+        result["output_size"] = size(epa_to_path(epa))
+    return result
+
+
+def measure_cap_translation(phi: NodeExpr,
+                            include_expression: bool = True) -> dict[str, int]:
+    """Same pipeline for node expressions (Theorem 34)."""
+    letnf = node_to_let_nf(phi, FreshLabels())
+    result = {
+        "input_size": size(phi),
+        "intersection_depth": intersection_depth(phi),
+        "letnf_size": letnf.size(),
+    }
+    if include_expression:
+        result["output_size"] = size(letnf_to_expr(letnf))
+    return result

@@ -1,0 +1,180 @@
+"""Word automata witnessing the Theorem 35 lower bound.
+
+The proof of Theorem 35 argues via [Etessami–Vardi–Wilke 2002] that any
+(one-way nondeterministic) word automaton for the property ``φ_k`` needs at
+least ``2^{2^k}`` states.  This module makes the lower-bound side
+*measurable*: :func:`violation_nfa` constructs an NFA recognizing the words
+that **violate** ``φ_k`` — it guesses the anchor ``i``, stores the ``k+1``
+even-offset symbols of the window ``u_i … u_{i+2k}`` (the ``2^{k+1}``-way
+state component that drives the blow-up), then guesses ``j > i`` (possibly
+inside the first window) and checks agreement at even offsets below ``2k``
+and disagreement at ``2k``.  :func:`minimal_dfa_size_for_phi_k` determinizes
+and minimizes its complement; the doubly-exponential growth in ``k`` is the
+measured shape.
+"""
+
+from __future__ import annotations
+
+from ..regexes import DFA, NFA, determinize
+from .families import LABEL_P, LABEL_Q, phi_k_property
+
+__all__ = ["violation_nfa", "minimal_dfa_size_for_phi_k"]
+
+_ALPHABET = (LABEL_P, LABEL_Q)
+_BAD = ("bad",)
+_SCAN = ("scan",)
+
+
+def _advance_capture(t: int, evens: tuple, symbol: str, k: int):
+    """One step of the i-window capture; None if this branch dies.
+    Returns ``(new_t_or_done, new_evens)`` with ``new_t_or_done = None``
+    when the window is complete."""
+    if t <= 1 and symbol != LABEL_P:
+        return None  # u_i u_{i+1} must be pp
+    new_evens = evens + (symbol,) if t % 2 == 0 else evens
+    window = 2 * k + 1
+    if t + 1 == window:
+        return (None, new_evens)
+    return (t + 1, new_evens)
+
+
+def _advance_match(t: int, evens: tuple, symbol: str, k: int):
+    """One step of the j-window match against stored ``evens``.  Returns
+    ``"bad"`` on an established violation, ``None`` if the branch dies, or
+    the next offset."""
+    if t <= 1 and symbol != LABEL_P:
+        return None
+    if t % 2 == 0:
+        offset = t // 2
+        if offset < k:
+            if symbol != evens[offset]:
+                return None
+        else:  # offset == k: must disagree
+            return _BAD if symbol != evens[k] else None
+    return t + 1
+
+
+def violation_nfa(k: int) -> NFA:
+    """An NFA over {p, q} accepting exactly the words violating ``φ_k``.
+
+    State forms: ``("scan",)`` before the anchor; ``("cap", t, evens)``
+    inside the i-window; ``("both", ti, tj, evens)`` inside both windows
+    (``j`` started before the i-window finished — the comparisons only ever
+    need evens that are already stored, since ``tj < ti``);
+    ``("wait", evens)`` between the windows; ``("match", t, evens)`` inside
+    the j-window; ``("bad",)`` accepting sink.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    def successors(state: tuple, symbol: str) -> list[tuple]:
+        kind = state[0]
+        if kind == "scan":
+            result = [_SCAN]
+            step = _advance_capture(0, (), symbol, k)
+            if step is not None:
+                t, evens = step
+                result.append(("cap", t, evens) if t is not None
+                              else ("wait", evens))
+            return result
+        if kind == "cap":
+            _, t, evens = state
+            step = _advance_capture(t, evens, symbol, k)
+            if step is None:
+                return []
+            new_t, new_evens = step
+            i_state = ("cap", new_t, new_evens) if new_t is not None \
+                else ("wait", new_evens)
+            result = [i_state]
+            # The same symbol may start the j-window (offset 0 of j): it
+            # must be p and equal evens[0] (= p), which _advance_match checks.
+            j_step = _advance_match(0, new_evens, symbol, k)
+            if j_step == _BAD:
+                result.append(_BAD)
+            elif j_step is not None:
+                if new_t is not None:
+                    result.append(("both", new_t, j_step, new_evens))
+                else:
+                    result.append(("match", j_step, new_evens))
+            return result
+        if kind == "both":
+            _, ti, tj, evens = state
+            step = _advance_capture(ti, evens, symbol, k)
+            if step is None:
+                return []
+            new_ti, new_evens = step
+            j_step = _advance_match(tj, new_evens, symbol, k)
+            if j_step == _BAD:
+                return [_BAD]
+            if j_step is None:
+                return []
+            if new_ti is not None:
+                return [("both", new_ti, j_step, new_evens)]
+            return [("match", j_step, new_evens)]
+        if kind == "wait":
+            _, evens = state
+            result = [state]
+            j_step = _advance_match(0, evens, symbol, k)
+            if j_step == _BAD:
+                result.append(_BAD)
+            elif j_step is not None:
+                result.append(("match", j_step, evens))
+            return result
+        if kind == "match":
+            _, t, evens = state
+            j_step = _advance_match(t, evens, symbol, k)
+            if j_step == _BAD:
+                return [_BAD]
+            if j_step is None:
+                return []
+            return [("match", j_step, evens)]
+        if kind == "bad":
+            return [state]
+        raise AssertionError(state)
+
+    # Worklist construction from the initial state.
+    index: dict[tuple, int] = {_SCAN: 0}
+    order: list[tuple] = [_SCAN]
+    transitions: dict[tuple[int, str], set[int]] = {}
+    position = 0
+    while position < len(order):
+        state = order[position]
+        for symbol in _ALPHABET:
+            for target in successors(state, symbol):
+                if target not in index:
+                    index[target] = len(order)
+                    order.append(target)
+                transitions.setdefault((index[state], symbol), set()).add(
+                    index[target]
+                )
+        position += 1
+
+    accepting = frozenset((index[_BAD],)) if _BAD in index else frozenset()
+    return NFA(
+        len(order),
+        frozenset((0,)),
+        accepting,
+        {key: frozenset(val) for key, val in transitions.items()},
+    )
+
+
+def minimal_dfa_size_for_phi_k(k: int) -> tuple[int, int, DFA]:
+    """(NFA size, minimal DFA size for the property language, the DFA).
+
+    The DFA recognizes exactly the words *satisfying* ``φ_k`` — the
+    complement of the violation NFA's language.
+    """
+    nfa = violation_nfa(k)
+    dfa = determinize(nfa, frozenset(_ALPHABET)).complement().minimize()
+    return nfa.num_states, dfa.num_states, dfa
+
+
+def self_check(k: int, max_length: int = 10) -> None:
+    """Exhaustively compare the automaton against the direct property."""
+    import itertools
+
+    _, _, dfa = minimal_dfa_size_for_phi_k(k)
+    for length in range(max_length + 1):
+        for word in itertools.product(_ALPHABET, repeat=length):
+            if dfa.accepts(word) != phi_k_property(word, k):
+                raise AssertionError(f"mismatch at {word!r}")

@@ -1,0 +1,28 @@
+"""XML tree substrate: Definition 1 structures, generation, serialization."""
+
+from .tree import XMLTree, TreeSpec
+from .multilabel import MultiLabelTree, encode_multilabel_tree, REAL_NODE_MARKER
+from .generate import (
+    all_tree_shapes,
+    all_trees,
+    count_trees,
+    random_tree,
+    random_labeled_chain,
+)
+from .serialize import to_xml, from_xml, to_indented
+
+__all__ = [
+    "XMLTree",
+    "TreeSpec",
+    "MultiLabelTree",
+    "encode_multilabel_tree",
+    "REAL_NODE_MARKER",
+    "all_tree_shapes",
+    "all_trees",
+    "count_trees",
+    "random_tree",
+    "random_labeled_chain",
+    "to_xml",
+    "from_xml",
+    "to_indented",
+]

@@ -1,0 +1,124 @@
+"""Generation and enumeration of XML trees.
+
+Used by the bounded-model-search satisfiability engine
+(:mod:`repro.analysis.engines`) and by randomized property tests.  The
+exhaustive enumerator yields *every* sibling-ordered labeled tree with at most
+``max_nodes`` nodes over a finite alphabet, which makes "unsatisfiable up to
+size n" claims exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from .tree import XMLTree
+
+__all__ = [
+    "all_tree_shapes",
+    "all_trees",
+    "count_trees",
+    "random_tree",
+    "random_labeled_chain",
+]
+
+
+def all_tree_shapes(num_nodes: int) -> Iterator[tuple[int | None, ...]]:
+    """Yield the parent arrays of all ordered rooted trees with ``num_nodes`` nodes.
+
+    Nodes are numbered in preorder; there are Catalan(num_nodes - 1) shapes.
+    """
+    if num_nodes < 1:
+        return
+
+    def extend(parents: list[int | None], rightmost_path: list[int]) -> Iterator[tuple]:
+        if len(parents) == num_nodes:
+            yield tuple(parents)
+            return
+        # In a preorder construction the next node may attach to any node on
+        # the rightmost path of the tree built so far.
+        for index in range(len(rightmost_path)):
+            parent = rightmost_path[index]
+            node = len(parents)
+            parents.append(parent)
+            new_path = rightmost_path[: index + 1] + [node]
+            yield from extend(parents, new_path)
+            parents.pop()
+
+    yield from extend([None], [0])
+
+
+def all_trees(max_nodes: int, alphabet: Sequence[str]) -> Iterator[XMLTree]:
+    """Yield every XML tree with ``1..max_nodes`` nodes over ``alphabet``.
+
+    Trees are yielded in order of increasing node count, so the first witness
+    found by a search over this stream is size-minimal.
+    """
+    alphabet = list(alphabet)
+    if not alphabet:
+        raise ValueError("alphabet must be nonempty")
+    for num_nodes in range(1, max_nodes + 1):
+        for parents in all_tree_shapes(num_nodes):
+            yield from _label_all_ways(parents, alphabet)
+
+
+def _label_all_ways(parents: tuple[int | None, ...], alphabet: list[str]) -> Iterator[XMLTree]:
+    num_nodes = len(parents)
+    labels = [alphabet[0]] * num_nodes
+
+    def fill(position: int) -> Iterator[XMLTree]:
+        if position == num_nodes:
+            yield XMLTree(labels, parents)
+            return
+        for letter in alphabet:
+            labels[position] = letter
+            yield from fill(position + 1)
+
+    yield from fill(0)
+
+
+def count_trees(max_nodes: int, alphabet_size: int) -> int:
+    """Number of trees :func:`all_trees` yields; useful for budgeting searches."""
+    # Catalan(n-1) shapes with n nodes, alphabet_size^n labelings.
+    total = 0
+    catalan = 1  # Catalan(0)
+    for n in range(1, max_nodes + 1):
+        total += catalan * (alphabet_size ** n)
+        catalan = catalan * 2 * (2 * n - 1) // (n + 1)  # Catalan(n)
+    return total
+
+
+def random_tree(
+    rng: random.Random,
+    max_nodes: int,
+    alphabet: Sequence[str],
+    branch_bias: float = 0.6,
+) -> XMLTree:
+    """Sample a random XML tree with at most ``max_nodes`` nodes.
+
+    The shape is grown in preorder: each new node attaches to a random node on
+    the current rightmost path (biased toward deeper attachment points by
+    ``branch_bias``); labels are uniform over ``alphabet``.
+    """
+    alphabet = list(alphabet)
+    num_nodes = rng.randint(1, max(1, max_nodes))
+    parents: list[int | None] = [None]
+    rightmost_path = [0]
+    while len(parents) < num_nodes:
+        if rng.random() < branch_bias:
+            cut = len(rightmost_path)  # attach below the deepest node
+        else:
+            cut = rng.randint(1, len(rightmost_path))
+        parent = rightmost_path[cut - 1]
+        node = len(parents)
+        parents.append(parent)
+        rightmost_path = rightmost_path[:cut] + [node]
+    labels = [rng.choice(alphabet) for _ in parents]
+    return XMLTree(labels, parents)
+
+
+def random_labeled_chain(rng: random.Random, length: int, alphabet: Sequence[str]) -> XMLTree:
+    """Sample a unary tree ("word") of exactly ``length`` nodes."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return XMLTree.chain(rng.choice(list(alphabet)) for _ in range(length))

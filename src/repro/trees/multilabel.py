@@ -1,0 +1,121 @@
+"""Multi-labeled XML trees and their encoding into standard trees (Lemma 25).
+
+Section 6.1 of the paper generalizes XML trees so that each node carries a
+*set* of labels.  Lemma 25 reduces satisfiability over multi-labeled trees to
+satisfiability over standard trees: each multi-labeled node becomes an
+``x``-marked node with one auxiliary leaf child per label it carries.
+
+The formula-side transformation lives in
+:func:`repro.lowerbounds.multilabel.encode_formula`; this module provides the
+tree structure and the tree-side encoding/decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .tree import XMLTree
+
+__all__ = ["MultiLabelTree", "REAL_NODE_MARKER", "encode_multilabel_tree"]
+
+#: Label marking "real" document nodes in the Lemma 25 encoding.
+REAL_NODE_MARKER = "x"
+
+
+class MultiLabelTree:
+    """A sibling-ordered tree whose nodes carry a *set* of labels.
+
+    The structure mirrors :class:`~repro.trees.tree.XMLTree` but the labeling
+    function maps each node to a frozenset of labels.
+    """
+
+    __slots__ = ("_skeleton", "_labelsets")
+
+    def __init__(self, skeleton: XMLTree, labelsets: Sequence[Iterable[str]]):
+        """``skeleton`` supplies the shape; ``labelsets[i]`` labels node ``i``.
+
+        The skeleton's own labels are ignored.
+        """
+        if len(labelsets) != skeleton.size:
+            raise ValueError("need exactly one label set per node")
+        self._skeleton = skeleton
+        self._labelsets = tuple(frozenset(ls) for ls in labelsets)
+
+    @classmethod
+    def build(cls, spec) -> "MultiLabelTree":
+        """Build from nested ``(labels, [children...])`` where labels is iterable."""
+        labelsets: list[frozenset[str]] = []
+
+        def strip(node_spec):
+            labels, kids = node_spec
+            labelsets.append(frozenset(labels))
+            return ("", [strip(kid) for kid in kids])
+
+        skeleton = XMLTree.build(strip(spec))
+        return cls(skeleton, labelsets)
+
+    @property
+    def skeleton(self) -> XMLTree:
+        """The underlying unlabeled tree shape (an XMLTree with empty labels)."""
+        return self._skeleton
+
+    @property
+    def size(self) -> int:
+        return self._skeleton.size
+
+    @property
+    def nodes(self) -> range:
+        return self._skeleton.nodes
+
+    def labels(self, node: int) -> frozenset[str]:
+        return self._labelsets[node]
+
+    def has_label(self, node: int, label: str) -> bool:
+        return label in self._labelsets[node]
+
+    def children(self, node: int) -> tuple[int, ...]:
+        return self._skeleton.children(node)
+
+    def parent(self, node: int) -> int | None:
+        return self._skeleton.parent(node)
+
+    def alphabet(self) -> frozenset[str]:
+        result: set[str] = set()
+        for labelset in self._labelsets:
+            result |= labelset
+        return frozenset(result)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiLabelTree):
+            return NotImplemented
+        return self._skeleton == other._skeleton and self._labelsets == other._labelsets
+
+    def __hash__(self) -> int:
+        return hash((self._skeleton, self._labelsets))
+
+    def __repr__(self) -> str:
+        def spec(node: int):
+            return (sorted(self._labelsets[node]),
+                    [spec(kid) for kid in self._skeleton.children(node)])
+
+        return f"MultiLabelTree({spec(0)!r})"
+
+
+def encode_multilabel_tree(tree: MultiLabelTree, marker: str = REAL_NODE_MARKER) -> XMLTree:
+    """Encode a multi-labeled tree as a standard XML tree (Lemma 25).
+
+    Every node ``n`` of ``tree`` becomes a node labeled ``marker``; for each
+    label ``p ∈ L(n)`` an auxiliary leaf child labeled ``p`` is appended
+    after the encodings of ``n``'s real children (so sibling navigation
+    among real nodes is undisturbed; cf. the Lemma 25 axioms emitted by
+    :func:`repro.lowerbounds.multilabel.encode_formula`).
+    """
+    if marker in tree.alphabet():
+        raise ValueError(f"marker label {marker!r} collides with a document label")
+
+    def spec(node: int):
+        aux = [(label, []) for label in sorted(tree.labels(node))]
+        kids = [spec(kid) for kid in tree.children(node)]
+        return (marker, kids + aux)
+
+    return XMLTree.build(spec(0))

@@ -1,0 +1,95 @@
+"""Serialization of XML trees to and from a minimal XML syntax.
+
+The paper abstracts XML documents to labeled sibling-ordered trees; this
+module provides just enough XML-flavoured I/O to make examples and test
+fixtures readable.  Only tags matter: attributes, text content, comments and
+processing instructions are not part of the model and are rejected.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .tree import XMLTree
+
+__all__ = ["to_xml", "from_xml", "to_indented"]
+
+_TOKEN = re.compile(r"<\s*(/?)\s*([A-Za-z_][\w.@#+-]*)\s*(/?)\s*>|(\S)")
+_NAME_OK = re.compile(r"[A-Za-z_][\w.@#+-]*$")
+
+
+def to_xml(tree: XMLTree) -> str:
+    """Render a tree as a compact one-line XML string."""
+    parts: list[str] = []
+
+    def visit(node: int) -> None:
+        label = tree.label(node)
+        if not _NAME_OK.match(label):
+            raise ValueError(f"label {label!r} is not serializable as an XML tag")
+        kids = tree.children(node)
+        if kids:
+            parts.append(f"<{label}>")
+            for kid in kids:
+                visit(kid)
+            parts.append(f"</{label}>")
+        else:
+            parts.append(f"<{label}/>")
+
+    visit(tree.root)
+    return "".join(parts)
+
+
+def to_indented(tree: XMLTree, indent: str = "  ") -> str:
+    """Render a tree as pretty-printed XML, one tag per line."""
+    lines: list[str] = []
+
+    def visit(node: int, level: int) -> None:
+        label = tree.label(node)
+        pad = indent * level
+        kids = tree.children(node)
+        if kids:
+            lines.append(f"{pad}<{label}>")
+            for kid in kids:
+                visit(kid, level + 1)
+            lines.append(f"{pad}</{label}>")
+        else:
+            lines.append(f"{pad}<{label}/>")
+
+    visit(tree.root, 0)
+    return "\n".join(lines)
+
+
+def from_xml(text: str) -> XMLTree:
+    """Parse a tag-only XML string back into an :class:`XMLTree`."""
+    labels: list[str] = []
+    parents: list[int | None] = []
+    stack: list[int] = []
+    saw_root = False
+
+    for match in _TOKEN.finditer(text):
+        if match.group(4) is not None:
+            raise ValueError(f"unexpected character {match.group(4)!r} in XML input")
+        closing, name, selfclosing = match.group(1), match.group(2), match.group(3)
+        if closing:
+            if not stack:
+                raise ValueError(f"unmatched closing tag </{name}>")
+            opened = stack.pop()
+            if labels[opened] != name:
+                raise ValueError(
+                    f"mismatched tags: <{labels[opened]}> closed by </{name}>"
+                )
+            continue
+        if saw_root and not stack:
+            raise ValueError("multiple root elements")
+        parent = stack[-1] if stack else None
+        labels.append(name)
+        parents.append(parent)
+        saw_root = True
+        if not selfclosing:
+            stack.append(len(labels) - 1)
+
+    if stack:
+        raise ValueError(f"unclosed tag <{labels[stack[-1]]}>")
+    if not labels:
+        raise ValueError("empty document")
+    return XMLTree(labels, parents)

@@ -1,0 +1,279 @@
+"""XML trees: finite, sibling-ordered, node-labeled trees (Definition 1 of the paper).
+
+An :class:`XMLTree` is the structure ``T = (N, R_down, R_right, L)``: a finite
+rooted tree with an ordering on siblings and a label for every node.  Nodes
+are integers ``0 .. size-1`` assigned in *document order* (preorder), so node
+``0`` is always the root.  All navigation relations used by the paper's axes
+(``child``, ``parent``, ``next-sibling``, ``previous-sibling``, ``first-child``
+and their transitive closures) are answered from precomputed arrays.
+
+Trees are immutable once constructed.  The canonical way to build one is from
+a nested ``(label, [children...])`` structure::
+
+    >>> t = XMLTree.build(("book", [("chapter", [("section", [])])]))
+    >>> t.label(0), t.label(2)
+    ('book', 'section')
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+#: A nested-tuple description of a tree: ``(label, [child, child, ...])``.
+TreeSpec = tuple
+
+__all__ = ["XMLTree", "TreeSpec"]
+
+
+class XMLTree:
+    """A finite sibling-ordered labeled tree with integer nodes in preorder.
+
+    Attributes
+    ----------
+    size:
+        Number of nodes.  Nodes are ``range(size)``.
+    root:
+        Always ``0``.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_parent",
+        "_children",
+        "_next_sibling",
+        "_prev_sibling",
+        "_depth",
+        "_subtree_end",
+        "_hash",
+    )
+
+    def __init__(self, labels: Sequence[str], parents: Sequence[int | None]):
+        """Construct from parallel arrays of labels and parent pointers.
+
+        ``parents[0]`` must be ``None`` (the root); every other entry must point
+        to an earlier node (preorder numbering).  Children of a node are ordered
+        by their node id, which preorder numbering makes equal to sibling order.
+        """
+        if not labels:
+            raise ValueError("an XML tree must have at least one node (the root)")
+        if len(labels) != len(parents):
+            raise ValueError("labels and parents must have the same length")
+        if parents[0] is not None:
+            raise ValueError("node 0 must be the root (parent None)")
+        n = len(labels)
+        children: list[list[int]] = [[] for _ in range(n)]
+        depth = [0] * n
+        for node in range(1, n):
+            parent = parents[node]
+            if parent is None or not 0 <= parent < node:
+                raise ValueError(
+                    f"node {node} must have a parent among earlier nodes, got {parent!r}"
+                )
+            children[parent].append(node)
+            depth[node] = depth[parent] + 1
+        # Preorder check: children must come in contiguous preorder blocks.  We
+        # verify by recomputing the preorder and comparing.
+        order: list[int] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(children[node]))
+        if order != list(range(n)):
+            raise ValueError("nodes are not numbered in preorder (document order)")
+
+        next_sibling: list[int | None] = [None] * n
+        prev_sibling: list[int | None] = [None] * n
+        for kids in children:
+            for left, right in zip(kids, kids[1:]):
+                next_sibling[left] = right
+                prev_sibling[right] = left
+        subtree_end = [0] * n  # exclusive end of each node's preorder block
+        for node in range(n - 1, -1, -1):
+            subtree_end[node] = subtree_end[children[node][-1]] if children[node] else node + 1
+
+        self._labels = tuple(labels)
+        self._parent = tuple(parents)
+        self._children = tuple(tuple(kids) for kids in children)
+        self._next_sibling = tuple(next_sibling)
+        self._prev_sibling = tuple(prev_sibling)
+        self._depth = tuple(depth)
+        self._subtree_end = tuple(subtree_end)
+        self._hash = hash((self._labels, self._parent))
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(cls, spec: TreeSpec) -> "XMLTree":
+        """Build a tree from a nested ``(label, [children...])`` structure.
+
+        A bare label string is accepted as shorthand for a leaf, both at the
+        top level and inside child lists.
+        """
+        labels: list[str] = []
+        parents: list[int | None] = []
+
+        def visit(node_spec, parent: int | None) -> None:
+            if isinstance(node_spec, str):
+                label, kids = node_spec, []
+            else:
+                label, kids = node_spec
+            labels.append(label)
+            parents.append(parent)
+            me = len(labels) - 1
+            for kid in kids:
+                visit(kid, me)
+
+        visit(spec, None)
+        return cls(labels, parents)
+
+    @classmethod
+    def chain(cls, labels: Iterable[str]) -> "XMLTree":
+        """Build a unary ("word") tree whose i-th node carries the i-th label."""
+        labels = list(labels)
+        if not labels:
+            raise ValueError("a chain tree needs at least one label")
+        parents: list[int | None] = [None] + list(range(len(labels) - 1))
+        return cls(labels, parents)
+
+    def to_spec(self, node: int = 0) -> TreeSpec:
+        """Return the nested ``(label, [children...])`` structure of a subtree."""
+        return (self._labels[node], [self.to_spec(child) for child in self._children[node]])
+
+    # ------------------------------------------------------------- navigation
+
+    @property
+    def size(self) -> int:
+        return len(self._labels)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    @property
+    def nodes(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, node: int) -> str:
+        return self._labels[node]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Labels of all nodes, indexed by node id."""
+        return self._labels
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of labels that occur in this tree."""
+        return frozenset(self._labels)
+
+    def parent(self, node: int) -> int | None:
+        return self._parent[node]
+
+    def children(self, node: int) -> tuple[int, ...]:
+        return self._children[node]
+
+    def first_child(self, node: int) -> int | None:
+        kids = self._children[node]
+        return kids[0] if kids else None
+
+    def next_sibling(self, node: int) -> int | None:
+        return self._next_sibling[node]
+
+    def prev_sibling(self, node: int) -> int | None:
+        return self._prev_sibling[node]
+
+    def depth(self, node: int) -> int:
+        return self._depth[node]
+
+    def height(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        return max(self._depth)
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def descendants(self, node: int) -> range:
+        """All proper descendants of ``node`` (preorder-contiguous)."""
+        return range(node + 1, self._subtree_end[node])
+
+    def descendants_or_self(self, node: int) -> range:
+        return range(node, self._subtree_end[node])
+
+    def ancestors(self, node: int) -> Iterator[int]:
+        """All proper ancestors of ``node``, nearest first."""
+        parent = self._parent[node]
+        while parent is not None:
+            yield parent
+            parent = self._parent[parent]
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """True iff ``ancestor`` is a proper ancestor of ``node``."""
+        return ancestor < node < self._subtree_end[ancestor]
+
+    def following_siblings(self, node: int) -> Iterator[int]:
+        sibling = self._next_sibling[node]
+        while sibling is not None:
+            yield sibling
+            sibling = self._next_sibling[sibling]
+
+    def preceding_siblings(self, node: int) -> Iterator[int]:
+        sibling = self._prev_sibling[node]
+        while sibling is not None:
+            yield sibling
+            sibling = self._prev_sibling[sibling]
+
+    def leaves(self) -> Iterator[int]:
+        for node in self.nodes:
+            if not self._children[node]:
+                yield node
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        for node, node_label in enumerate(self._labels):
+            if node_label == label:
+                yield node
+
+    # ------------------------------------------------------------- modifiers
+    # (all return new trees; XMLTree itself is immutable)
+
+    def relabel(self, mapping) -> "XMLTree":
+        """Return a copy with each label ``p`` replaced by ``mapping(p)``.
+
+        ``mapping`` may be a dict (labels absent from it are kept) or a callable.
+        """
+        if isinstance(mapping, dict):
+            new_labels = [mapping.get(label, label) for label in self._labels]
+        else:
+            new_labels = [mapping(label) for label in self._labels]
+        return XMLTree(new_labels, self._parent)
+
+    def add_root(self, label: str) -> "XMLTree":
+        """Return a new tree with a fresh ``label``-labeled root above this one."""
+        labels = [label, *self._labels]
+        parents: list[int | None] = [None, 0]
+        parents += [p + 1 for p in self._parent[1:]]  # type: ignore[operator]
+        return XMLTree(labels, parents)
+
+    def drop_root(self) -> "XMLTree":
+        """Inverse of :meth:`add_root`; requires the root to have one child."""
+        if len(self._children[0]) != 1:
+            raise ValueError("drop_root requires a root with exactly one child")
+        labels = list(self._labels[1:])
+        parents: list[int | None] = [None]
+        parents += [p - 1 for p in self._parent[2:]]  # type: ignore[operator]
+        return XMLTree(labels, parents)
+
+    # ---------------------------------------------------------------- dunder
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XMLTree):
+            return NotImplemented
+        return self._labels == other._labels and self._parent == other._parent
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"XMLTree({self.to_spec()!r})"

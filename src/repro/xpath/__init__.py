@@ -1,0 +1,54 @@
+"""CoreXPath and its XPath 2.0-inspired extensions: syntax, measures, fragments."""
+
+from .ast import (
+    Axis,
+    PathExpr,
+    AxisStep,
+    AxisClosure,
+    Self,
+    Seq,
+    Union,
+    Filter,
+    Intersect,
+    Complement,
+    Star,
+    ForLoop,
+    NodeExpr,
+    Label,
+    SomePath,
+    Top,
+    Not,
+    And,
+    PathEquality,
+    VarIs,
+    Expr,
+)
+from .parser import parse_path, parse_node, XPathSyntaxError
+from .printer import to_source, to_paper
+from .measures import (
+    size,
+    intersection_depth,
+    direct_intersection_depth,
+    subexpressions,
+    node_subexpressions,
+    labels_used,
+    axes_used,
+    operators_used,
+    free_variables,
+)
+from .fragments import Fragment, fragment_of
+from . import builders, fragments, rewrite
+
+__all__ = [
+    "Axis", "PathExpr", "AxisStep", "AxisClosure", "Self", "Seq", "Union",
+    "Filter", "Intersect", "Complement", "Star", "ForLoop",
+    "NodeExpr", "Label", "SomePath", "Top", "Not", "And", "PathEquality",
+    "VarIs", "Expr",
+    "parse_path", "parse_node", "XPathSyntaxError",
+    "to_source", "to_paper",
+    "size", "intersection_depth", "direct_intersection_depth",
+    "subexpressions", "node_subexpressions", "labels_used", "axes_used",
+    "operators_used", "free_variables",
+    "Fragment", "fragment_of",
+    "builders", "fragments", "rewrite",
+]

@@ -1,0 +1,186 @@
+"""Constructor helpers and the paper's standard abbreviations (§2.2).
+
+These functions build real AST objects for the derived forms used throughout
+the paper, expanding abbreviations exactly as it defines them:
+
+* ``φ ∨ ψ  :=  ¬(¬φ ∧ ¬ψ)``
+* ``φ ⇒ ψ  :=  ¬(φ ∧ ¬ψ)``
+* ``⊥      :=  ¬⊤``
+* ``τ⁺     :=  τ/τ*``
+* ``every(α, φ) := ¬⟨α[¬φ]⟩``
+* ``following := ↑*/→⁺/↓*`` and ``preceding := ↑*/←⁺/↓*``
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from .ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Filter,
+    Label,
+    NodeExpr,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Top,
+    Union,
+)
+
+__all__ = [
+    "down", "up", "left", "right",
+    "down_star", "up_star", "left_star", "right_star",
+    "down_plus", "up_plus", "left_plus", "right_plus",
+    "self_", "axis", "axis_star", "axis_plus",
+    "label", "top", "bottom",
+    "or_", "implies", "iff", "every", "and_all", "or_all",
+    "seq_all", "union_all", "exists",
+    "following", "preceding", "loop",
+    "repeat",
+]
+
+# ----------------------------------------------------------- axis shorthands
+
+down = AxisStep(Axis.DOWN)
+up = AxisStep(Axis.UP)
+left = AxisStep(Axis.LEFT)
+right = AxisStep(Axis.RIGHT)
+
+down_star = AxisClosure(Axis.DOWN)
+up_star = AxisClosure(Axis.UP)
+left_star = AxisClosure(Axis.LEFT)
+right_star = AxisClosure(Axis.RIGHT)
+
+
+def axis(which: Axis) -> AxisStep:
+    """The basic axis step ``τ``."""
+    return AxisStep(which)
+
+
+def axis_star(which: Axis) -> AxisClosure:
+    """The reflexive-transitive axis ``τ*``."""
+    return AxisClosure(which)
+
+
+def axis_plus(which: Axis) -> Seq:
+    """``τ⁺``, the paper's shorthand for ``τ/τ*``."""
+    return Seq(AxisStep(which), AxisClosure(which))
+
+
+down_plus = axis_plus(Axis.DOWN)
+up_plus = axis_plus(Axis.UP)
+left_plus = axis_plus(Axis.LEFT)
+right_plus = axis_plus(Axis.RIGHT)
+
+self_ = Self()
+
+#: ``following := ↑*/→⁺/↓*`` — all nodes after the current one in document
+#: order that are not its descendants (§2.2 examples).
+following = Seq(up_star, Seq(right_plus, down_star))
+
+#: ``preceding := ↑*/←⁺/↓*``.
+preceding = Seq(up_star, Seq(left_plus, down_star))
+
+
+# ---------------------------------------------------------- node shorthands
+
+
+def label(name: str) -> Label:
+    return Label(name)
+
+
+top = Top()
+
+#: ``⊥ := ¬⊤``.
+bottom = Not(Top())
+
+
+def or_(left_expr: NodeExpr, right_expr: NodeExpr) -> NodeExpr:
+    """``φ ∨ ψ := ¬(¬φ ∧ ¬ψ)``."""
+    return Not(And(Not(left_expr), Not(right_expr)))
+
+
+def implies(premise: NodeExpr, conclusion: NodeExpr) -> NodeExpr:
+    """``φ ⇒ ψ := ¬(φ ∧ ¬ψ)``."""
+    return Not(And(premise, Not(conclusion)))
+
+
+def iff(left_expr: NodeExpr, right_expr: NodeExpr) -> NodeExpr:
+    """``φ ⇔ ψ``, expanded via ⇒ in both directions."""
+    return And(implies(left_expr, right_expr), implies(right_expr, left_expr))
+
+
+def every(path: PathExpr, predicate: NodeExpr) -> NodeExpr:
+    """``every(α, φ) := ¬⟨α[¬φ]⟩`` — all ``α``-reachable nodes satisfy ``φ``."""
+    return Not(SomePath(Filter(path, Not(predicate))))
+
+
+def exists(path: PathExpr) -> SomePath:
+    """``⟨α⟩``."""
+    return SomePath(path)
+
+
+def loop(path: PathExpr) -> PathEquality:
+    """``loop(α) := α ≈ .`` — the current node is ``α``-reachable from itself
+    (§3.1, item (1))."""
+    return PathEquality(path, Self())
+
+
+def _balanced(items: list, combine) -> NodeExpr:
+    """Fold pairwise so the result's depth is logarithmic in the count —
+    large generated conjunctions (e.g. the Prop. 6 witness-tree formula)
+    would otherwise exceed recursion limits downstream."""
+    while len(items) > 1:
+        items = [
+            combine(items[i], items[i + 1]) if i + 1 < len(items) else items[i]
+            for i in range(0, len(items), 2)
+        ]
+    return items[0]
+
+
+def and_all(exprs) -> NodeExpr:
+    """Conjunction of a sequence; the empty conjunction is ``⊤`` (a tautology,
+    as stipulated below the ``α_flip-i`` definition in §6.2)."""
+    exprs = list(exprs)
+    if not exprs:
+        return Top()
+    return _balanced(exprs, And)
+
+
+def or_all(exprs) -> NodeExpr:
+    """Disjunction of a sequence; the empty disjunction is ``⊥``."""
+    exprs = list(exprs)
+    if not exprs:
+        return bottom
+    return _balanced(exprs, or_)
+
+
+def seq_all(paths) -> PathExpr:
+    """Composition of a nonempty sequence of paths; empty gives ``.``."""
+    paths = list(paths)
+    if not paths:
+        return Self()
+    return reduce(Seq, paths)
+
+
+def union_all(paths) -> PathExpr:
+    """Union of a sequence of paths; empty gives the empty relation ``.[⊥]``."""
+    paths = list(paths)
+    if not paths:
+        return Filter(Self(), bottom)
+    return reduce(Union, paths)
+
+
+def repeat(path: PathExpr, times: int) -> PathExpr:
+    """The ``times``-fold composition ``α/…/α`` (e.g. ``↓^k`` in §6.2)."""
+    if times < 0:
+        raise ValueError("times must be >= 0")
+    if times == 0:
+        return Self()
+    return seq_all([path] * times)

@@ -1,0 +1,129 @@
+"""Fragment descriptors ``CoreXPath_Y(X)`` (§2.2).
+
+A fragment is determined by a set of admissible basic axes ``Y`` (plus ``.``
+and the closures ``τ*`` of the axes in ``Y``) and a set of admissible
+extension operators ``X ⊆ {≈, ∩, −, for, *}``.  Operators are named by the
+strings used throughout this library: ``'eq'``, ``'cap'``, ``'minus'``,
+``'for'``, ``'star'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Axis, Expr
+from .measures import axes_used, operators_used
+
+__all__ = [
+    "Fragment",
+    "ALL_OPERATORS",
+    "CORE",
+    "CORE_EQ",
+    "CORE_CAP",
+    "CORE_STAR",
+    "CORE_STAR_EQ",
+    "CORE_STAR_CAP",
+    "CORE_MINUS",
+    "CORE_FOR",
+    "DOWNWARD",
+    "DOWNWARD_CAP",
+    "DOWNWARD_STAR_CAP",
+    "VERTICAL_CAP",
+    "FORWARD_CAP",
+    "fragment_of",
+]
+
+ALL_OPERATORS = frozenset({"eq", "cap", "minus", "for", "star"})
+_ALL_AXES = frozenset(Axis)
+
+_OP_SYMBOL = {"eq": "≈", "cap": "∩", "minus": "−", "for": "for", "star": "*"}
+_OP_ORDER = ["star", "eq", "cap", "minus", "for"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """The fragment ``CoreXPath_axes(operators)``."""
+
+    axes: frozenset[Axis] = _ALL_AXES
+    operators: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        unknown = self.operators - ALL_OPERATORS
+        if unknown:
+            raise ValueError(f"unknown operators: {sorted(unknown)}")
+
+    def admits(self, expr: Expr) -> bool:
+        """True iff ``expr`` only uses this fragment's axes and operators."""
+        return (axes_used(expr) <= self.axes
+                and operators_used(expr) <= self.operators)
+
+    def violations(self, expr: Expr) -> list[str]:
+        """Human-readable reasons why ``expr`` is outside this fragment."""
+        problems = []
+        for axis in sorted(axes_used(expr) - self.axes, key=lambda a: a.value):
+            problems.append(f"axis {axis.symbol} not admitted")
+        for op in sorted(operators_used(expr) - self.operators):
+            problems.append(f"operator {_OP_SYMBOL[op]} not admitted")
+        return problems
+
+    def __le__(self, other: "Fragment") -> bool:
+        """Syntactic inclusion of fragments."""
+        return self.axes <= other.axes and self.operators <= other.operators
+
+    @property
+    def name(self) -> str:
+        """E.g. ``CoreXPath↓→(∩, *)``."""
+        axis_part = ""
+        if self.axes != _ALL_AXES:
+            axis_part = "".join(
+                axis.symbol
+                for axis in (Axis.DOWN, Axis.UP, Axis.LEFT, Axis.RIGHT)
+                if axis in self.axes
+            )
+        op_part = ", ".join(_OP_SYMBOL[op] for op in _OP_ORDER if op in self.operators)
+        return f"CoreXPath{axis_part}({op_part})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def fragment_of(expr: Expr) -> Fragment:
+    """The smallest fragment containing ``expr``."""
+    return Fragment(frozenset(axes_used(expr)), frozenset(operators_used(expr)))
+
+
+# -------------------------------------------------- the paper's named fragments
+
+#: Plain CoreXPath (all axes, no extensions).
+CORE = Fragment()
+#: CoreXPath(≈).
+CORE_EQ = Fragment(operators=frozenset({"eq"}))
+#: CoreXPath(∩).
+CORE_CAP = Fragment(operators=frozenset({"cap"}))
+#: CoreXPath(*).
+CORE_STAR = Fragment(operators=frozenset({"star"}))
+#: CoreXPath(*, ≈) — the best-behaved expressive fragment (EXPTIME).
+CORE_STAR_EQ = Fragment(operators=frozenset({"star", "eq"}))
+#: CoreXPath(*, ∩) — 2-EXPTIME.
+CORE_STAR_CAP = Fragment(operators=frozenset({"star", "cap"}))
+#: CoreXPath(−) — non-elementary.
+CORE_MINUS = Fragment(operators=frozenset({"minus"}))
+#: CoreXPath(for) — non-elementary.
+CORE_FOR = Fragment(operators=frozenset({"for"}))
+
+#: CoreXPath↓ — the downward fragment.
+DOWNWARD = Fragment(axes=frozenset({Axis.DOWN}))
+#: CoreXPath↓(∩) — EXPSPACE-complete (Theorems 24/29).
+DOWNWARD_CAP = Fragment(axes=frozenset({Axis.DOWN}), operators=frozenset({"cap"}))
+#: CoreXPath↓(*, ∩) — 2-EXPTIME-hard already (Theorem 26).
+DOWNWARD_STAR_CAP = Fragment(
+    axes=frozenset({Axis.DOWN}), operators=frozenset({"star", "cap"})
+)
+#: CoreXPath↓↑(∩) — the vertical fragment, 2-EXPTIME-hard (Theorem 27).
+VERTICAL_CAP = Fragment(
+    axes=frozenset({Axis.DOWN, Axis.UP}), operators=frozenset({"cap"})
+)
+#: CoreXPath↓→(∩) — the forward fragment, 2-EXPTIME-hard (Theorem 28).
+FORWARD_CAP = Fragment(
+    axes=frozenset({Axis.DOWN, Axis.RIGHT}), operators=frozenset({"cap"})
+)

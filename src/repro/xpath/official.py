@@ -1,0 +1,128 @@
+"""Rendering expressions in the official W3C XPath syntax.
+
+The paper's notation maps onto XPath 1.0/2.0 as follows (§2.2): ``↓`` is
+``child::*``, ``↑`` is ``parent::*``, ``↓*`` is ``descendant-or-self::*``,
+``⟨α⟩`` inside a filter is just ``α``, ``¬`` is ``not(…)``, ``∩``/``−`` are
+XPath 2.0's ``intersect``/``except``, and for-loops are XPath 2.0 ``for``
+expressions.  Three constructs have no official equivalent and are rendered
+with annotations:
+
+* the non-transitive sibling axes ``→``/``←`` (the paper includes them
+  following Marx; official XPath only has ``following-sibling::*`` etc.) —
+  rendered as ``following-sibling::*[1]``/``preceding-sibling::*[1]``,
+  which is equivalent under the official positional semantics;
+* general transitive closure ``α*`` — not expressible in XPath 2.0
+  (ten Cate 2006); rendered as ``(: closure :)``-annotated pseudo-syntax;
+* path equality ``α ≈ β`` — expressible in XPath 2.0 as a node-set
+  intersection emptiness test, rendered as ``exists(α intersect β)``
+  (for the general case ``α ≈ β ≡ ⟨α ∩ β⟩``).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Complement,
+    Expr,
+    Filter,
+    ForLoop,
+    Intersect,
+    Label,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+    VarIs,
+)
+
+__all__ = ["to_official"]
+
+_AXIS_OFFICIAL = {
+    Axis.DOWN: "child::*",
+    Axis.UP: "parent::*",
+    Axis.RIGHT: "following-sibling::*[1]",
+    Axis.LEFT: "preceding-sibling::*[1]",
+}
+_CLOSURE_OFFICIAL = {
+    Axis.DOWN: "descendant-or-self::*",
+    Axis.UP: "ancestor-or-self::*",
+    Axis.RIGHT: "(self::* | following-sibling::*)",
+    Axis.LEFT: "(self::* | preceding-sibling::*)",
+}
+
+# Path precedence for parenthesization: for < set-ops < '/'.
+_P_FOR, _P_SET, _P_SLASH, _P_ATOM = range(4)
+
+
+def to_official(expr: Expr) -> str:
+    """Render ``expr`` in official XPath 2.0 syntax (with documented
+    pseudo-syntax for the constructs XPath 2.0 lacks)."""
+    if isinstance(expr, PathExpr):
+        return _path(expr, 0)
+    return _node(expr)
+
+
+def _paren(text: str, level: int, minimum: int) -> str:
+    return text if level >= minimum else f"({text})"
+
+
+def _path(path: PathExpr, minimum: int) -> str:
+    match path:
+        case AxisStep(axis=axis):
+            return _AXIS_OFFICIAL[axis]
+        case AxisClosure(axis=axis):
+            return _CLOSURE_OFFICIAL[axis]
+        case Self():
+            return "."
+        case Seq(left=a, right=b):
+            text = f"{_path(a, _P_SLASH)}/{_path(b, _P_SLASH)}"
+            return _paren(text, _P_SLASH, minimum)
+        case Union(left=a, right=b):
+            text = f"{_path(a, _P_SET)} | {_path(b, _P_SET + 1)}"
+            return _paren(text, _P_SET, minimum)
+        case Intersect(left=a, right=b):
+            text = f"{_path(a, _P_SET)} intersect {_path(b, _P_SET + 1)}"
+            return _paren(text, _P_SET, minimum)
+        case Complement(left=a, right=b):
+            text = f"{_path(a, _P_SET)} except {_path(b, _P_SET + 1)}"
+            return _paren(text, _P_SET, minimum)
+        case Filter(path=a, predicate=p):
+            return f"{_path(a, _P_ATOM)}[{_node(p)}]"
+        case Star(path=a):
+            # Not expressible in XPath 2.0 — annotated pseudo-syntax.
+            return f"(: closure :)({_path(a, 0)})*"
+        case ForLoop(var=v, source=a, body=b):
+            text = (f"for ${v} in {_path(a, _P_FOR + 1)} "
+                    f"return {_path(b, _P_FOR + 1)}")
+            return _paren(text, _P_FOR, minimum)
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def _node(node) -> str:
+    match node:
+        case Label(name=name):
+            return f"self::{name}" if name.isidentifier() \
+                else f"self::*[name() = '{name}']"
+        case Top():
+            return "true()"
+        case Not(child=Top()):
+            return "false()"
+        case Not(child=c):
+            return f"not({_node(c)})"
+        case And(left=a, right=b):
+            return f"{_node(a)} and {_node(b)}"
+        case SomePath(path=a):
+            return _path(a, _P_ATOM)
+        case PathEquality(left=a, right=b):
+            return f"exists(({_path(a, 0)}) intersect ({_path(b, 0)}))"
+        case VarIs(var=v):
+            return f". is ${v}"
+    raise TypeError(f"unknown node expression {node!r}")

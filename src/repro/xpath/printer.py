@@ -1,0 +1,189 @@
+"""Pretty-printers for expressions.
+
+Two styles are provided:
+
+* :func:`to_source` — a plain-ASCII syntax that round-trips through
+  :func:`repro.xpath.parser.parse_path` / ``parse_node``.
+* :func:`to_paper` — the paper's mathematical notation (↓, ∪, ∩, ⟨·⟩, ¬, ∧,
+  ≈, ⊤), for display and documentation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Complement,
+    Expr,
+    Filter,
+    ForLoop,
+    Intersect,
+    Label,
+    Not,
+    PathEquality,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+    VarIs,
+)
+
+__all__ = ["to_source", "to_paper"]
+
+_SAFE_LABEL = re.compile(r"[A-Za-z_][\w@#+-]*$")
+_KEYWORDS = {
+    "union", "intersect", "except", "for", "in", "return",
+    "and", "not", "true", "false", "is", "eq",
+    "down", "up", "left", "right",
+}
+
+_AXIS_NAME = {Axis.DOWN: "down", Axis.UP: "up",
+              Axis.RIGHT: "right", Axis.LEFT: "left"}
+
+# Path precedence levels (higher binds tighter).
+_P_FOR, _P_UNION, _P_EXCEPT, _P_INTERSECT, _P_SEQ, _P_POSTFIX = range(6)
+# Node precedence levels.
+_N_AND, _N_NOT, _N_ATOM = range(3)
+
+
+def to_source(expr: Expr) -> str:
+    """Render ``expr`` in the parseable ASCII syntax."""
+    if isinstance(expr, (AxisStep, AxisClosure, Self, Seq, Union, Filter,
+                         Intersect, Complement, Star, ForLoop)):
+        return _path_src(expr, 0)
+    return _node_src(expr, 0)
+
+
+def _label_src(name: str) -> str:
+    if _SAFE_LABEL.match(name) and name not in _KEYWORDS:
+        return name
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def _paren(text: str, level: int, minimum: int) -> str:
+    return text if level >= minimum else f"({text})"
+
+
+def _path_src(path, minimum: int) -> str:
+    match path:
+        case AxisStep(axis=a):
+            return _AXIS_NAME[a]
+        case AxisClosure(axis=a):
+            return _AXIS_NAME[a] + "*"
+        case Self():
+            return "."
+        case Seq(left=a, right=b):
+            text = f"{_path_src(a, _P_SEQ)}/{_path_src(b, _P_SEQ + 1)}"
+            return _paren(text, _P_SEQ, minimum)
+        case Union(left=a, right=b):
+            text = f"{_path_src(a, _P_UNION)} union {_path_src(b, _P_UNION + 1)}"
+            return _paren(text, _P_UNION, minimum)
+        case Intersect(left=a, right=b):
+            text = f"{_path_src(a, _P_INTERSECT)} intersect {_path_src(b, _P_INTERSECT + 1)}"
+            return _paren(text, _P_INTERSECT, minimum)
+        case Complement(left=a, right=b):
+            text = f"{_path_src(a, _P_EXCEPT)} except {_path_src(b, _P_EXCEPT + 1)}"
+            return _paren(text, _P_EXCEPT, minimum)
+        case Filter(path=a, predicate=p):
+            return f"{_path_src(a, _P_POSTFIX)}[{_node_src(p, 0)}]"
+        case Star(path=a):
+            return f"({_path_src(a, 0)})*"
+        case ForLoop(var=v, source=a, body=b):
+            text = f"for ${v} in {_path_src(a, _P_FOR + 1)} return {_path_src(b, _P_FOR + 1)}"
+            return _paren(text, _P_FOR, minimum)
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def _node_src(node, minimum: int) -> str:
+    match node:
+        case Label(name=n):
+            return _label_src(n)
+        case Top():
+            return "true"
+        case Not(child=Top()):
+            return "false"
+        case Not(child=c):
+            return _paren(f"not {_node_src(c, _N_NOT)}", _N_NOT, minimum)
+        case And(left=a, right=b):
+            text = f"{_node_src(a, _N_AND)} and {_node_src(b, _N_AND + 1)}"
+            return _paren(text, _N_AND, minimum)
+        case SomePath(path=a):
+            return f"<{_path_src(a, 0)}>"
+        case PathEquality(left=a, right=b):
+            return f"eq({_path_src(a, 0)}, {_path_src(b, 0)})"
+        case VarIs(var=v):
+            return f". is ${v}"
+    raise TypeError(f"unknown node expression {node!r}")
+
+
+# ------------------------------------------------------------ paper notation
+
+_PAPER_AXIS = {Axis.DOWN: "↓", Axis.UP: "↑", Axis.RIGHT: "→", Axis.LEFT: "←"}
+
+
+def to_paper(expr: Expr) -> str:
+    """Render ``expr`` in the paper's mathematical notation."""
+    if isinstance(expr, (AxisStep, AxisClosure, Self, Seq, Union, Filter,
+                         Intersect, Complement, Star, ForLoop)):
+        return _path_paper(expr, 0)
+    return _node_paper(expr, 0)
+
+
+def _path_paper(path, minimum: int) -> str:
+    match path:
+        case AxisStep(axis=a):
+            return _PAPER_AXIS[a]
+        case AxisClosure(axis=a):
+            return _PAPER_AXIS[a] + "*"
+        case Self():
+            return "."
+        case Seq(left=a, right=b):
+            text = f"{_path_paper(a, _P_SEQ)}/{_path_paper(b, _P_SEQ + 1)}"
+            return _paren(text, _P_SEQ, minimum)
+        case Union(left=a, right=b):
+            text = f"{_path_paper(a, _P_UNION)} ∪ {_path_paper(b, _P_UNION + 1)}"
+            return _paren(text, _P_UNION, minimum)
+        case Intersect(left=a, right=b):
+            text = f"{_path_paper(a, _P_INTERSECT)} ∩ {_path_paper(b, _P_INTERSECT + 1)}"
+            return _paren(text, _P_INTERSECT, minimum)
+        case Complement(left=a, right=b):
+            text = f"{_path_paper(a, _P_EXCEPT)} − {_path_paper(b, _P_EXCEPT + 1)}"
+            return _paren(text, _P_EXCEPT, minimum)
+        case Filter(path=a, predicate=p):
+            return f"{_path_paper(a, _P_POSTFIX)}[{_node_paper(p, 0)}]"
+        case Star(path=a):
+            return f"({_path_paper(a, 0)})*"
+        case ForLoop(var=v, source=a, body=b):
+            text = (f"for ${v} in {_path_paper(a, _P_FOR + 1)} "
+                    f"return {_path_paper(b, _P_FOR + 1)}")
+            return _paren(text, _P_FOR, minimum)
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def _node_paper(node, minimum: int) -> str:
+    match node:
+        case Label(name=n):
+            return n
+        case Top():
+            return "⊤"
+        case Not(child=Top()):
+            return "⊥"
+        case Not(child=c):
+            return f"¬{_node_paper(c, _N_NOT)}"
+        case And(left=a, right=b):
+            text = f"{_node_paper(a, _N_AND)} ∧ {_node_paper(b, _N_AND + 1)}"
+            return _paren(text, _N_AND, minimum)
+        case SomePath(path=a):
+            return f"⟨{_path_paper(a, 0)}⟩"
+        case PathEquality(left=a, right=b):
+            return f"{_path_paper(a, _P_SEQ)} ≈ {_path_paper(b, _P_SEQ)}"
+        case VarIs(var=v):
+            return f". is ${v}"
+    raise TypeError(f"unknown node expression {node!r}")

@@ -1,0 +1,100 @@
+"""Tests for the alternating Turing machine substrate (§6.1)."""
+
+import pytest
+
+from repro.lowerbounds import (
+    ATM,
+    LEFT,
+    RIGHT,
+    all_ones_machine,
+    first_symbol_machine,
+    parity_machine,
+)
+
+
+class TestValidation:
+    def test_overlapping_state_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            ATM(frozenset({"q"}), frozenset({"q"}), "qa", "qr", "q",
+                frozenset({"a"}), frozenset({"a", "_"}), "_", frozenset())
+
+    def test_halting_state_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            ATM(frozenset({"q"}), frozenset(), "qa", "qr", "q",
+                frozenset({"a"}), frozenset({"a", "_"}), "_",
+                frozenset({("qa", "a", "q", "a", RIGHT)}))
+
+    def test_blank_must_be_work_symbol(self):
+        with pytest.raises(ValueError):
+            ATM(frozenset({"q"}), frozenset(), "qa", "qr", "q",
+                frozenset({"a"}), frozenset({"a"}), "_", frozenset())
+
+
+class TestSemantics:
+    def test_existential_machine(self):
+        machine = first_symbol_machine()
+        assert machine.accepts("a", 2)
+        assert not machine.accepts("b", 2)
+        assert machine.accepts("ab", 4)
+
+    def test_deterministic_machine(self):
+        machine = parity_machine()
+        assert machine.accepts("11", 4)
+        assert machine.accepts("101", 4)
+        assert not machine.accepts("100", 4)
+
+    def test_universal_machine(self):
+        machine = all_ones_machine()
+        assert machine.accepts("111", 4)
+        assert not machine.accepts("110", 4)
+        assert not machine.accepts("011", 4)
+
+    def test_off_tape_detected(self):
+        machine = parity_machine()
+        with pytest.raises(ValueError):
+            machine.accepts("11", 2)  # blank transition would exit the tape
+
+    def test_word_outside_input_alphabet(self):
+        with pytest.raises(ValueError):
+            parity_machine().accepts("x", 4)
+
+    def test_word_longer_than_tape(self):
+        with pytest.raises(ValueError):
+            parity_machine().accepts("0000", 2)
+
+    def test_moves_sorted(self):
+        machine = all_ones_machine()
+        moves = machine.moves("q0", "1")
+        assert moves == sorted(moves)
+        assert len(moves) == 2
+
+
+class TestStrategyTree:
+    def test_accepting_tree_has_no_reject(self):
+        machine = all_ones_machine()
+        tree = machine.strategy_tree("11", 4)
+        assert not tree.contains_state("qr")
+        assert tree.contains_state("qa")
+
+    def test_rejecting_tree_contains_reject(self):
+        machine = all_ones_machine()
+        tree = machine.strategy_tree("10", 4)
+        assert tree.contains_state("qr")
+
+    def test_existential_picks_single_branch(self):
+        machine = first_symbol_machine()
+        tree = machine.strategy_tree("a", 2)
+        node = tree
+        while node.children:
+            assert len(node.children) == 1
+            node = node.children[0]
+        assert node.configuration[0] == "qa"
+
+    def test_universal_keeps_all_branches(self):
+        machine = all_ones_machine()
+        tree = machine.strategy_tree("11", 4)
+        assert len(tree.children) == 2  # continue vs check
+
+    def test_size(self):
+        machine = first_symbol_machine()
+        assert machine.strategy_tree("a", 2).size() == 2

@@ -1,0 +1,127 @@
+"""A semantic catalog of the ten Cate–Marx style equational axioms (§9).
+
+The paper's Discussion points to the complete axiomatization of
+CoreXPath(∩, −, for) [ten Cate & Marx 2009] for rewrite-based optimization.
+We cannot reproduce the completeness proof, but we can pin the axioms
+themselves: every law below is verified semantically on randomized
+documents.  These are exactly the rewrite rules a practical optimizer would
+apply.
+"""
+
+import random
+
+import pytest
+
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import random_tree
+from repro.xpath import parse_node, parse_path
+
+from .helpers import random_path
+
+PATH_LAWS = [
+    # Composition is associative with identity `.`.
+    ("(down/up)/down*", "down/(up/down*)"),
+    ("./down", "down"),
+    ("down/.", "down"),
+    # Union: associative, commutative, idempotent; composition distributes.
+    ("down union (up union right)", "(down union up) union right"),
+    ("down union up", "up union down"),
+    ("down union down", "down"),
+    ("(down union up)/left", "down/left union up/left"),
+    ("left/(down union up)", "left/down union left/up"),
+    # Filters: conjunction splits; filters commute; filter of ⊤ is identity.
+    ("down[p and q]", "down[p][q]"),
+    ("down[p][q]", "down[q][p]"),
+    ("down[true]", "down"),
+    # Filters distribute over union.
+    ("(down union up)[p]", "down[p] union up[p]"),
+    # Intersection: associative, commutative, idempotent; absorbs union.
+    ("down intersect (down* intersect down+)",
+     "(down intersect down*) intersect down+"),
+    ("down intersect down*", "down* intersect down"),
+    ("down intersect down", "down"),
+    ("down intersect (down union up)", "down"),
+    # Complement laws (relative difference).
+    ("down except down", "down[false]"),
+    ("down except up", "down"),
+    ("(down union up) except up", "down except up"),
+    # Kleene algebra facts for the * extension.
+    ("(down)*", "(. union down/(down)*)"),
+    ("((down)*)*", "(down)*"),
+    ("(down union .)*", "(down)*"),
+    # Axis-closure unfolding: τ* = . ∪ τ/τ*.
+    ("down*", ". union down/down*"),
+    ("up*", ". union up/up*"),
+]
+
+NODE_LAWS = [
+    # Boolean algebra.
+    ("p and q", "q and p"),
+    ("p and (q and true)", "(p and q) and true"),
+    ("not (not p)", "p"),
+    ("p and not p", "false"),
+    ("p or not p", "true"),
+    # ⟨·⟩ distributes over union and composition unfolds.
+    ("<down union up>", "<down> or <up>"),
+    ("<down/up>", "<down[<up>]>"),
+    ("<down[false]>", "false"),
+    ("<.>", "true"),
+    # Path equality laws (§2.2/§3.1).
+    ("eq(down, down)", "<down>"),
+    ("eq(down, up)", "eq(up, down)"),
+    ("eq(down*, .)", "true"),
+    ("<down[p]>", "eq(down[p], down)"),
+    # loop(α/β˘) ≡ α ≈ β for a concrete instance (converse by hand).
+    ("eq(down[p], right)", "eq(down[p]/(.[true]), right)"),
+]
+
+
+@pytest.mark.parametrize("left, right", PATH_LAWS,
+                         ids=[f"{l} == {r}" for l, r in PATH_LAWS])
+def test_path_laws(left, right):
+    rng = random.Random(hash(left) & 0xFFFF)
+    left_path, right_path = parse_path(left), parse_path(right)
+    for _ in range(15):
+        tree = random_tree(rng, 8, ["p", "q"])
+        assert evaluate_path(tree, left_path) == \
+            evaluate_path(tree, right_path), (left, right, tree.to_spec())
+
+
+@pytest.mark.parametrize("left, right", NODE_LAWS,
+                         ids=[f"{l} == {r}" for l, r in NODE_LAWS])
+def test_node_laws(left, right):
+    rng = random.Random(hash(right) & 0xFFFF)
+    left_node, right_node = parse_node(left), parse_node(right)
+    for _ in range(15):
+        tree = random_tree(rng, 8, ["p", "q"])
+        assert evaluate_nodes(tree, left_node) == \
+            evaluate_nodes(tree, right_node), (left, right, tree.to_spec())
+
+
+def test_de_morgan_for_paths():
+    """U − (α ∪ β) = (U − α) ∩ (U − β), the law behind §2.2's ∪-definition."""
+    rng = random.Random(424)
+    universe = parse_path("up*/down*")
+    for _ in range(10):
+        alpha = random_path(rng, 2)
+        beta = random_path(rng, 2)
+        tree = random_tree(rng, 7, ["p", "q"])
+        from repro.xpath.ast import Complement, Intersect, Union
+        left = evaluate_path(tree, Complement(universe, Union(alpha, beta)))
+        right = evaluate_path(tree, Intersect(
+            Complement(universe, alpha), Complement(universe, beta)))
+        assert left == right
+
+
+def test_for_loop_laws():
+    """§2.2: `for $i in α return β[. is $i]` ≡ α ∩ β, and a vacuous binder
+    is a guard for ⟨α⟩."""
+    rng = random.Random(425)
+    cap = parse_path("down* intersect down/down")
+    via_for = parse_path("for $i in down* return down/down[. is $i]")
+    guard = parse_path("for $i in down[p] return .")
+    guarded = parse_path(".[<down[p]>]")
+    for _ in range(15):
+        tree = random_tree(rng, 7, ["p", "q"])
+        assert evaluate_path(tree, cap) == evaluate_path(tree, via_for)
+        assert evaluate_path(tree, guard) == evaluate_path(tree, guarded)

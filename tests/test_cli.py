@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_schema, main
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "book.schema"
+    path.write_text(
+        "# the paper's book schema\n"
+        "Book = Chapter+\n"
+        "Chapter = Section+\n"
+        "Section = (Section | Paragraph | Image)+\n"
+        "Paragraph = eps\n"
+        "Image = eps\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def edtd_file(tmp_path):
+    path = tmp_path / "sections.schema"
+    path.write_text(
+        "s1 = s2?\n"
+        "s2 = eps\n"
+        "%projection\n"
+        "s1 -> s\n"
+        "s2 -> s\n"
+    )
+    return str(path)
+
+
+DOC = "<Book><Chapter><Section><Image/></Section></Chapter></Book>"
+
+
+class TestSchemaLoading:
+    def test_dtd(self, schema_file):
+        schema = load_schema(schema_file)
+        assert schema.root_type == "Book"
+        assert schema.is_dtd
+
+    def test_edtd_projection(self, edtd_file):
+        schema = load_schema(edtd_file)
+        assert not schema.is_dtd
+        assert schema.projection["s1"] == "s"
+
+    def test_bad_rule(self, tmp_path):
+        bad = tmp_path / "bad.schema"
+        bad.write_text("no separator here\n")
+        with pytest.raises(ValueError):
+            load_schema(str(bad))
+
+    def test_empty_schema(self, tmp_path):
+        empty = tmp_path / "empty.schema"
+        empty.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_schema(str(empty))
+
+
+class TestCommands:
+    def test_evaluate(self, capsys):
+        code = main(["evaluate", "down*[Image]", "--xml", DOC, "--from", "0"])
+        assert code == 0
+        assert "from node 0: [3]" in capsys.readouterr().out
+
+    def test_evaluate_all_sources(self, capsys):
+        main(["evaluate", "down", "--xml", DOC])
+        out = capsys.readouterr().out
+        assert "0 -> [1]" in out
+
+    def test_satisfiable_positive(self, capsys):
+        code = main(["satisfiable", "p and <down[q]>"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "satisfiable" in out
+        assert "witness" in out
+
+    def test_satisfiable_conclusive_negative(self, capsys):
+        code = main(["satisfiable", "<down[p] intersect down[q]>"])
+        assert code == 0
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_satisfiable_inconclusive(self, capsys):
+        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3"])
+        assert code == 2
+
+    def test_satisfiable_with_schema(self, capsys, schema_file):
+        code = main(["satisfiable", "Paragraph and <down>",
+                     "--schema", schema_file])
+        assert code == 0
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_contains_positive(self, capsys):
+        code = main(["contains", "down[p]", "down"])
+        assert code == 0
+        assert "contained: True" in capsys.readouterr().out
+
+    def test_contains_negative_exits_1(self, capsys):
+        code = main(["contains", "down", "down[p]"])
+        assert code == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_validate(self, capsys, schema_file):
+        assert main(["validate", "--schema", schema_file, "--xml", DOC]) == 0
+        assert "valid" in capsys.readouterr().out
+        bad = "<Book><Image/></Book>"
+        assert main(["validate", "--schema", schema_file, "--xml", bad]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_translate_for(self, capsys):
+        code = main(["translate", "down* except down[p]", "--to", "for"])
+        assert code == 0
+        assert "for $" in capsys.readouterr().out
+
+    def test_translate_eq(self, capsys):
+        code = main(["translate", "down intersect down[p]", "--to", "eq"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "intersect" not in out
+        assert "eq(" in out
+
+    def test_translate_official(self, capsys):
+        code = main(["translate", "down*[p] intersect down", "--to", "official"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "descendant-or-self::*" in out
+        assert "intersect" in out
+
+    def test_translate_normal_form(self, capsys):
+        code = main(["translate", "eq(down, down)", "--to", "normal-form"])
+        assert code == 0
+        assert "NFLoop" in capsys.readouterr().out
+
+    def test_show(self, capsys):
+        code = main(["show", "down intersect down[p]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CoreXPath↓(∩)" in out
+        assert "size: 5" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

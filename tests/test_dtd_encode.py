@@ -1,0 +1,83 @@
+"""Tests for the DTD → CoreXPath(*) encoding (the Marx 2004 fact the paper
+uses to drop schemas from its * upper bounds)."""
+
+import random
+
+import pytest
+
+from repro.edtd import DTD, book_edtd, nested_sections_edtd, random_conforming_tree
+from repro.edtd.encode import content_model_to_path, dtd_to_corexpath_star
+from repro.regexes import parse_regex
+from repro.semantics import holds_at
+from repro.trees import XMLTree, all_trees, random_tree
+from repro.xpath import size
+from repro.xpath.fragments import CORE_STAR
+from repro.xpath.measures import operators_used
+
+
+class TestContentModelPath:
+    def test_word_walk(self):
+        # On a sibling run b, c, c: the walk for "b c*" entered at b ends at
+        # the last matched sibling.
+        from repro.semantics import evaluate_path
+        from repro.xpath.ast import Axis, AxisStep
+        tree = XMLTree.build(("a", ["b", "c", "c"]))
+        walk = content_model_to_path(parse_regex("c c"), AxisStep(Axis.RIGHT))
+        relation = evaluate_path(tree, walk)
+        assert relation.get(1) == frozenset({3})
+
+
+class TestDTDEncoding:
+    SCHEMAS = [
+        DTD({"a": "b c", "b": "eps", "c": "eps"}, root="a"),
+        DTD({"a": "b*", "b": "a?"}, root="a"),
+        DTD({"a": "(b | c)+", "b": "eps", "c": "b?"}, root="a"),
+        book_edtd(),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SCHEMAS)))
+    def test_encoding_matches_conformance_exhaustively(self, index):
+        schema = self.SCHEMAS[index]
+        phi = dtd_to_corexpath_star(schema)
+        alphabet = sorted(schema.concrete_labels())[:3]
+        for tree in all_trees(4, alphabet):
+            assert holds_at(tree, phi, 0) == schema.conforms(tree), \
+                tree.to_spec()
+
+    @pytest.mark.parametrize("index", range(len(SCHEMAS)))
+    def test_encoding_accepts_generated_documents(self, index):
+        schema = self.SCHEMAS[index]
+        phi = dtd_to_corexpath_star(schema)
+        rng = random.Random(811 + index)
+        for _ in range(10):
+            tree = random_conforming_tree(schema, rng, max_nodes=25)
+            assert holds_at(tree, phi, 0), tree.to_spec()
+
+    def test_encoding_rejects_mutations(self):
+        schema = book_edtd()
+        phi = dtd_to_corexpath_star(schema)
+        tree = XMLTree.build(
+            ("Book", [("Chapter", [("Section", ["Image"])])])
+        )
+        assert holds_at(tree, phi, 0)
+        broken = tree.relabel({"Image": "Chapter"})
+        assert not holds_at(broken, phi, 0)
+
+    def test_stays_in_core_star(self):
+        phi = dtd_to_corexpath_star(self.SCHEMAS[0])
+        assert operators_used(phi) <= {"star"}
+        assert CORE_STAR.admits(phi)
+
+    def test_linear_blowup(self):
+        """The Marx fact: the encoding is linear in the DTD size."""
+        sizes = {}
+        for width in (2, 4, 8):
+            rules = {"a": " | ".join(["b"] * width) + " ", "b": "eps"}
+            rules["a"] = "(" + " | ".join(["b"] * width) + ")*"
+            schema = DTD(rules, root="a")
+            sizes[width] = size(dtd_to_corexpath_star(schema)) / schema.size()
+        assert max(sizes.values()) / min(sizes.values()) < 3
+
+    def test_edtd_rejected(self):
+        with pytest.raises(ValueError):
+            dtd_to_corexpath_star(nested_sections_edtd(2))

@@ -1,0 +1,122 @@
+"""Tests for EDTDs (Definition 2): conformance, typing, generation."""
+
+import random
+
+import pytest
+
+from repro.edtd import (
+    DTD,
+    EDTD,
+    ConformanceError,
+    book_edtd,
+    nested_sections_edtd,
+    random_conforming_tree,
+)
+from repro.trees import XMLTree
+
+
+@pytest.fixture
+def book():
+    return book_edtd()
+
+
+class TestConformance:
+    def test_paper_book_example(self, book):
+        tree = XMLTree.build(
+            ("Book", [("Chapter", [("Section", [
+                "Paragraph", ("Section", ["Image"])
+            ])])])
+        )
+        assert book.conforms(tree)
+        book.validate(tree)  # must not raise
+
+    def test_wrong_root(self, book):
+        assert not book.conforms(XMLTree.build(("Chapter", [("Section", ["Image"])])))
+
+    def test_empty_section_rejected(self, book):
+        # Section requires (Section|Paragraph|Image)+ — at least one child.
+        tree = XMLTree.build(("Book", [("Chapter", [("Section", [])])]))
+        assert not book.conforms(tree)
+        with pytest.raises(ConformanceError):
+            book.validate(tree)
+
+    def test_child_order_matters(self):
+        schema = DTD({"a": "b c"}, root="a")
+        assert schema.conforms(XMLTree.build(("a", ["b", "c"])))
+        assert not schema.conforms(XMLTree.build(("a", ["c", "b"])))
+
+    def test_witness_typing(self, book):
+        tree = XMLTree.build(("Book", [("Chapter", [("Section", ["Image"])])]))
+        typing = book.witness_typing(tree)
+        assert typing == ["Book", "Chapter", "Section", "Image"]
+        assert book.witness_typing(XMLTree.build(("Book", []))) is None
+
+
+class TestExtendedDTD:
+    def test_nested_sections_is_not_a_dtd(self):
+        edtd = nested_sections_edtd(3)
+        assert not edtd.is_dtd
+        deep3 = XMLTree.build(("s", [("s", [("s", [])])]))
+        deep4 = XMLTree.build(("s", [("s", [("s", [("s", [])])])]))
+        assert edtd.conforms(deep3)
+        assert not edtd.conforms(deep4)
+
+    def test_typing_uses_abstract_labels(self):
+        edtd = nested_sections_edtd(2)
+        tree = XMLTree.build(("s", [("s", [])]))
+        assert edtd.witness_typing(tree) == ["s1", "s2"]
+
+    def test_projection_validated(self):
+        with pytest.raises(ValueError):
+            EDTD(frozenset({"a"}), {"a": None}, "a", {})  # type: ignore[arg-type]
+
+    def test_unknown_content_symbol_rejected(self):
+        from repro.regexes import parse_regex
+        with pytest.raises(ValueError):
+            EDTD(frozenset({"a"}), {"a": parse_regex("ghost")}, "a", {"a": "a"})
+
+    def test_root_type_must_exist(self):
+        from repro.regexes import parse_regex
+        with pytest.raises(ValueError):
+            EDTD(frozenset({"a"}), {"a": parse_regex("eps")}, "r", {"a": "a"})
+
+
+class TestSizeAndNFA:
+    def test_size_is_sum_of_regex_sizes(self, book):
+        assert book.size() > 0
+        assert book.size() == sum(
+            _regex_size(book.content[label]) for label in book.abstract_labels
+        )
+
+    def test_max_nfa_states(self, book):
+        assert book.max_nfa_states() >= 2
+
+    def test_content_nfa_cached(self, book):
+        assert book.content_nfa("Book") is book.content_nfa("Book")
+
+
+def _regex_size(regex):
+    from repro.regexes import regex_size
+    return regex_size(regex)
+
+
+class TestGeneration:
+    def test_generated_trees_conform(self, book):
+        rng = random.Random(11)
+        for _ in range(30):
+            tree = random_conforming_tree(book, rng, max_nodes=40)
+            assert book.conforms(tree)
+            assert tree.size <= 40
+
+    def test_generated_trees_vary(self, book):
+        rng = random.Random(12)
+        trees = {random_conforming_tree(book, rng, max_nodes=40) for _ in range(20)}
+        assert len(trees) > 1
+
+    def test_nested_sections_generation(self):
+        edtd = nested_sections_edtd(3)
+        rng = random.Random(13)
+        for _ in range(20):
+            tree = random_conforming_tree(edtd, rng, max_nodes=10)
+            assert edtd.conforms(tree)
+            assert tree.height() <= 2  # at most 3 nested s-nodes

@@ -1,0 +1,74 @@
+"""Tests for the shared §6 encoding helpers."""
+
+import pytest
+
+from repro.lowerbounds.atm import parity_machine
+from repro.lowerbounds.encoding import (
+    at_most_one_state,
+    c_bit,
+    d_bit,
+    exactly_one_symbol,
+    marker_label,
+    some_state,
+    state_label,
+    symbol_label,
+    value_equals,
+)
+from repro.semantics import evaluate_nodes
+from repro.trees import MultiLabelTree
+
+
+def cell(labels):
+    return MultiLabelTree.build((list(labels), []))
+
+
+class TestLabelNamespaces:
+    def test_prefixes_disjoint(self):
+        assert state_label("1") != symbol_label("1")
+        assert c_bit(0) != d_bit(0)
+        assert marker_label("L", "q") != marker_label("R", "q")
+        assert state_label("x") != marker_label("L", "x")
+
+
+class TestValueEquals:
+    @pytest.mark.parametrize("value, k, bits, expected", [
+        (0, 2, [], True),
+        (1, 2, ["c0"], True),
+        (2, 2, ["c1"], True),
+        (3, 2, ["c0", "c1"], True),
+        (1, 2, ["c1"], False),
+        (0, 2, ["c0"], False),
+    ])
+    def test_bit_patterns(self, value, k, bits, expected):
+        tree = cell(bits)
+        formula = value_equals(value, k)
+        assert (0 in evaluate_nodes(tree, formula)) == expected
+
+    def test_d_counter_variant(self):
+        tree = cell(["d1"])
+        assert 0 in evaluate_nodes(tree, value_equals(2, 2, d_bit))
+        assert 0 not in evaluate_nodes(tree, value_equals(2, 2, c_bit))
+
+
+class TestCellWellFormedness:
+    def test_exactly_one_symbol(self):
+        machine = parity_machine()
+        formula = exactly_one_symbol(machine)
+        assert 0 in evaluate_nodes(cell([symbol_label("0")]), formula)
+        assert 0 not in evaluate_nodes(cell([]), formula)
+        assert 0 not in evaluate_nodes(
+            cell([symbol_label("0"), symbol_label("1")]), formula)
+
+    def test_at_most_one_state(self):
+        machine = parity_machine()
+        formula = at_most_one_state(machine)
+        assert 0 in evaluate_nodes(cell([]), formula)
+        assert 0 in evaluate_nodes(cell([state_label("even")]), formula)
+        assert 0 not in evaluate_nodes(
+            cell([state_label("even"), state_label("odd")]), formula)
+
+    def test_some_state(self):
+        machine = parity_machine()
+        formula = some_state(machine)
+        assert 0 in evaluate_nodes(cell([state_label("qa")]), formula)
+        assert 0 not in evaluate_nodes(cell([symbol_label("0")]), formula)

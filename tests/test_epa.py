@@ -1,0 +1,174 @@
+"""Tests for extended path automata (§4): Lemmas 15, 16, 17."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    EPA,
+    FreshLabels,
+    LetNF,
+    NFEvaluator,
+    NormalFormError,
+    intersect_epas,
+    node_to_let_nf,
+    path_to_epa,
+)
+from repro.automata.epa import environment_size, nf_substitute_label
+from repro.automata.nf import NFAnd, NFLabel, NFNot, NFTop
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import random_tree
+from repro.xpath import parse_node, parse_path
+from repro.xpath.measures import size
+
+from .helpers import random_node, random_path
+
+STAR_CAP = frozenset({"star", "cap"})
+
+
+class TestLemma15:
+    def test_product_state_count(self):
+        first = path_to_epa(parse_path("down*"), FreshLabels())
+        second = path_to_epa(parse_path("down/down"), FreshLabels())
+        product = intersect_epas(first, second, FreshLabels())
+        assert product.num_states == first.num_states * second.num_states
+
+    def test_product_relation(self):
+        rng = random.Random(51)
+        pairs = [
+            ("down*", "down/down"),
+            ("down*[p]/down*", "down*[q]/down*"),
+            ("down/up", "right* union ."),
+        ]
+        fresh = FreshLabels()
+        for left_src, right_src in pairs:
+            left = path_to_epa(parse_path(left_src), fresh)
+            right = path_to_epa(parse_path(right_src), fresh)
+            product = intersect_epas(left, right, fresh)
+            expanded = product.expand()
+            direct = parse_path(f"({left_src}) intersect ({right_src})")
+            for _ in range(10):
+                tree = random_tree(rng, 7, ["p", "q"])
+                assert NFEvaluator(tree).relation(expanded) == \
+                    evaluate_path(tree, direct)
+
+
+class TestLemma16Paths:
+    @pytest.mark.parametrize("source", [
+        "down intersect down",
+        "down* intersect down/down",
+        "(down*[p]/down*) intersect (down*[q]/down*)",
+        "down*/up* intersect right*",
+        "((down/down) intersect down*) intersect (down[p]/down)",
+        "(down union right)* intersect down*",
+        "down[<down intersect right*>]",
+    ])
+    def test_translation_preserves_relation(self, source):
+        rng = random.Random(52)
+        path = parse_path(source)
+        epa = path_to_epa(path, FreshLabels())
+        expanded = epa.expand()
+        for _ in range(8):
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert NFEvaluator(tree).relation(expanded) == \
+                evaluate_path(tree, path), source
+
+    def test_random_star_cap_paths(self):
+        rng = random.Random(53)
+        for _ in range(25):
+            path = random_path(rng, 3, STAR_CAP)
+            epa = path_to_epa(path, FreshLabels())
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert NFEvaluator(tree).relation(epa.expand()) == \
+                evaluate_path(tree, path)
+
+    def test_state_bound_of_lemma16(self):
+        # |π|_S ≤ 2^|α| — very loose; check it holds on a nested family.
+        # (depth 3 takes minutes and ~40k states; the benchmark covers it.)
+        for depth in (1, 2):
+            from repro.succinctness import cap_tower
+            path = cap_tower(depth)
+            epa = path_to_epa(path, FreshLabels())
+            assert epa.num_states <= 2 ** size(path)
+
+    def test_outside_fragment_rejected(self):
+        with pytest.raises(NormalFormError):
+            path_to_epa(parse_path("down except up"), FreshLabels())
+
+
+class TestLemma16Nodes:
+    @pytest.mark.parametrize("source", [
+        "<down intersect down[p]>",
+        "not <(down*[p]) intersect (down*[q])>",
+        "<((down/down) intersect down*)[p]> and q",
+        "eq(down*, down/down)",
+    ])
+    def test_translation_preserves_nodes(self, source):
+        rng = random.Random(54)
+        node = parse_node(source)
+        letnf = node_to_let_nf(node, FreshLabels())
+        expanded = letnf.expand()
+        for _ in range(8):
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert NFEvaluator(tree).nodes(expanded) == \
+                evaluate_nodes(tree, node), source
+
+    def test_random_nodes(self):
+        rng = random.Random(55)
+        for _ in range(20):
+            node = random_node(rng, 2, STAR_CAP | frozenset({"eq"}))
+            letnf = node_to_let_nf(node, FreshLabels())
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert NFEvaluator(tree).nodes(letnf.expand()) == \
+                evaluate_nodes(tree, node)
+
+
+class TestLemma17BoundedDepth:
+    def test_bounded_depth_is_polynomial(self):
+        """Lemma 17: with intersection depth fixed, EPA sizes grow
+        polynomially — verified as: doubling the input length scales the
+        size by a bounded factor (no exponential doubling)."""
+        from repro.succinctness import cap_chain
+
+        sizes = {}
+        for length in (2, 4, 8):
+            epa = path_to_epa(cap_chain(length), FreshLabels())
+            sizes[length] = epa.size()
+        assert sizes[4] / sizes[2] < 4
+        assert sizes[8] / sizes[4] < 4  # linear, not exponential
+
+    def test_nested_depth_squares(self):
+        """Lemma 16's regime: each extra nesting level multiplies the state
+        count roughly by itself (the |π₁|_S · |π₂|_S product)."""
+        from repro.succinctness import cap_tower
+
+        states = [
+            path_to_epa(cap_tower(depth), FreshLabels()).num_states
+            for depth in (1, 2)
+        ]
+        assert states[1] > states[0] ** 2 / 4
+
+
+class TestEnvironments:
+    def test_substitution(self):
+        expr = NFAnd(NFLabel("a"), NFNot(NFLabel("b")))
+        out = nf_substitute_label(expr, "b", NFTop())
+        assert out == NFAnd(NFLabel("a"), NFNot(NFTop()))
+
+    def test_duplicate_binding_rejected(self):
+        letnf = LetNF(NFLabel("a"), (("a", NFTop()), ("a", NFTop())))
+        with pytest.raises(ValueError):
+            letnf.expand()
+
+    def test_forward_references_resolve(self):
+        # First binding's definition uses the second binding's label.
+        letnf = LetNF(
+            NFLabel("one"),
+            (("one", NFNot(NFLabel("two"))), ("two", NFTop())),
+        )
+        assert letnf.expand() == NFNot(NFTop())
+
+    def test_sizes(self):
+        letnf = LetNF(NFLabel("a"), (("a", NFAnd(NFTop(), NFTop())),))
+        assert environment_size(letnf.environment) == 4
+        assert letnf.size() == 5

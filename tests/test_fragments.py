@@ -1,0 +1,83 @@
+"""Tests for fragment descriptors CoreXPath_Y(X)."""
+
+import pytest
+
+from repro.xpath import Fragment, fragment_of, parse_node, parse_path
+from repro.xpath.ast import Axis
+from repro.xpath.fragments import (
+    CORE,
+    CORE_CAP,
+    CORE_EQ,
+    CORE_FOR,
+    CORE_MINUS,
+    CORE_STAR,
+    CORE_STAR_CAP,
+    CORE_STAR_EQ,
+    DOWNWARD,
+    DOWNWARD_CAP,
+    DOWNWARD_STAR_CAP,
+    FORWARD_CAP,
+    VERTICAL_CAP,
+)
+
+
+class TestAdmission:
+    def test_core_admits_basic(self):
+        assert CORE.admits(parse_path("down*/up[p and not q] union right"))
+
+    def test_core_rejects_extensions(self):
+        assert not CORE.admits(parse_path("down intersect up"))
+        assert not CORE.admits(parse_path("(down/down)*"))
+        assert not CORE.admits(parse_node("eq(down, up)"))
+
+    def test_axis_restriction(self):
+        assert DOWNWARD.admits(parse_path("down*/down[p]"))
+        assert not DOWNWARD.admits(parse_path("down/up"))
+        assert VERTICAL_CAP.admits(parse_path("down/up intersect down*"))
+        assert not VERTICAL_CAP.admits(parse_path("right"))
+        assert FORWARD_CAP.admits(parse_path("down/right intersect down"))
+        assert not FORWARD_CAP.admits(parse_path("left"))
+
+    def test_star_vs_axis_closure(self):
+        # τ* is plain CoreXPath; (α)* needs the star extension.
+        assert CORE.admits(parse_path("down*"))
+        assert not CORE.admits(parse_path("(down[p])*"))
+        assert CORE_STAR.admits(parse_path("(down[p])*"))
+
+    def test_for_fragment(self):
+        loop = parse_path("for $i in down return down[. is $i]")
+        assert CORE_FOR.admits(loop)
+        assert not CORE.admits(loop)
+
+    def test_violations_are_descriptive(self):
+        problems = DOWNWARD_CAP.violations(parse_path("up intersect (down)*"))
+        assert any("↑" in p for p in problems)
+        assert any("*" in p for p in problems)
+        assert DOWNWARD_CAP.violations(parse_path("down intersect down")) == []
+
+
+class TestStructure:
+    def test_inclusion_order(self):
+        assert CORE <= CORE_EQ <= CORE_STAR_EQ
+        assert CORE_CAP <= CORE_STAR_CAP
+        assert DOWNWARD_CAP <= DOWNWARD_STAR_CAP
+        assert not (CORE_MINUS <= CORE_CAP)
+        assert DOWNWARD <= CORE
+
+    def test_fragment_of_is_minimal(self):
+        expr = parse_path("down intersect down*")
+        frag = fragment_of(expr)
+        assert frag.axes == frozenset({Axis.DOWN})
+        assert frag.operators == frozenset({"cap"})
+        assert frag <= DOWNWARD_CAP
+
+    def test_names(self):
+        assert CORE.name == "CoreXPath()"
+        assert CORE_STAR_EQ.name == "CoreXPath(*, ≈)"
+        assert DOWNWARD_CAP.name == "CoreXPath↓(∩)"
+        assert FORWARD_CAP.name == "CoreXPath↓→(∩)"
+        assert str(VERTICAL_CAP) == "CoreXPath↓↑(∩)"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Fragment(operators=frozenset({"teleport"}))

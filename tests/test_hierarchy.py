@@ -1,0 +1,145 @@
+"""Figure 1 hierarchy: the constructive expressivity inclusions checked
+semantically, plus the paper's §2.2 running examples end-to-end."""
+
+import random
+
+import pytest
+
+from repro.automata import FreshLabels, node_to_let_nf
+from repro.automata.toexpr import letnf_to_expr
+from repro.edtd import book_edtd, random_conforming_tree
+from repro.lowerbounds import eliminate_complements
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_node, parse_path
+from repro.xpath.ast import Complement, Intersect, PathEquality, SomePath, Union
+from repro.xpath.measures import operators_used
+from repro.xpath.rewrite import (
+    complement_via_for,
+    eq_via_intersect,
+    intersect_via_complement,
+    union_via_complement,
+)
+
+
+class TestHierarchySteps:
+    """CoreXPath(≈) ≤ CoreXPath(∩) ≤ CoreXPath(−) ≤ CoreXPath(for)."""
+
+    def test_eq_to_cap_to_minus_to_for(self):
+        rng = random.Random(301)
+        eq_expr = parse_node("eq(down*[p], down/down)")
+
+        # ≈ expressed with ∩.
+        cap_expr = eq_via_intersect(eq_expr)
+        # The ∩ inside expressed with −.
+        inner = cap_expr.path
+        assert isinstance(inner, Intersect)
+        minus_expr = SomePath(intersect_via_complement(inner))
+        # Each − expressed with for.
+        for_expr = SomePath(eliminate_complements(minus_expr.path))
+
+        assert operators_used(cap_expr) == {"cap"}
+        assert operators_used(minus_expr) == {"minus"}
+        assert operators_used(for_expr) == {"for"}
+
+        for _ in range(25):
+            tree = random_tree(rng, 8, ["p", "q"])
+            reference = evaluate_nodes(tree, eq_expr)
+            assert evaluate_nodes(tree, cap_expr) == reference
+            assert evaluate_nodes(tree, minus_expr) == reference
+            assert evaluate_nodes(tree, for_expr) == reference
+
+    def test_star_cap_to_star_eq(self):
+        """CoreXPath(*, ∩) ≡ CoreXPath(*, ≈): the Theorem 34 pipeline."""
+        rng = random.Random(302)
+        original = parse_node("<(down union right)* intersect down*>")
+        translated = letnf_to_expr(node_to_let_nf(original, FreshLabels()))
+        assert "cap" not in operators_used(translated)
+        for _ in range(15):
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_nodes(tree, original) == \
+                evaluate_nodes(tree, translated)
+
+    def test_union_definable_from_complement(self):
+        rng = random.Random(303)
+        union = Union(parse_path("down[p]"), parse_path("right"))
+        via_minus = union_via_complement(union)
+        assert "cap" not in operators_used(via_minus)
+        for _ in range(20):
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert evaluate_path(tree, union) == evaluate_path(tree, via_minus)
+
+
+class TestPaperExamples:
+    """The §2.2 book examples, evaluated on schema-conforming documents."""
+
+    @pytest.fixture
+    def chapter_tree(self):
+        return XMLTree.build(("Book", [
+            ("Chapter", [
+                ("Section", ["Paragraph", "Image"]),          # image @ 4
+                ("Section", [("Section", ["Image"]), "Paragraph"]),  # image @ 7
+            ]),
+            ("Chapter", [("Section", ["Image", "Image"])]),   # images @ 11, 12
+        ]))
+
+    FIRST_IMAGE_EQ = (
+        "down*[Image and not eq((up*/(left+/down*))[Image], "
+        "up+[Chapter]/down+[Image])]"
+    )
+
+    def test_first_image_of_each_chapter_eq(self, chapter_tree):
+        # CoreXPath(≈): images with no preceding image in the same chapter.
+        expr = parse_path(self.FIRST_IMAGE_EQ)
+        got = evaluate_path(chapter_tree, expr).get(0, frozenset())
+        assert got == {4, 11}
+
+    def test_following_images_same_chapter_cap(self, chapter_tree):
+        # CoreXPath(∩): from the first Image, the following images within
+        # the same chapter.
+        expr = parse_path(
+            "(up*/(right+/down*))[Image] intersect up+[Chapter]/down+[Image]"
+        )
+        got = evaluate_path(chapter_tree, expr).get(4, frozenset())
+        assert got == {7}
+
+    def test_first_following_image_minus(self, chapter_tree):
+        # CoreXPath(−): the first following image in the same chapter.
+        following_image = "(up*/(right+/down*))[Image]"
+        same_chapter = "up+[Chapter]/down+[Image]"
+        expr = parse_path(
+            f"({following_image} intersect {same_chapter})"
+            f" except ({following_image}/{following_image})"
+        )
+        got = evaluate_path(chapter_tree, expr).get(4, frozenset())
+        assert got == {7}
+
+    def test_first_image_via_star(self, chapter_tree):
+        # CoreXPath(*): walk first-children, skipping image-less subtrees.
+        # The paper guards the sideways skip with ¬⟨↓⁺[Image]⟩; since images
+        # are leaves, that guard also lets the walk skip past an image it is
+        # standing on, picking up later siblings too.  ↓*[Image]
+        # (descendant-or-self) is the intended "subtree contains no image".
+        expr = parse_path(
+            "down[Chapter]/(down[not <left>] union "
+            ".[not <down*[Image]>]/right)*[Image]"
+        )
+        got = evaluate_path(chapter_tree, expr).get(0, frozenset())
+        assert got == {4, 11}
+
+    def test_examples_agree_on_random_documents(self):
+        rng = random.Random(304)
+        book = book_edtd()
+        eq_expr = parse_path(self.FIRST_IMAGE_EQ)
+        star_expr = parse_path(
+            "down[Chapter]/(down[not <left>] union "
+            ".[not <down*[Image]>]/right)*[Image]"
+        )
+        compared = 0
+        for _ in range(25):
+            tree = random_conforming_tree(book, rng, max_nodes=30)
+            got_eq = evaluate_path(tree, eq_expr).get(0, frozenset())
+            got_star = evaluate_path(tree, star_expr).get(0, frozenset())
+            assert got_eq == got_star, tree.to_spec()
+            compared += 1
+        assert compared == 25

@@ -1,0 +1,152 @@
+"""End-to-end integration scenarios across the whole pipeline."""
+
+import random
+
+import pytest
+
+from repro import (
+    DTD,
+    Verdict,
+    book_edtd,
+    contains,
+    equivalent,
+    evaluate_path,
+    parse_node,
+    parse_path,
+    satisfiable,
+)
+from repro.analysis import containment_to_node_unsat, node_satisfiable
+from repro.automata import accepts, build_twoata
+from repro.edtd import random_conforming_tree
+from repro.trees import from_xml
+
+
+class TestQueryOptimizationScenario:
+    """Redundancy elimination over a workload of queries (the Tajima–Fukui
+    motivation cited in Related Work)."""
+
+    WORKLOAD = [
+        "down[Chapter]/down[Section]",
+        "down/down[Section]",
+        "down[Chapter]/down",
+        "down/down",
+        "down*[Section] intersect down/down",
+    ]
+
+    def test_containment_matrix(self):
+        paths = [parse_path(src) for src in self.WORKLOAD]
+        matrix = {}
+        for i, alpha in enumerate(paths):
+            for j, beta in enumerate(paths):
+                if i != j:
+                    matrix[i, j] = contains(alpha, beta, max_nodes=4).contained
+        # Every query is contained in "down/down".
+        for i in range(len(paths)):
+            if i != 3:
+                assert matrix[i, 3], self.WORKLOAD[i]
+        # "down/down" is contained in none of the filtered ones.
+        assert not matrix[3, 0]
+
+    def test_redundant_union_member_detected(self):
+        general = parse_path("down/down")
+        specific = parse_path("down[Chapter]/down[Section]")
+        assert contains(specific, general, max_nodes=4).contained
+        # So "specific union general" is equivalent to "general".
+        union = specific | general
+        assert equivalent(union, general, max_nodes=4).contained
+
+
+class TestSchemaAwareAnalysis:
+    def test_schema_makes_query_unsatisfiable(self):
+        book = book_edtd()
+        # Paragraphs never have children under the schema.
+        phi = parse_node("Paragraph and <down>")
+        unrestricted = satisfiable(phi)
+        assert unrestricted  # fine without a schema
+        restricted = satisfiable(phi, edtd=book)
+        assert restricted.verdict is Verdict.UNSATISFIABLE
+        assert restricted.conclusive  # via the Figure 2 engine
+
+    def test_schema_containment_pipeline(self):
+        book = book_edtd()
+        # Only Chapters and Sections have Section children — a containment
+        # that holds under the schema but not in general.
+        alpha = parse_path("down[Section]")
+        beta = parse_path(".[Chapter or Section]/down")
+        with_schema = contains(alpha, beta, edtd=book)
+        assert with_schema.contained and with_schema.conclusive
+        without = contains(alpha, beta, max_nodes=4)
+        assert not without.contained
+
+    def test_witnesses_respect_schema(self):
+        book = book_edtd()
+        phi = parse_node("Section and <down[Image]>")
+        result = satisfiable(phi, edtd=book)
+        assert result and book.conforms(result.witness)
+
+
+class TestDocumentPipeline:
+    def test_xml_to_answer(self):
+        document = """
+        <Book>
+          <Chapter><Section><Paragraph/><Image/></Section></Chapter>
+          <Chapter><Section><Image/></Section></Chapter>
+        </Book>
+        """
+        tree = from_xml(document)
+        assert book_edtd().conforms(tree)
+        images = parse_path("down*[Image]")
+        relation = evaluate_path(tree, images)
+        assert len(relation[0]) == 2
+
+    def test_generated_corpus_statistics(self):
+        rng = random.Random(401)
+        book = book_edtd()
+        query = parse_path("down*[Section and not <down[Image]>]")
+        hits = 0
+        for _ in range(20):
+            tree = random_conforming_tree(book, rng, max_nodes=25)
+            hits += bool(evaluate_path(tree, query).get(0))
+        assert hits > 0  # the workload exercises the query
+
+
+class TestCrossEngineAgreement:
+    """The same question answered by three independent mechanisms."""
+
+    CASES = [
+        ("down[p]", "down", True),
+        ("down", "down[p]", False),
+        ("down/down intersect down*", "down/down", True),
+        ("down*[p] intersect down", "down[p]", True),
+        ("down[p]", "down[p] intersect down[q]", False),
+    ]
+
+    @pytest.mark.parametrize("alpha_src, beta_src, expected", CASES)
+    def test_three_way_agreement(self, alpha_src, beta_src, expected):
+        alpha, beta = parse_path(alpha_src), parse_path(beta_src)
+        # 1. Bounded counterexample search.
+        bounded = contains(alpha, beta, method="bounded", max_nodes=4)
+        assert bounded.contained == expected
+        # 2. Prop. 4 reduction + bounded node satisfiability.
+        reduction = containment_to_node_unsat(alpha, beta)
+        assert (not node_satisfiable(reduction.formula, max_nodes=4)) == expected
+        # 3. The auto dispatcher (Figure 2 engine where applicable).
+        auto = contains(alpha, beta)
+        assert auto.contained == expected
+
+    @pytest.mark.parametrize("source, expected", [
+        ("p and not p", False),
+        ("<down[p] intersect down*>", True),
+        ("eq(down, down[p]) and not <down[p]>", False),
+    ])
+    def test_sat_vs_twoata(self, source, expected):
+        """Bounded satisfiability agrees with 2ATA acceptance on the
+        witness (Lemma 12 in anger)."""
+        phi = parse_node(source)
+        result = node_satisfiable(phi, max_nodes=4)
+        assert bool(result) == expected
+        if expected:
+            from repro.xpath.fragments import CORE_STAR_EQ
+            if CORE_STAR_EQ.admits(phi):
+                ata = build_twoata(phi)
+                assert accepts(ata, result.witness)

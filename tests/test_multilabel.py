@@ -1,0 +1,92 @@
+"""Tests for multi-labeled trees and the Lemma 25 tree encoding."""
+
+import pytest
+
+from repro.semantics import evaluate_nodes, holds_at
+from repro.trees import MultiLabelTree, XMLTree, encode_multilabel_tree
+from repro.xpath import parse_node
+from repro.lowerbounds import encode_formula
+
+
+@pytest.fixture
+def sample():
+    return MultiLabelTree.build(
+        (["p", "q"], [
+            (["p"], []),
+            ([], [(["q", "r"], [])]),
+        ])
+    )
+
+
+class TestMultiLabelTree:
+    def test_labels(self, sample):
+        assert sample.labels(0) == {"p", "q"}
+        assert sample.has_label(1, "p")
+        assert not sample.has_label(2, "p")
+        assert sample.labels(3) == {"q", "r"}
+
+    def test_structure(self, sample):
+        assert sample.size == 4
+        assert sample.children(0) == (1, 2)
+        assert sample.parent(3) == 2
+
+    def test_alphabet(self, sample):
+        assert sample.alphabet() == {"p", "q", "r"}
+
+    def test_equality(self, sample):
+        other = MultiLabelTree.build(
+            (["q", "p"], [(["p"], []), ([], [(["r", "q"], [])])])
+        )
+        assert sample == other
+        assert hash(sample) == hash(other)
+
+    def test_labelset_count_checked(self):
+        skeleton = XMLTree(["", ""], [None, 0])
+        with pytest.raises(ValueError):
+            MultiLabelTree(skeleton, [{"p"}])
+
+    def test_evaluator_supports_multilabels(self, sample):
+        phi = parse_node("p and q")
+        assert evaluate_nodes(sample, phi) == {0}
+        both = parse_node("<down[p]> and <down*[r]>")
+        assert 0 in evaluate_nodes(sample, both)
+
+
+class TestLemma25Encoding:
+    def test_encoding_shape(self, sample):
+        encoded = encode_multilabel_tree(sample)
+        # One x node per original node plus one auxiliary leaf per label.
+        total_labels = sum(len(sample.labels(n)) for n in sample.nodes)
+        assert encoded.size == sample.size + total_labels
+        assert encoded.label(0) == "x"
+
+    def test_aux_nodes_are_trailing_leaves(self, sample):
+        encoded = encode_multilabel_tree(sample)
+        for node in encoded.nodes:
+            if encoded.label(node) != "x":
+                assert encoded.is_leaf(node)
+                sibling = encoded.next_sibling(node)
+                if sibling is not None:
+                    assert encoded.label(sibling) != "x"
+
+    def test_marker_collision_rejected(self):
+        tree = MultiLabelTree.build((["x"], []))
+        with pytest.raises(ValueError):
+            encode_multilabel_tree(tree)
+
+    @pytest.mark.parametrize("source", [
+        "p and q",
+        "<down[p]>",
+        "not <down*[r]>",
+        "<down[p] intersect down*[p]>",
+        "eq(down*[q], down/down)",
+    ])
+    def test_formula_encoding_agrees(self, sample, source):
+        phi = parse_node(source)
+        encoded_tree = encode_multilabel_tree(sample)
+        encoded_phi = encode_formula(phi)
+        assert holds_at(sample, phi, 0) == holds_at(encoded_tree, encoded_phi, 0)
+
+    def test_marker_in_formula_rejected(self):
+        with pytest.raises(ValueError):
+            encode_formula(parse_node("x"))

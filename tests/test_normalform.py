@@ -1,0 +1,193 @@
+"""Tests for the §3.1 normal form: path automata and the translation from
+CoreXPath(*, ≈), including skip elimination and Lemma 11."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    NFEvaluator,
+    NormalFormError,
+    PathAutomaton,
+    Step,
+    eliminate_skips,
+    loops_fixpoint,
+    nf_size,
+    path_to_automaton,
+    to_normal_form,
+)
+from repro.automata.nf import NFLabel, NFLoop, NFTop, nf_negate
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_node, parse_path
+
+from .helpers import random_node, random_path
+
+STAR_EQ = frozenset({"star", "eq"})
+
+
+class TestSteps:
+    def test_converse_pairs(self):
+        assert Step.FIRST_CHILD.converse is Step.PARENT_OF_FIRST
+        assert Step.RIGHT.converse is Step.LEFT
+        assert Step.LEFT.converse.converse is Step.LEFT
+
+    def test_step_semantics(self):
+        from repro.automata.evaluate import possible_steps, step_target
+        tree = XMLTree.build(("a", ["b", "c"]))
+        assert step_target(tree, 0, Step.FIRST_CHILD) == 1
+        assert step_target(tree, 1, Step.PARENT_OF_FIRST) == 0
+        assert step_target(tree, 2, Step.PARENT_OF_FIRST) is None  # not first
+        assert step_target(tree, 1, Step.RIGHT) == 2
+        assert possible_steps(tree, 0) == {Step.FIRST_CHILD}
+        assert possible_steps(tree, 1) == {Step.PARENT_OF_FIRST, Step.RIGHT}
+        assert possible_steps(tree, 2) == {Step.LEFT}
+
+
+class TestPathAutomatonTranslation:
+    @pytest.mark.parametrize("source", [
+        "down", "up", "left", "right", "down*", "up*", "left*", "right*",
+        ".", "down/up", "down[p]", "down* union right",
+        "(down[p] union right)*", "down[p and <right>]/up*",
+    ])
+    def test_relation_matches_direct_semantics(self, source):
+        rng = random.Random(31)
+        path = parse_path(source)
+        automaton = path_to_automaton(path)
+        squeezed = eliminate_skips(automaton)
+        for _ in range(12):
+            tree = random_tree(rng, 8, ["p", "q"])
+            evaluator = NFEvaluator(tree)
+            direct = evaluate_path(tree, path)
+            assert evaluator.relation(automaton) == direct, source
+            assert evaluator.relation(squeezed) == direct, source
+
+    def test_random_star_eq_paths(self):
+        rng = random.Random(32)
+        for _ in range(40):
+            path = random_path(rng, 3, STAR_EQ)
+            automaton = eliminate_skips(path_to_automaton(path))
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert NFEvaluator(tree).relation(automaton) == \
+                evaluate_path(tree, path)
+
+    def test_outside_fragment_rejected(self):
+        with pytest.raises(NormalFormError):
+            path_to_automaton(parse_path("down intersect up"))
+        with pytest.raises(NormalFormError):
+            path_to_automaton(parse_path("down except up"))
+
+    def test_skip_elimination_shrinks(self):
+        automaton = path_to_automaton(parse_path("down*[p]/up*"))
+        squeezed = eliminate_skips(automaton)
+        assert squeezed.num_states < automaton.num_states
+
+
+class TestNodeTranslation:
+    @pytest.mark.parametrize("source", [
+        "p", "true", "not p", "p and q", "<down[p]>",
+        "eq(down*, down/down)", "eq(down*[p]/up, .)",
+        "not <(down[p])*/right>",
+    ])
+    def test_nodes_match_direct_semantics(self, source):
+        rng = random.Random(33)
+        node = parse_node(source)
+        nf = to_normal_form(node)
+        for _ in range(12):
+            tree = random_tree(rng, 8, ["p", "q"])
+            assert NFEvaluator(tree).nodes(nf) == evaluate_nodes(tree, node)
+
+    def test_random_nodes(self):
+        rng = random.Random(34)
+        for _ in range(40):
+            node = random_node(rng, 3, STAR_EQ)
+            nf = to_normal_form(node)
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert NFEvaluator(tree).nodes(nf) == evaluate_nodes(tree, node)
+
+    def test_translation_is_linear_in_size(self):
+        # |nf(φ)| stays within a fixed multiple of |φ| across a family.
+        from repro.xpath.measures import size as xsize
+        ratios = []
+        for n in range(1, 7):
+            inner = "/".join(["down"] * n)
+            node = parse_node(f"eq({inner}, down*)")
+            ratios.append(nf_size(to_normal_form(node)) / xsize(node))
+        assert max(ratios) <= 12  # linear: bounded ratio
+
+    def test_outside_fragment_rejected(self):
+        with pytest.raises(NormalFormError):
+            to_normal_form(parse_node("<down except up>"))
+
+
+class TestAutomatonOperations:
+    def test_shift(self):
+        automaton = path_to_automaton(parse_path("down"))
+        shifted = automaton.shift(automaton.final, automaton.initial)
+        assert shifted.initial == automaton.final
+        assert shifted.transitions == automaton.transitions
+
+    def test_reversed_is_converse(self):
+        rng = random.Random(35)
+        for source in ["down/right", "down*[p]", "(down union right)*"]:
+            automaton = eliminate_skips(path_to_automaton(parse_path(source)))
+            reverse = automaton.reversed()
+            for _ in range(8):
+                tree = random_tree(rng, 7, ["p", "q"])
+                evaluator = NFEvaluator(tree)
+                fwd = {
+                    (a, b)
+                    for a, bs in evaluator.relation(automaton).items()
+                    for b in bs
+                }
+                bwd = {
+                    (a, b)
+                    for a, bs in evaluator.relation(reverse).items()
+                    for b in bs
+                }
+                assert bwd == {(b, a) for (a, b) in fwd}
+
+    def test_size_measure(self):
+        automaton = PathAutomaton(
+            2, frozenset({(0, NFLabel("p"), 1), (0, Step.RIGHT, 1)}), 0, 1
+        )
+        assert automaton.size() == 3  # 2 states + |p| = 1
+
+    def test_negate(self):
+        assert nf_negate(nf_negate(NFTop())) == NFTop()
+
+    def test_invalid_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            PathAutomaton(1, frozenset({(0, Step.RIGHT, 5)}), 0, 0)
+        with pytest.raises(TypeError):
+            PathAutomaton(1, frozenset({(0, "bogus", 0)}), 0, 0)
+
+
+class TestLemma11:
+    """LOOPS fixpoint characterization vs product reachability."""
+
+    @pytest.mark.parametrize("source", [
+        "down*", "down[p]/up", "(down union right)*/up*",
+        "down*[p]/up*",
+    ])
+    def test_fixpoint_matches_reachability(self, source):
+        rng = random.Random(36)
+        automaton = eliminate_skips(path_to_automaton(parse_path(source)))
+        for _ in range(6):
+            tree = random_tree(rng, 6, ["p", "q"])
+            evaluator = NFEvaluator(tree)
+            loops = loops_fixpoint(tree, automaton, evaluator)
+            for node in tree.nodes:
+                for q in range(automaton.num_states):
+                    for q2 in range(automaton.num_states):
+                        expected = node in evaluator.loop_nodes(
+                            automaton.shift(q, q2))
+                        assert ((node, q, q2) in loops) == expected
+
+    def test_reflexive_base_case(self):
+        automaton = eliminate_skips(path_to_automaton(parse_path("down")))
+        tree = XMLTree.build(("a", ["b"]))
+        loops = loops_fixpoint(tree, automaton)
+        for node in tree.nodes:
+            for q in range(automaton.num_states):
+                assert (node, q, q) in loops

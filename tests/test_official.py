@@ -1,0 +1,54 @@
+"""Tests for the official-XPath-syntax printer."""
+
+import pytest
+
+from repro.xpath import parse_node, parse_path
+from repro.xpath.official import to_official
+
+
+class TestPaths:
+    @pytest.mark.parametrize("source, expected", [
+        ("down", "child::*"),
+        ("up", "parent::*"),
+        ("down*", "descendant-or-self::*"),
+        ("up*", "ancestor-or-self::*"),
+        ("right", "following-sibling::*[1]"),
+        (".", "."),
+        ("down/down", "child::*/child::*"),
+        ("down union up", "child::* | parent::*"),
+        ("down intersect up", "child::* intersect parent::*"),
+        ("down except up", "child::* except parent::*"),
+        ("down[p]", "child::*[self::p]"),
+    ])
+    def test_rendering(self, source, expected):
+        assert to_official(parse_path(source)) == expected
+
+    def test_closure_annotated(self):
+        rendered = to_official(parse_path("(down[p])*"))
+        assert "(: closure :)" in rendered
+
+    def test_for_loop(self):
+        rendered = to_official(
+            parse_path("for $i in down return down[. is $i]"))
+        assert rendered.startswith("for $i in child::*")
+        assert ". is $i" in rendered
+
+
+class TestNodes:
+    @pytest.mark.parametrize("source, expected", [
+        ("true", "true()"),
+        ("false", "false()"),
+        ("not p", "not(self::p)"),
+        ("p and q", "self::p and self::q"),
+        ("<down>", "child::*"),
+    ])
+    def test_rendering(self, source, expected):
+        assert to_official(parse_node(source)) == expected
+
+    def test_path_equality_as_exists_intersect(self):
+        rendered = to_official(parse_node("eq(down, up)"))
+        assert rendered == "exists((child::*) intersect (parent::*))"
+
+    def test_awkward_label(self):
+        rendered = to_official(parse_node("'weird label'"))
+        assert "name() = 'weird label'" in rendered

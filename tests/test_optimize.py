@@ -1,0 +1,95 @@
+"""Tests for the workload optimizer (containment graph, covers, unions)."""
+
+import pytest
+
+from repro.analysis.optimize import (
+    containment_graph,
+    equivalence_classes,
+    minimal_cover,
+    simplify_union,
+)
+from repro.semantics import evaluate_path
+from repro.trees import random_tree
+from repro.xpath import parse_path, to_source
+
+
+WORKLOAD = [
+    "down[p]",            # 0: strictly inside 2
+    "down[p] union down[q]",  # 1
+    "down",               # 2: the top element
+    "down/.",             # 3: equivalent to 2
+    "down[q]",            # 4: strictly inside 1 and 2
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return containment_graph([parse_path(src) for src in WORKLOAD],
+                             method="bounded", max_nodes=4)
+
+
+class TestContainmentGraph:
+    def test_reflexive(self, graph):
+        for i in range(len(WORKLOAD)):
+            assert i in graph.edges[i]
+
+    def test_expected_edges(self, graph):
+        assert 2 in graph.edges[0]       # down[p] ⊑ down
+        assert 1 in graph.edges[0]       # down[p] ⊑ down[p] ∪ down[q]
+        assert 0 not in graph.edges[2]   # down ⋢ down[p]
+        assert 2 in graph.edges[3] and 3 in graph.edges[2]  # equivalent
+
+    def test_equivalent_pairs(self, graph):
+        assert (2, 3) in graph.equivalent_pairs()
+
+
+class TestEquivalenceClasses:
+    def test_partition(self, graph):
+        classes = equivalence_classes(graph)
+        flat = sorted(i for cls in classes for i in cls)
+        assert flat == list(range(len(WORKLOAD)))
+
+    def test_down_class(self, graph):
+        classes = equivalence_classes(graph)
+        assert [2, 3] in classes
+
+
+class TestMinimalCover:
+    def test_cover_is_the_maximal_queries(self, graph):
+        cover = minimal_cover(graph)
+        # `down` (index 2) subsumes everything else in this workload.
+        assert cover == [2]
+
+    def test_incomparable_queries_all_kept(self):
+        graph = containment_graph(
+            [parse_path("down[p]"), parse_path("down[q]"),
+             parse_path("up")],
+            method="bounded", max_nodes=4,
+        )
+        assert minimal_cover(graph) == [0, 1, 2]
+
+
+class TestSimplifyUnion:
+    def test_redundant_member_dropped(self):
+        query = parse_path("down[p] union down")
+        simplified = simplify_union(query, method="bounded", max_nodes=4)
+        assert to_source(simplified) == "down"
+
+    def test_irredundant_union_unchanged(self):
+        query = parse_path("down[p] union up")
+        simplified = simplify_union(query, method="bounded", max_nodes=4)
+        assert simplified == query
+
+    def test_simplification_is_equivalent(self):
+        import random
+        rng = random.Random(717)
+        query = parse_path("down[p] union down union down/.")
+        simplified = simplify_union(query, method="bounded", max_nodes=4)
+        for _ in range(15):
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert evaluate_path(tree, query) == \
+                evaluate_path(tree, simplified)
+
+    def test_non_union_passthrough(self):
+        query = parse_path("down[p]")
+        assert simplify_union(query) is query

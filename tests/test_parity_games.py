@@ -1,0 +1,104 @@
+"""Tests for the parity-game substrate (backs 2ATA acceptance)."""
+
+import random
+
+import pytest
+
+from repro.games import ParityGame, solve_cobuchi, solve_parity
+
+
+def game(owner, priority, moves):
+    return ParityGame(dict(owner), dict(priority), dict(moves))
+
+
+class TestValidation:
+    def test_dead_end_rejected(self):
+        with pytest.raises(ValueError):
+            game({0: 0}, {0: 2}, {0: ()})
+
+    def test_escaping_move_rejected(self):
+        with pytest.raises(ValueError):
+            game({0: 0}, {0: 2}, {0: (1,)})
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParityGame({0: 0}, {0: 2, 1: 2}, {0: (0,)})
+
+
+class TestKnownGames:
+    def test_even_self_loop_wins_for_eve(self):
+        g = game({0: 0}, {0: 2}, {0: (0,)})
+        win_eve, win_adam = solve_parity(g)
+        assert win_eve == {0} and win_adam == set()
+
+    def test_odd_self_loop_wins_for_adam(self):
+        g = game({0: 0}, {0: 1}, {0: (0,)})
+        win_eve, win_adam = solve_parity(g)
+        assert win_adam == {0}
+
+    def test_eve_chooses_the_good_loop(self):
+        # Eve at 0 picks between an odd loop (1) and an even loop (2).
+        g = game({0: 0, 1: 1, 2: 1}, {0: 2, 1: 1, 2: 2},
+                 {0: (1, 2), 1: (1,), 2: (2,)})
+        win_eve, _ = solve_parity(g)
+        assert 0 in win_eve and 2 in win_eve and 1 not in win_eve
+
+    def test_adam_chooses_the_bad_loop(self):
+        g = game({0: 1, 1: 1, 2: 1}, {0: 2, 1: 1, 2: 2},
+                 {0: (1, 2), 1: (1,), 2: (2,)})
+        _, win_adam = solve_parity(g)
+        assert 0 in win_adam
+
+    def test_min_parity_convention(self):
+        # A cycle visiting priorities {1, 2} infinitely: min = 1 → Adam wins.
+        g = game({0: 0, 1: 0}, {0: 1, 1: 2}, {0: (1,), 1: (0,)})
+        _, win_adam = solve_parity(g)
+        assert win_adam == {0, 1}
+
+    def test_priority_zero_beats_one(self):
+        g = game({0: 0, 1: 0}, {0: 1, 1: 0}, {0: (1,), 1: (0,)})
+        win_eve, _ = solve_parity(g)
+        assert win_eve == {0, 1}
+
+    def test_three_priorities(self):
+        # Eve can force through priority-0 position infinitely often.
+        g = game({0: 0, 1: 1, 2: 0},
+                 {0: 0, 1: 1, 2: 2},
+                 {0: (1,), 1: (0, 2), 2: (0,)})
+        win_eve, _ = solve_parity(g)
+        # Every play cycles through 0 infinitely (all moves funnel back).
+        assert win_eve == {0, 1, 2}
+
+
+class TestCrossValidation:
+    def test_zielonka_matches_cobuchi_on_random_games(self):
+        rng = random.Random(99)
+        for _ in range(400):
+            n = rng.randint(1, 9)
+            owner = {v: rng.randint(0, 1) for v in range(n)}
+            priority = {v: rng.randint(1, 2) for v in range(n)}
+            moves = {
+                v: tuple(rng.sample(range(n), rng.randint(1, n)))
+                for v in range(n)
+            }
+            g = game(owner, priority, moves)
+            assert solve_parity(g) == solve_cobuchi(g)
+
+    def test_partition(self):
+        rng = random.Random(100)
+        for _ in range(100):
+            n = rng.randint(1, 8)
+            g = game(
+                {v: rng.randint(0, 1) for v in range(n)},
+                {v: rng.randint(0, 3) for v in range(n)},
+                {v: tuple(rng.sample(range(n), rng.randint(1, n)))
+                 for v in range(n)},
+            )
+            win_eve, win_adam = solve_parity(g)
+            assert win_eve | win_adam == set(range(n))
+            assert not (win_eve & win_adam)
+
+    def test_cobuchi_rejects_other_priorities(self):
+        g = game({0: 0}, {0: 3}, {0: (0,)})
+        with pytest.raises(ValueError):
+            solve_cobuchi(g)

@@ -1,0 +1,47 @@
+"""Tests for the result types of the static-analysis problems (§2.3)."""
+
+from repro.analysis import ContainmentResult, SatResult, Verdict
+from repro.trees import XMLTree
+
+
+class TestSatResult:
+    def test_truthiness(self):
+        tree = XMLTree(["p"], [None])
+        assert SatResult(Verdict.SATISFIABLE, tree, 0)
+        assert not SatResult(Verdict.UNSATISFIABLE)
+        assert not SatResult(Verdict.NO_WITNESS_WITHIN_BOUND)
+
+    def test_conclusiveness(self):
+        assert SatResult(Verdict.UNSATISFIABLE).conclusive
+        assert SatResult(Verdict.SATISFIABLE, XMLTree(["p"], [None]), 0).conclusive
+        assert not SatResult(Verdict.NO_WITNESS_WITHIN_BOUND).conclusive
+
+    def test_defaults(self):
+        result = SatResult(Verdict.UNSATISFIABLE)
+        assert result.witness is None
+        assert result.witness_node is None
+        assert result.trees_checked == 0
+
+
+class TestContainmentResult:
+    def test_contained_semantics(self):
+        tree = XMLTree(["p"], [None])
+        refuted = ContainmentResult(Verdict.SATISFIABLE, tree, (0, 0))
+        assert not refuted.contained
+        assert not refuted
+        assert refuted.conclusive
+
+        proven = ContainmentResult(Verdict.UNSATISFIABLE)
+        assert proven.contained and proven and proven.conclusive
+
+        bounded = ContainmentResult(Verdict.NO_WITNESS_WITHIN_BOUND)
+        assert bounded.contained  # "held as far as we looked"
+        assert not bounded.conclusive
+
+    def test_counterexample_carried(self):
+        tree = XMLTree.build(("a", ["b"]))
+        result = ContainmentResult(Verdict.SATISFIABLE, tree, (0, 1),
+                                   explored_up_to=2, trees_checked=7)
+        assert result.counterexample is tree
+        assert result.counterexample_pair == (0, 1)
+        assert result.trees_checked == 7

@@ -1,0 +1,174 @@
+"""Hypothesis property-based tests pinning the paper's core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.automata import (
+    FreshLabels,
+    NFEvaluator,
+    eliminate_skips,
+    path_to_automaton,
+    path_to_epa,
+    to_normal_form,
+)
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import XMLTree
+from repro.xpath import parse_node, to_source, parse_path
+from repro.xpath.ast import Axis
+from repro.xpath.measures import size
+from repro.xpath.rewrite import converse
+
+from .helpers import random_node, random_path
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# --------------------------------------------------------------- strategies
+
+labels = st.sampled_from(["p", "q"])
+
+
+@st.composite
+def trees(draw, max_nodes=7):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    from repro.trees import random_tree
+    return random_tree(random.Random(seed), max_nodes, ["p", "q"])
+
+
+@st.composite
+def paths(draw, operators=frozenset()):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    return random_path(random.Random(seed), 3, operators)
+
+
+@st.composite
+def nodes(draw, operators=frozenset()):
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    return random_node(random.Random(seed), 3, operators)
+
+
+# --------------------------------------------------------------- properties
+
+
+@SETTINGS
+@given(paths(frozenset({"star", "cap", "minus"})), trees())
+def test_printer_parser_roundtrip(path, tree):
+    assert parse_path(to_source(path)) == path
+
+
+@SETTINGS
+@given(nodes(frozenset({"eq"})))
+def test_node_roundtrip(node):
+    assert parse_node(to_source(node)) == node
+
+
+@SETTINGS
+@given(paths(frozenset({"star", "cap"})), trees())
+def test_converse_inverts(path, tree):
+    fwd = evaluate_path(tree, path)
+    bwd = evaluate_path(tree, converse(path))
+    fwd_pairs = {(a, b) for a, bs in fwd.items() for b in bs}
+    bwd_pairs = {(a, b) for a, bs in bwd.items() for b in bs}
+    assert bwd_pairs == {(b, a) for (a, b) in fwd_pairs}
+
+
+@SETTINGS
+@given(paths(frozenset({"star"})), trees())
+def test_normal_form_preserves_relation(path, tree):
+    automaton = eliminate_skips(path_to_automaton(path))
+    assert NFEvaluator(tree).relation(automaton) == evaluate_path(tree, path)
+
+
+@SETTINGS
+@given(nodes(frozenset({"eq"})), trees())
+def test_normal_form_preserves_nodes(node, tree):
+    nf = to_normal_form(node)
+    assert NFEvaluator(tree).nodes(nf) == evaluate_nodes(tree, node)
+
+
+@SETTINGS
+@given(paths(frozenset({"cap"})), trees())
+def test_epa_translation_preserves_relation(path, tree):
+    epa = path_to_epa(path, FreshLabels())
+    assert NFEvaluator(tree).relation(epa.expand()) == \
+        evaluate_path(tree, path)
+
+
+@SETTINGS
+@given(paths(frozenset({"star", "cap", "minus"})))
+def test_size_positive_and_subexpressions_consistent(path):
+    from repro.xpath.measures import subexpressions
+    assert size(path) >= 1
+    assert size(path) == sum(
+        1 for _ in _syntax_nodes(path)
+    )
+
+
+def _syntax_nodes(expr):
+    """Count syntax-tree nodes independently of measures.size."""
+    from repro.xpath.ast import (
+        And, AxisClosure, AxisStep, Complement, Filter, ForLoop, Intersect,
+        Label, Not, PathEquality, Self, Seq, SomePath, Star, Top, Union, VarIs,
+    )
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        yield e
+        if isinstance(e, (Seq, Union, Intersect, Complement, And, PathEquality)):
+            stack += [e.left, e.right]
+        elif isinstance(e, Filter):
+            stack += [e.path, e.predicate]
+        elif isinstance(e, (Star, SomePath)):
+            stack.append(e.path)
+        elif isinstance(e, Not):
+            stack.append(e.child)
+        elif isinstance(e, ForLoop):
+            stack += [e.source, e.body]
+
+
+@SETTINGS
+@given(trees(), paths(frozenset({"star"})))
+def test_star_is_reflexive_and_transitive(tree, path):
+    from repro.xpath.ast import Star
+    closure = evaluate_path(tree, Star(path))
+    for n in tree.nodes:
+        assert n in closure.get(n, frozenset())
+    pairs = {(a, b) for a, bs in closure.items() for b in bs}
+    for (a, b) in pairs:
+        for (c, d) in pairs:
+            if b == c:
+                assert (a, d) in pairs
+
+
+@SETTINGS
+@given(trees(), paths(), paths())
+def test_intersection_is_semantic_meet(tree, left, right):
+    from repro.xpath.ast import Intersect
+    both = evaluate_path(tree, Intersect(left, right))
+    l_rel = evaluate_path(tree, left)
+    r_rel = evaluate_path(tree, right)
+    for n in tree.nodes:
+        assert both.get(n, frozenset()) == \
+            l_rel.get(n, frozenset()) & r_rel.get(n, frozenset())
+
+
+@SETTINGS
+@given(trees(), nodes())
+def test_negation_partitions(tree, node):
+    from repro.xpath.ast import Not
+    pos = evaluate_nodes(tree, node)
+    neg = evaluate_nodes(tree, Not(node))
+    assert pos | neg == frozenset(tree.nodes)
+    assert not (pos & neg)
+
+
+@SETTINGS
+@given(st.lists(labels, min_size=1, max_size=8))
+def test_serialization_roundtrip_words(word):
+    from repro.trees import from_xml, to_xml
+    tree = XMLTree.chain(word)
+    assert from_xml(to_xml(tree)) == tree

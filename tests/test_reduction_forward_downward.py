@@ -1,0 +1,119 @@
+"""Tests for the §6.3 (forward) and §6.4 (downward) hardness reductions."""
+
+import pytest
+
+from repro.lowerbounds import (
+    all_ones_machine,
+    downward_reduction,
+    encode_strategy_tree_downward,
+    encode_strategy_tree_forward,
+    first_symbol_machine,
+    forward_reduction,
+    parity_machine,
+)
+from repro.semantics import holds_at
+from repro.xpath.ast import Axis
+from repro.xpath.measures import axes_used, operators_used, size
+
+
+class TestForwardReduction:
+    def test_fragment_is_forward_cap(self):
+        red = forward_reduction(parity_machine(), "00")
+        assert axes_used(red.formula) <= {Axis.DOWN, Axis.RIGHT}
+        assert operators_used(red.formula) == {"cap"}
+
+    @pytest.mark.parametrize("machine, words", [
+        (first_symbol_machine(), ["a", "b"]),
+        (parity_machine(), ["0", "1"]),
+        (all_ones_machine(), ["1", "0"]),
+    ])
+    def test_formula_holds_iff_accepts(self, machine, words):
+        for word in words:
+            red = forward_reduction(machine, word)
+            tree = encode_strategy_tree_forward(machine, word)
+            accepts = machine.accepts(word, 2 ** len(word))
+            assert holds_at(tree, red.formula, 0) == accepts, word
+
+    def test_rejection_pinned_on_acc(self):
+        machine = all_ones_machine()
+        red = forward_reduction(machine, "0")
+        tree = encode_strategy_tree_forward(machine, "0")
+        verdicts = {name: holds_at(tree, c, 0) for name, c in red.conjuncts.items()}
+        assert verdicts.pop("acc") is False
+        assert all(verdicts.values()), verdicts
+
+    def test_configurations_are_sibling_runs(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree_forward(machine, "a")
+        root_children = tree.children(0)
+        # 2 cells first, then successor configuration roots (r-marked).
+        assert not tree.has_label(root_children[0], "r")
+        assert not tree.has_label(root_children[1], "r")
+        assert all(tree.has_label(c, "r") for c in root_children[2:])
+
+    def test_markers_present_in_successors(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree_forward(machine, "a")
+        markers = [
+            n for n in tree.nodes
+            if any(label.startswith("m:") for label in tree.labels(n))
+        ]
+        assert markers  # every non-initial configuration carries one
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            forward_reduction(parity_machine(), "")
+
+
+class TestDownwardReduction:
+    def test_fragment_is_downward_cap(self):
+        red = downward_reduction(parity_machine(), "10")
+        assert axes_used(red.formula) <= {Axis.DOWN}
+        assert operators_used(red.formula) == {"cap"}
+
+    @pytest.mark.parametrize("machine, words", [
+        (first_symbol_machine(), ["a", "b"]),
+        (parity_machine(), ["10", "11"]),
+        (all_ones_machine(), ["11", "10"]),
+    ])
+    def test_formula_holds_iff_accepts(self, machine, words):
+        for word in words:
+            red = downward_reduction(machine, word)
+            tree = encode_strategy_tree_downward(machine, word)
+            accepts = machine.accepts(word, 2 ** len(word))
+            assert holds_at(tree, red.formula, 0) == accepts, word
+
+    def test_two_counters_on_cells(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree_downward(machine, "a")
+        # k=1: chains of 2 configs × 2 cells; root has C=0, D=0 (no bits).
+        assert not tree.has_label(0, "c0")
+        assert not tree.has_label(0, "d0")
+        # Some node carries both bits set (C=1 within D=1).
+        assert any(
+            tree.has_label(n, "c0") and tree.has_label(n, "d0")
+            for n in tree.nodes
+        )
+
+    def test_chains_padded_to_full_length(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree_downward(machine, "a")
+        # Each branch has exactly 2^k · 2^k = 4 cells (k = 1).
+        leaves = [n for n in tree.nodes if tree.skeleton.is_leaf(n)]
+        for leaf in leaves:
+            depth = tree.skeleton.depth(leaf)
+            assert depth == 3  # 4 cells per chain → depth 3
+
+    def test_conjunct_breakdown_on_reject(self):
+        machine = parity_machine()
+        red = downward_reduction(machine, "10")
+        tree = encode_strategy_tree_downward(machine, "10")
+        verdicts = {name: holds_at(tree, c, 0) for name, c in red.conjuncts.items()}
+        assert verdicts.pop("acc") is False
+        assert all(verdicts.values()), verdicts
+
+    def test_size_growth(self):
+        machine = parity_machine()
+        s1 = size(downward_reduction(machine, "1").formula)
+        s2 = size(downward_reduction(machine, "11").formula)
+        assert s2 > s1  # counters add per-bit conjuncts

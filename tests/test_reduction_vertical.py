@@ -1,0 +1,130 @@
+"""Tests for the §6.2 reduction (CoreXPath↓↑(∩) 2-EXPTIME-hardness)."""
+
+import pytest
+
+from repro.lowerbounds import (
+    all_ones_machine,
+    encode_strategy_tree,
+    first_symbol_machine,
+    parity_machine,
+    vertical_reduction,
+)
+from repro.semantics import holds_at
+from repro.xpath.ast import Axis
+from repro.xpath.fragments import Fragment
+from repro.xpath.measures import axes_used, operators_used, size
+
+MACHINES = [
+    (first_symbol_machine(), ["a", "b"]),
+    (parity_machine(), ["0", "1"]),
+    (all_ones_machine(), ["1", "0"]),
+]
+
+
+class TestFormulaShape:
+    def test_fragment_is_vertical_cap(self):
+        # k = 2 so the per-bit intersections are real (k = 1 collapses
+        # single-element intersections to their sole member).
+        red = vertical_reduction(parity_machine(), "00")
+        assert axes_used(red.formula) <= {Axis.DOWN, Axis.UP}
+        assert operators_used(red.formula) == {"cap"}
+
+    def test_size_polynomial_in_word_length(self):
+        machine = parity_machine()
+        sizes = [size(vertical_reduction(machine, "0" * k).formula)
+                 for k in (1, 2, 3)]
+        # Polynomial: successive growth factors are bounded.
+        assert sizes[2] / sizes[1] < sizes[1] / sizes[0] + 2
+
+    def test_conjuncts_exposed(self):
+        red = vertical_reduction(parity_machine(), "0")
+        assert set(red.conjuncts) == {
+            "conf", "uni", "tape", "head", "id", "delta", "acc",
+        }
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            vertical_reduction(parity_machine(), "")
+
+
+class TestEncodingCorrectness:
+    @pytest.mark.parametrize("machine, words", MACHINES)
+    def test_formula_holds_iff_machine_accepts(self, machine, words):
+        for word in words:
+            red = vertical_reduction(machine, word)
+            tree = encode_strategy_tree(machine, word)
+            accepts = machine.accepts(word, 2 ** len(word))
+            assert holds_at(tree, red.formula, 0) == accepts, word
+
+    def test_rejecting_run_fails_exactly_acc(self):
+        machine = parity_machine()
+        red = vertical_reduction(machine, "1")  # odd number of 1s: reject
+        tree = encode_strategy_tree(machine, "1")
+        verdicts = {
+            name: holds_at(tree, conjunct, 0)
+            for name, conjunct in red.conjuncts.items()
+        }
+        assert verdicts["acc"] is False
+        del verdicts["acc"]
+        assert all(verdicts.values()), verdicts
+
+    def test_encoding_structure(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree(machine, "a")
+        # Global root unlabeled; r-nodes mark configuration roots.
+        assert not tree.labels(0)
+        r_nodes = [n for n in tree.nodes if tree.has_label(n, "r")]
+        assert len(r_nodes) == 2  # initial config + one successor
+
+    def test_cells_carry_counter_bits(self):
+        machine = first_symbol_machine()
+        tree = encode_strategy_tree(machine, "a")
+        # With k=1 each config has 2 cells: bit values 0 and 1.
+        cells = [
+            n for n in tree.nodes
+            if any(tree.has_label(n, f"sym:{s}")
+                   for s in machine.work_alphabet)
+        ]
+        assert len(cells) == 4  # 2 configs × 2 cells
+        with_bit = [n for n in cells if tree.has_label(n, "c0")]
+        assert len(with_bit) == 2
+
+
+class TestPerturbations:
+    """Mutating the encoded model must break the matching conjunct."""
+
+    def _mutate(self, tree, node, add=(), remove=()):
+        from repro.trees import MultiLabelTree
+        labelsets = [set(tree.labels(n)) for n in tree.nodes]
+        labelsets[node] |= set(add)
+        labelsets[node] -= set(remove)
+        return MultiLabelTree(tree.skeleton, labelsets)
+
+    def test_two_symbols_break_tape(self):
+        machine = first_symbol_machine()
+        red = vertical_reduction(machine, "a")
+        tree = encode_strategy_tree(machine, "a")
+        cell = next(n for n in tree.nodes if tree.has_label(n, "sym:a"))
+        broken = self._mutate(tree, cell, add=["sym:b"])
+        assert not holds_at(broken, red.conjuncts["tape"], 0)
+
+    def test_foreign_symbol_breaks_uniformity_or_tape(self):
+        machine = first_symbol_machine()
+        red = vertical_reduction(machine, "a")
+        tree = encode_strategy_tree(machine, "a")
+        cell = next(n for n in tree.nodes if tree.has_label(n, "sym:a"))
+        broken = self._mutate(tree, cell, remove=["sym:a"], add=["sym:b"])
+        assert not holds_at(broken, red.formula, 0)
+
+    def test_second_head_breaks_head_conjunct(self):
+        machine = first_symbol_machine()
+        red = vertical_reduction(machine, "a")
+        tree = encode_strategy_tree(machine, "a")
+        # Find a cell of the initial configuration without a state mark.
+        cells = [
+            n for n in tree.nodes
+            if any(tree.has_label(n, f"sym:{s}") for s in machine.work_alphabet)
+            and not any(tree.has_label(n, f"q:{q}") for q in machine.states)
+        ]
+        broken = self._mutate(tree, cells[0], add=["q:q0"])
+        assert not holds_at(broken, red.formula, 0)

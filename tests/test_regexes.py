@@ -1,0 +1,220 @@
+"""Tests for the regular-expression substrate: AST, parser, NFA, DFA."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.regexes import (
+    Alt,
+    Concat,
+    DFA,
+    Empty,
+    Epsilon,
+    KleeneStar,
+    NFA,
+    Symbol,
+    alt_all,
+    concat_all,
+    determinize,
+    nfa_to_regex,
+    optional,
+    parse_regex,
+    plus,
+    regex_size,
+    regex_to_source,
+    symbols_of,
+    thompson_nfa,
+)
+from repro.regexes.parser import RegexSyntaxError
+
+ALPHABET = frozenset({"a", "b"})
+
+
+def words(max_length: int, alphabet=("a", "b")):
+    for length in range(max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+def language(nfa: NFA, max_length: int) -> set:
+    return {w for w in words(max_length) if nfa.accepts(w)}
+
+
+class TestParserPrinter:
+    @pytest.mark.parametrize("source, member, nonmember", [
+        ("a", ("a",), ("b",)),
+        ("a b", ("a", "b"), ("a",)),
+        ("a | b", ("b",), ("a", "a")),
+        ("a*", ("a", "a", "a"), ("b",)),
+        ("a+", ("a",), ()),
+        ("a?", (), ("a", "a")),
+        ("(a b)* a", ("a",), ("a", "b")),
+        ("eps", (), ("a",)),
+    ])
+    def test_membership(self, source, member, nonmember):
+        nfa = thompson_nfa(parse_regex(source))
+        assert nfa.accepts(member)
+        assert not nfa.accepts(nonmember)
+
+    def test_empty_language(self):
+        nfa = thompson_nfa(parse_regex("empty"))
+        assert nfa.is_empty()
+
+    def test_roundtrip_through_printer(self):
+        rng = random.Random(0)
+        sources = ["a (b | eps)* a?", "(a|b)+ a b", "a b c | d*"]
+        for source in sources:
+            regex = parse_regex(source)
+            again = parse_regex(regex_to_source(regex))
+            n1, n2 = thompson_nfa(regex), thompson_nfa(again)
+            for w in words(4, ("a", "b", "c", "d")):
+                assert n1.accepts(w) == n2.accepts(w)
+
+    def test_syntax_errors(self):
+        for bad in ["(a", "a |", "*", "a))"]:
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(bad)
+
+    def test_multichar_symbols(self):
+        nfa = thompson_nfa(parse_regex("chapter section*"))
+        assert nfa.accepts(["chapter", "section", "section"])
+        assert not nfa.accepts(["section"])
+
+
+class TestAstHelpers:
+    def test_size(self):
+        assert regex_size(parse_regex("a b | c*")) == 6
+
+    def test_symbols_of(self):
+        assert symbols_of(parse_regex("a (b | eps)*")) == {"a", "b"}
+
+    def test_concat_all_empty_is_epsilon(self):
+        assert isinstance(concat_all([]), Epsilon)
+
+    def test_alt_all_empty_is_empty(self):
+        assert isinstance(alt_all([]), Empty)
+
+    def test_sugar(self):
+        assert thompson_nfa(plus(Symbol("a"))).accepts(["a"])
+        assert not thompson_nfa(plus(Symbol("a"))).accepts([])
+        assert thompson_nfa(optional(Symbol("a"))).accepts([])
+
+
+class TestNFAOperations:
+    def test_epsilon_elimination_preserves_language(self):
+        rng = random.Random(1)
+        for source in ["a* b*", "(a|b)* a", "a? b? a?"]:
+            nfa = thompson_nfa(parse_regex(source))
+            bare = nfa.without_epsilon()
+            assert all(
+                nfa.accepts(w) == bare.accepts(w) for w in words(5)
+            )
+            assert all(symbol is not None for (_, symbol) in bare.transitions)
+
+    def test_reversed(self):
+        nfa = thompson_nfa(parse_regex("a b b"))
+        rev = nfa.reversed()
+        assert rev.accepts(["b", "b", "a"])
+        assert not rev.accepts(["a", "b", "b"])
+
+    def test_product_is_intersection(self):
+        n1 = thompson_nfa(parse_regex("a (a|b)*"))
+        n2 = thompson_nfa(parse_regex("(a|b)* b"))
+        both = n1.product(n2)
+        for w in words(5):
+            assert both.accepts(w) == (n1.accepts(w) and n2.accepts(w))
+
+    def test_is_empty(self):
+        assert thompson_nfa(parse_regex("empty a")).is_empty()
+        assert not thompson_nfa(parse_regex("a")).is_empty()
+
+    def test_accepts_epsilon(self):
+        assert thompson_nfa(parse_regex("a*")).accepts_epsilon()
+        assert not thompson_nfa(parse_regex("a")).accepts_epsilon()
+
+
+class TestDFA:
+    def test_determinize_preserves_language(self):
+        for source in ["a* b", "(a|b)* a (a|b)", "a+ | b+"]:
+            nfa = thompson_nfa(parse_regex(source))
+            dfa = determinize(nfa, ALPHABET)
+            for w in words(6):
+                assert dfa.accepts(w) == nfa.accepts(w), (source, w)
+
+    def test_minimize_preserves_language_and_shrinks(self):
+        nfa = thompson_nfa(parse_regex("(a|b)* a (a|b)"))
+        dfa = determinize(nfa, ALPHABET)
+        minimal = dfa.minimize()
+        assert minimal.num_states <= dfa.num_states
+        for w in words(6):
+            assert dfa.accepts(w) == minimal.accepts(w)
+
+    def test_known_minimal_size(self):
+        # "(a|b)* a (a|b)^1": minimal DFA has 2^2 = 4 states (suffix window).
+        nfa = thompson_nfa(parse_regex("(a|b)* a (a|b)"))
+        assert determinize(nfa, ALPHABET).minimize().num_states == 4
+
+    def test_complement(self):
+        dfa = determinize(thompson_nfa(parse_regex("a b")), ALPHABET)
+        comp = dfa.complement()
+        for w in words(4):
+            assert comp.accepts(w) == (not dfa.accepts(w))
+
+    def test_product_modes(self):
+        d1 = determinize(thompson_nfa(parse_regex("a (a|b)*")), ALPHABET)
+        d2 = determinize(thompson_nfa(parse_regex("(a|b)* b")), ALPHABET)
+        for w in words(4):
+            assert d1.product(d2, "and").accepts(w) == \
+                (d1.accepts(w) and d2.accepts(w))
+            assert d1.product(d2, "or").accepts(w) == \
+                (d1.accepts(w) or d2.accepts(w))
+
+    def test_equivalent(self):
+        d1 = determinize(thompson_nfa(parse_regex("a a* ")), ALPHABET)
+        d2 = determinize(thompson_nfa(parse_regex("a* a")), ALPHABET)
+        d3 = determinize(thompson_nfa(parse_regex("a*")), ALPHABET)
+        assert d1.equivalent(d2)
+        assert not d1.equivalent(d3)
+
+    def test_some_word_is_shortest(self):
+        dfa = determinize(thompson_nfa(parse_regex("a a a | a a")), ALPHABET)
+        assert dfa.some_word() == ["a", "a"]
+        empty = determinize(thompson_nfa(parse_regex("empty")), ALPHABET)
+        assert empty.some_word() is None
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ValueError):
+            DFA(ALPHABET, 1, 0, frozenset(), {0: {"a": 0}})
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize("source", [
+        "a", "a b", "a | b", "a*", "(a | b)* a", "a (b a)* b?", "empty",
+    ])
+    def test_nfa_to_regex_roundtrip(self, source):
+        nfa = thompson_nfa(parse_regex(source))
+        back = thompson_nfa(nfa_to_regex(nfa))
+        for w in words(5):
+            assert nfa.accepts(w) == back.accepts(w), (source, w)
+
+    def test_random_roundtrips(self):
+        rng = random.Random(7)
+
+        def random_regex(depth):
+            if depth == 0:
+                return Symbol(rng.choice("ab"))
+            kind = rng.randrange(4)
+            if kind == 0:
+                return Concat(random_regex(depth - 1), random_regex(depth - 1))
+            if kind == 1:
+                return Alt(random_regex(depth - 1), random_regex(depth - 1))
+            if kind == 2:
+                return KleeneStar(random_regex(depth - 1))
+            return Symbol(rng.choice("ab"))
+
+        for _ in range(25):
+            regex = random_regex(3)
+            nfa = thompson_nfa(regex)
+            back = thompson_nfa(nfa_to_regex(nfa))
+            for w in words(4):
+                assert nfa.accepts(w) == back.accepts(w)

@@ -1,0 +1,158 @@
+"""Tests for §7: Theorem 30 (star-free → F) and Theorem 31 (for-loops)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis import check_containment
+from repro.lowerbounds import (
+    eliminate_complements,
+    empty_path,
+    in_fragment_f,
+    nonemptiness_as_containment,
+    starfree_to_path,
+)
+from repro.regexes import (
+    SFComplement,
+    SFConcat,
+    SFSymbol,
+    SFUnion,
+    starfree_accepts,
+    starfree_nonempty,
+)
+from repro.semantics import evaluate_path
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_path
+from repro.xpath.ast import Axis
+from repro.xpath.measures import axes_used, operators_used
+
+A, B = SFSymbol("a"), SFSymbol("b")
+ALPHABET = frozenset({"a", "b"})
+
+EXPRESSIONS = [
+    A,
+    SFConcat(A, B),
+    SFUnion(A, SFConcat(B, B)),
+    SFComplement(A),
+    SFComplement(SFConcat(A, SFComplement(B))),
+    SFConcat(SFComplement(SFUnion(A, B)), A),
+]
+
+
+class TestTheorem30:
+    @pytest.mark.parametrize("expr", EXPRESSIONS)
+    def test_tr_stays_in_fragment_f(self, expr):
+        path = starfree_to_path(expr)
+        assert in_fragment_f(path)
+        assert axes_used(path) == {Axis.DOWN}
+        assert operators_used(path) <= {"minus"}
+
+    @pytest.mark.parametrize("expr", EXPRESSIONS)
+    def test_word_path_correspondence(self, expr):
+        """(n, m) ∈ [[tr(r)]] iff the labels strictly below n down to m
+        spell a word of L(r) — on chains, for all words up to length 3."""
+        path = starfree_to_path(expr)
+        for length in range(4):
+            for word in itertools.product("ab", repeat=length):
+                tree = XMLTree.chain(("z",) + word)
+                relation = evaluate_path(tree, path)
+                got = length in relation.get(0, frozenset())
+                want = starfree_accepts(expr, list(word), ALPHABET)
+                assert got == want, (expr, word)
+
+    def test_correspondence_on_branching_trees(self):
+        rng = random.Random(201)
+        expr = SFComplement(SFConcat(A, B))
+        path = starfree_to_path(expr)
+        for _ in range(20):
+            tree = random_tree(rng, 8, ["a", "b"])
+            relation = evaluate_path(tree, path)
+            for n in tree.nodes:
+                for m in tree.descendants_or_self(n):
+                    word = _path_word(tree, n, m)
+                    if word is None:
+                        continue
+                    got = m in relation.get(n, frozenset())
+                    assert got == starfree_accepts(expr, word, ALPHABET)
+
+    @pytest.mark.parametrize("expr, nonempty", [
+        (A, True),
+        (SFComplement(SFUnion(A, SFComplement(A))), False),   # ∅
+        (SFConcat(A, SFComplement(SFUnion(A, B))), True),     # a · (Σ* minus a|b)
+    ])
+    def test_nonemptiness_as_containment(self, expr, nonempty):
+        alpha, beta = nonemptiness_as_containment(expr)
+        assert beta == empty_path()
+        result = check_containment(alpha, beta, max_nodes=4)
+        # Nonempty language ⟺ tr(r) NOT contained in the empty relation.
+        assert result.contained == (not nonempty)
+        assert starfree_nonempty(expr, ALPHABET) == nonempty  # cross-check
+
+    def test_epsilon_language_repair(self):
+        """The module's ε repair: {ε} maps to a relation containing the
+        length-0 paths (the paper's ↓⁺ version would lose them)."""
+        empty = SFComplement(SFUnion(A, SFComplement(A)))
+        sigma_plus = SFConcat(SFUnion(A, B), SFComplement(empty))
+        just_epsilon = SFComplement(sigma_plus)
+        alpha, beta = nonemptiness_as_containment(just_epsilon)
+        result = check_containment(alpha, beta, max_nodes=3)
+        assert not result.contained  # language {ε} is nonempty
+
+
+def _path_word(tree, n, m):
+    """Labels strictly below n on the ancestor chain from m up to n, or
+    None if m is not a descendant-or-self of n."""
+    word = []
+    cursor = m
+    while cursor != n:
+        word.append(tree.label(cursor))
+        parent = tree.parent(cursor)
+        if parent is None:
+            return None
+        cursor = parent
+    word.reverse()
+    return word
+
+
+class TestTheorem31:
+    @pytest.mark.parametrize("source", [
+        "down* except down[p]",
+        "down/down except down*[q]",
+        "(down* except down) except down[p]",
+        "down*[p] except (down except down[q])",
+    ])
+    def test_complement_elimination_equivalent(self, source):
+        rng = random.Random(202)
+        original = parse_path(source)
+        rewritten = eliminate_complements(original)
+        assert "minus" not in operators_used(rewritten)
+        assert "for" in operators_used(rewritten)
+        for _ in range(20):
+            tree = random_tree(rng, 8, ["p", "q"])
+            assert evaluate_path(tree, original) == \
+                evaluate_path(tree, rewritten), source
+
+    def test_single_variable_per_complement(self):
+        rewritten = eliminate_complements(parse_path("down* except down"))
+        from repro.xpath.measures import free_variables
+        assert free_variables(rewritten) == frozenset()
+
+    def test_downward_only_variant_matches_paper(self):
+        # The paper's statement uses ↓* travel for the downward fragment.
+        from repro.xpath import to_source
+        rewritten = eliminate_complements(parse_path("down* except down"),
+                                          downward_only=True)
+        assert "up" not in to_source(rewritten)
+
+    def test_theorem30_formulas_pass_through(self):
+        """Composing Theorems 30 and 31: star-free nonemptiness via
+        CoreXPath↓(for)."""
+        expr = SFComplement(SFConcat(A, B))
+        path = starfree_to_path(expr)
+        rewritten = eliminate_complements(path)
+        assert operators_used(rewritten) == {"for"}
+        rng = random.Random(203)
+        for _ in range(10):
+            tree = random_tree(rng, 7, ["a", "b"])
+            assert evaluate_path(tree, path) == evaluate_path(tree, rewritten)

@@ -1,0 +1,201 @@
+"""Tests for the Table II semantics and the §2.2/§7 extensions."""
+
+import random
+
+import pytest
+
+from repro.semantics import (
+    Evaluator,
+    evaluate_nodes,
+    evaluate_path,
+    holds_at,
+    holds_somewhere,
+    path_contained_on,
+    relation_pairs,
+)
+from repro.semantics.evaluator import UnboundVariableError
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_node, parse_path
+from repro.xpath.builders import following, preceding
+
+from .helpers import relation_as_pairs
+
+
+@pytest.fixture
+def tree():
+    #        0:a
+    #      /     \
+    #    1:b      4:a
+    #   /   \       \
+    #  2:c  3:b     5:c
+    return XMLTree.build(("a", [("b", ["c", "b"]), ("a", ["c"])]))
+
+
+class TestAxes:
+    def test_down(self, tree):
+        assert relation_as_pairs(evaluate_path(tree, parse_path("down"))) == {
+            (0, 1), (0, 4), (1, 2), (1, 3), (4, 5),
+        }
+
+    def test_up_is_converse_of_down(self, tree):
+        down = relation_as_pairs(evaluate_path(tree, parse_path("down")))
+        up = relation_as_pairs(evaluate_path(tree, parse_path("up")))
+        assert up == {(b, a) for (a, b) in down}
+
+    def test_siblings(self, tree):
+        assert relation_as_pairs(evaluate_path(tree, parse_path("right"))) == {
+            (1, 4), (2, 3),
+        }
+        assert relation_as_pairs(evaluate_path(tree, parse_path("left"))) == {
+            (4, 1), (3, 2),
+        }
+
+    def test_axis_closures_are_reflexive(self, tree):
+        for axis in ("down*", "up*", "left*", "right*"):
+            relation = evaluate_path(tree, parse_path(axis))
+            assert all(n in relation[n] for n in tree.nodes)
+
+    def test_down_star(self, tree):
+        assert evaluate_path(tree, parse_path("down*"))[0] == frozenset(tree.nodes)
+        assert evaluate_path(tree, parse_path("down*"))[1] == {1, 2, 3}
+
+    def test_self(self, tree):
+        assert relation_as_pairs(evaluate_path(tree, parse_path("."))) == {
+            (n, n) for n in tree.nodes
+        }
+
+
+class TestCompositeOperators:
+    def test_seq(self, tree):
+        assert relation_as_pairs(evaluate_path(tree, parse_path("down/down"))) == {
+            (0, 2), (0, 3), (0, 5),
+        }
+
+    def test_union(self, tree):
+        got = evaluate_path(tree, parse_path("down union up"))
+        left = evaluate_path(tree, parse_path("down"))
+        right = evaluate_path(tree, parse_path("up"))
+        assert relation_as_pairs(got) == \
+            relation_as_pairs(left) | relation_as_pairs(right)
+
+    def test_filter_restricts_targets(self, tree):
+        got = relation_as_pairs(evaluate_path(tree, parse_path("down[b]")))
+        assert got == {(0, 1), (1, 3)}
+
+    def test_intersect(self, tree):
+        got = evaluate_path(tree, parse_path("down+ intersect down/down"))
+        assert relation_as_pairs(got) == {(0, 2), (0, 3), (0, 5)}
+
+    def test_complement(self, tree):
+        got = evaluate_path(tree, parse_path("down* except down+"))
+        assert relation_as_pairs(got) == {(n, n) for n in tree.nodes}
+
+    def test_general_star(self, tree):
+        # (↓[b])* : reflexive closure of b-children steps.
+        got = relation_as_pairs(evaluate_path(tree, parse_path("(down[b])*")))
+        assert (0, 3) in got          # 0 -> 1 -> 3, both b-steps
+        assert (0, 0) in got          # reflexive
+        assert (0, 2) not in got      # 2 is labeled c
+
+    def test_star_of_mixed_path(self, tree):
+        everywhere = evaluate_path(tree, parse_path("(down union up)*"))
+        assert everywhere[3] == frozenset(tree.nodes)
+
+
+class TestNodeExpressions:
+    def test_label_top(self, tree):
+        assert evaluate_nodes(tree, parse_node("a")) == {0, 4}
+        assert evaluate_nodes(tree, parse_node("true")) == frozenset(tree.nodes)
+        assert evaluate_nodes(tree, parse_node("false")) == frozenset()
+
+    def test_boolean_connectives(self, tree):
+        assert evaluate_nodes(tree, parse_node("not b")) == {0, 2, 4, 5}
+        assert evaluate_nodes(tree, parse_node("b and <down>")) == {1}
+        assert evaluate_nodes(tree, parse_node("a or b")) == {0, 1, 3, 4}
+
+    def test_some_path(self, tree):
+        assert evaluate_nodes(tree, parse_node("<down[c]>")) == {1, 4}
+        assert evaluate_nodes(tree, parse_node("<up>")) == {1, 2, 3, 4, 5}
+
+    def test_path_equality_is_existential(self, tree):
+        # ⟨↓⟩-targets shared between down and down[b].
+        assert evaluate_nodes(tree, parse_node("eq(down, down[b])")) == {0, 1}
+        # loop: eq(α, .) — some α-path returns to the start.
+        assert evaluate_nodes(tree, parse_node("eq(down/up, .)")) == {0, 1, 4}
+
+    def test_helpers(self, tree):
+        assert holds_somewhere(tree, parse_node("c"))
+        assert holds_at(tree, parse_node("c"), 2)
+        assert not holds_at(tree, parse_node("c"), 0)
+        assert path_contained_on(tree, parse_path("down[b]"), parse_path("down"))
+        assert not path_contained_on(tree, parse_path("down"), parse_path("down[b]"))
+
+    def test_relation_pairs_helper(self, tree):
+        relation = evaluate_path(tree, parse_path("right"))
+        assert relation_pairs(relation) == {(1, 4), (2, 3)}
+
+
+class TestDocumentOrderPaths:
+    def test_following_matches_document_order(self, tree):
+        got = relation_as_pairs(evaluate_path(tree, following))
+        expected = set()
+        for n in tree.nodes:
+            for m in tree.nodes:
+                if m > n and not tree.is_ancestor(n, m):
+                    expected.add((n, m))
+        assert got == expected
+
+    def test_preceding_is_converse_of_following(self, tree):
+        fwd = relation_as_pairs(evaluate_path(tree, following))
+        bwd = relation_as_pairs(evaluate_path(tree, preceding))
+        assert bwd == {(b, a) for (a, b) in fwd}
+
+
+class TestForLoops:
+    def test_for_loop_intersection_identity(self):
+        # "for $i in α return β[. is $i]" ≡ α ∩ β (§2.2).
+        rng = random.Random(5)
+        alpha = parse_path("down*")
+        via_for = parse_path("for $i in down* return down/down[. is $i]")
+        direct = parse_path("down* intersect down/down")
+        for _ in range(25):
+            tree = random_tree(rng, 8, ["p", "q"])
+            assert evaluate_path(tree, via_for) == evaluate_path(tree, direct)
+
+    def test_for_loop_semantics_by_hand(self, tree):
+        # for $i in down[c] return down: pairs (n, m) with m any child of n,
+        # provided n has a c-child.
+        got = relation_as_pairs(evaluate_path(
+            tree, parse_path("for $i in down[c] return down")))
+        assert got == {(1, 2), (1, 3), (4, 5)}
+
+    def test_var_is_needs_binding(self, tree):
+        with pytest.raises(UnboundVariableError):
+            evaluate_nodes(tree, parse_node(". is $x"))
+
+    def test_explicit_assignment(self, tree):
+        assert evaluate_nodes(tree, parse_node(". is $x"), {"x": 3}) == {3}
+        got = evaluate_path(tree, parse_path("down[. is $x]"), {"x": 3})
+        assert relation_as_pairs(got) == {(1, 3)}
+
+    def test_nested_for_loops(self, tree):
+        # for $i in down return (for $j in down[. is $i] return .[. is $j])
+        inner = "for $j in down[. is $i] return .[. is $j]"
+        path = parse_path(f"for $i in down return ({inner})")
+        # $j ranges over down-children equal to $i, and the body returns the
+        # current node filtered to equal $j — i.e. nothing (the current node
+        # is the parent, never its own child).
+        assert evaluate_path(tree, path) == {}
+
+
+class TestEvaluatorCaching:
+    def test_repeated_evaluation_consistent(self, tree):
+        evaluator = Evaluator(tree)
+        path = parse_path("down*[b]/up")
+        assert evaluator.path(path) == evaluator.path(path)
+
+    def test_multilabel_dispatch(self):
+        from repro.trees import MultiLabelTree
+        tree = MultiLabelTree.build((["p", "q"], [(["p"], [])]))
+        assert evaluate_nodes(tree, parse_node("p and q")) == {0}
+        assert evaluate_nodes(tree, parse_node("p and not q")) == {1}

@@ -1,0 +1,79 @@
+"""Tests for witness minimization (delta-debugging on trees)."""
+
+import random
+
+import pytest
+
+from repro.analysis.shrink import (
+    shrink_counterexample,
+    shrink_sat_witness,
+    shrink_witness,
+)
+from repro.semantics import evaluate_path, holds_somewhere
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_node, parse_path
+
+
+class TestShrinkWitness:
+    def test_already_minimal(self):
+        tree = XMLTree(["p"], [None])
+        assert shrink_witness(tree, lambda t: True) == tree
+
+    def test_prunes_irrelevant_subtrees(self):
+        tree = XMLTree.build(
+            ("a", [("noise", ["noise", "noise"]), ("p", []), "noise"])
+        )
+        shrunk = shrink_witness(
+            tree, lambda t: any(t.label(n) == "p" for n in t.nodes)
+        )
+        assert shrunk == XMLTree(["p"], [None])
+
+    def test_splices_out_intermediate_nodes(self):
+        tree = XMLTree.build(("a", [("b", [("c", [("p", [])])])]))
+        shrunk = shrink_witness(
+            tree, lambda t: any(t.label(n) == "p" for n in t.nodes)
+        )
+        # b and c are spliced out, then single-child roots are promoted.
+        assert shrunk == XMLTree(["p"], [None])
+
+    def test_rejects_bad_initial_witness(self):
+        tree = XMLTree(["p"], [None])
+        with pytest.raises(ValueError):
+            shrink_witness(tree, lambda t: False)
+
+    def test_result_always_satisfies(self):
+        rng = random.Random(909)
+        phi = parse_node("p and <down[q]>")
+        for _ in range(15):
+            tree = random_tree(rng, 12, ["p", "q"])
+            if not holds_somewhere(tree, phi):
+                continue
+            shrunk = shrink_sat_witness(tree, phi)
+            assert holds_somewhere(shrunk, phi)
+            assert shrunk.size <= tree.size
+
+
+class TestShrinkSatWitness:
+    def test_reaches_the_minimum(self):
+        # The minimal model of p ∧ ⟨↓[q]⟩ has 2 nodes.
+        tree = XMLTree.build(
+            ("z", [("p", ["q", "z", ("z", ["q"])]), ("p", ["q"])])
+        )
+        phi = parse_node("p and <down[q]>")
+        shrunk = shrink_sat_witness(tree, phi)
+        assert shrunk.size == 2
+
+
+class TestShrinkCounterexample:
+    def test_counterexample_stays_valid(self):
+        alpha, beta = parse_path("down*"), parse_path("down")
+        tree = XMLTree.build(("a", [("b", [("c", ["d"])]), "e"]))
+        shrunk = shrink_counterexample(tree, alpha, beta)
+        left = evaluate_path(shrunk, alpha)
+        right = evaluate_path(shrunk, beta)
+        assert any(
+            targets - right.get(source, frozenset())
+            for source, targets in left.items()
+        )
+        # ↓* ⋢ ↓ is already refuted by a single node (the reflexive pair).
+        assert shrunk.size == 1

@@ -1,0 +1,119 @@
+"""Tests for Lemma 20: simple-path instantiation for CoreXPath↓(∩)."""
+
+import random
+
+import pytest
+
+from repro.analysis import instantiate, intersect_simple, simple_to_path, suffixes
+from repro.analysis.simplepaths import DOWN, DOWN_STAR
+from repro.semantics import evaluate_path
+from repro.trees import random_tree
+from repro.xpath import parse_path
+from repro.xpath.ast import Label, Top
+from repro.xpath.builders import union_all
+from repro.xpath.measures import size
+
+from .helpers import random_path, relation_as_pairs
+from repro.xpath.ast import Axis
+
+
+def assert_inst_equivalent(source, rng, trials=12):
+    path = parse_path(source)
+    members = instantiate(path)
+    union = union_all([simple_to_path(member) for member in members])
+    for _ in range(trials):
+        tree = random_tree(rng, 7, ["p", "q", "r"])
+        assert evaluate_path(tree, path) == evaluate_path(tree, union), source
+    return members
+
+
+class TestInstantiate:
+    def test_paper_example(self):
+        """§5's worked example: inst(↓*[q]/↓* ∩ ↓*[r]/↓*) has exactly the
+        four interleavings."""
+        path = parse_path("down*[q]/down* intersect down*[r]/down*")
+        members = instantiate(path)
+        assert len(members) == 4
+        q, r = Label("q"), Label("r")
+        assert (DOWN_STAR, q, DOWN_STAR, r, DOWN_STAR) in members
+        assert (DOWN_STAR, r, DOWN_STAR, q, DOWN_STAR) in members
+
+    @pytest.mark.parametrize("source", [
+        "down",
+        "down*",
+        "down[p]",
+        "down*[p]",
+        ".",
+        "down/down[p]",
+        "down union down*",
+        "down intersect down*",
+        "down/down intersect down*",
+        "down*[q]/down* intersect down*[r]/down*",
+        "(down[p] union down*)/down intersect down/down*",
+        "(down intersect down[p]) intersect down[q]",
+    ])
+    def test_equivalence(self, source):
+        rng = random.Random(81)
+        assert_inst_equivalent(source, rng)
+
+    def test_random_downward_cap(self):
+        rng = random.Random(82)
+        for _ in range(25):
+            path = random_path(rng, 3, frozenset({"cap"}), axes=(Axis.DOWN,))
+            members = instantiate(path)
+            union = union_all([simple_to_path(member) for member in members])
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_path(tree, path) == evaluate_path(tree, union)
+
+    def test_member_length_bound(self):
+        """Lemma 20(ii): each member has length ≤ 4·|α|."""
+        rng = random.Random(83)
+        for _ in range(30):
+            path = random_path(rng, 3, frozenset({"cap"}), axes=(Axis.DOWN,))
+            for member in instantiate(path):
+                assert len(member) <= 4 * size(path)
+
+    def test_upward_axis_rejected(self):
+        with pytest.raises(ValueError):
+            instantiate(parse_path("up"))
+
+    def test_empty_intersection(self):
+        # ↓ ∩ . : a child equal to self — impossible; inst is empty.
+        assert instantiate(parse_path("down intersect .")) == frozenset()
+
+
+class TestIntSimple:
+    def test_base_cases(self):
+        assert intersect_simple((), ()) == {()}
+        assert intersect_simple((), (DOWN,)) == frozenset()
+        assert intersect_simple((), (DOWN_STAR,)) == {()}
+        p = Label("p")
+        assert intersect_simple((), (p,)) == {(p,)}
+
+    def test_down_meets_star(self):
+        result = intersect_simple((DOWN,), (DOWN_STAR,))
+        assert result == {(DOWN,)}
+
+    def test_symmetry(self):
+        a = (DOWN, Label("p"))
+        b = (DOWN_STAR, Label("q"))
+        rng = random.Random(84)
+        left = union_all([simple_to_path(m) for m in intersect_simple(a, b)])
+        right = union_all([simple_to_path(m) for m in intersect_simple(b, a)])
+        for _ in range(10):
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_path(tree, left) == evaluate_path(tree, right)
+
+
+class TestSuffixes:
+    def test_all_suffixes(self):
+        member = (DOWN, Label("p"), DOWN_STAR)
+        got = list(suffixes(member))
+        assert got == [member, (Label("p"), DOWN_STAR), (DOWN_STAR,), ()]
+
+    def test_epsilon_simple_path(self):
+        # ε renders as .[⊤] and denotes the identity.
+        from repro.trees import XMLTree
+        tree = XMLTree.build(("a", ["b"]))
+        rel = evaluate_path(tree, simple_to_path(()))
+        assert relation_as_pairs(rel) == {(0, 0), (1, 1)}

@@ -1,0 +1,103 @@
+"""Tests for the star-free expression substrate (Theorem 30's source
+problem)."""
+
+import itertools
+
+import pytest
+
+from repro.regexes import (
+    SFComplement,
+    SFConcat,
+    SFSymbol,
+    SFUnion,
+    starfree_accepts,
+    starfree_alphabet,
+    starfree_min_dfa,
+    starfree_nonempty,
+    starfree_size,
+    starfree_witness,
+)
+
+A, B = SFSymbol("a"), SFSymbol("b")
+ALPHABET = frozenset({"a", "b"})
+
+
+def words(max_length):
+    for length in range(max_length + 1):
+        yield from itertools.product("ab", repeat=length)
+
+
+class TestBasics:
+    def test_symbol(self):
+        assert starfree_accepts(A, ["a"], ALPHABET)
+        assert not starfree_accepts(A, ["b"], ALPHABET)
+        assert not starfree_accepts(A, [], ALPHABET)
+
+    def test_concat_union(self):
+        expr = SFUnion(SFConcat(A, B), B)
+        assert starfree_accepts(expr, ["a", "b"], ALPHABET)
+        assert starfree_accepts(expr, ["b"], ALPHABET)
+        assert not starfree_accepts(expr, ["a"], ALPHABET)
+
+    def test_complement_is_relative_to_alphabet(self):
+        expr = SFComplement(A)
+        assert starfree_accepts(expr, [], ALPHABET)       # ε ∉ {a}
+        assert starfree_accepts(expr, ["b"], ALPHABET)
+        assert not starfree_accepts(expr, ["a"], ALPHABET)
+
+    def test_double_complement(self):
+        expr = SFComplement(SFComplement(A))
+        for w in words(3):
+            assert starfree_accepts(expr, list(w), ALPHABET) == \
+                starfree_accepts(A, list(w), ALPHABET)
+
+    def test_sigma_star_and_empty(self):
+        sigma_star = SFComplement(SFConcat(A, SFComplement(SFConcat(A, A))))
+        # Not literally Σ*, but: ∅ = −(a ∪ −a), Σ* = −∅.
+        empty = SFComplement(SFUnion(A, SFComplement(A)))
+        assert not starfree_nonempty(empty, ALPHABET)
+        sigma = SFComplement(empty)
+        assert all(starfree_accepts(sigma, list(w), ALPHABET) for w in words(3))
+
+    def test_size_and_alphabet(self):
+        expr = SFComplement(SFUnion(A, SFConcat(B, B)))
+        assert starfree_size(expr) == 6
+        assert starfree_alphabet(expr) == {"a", "b"}
+
+    def test_operator_sugar(self):
+        assert starfree_accepts(A + B, ["a", "b"], ALPHABET)
+        assert starfree_accepts(A | B, ["b"], ALPHABET)
+        assert starfree_accepts(-A, [], ALPHABET)
+
+
+class TestNonemptiness:
+    def test_witness_shortest(self):
+        expr = SFConcat(SFComplement(A), A)  # some word ending in a, not 'a' alone...
+        witness = starfree_witness(expr, ALPHABET)
+        assert witness is not None
+        assert starfree_accepts(expr, witness, ALPHABET)
+
+    def test_epsilon_language(self):
+        # {ε} = −(Σ⁺) with Σ⁺ = (a ∪ b)·Σ*.
+        empty = SFComplement(SFUnion(A, SFComplement(A)))
+        sigma_star = SFComplement(empty)
+        sigma_plus = SFConcat(SFUnion(A, B), sigma_star)
+        just_epsilon = SFComplement(sigma_plus)
+        assert starfree_nonempty(just_epsilon, ALPHABET)
+        assert starfree_witness(just_epsilon, ALPHABET) == []
+        for w in words(3):
+            assert starfree_accepts(just_epsilon, list(w), ALPHABET) == (len(w) == 0)
+
+    def test_min_dfa_grows_with_nesting(self):
+        # Each complement round can only be answered deterministically;
+        # sizes must be positive and the language stays exact.
+        expr = A
+        sizes = []
+        for _ in range(3):
+            expr = SFComplement(SFConcat(expr, A))
+            sizes.append(starfree_min_dfa(expr, ALPHABET).num_states)
+        assert all(s >= 2 for s in sizes)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            starfree_min_dfa(A, frozenset())

@@ -1,0 +1,124 @@
+"""Tests for the §8 succinctness machinery."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.succinctness import (
+    cap_chain,
+    cap_tower,
+    measure_cap_translation,
+    measure_path_cap_translation,
+    minimal_dfa_size_for_phi_k,
+    phi_k,
+    phi_k_property,
+    self_check,
+    tower,
+    violation_nfa,
+)
+from repro.semantics import evaluate_nodes
+from repro.trees import XMLTree
+from repro.xpath import parse_node
+from repro.xpath.measures import intersection_depth, operators_used, size
+
+
+class TestPhiK:
+    def test_size_is_quadratic(self):
+        sizes = [size(phi_k(k)) for k in range(1, 6)]
+        # Quadratic: second differences are constant-ish, growth subcubic.
+        assert sizes[-1] < 20 * 5 * 5 + 100
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_stays_in_cap_fragment(self):
+        assert operators_used(phi_k(2)) == {"cap"}
+        assert intersection_depth(phi_k(3)) >= 3
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_formula_matches_property(self, k):
+        rng = random.Random(211)
+        formula = phi_k(k)
+        for _ in range(150):
+            length = rng.randint(1, 10)
+            word = [rng.choice("pq") for _ in range(length)]
+            tree = XMLTree.chain(word)
+            everywhere = len(evaluate_nodes(tree, formula)) == tree.size
+            assert everywhere == phi_k_property(word, k), (k, word)
+
+    def test_property_edge_cases(self):
+        assert phi_k_property([], 1)
+        assert phi_k_property(["p"], 1)
+        # ppp vs ppq at offset 2 with matching offset-0: violation needs
+        # two anchors; the canonical violating word for k=1:
+        # positions i, j both starting pp, u_{i+2} ≠ u_{j+2}.
+        assert not phi_k_property(list("ppppq"), 1)
+        assert phi_k_property(list("pppp"), 1)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            phi_k(0)
+        with pytest.raises(ValueError):
+            violation_nfa(0)
+
+
+class TestWordAutomata:
+    def test_self_check_k1(self):
+        self_check(1, max_length=9)
+
+    def test_self_check_k2_short(self):
+        import itertools as it
+        _, _, dfa = minimal_dfa_size_for_phi_k(2)
+        for length in range(0, 8):
+            for word in it.product("pq", repeat=length):
+                assert dfa.accepts(word) == phi_k_property(word, 2), word
+
+    def test_dfa_size_exceeds_theory_bound(self):
+        """Theorem 35's lower bound: ≥ 2^{2^k} states for NFAs; minimal
+        DFAs are no smaller."""
+        for k in (1, 2):
+            _, dfa_size, _ = minimal_dfa_size_for_phi_k(k)
+            assert dfa_size >= 2 ** (2 ** k) / 2  # generous slack at k=1
+
+    def test_growth_is_superexponential_flavored(self):
+        _, s1, _ = minimal_dfa_size_for_phi_k(1)
+        _, s2, _ = minimal_dfa_size_for_phi_k(2)
+        assert s2 > 4 * s1
+
+
+class TestTranslationMeasurements:
+    def test_chain_family_linear(self):
+        sizes = [
+            measure_path_cap_translation(cap_chain(n),
+                                         include_expression=False)["epa_size"]
+            for n in (1, 2, 4)
+        ]
+        assert sizes[2] < 5 * sizes[1]
+        assert all(
+            measure_path_cap_translation(cap_chain(n),
+                                         include_expression=False)
+            ["intersection_depth"] == 1
+            for n in (1, 3)
+        )
+
+    def test_tower_family_squares(self):
+        states = [
+            measure_path_cap_translation(cap_tower(d),
+                                         include_expression=False)["epa_states"]
+            for d in (1, 2)
+        ]
+        assert states[1] >= states[0] ** 2 // 2
+
+    def test_node_measurement_includes_expression(self):
+        report = measure_cap_translation(
+            parse_node("<down intersect down[p]>"))
+        assert report["output_size"] > report["input_size"]
+
+    def test_tower_function(self):
+        assert [tower(h) for h in range(4)] == [1, 2, 4, 16]
+        assert tower(2, base=3) == 27
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cap_chain(0)
+        with pytest.raises(ValueError):
+            cap_tower(0)

@@ -1,0 +1,101 @@
+"""Tests for Lemma 33: automata back to CoreXPath(*, ≈) expressions, and the
+Theorem 34 pipeline CoreXPath(*, ∩) → CoreXPath(*, ≈)."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    FreshLabels,
+    NFEvaluator,
+    eliminate_skips,
+    node_to_let_nf,
+    path_to_automaton,
+    path_to_epa,
+    to_normal_form,
+)
+from repro.automata.toexpr import (
+    automaton_to_path,
+    epa_to_path,
+    letnf_to_expr,
+    nf_to_expr,
+)
+from repro.semantics import evaluate_nodes, evaluate_path
+from repro.trees import random_tree
+from repro.xpath import parse_node, parse_path
+from repro.xpath.fragments import CORE_STAR_EQ
+from repro.xpath.measures import operators_used
+
+from .helpers import random_node, random_path
+
+
+class TestAutomatonToPath:
+    @pytest.mark.parametrize("source", [
+        "down", "up", "left", "right", "down*", ".",
+        "down/right*", "(down[p] union right)*", "down[p]/up",
+        "up*/down*", "down*[p and not q]",
+    ])
+    def test_roundtrip_relation(self, source):
+        rng = random.Random(61)
+        automaton = eliminate_skips(path_to_automaton(parse_path(source)))
+        back = automaton_to_path(automaton)
+        assert CORE_STAR_EQ.admits(back)
+        for _ in range(10):
+            tree = random_tree(rng, 7, ["p", "q"])
+            assert NFEvaluator(tree).relation(automaton) == \
+                evaluate_path(tree, back), source
+
+    def test_random_roundtrips(self):
+        rng = random.Random(62)
+        for _ in range(20):
+            path = random_path(rng, 2, frozenset({"star"}))
+            automaton = eliminate_skips(path_to_automaton(path))
+            back = automaton_to_path(automaton)
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_path(tree, path) == evaluate_path(tree, back)
+
+    def test_nf_to_expr(self):
+        rng = random.Random(63)
+        for source in ["p", "not (p and q)", "eq(down*, down/down)"]:
+            nf = to_normal_form(parse_node(source))
+            back = nf_to_expr(nf)
+            for _ in range(8):
+                tree = random_tree(rng, 6, ["p", "q"])
+                assert NFEvaluator(tree).nodes(nf) == \
+                    evaluate_nodes(tree, back)
+
+
+class TestTheorem34Pipeline:
+    @pytest.mark.parametrize("source", [
+        "<down intersect down[p]>",
+        "not <(down*[p]) intersect (down*[q])>",
+        "eq(down[p], down[q])",
+    ])
+    def test_cap_to_eq_equivalence(self, source):
+        rng = random.Random(64)
+        node = parse_node(source)
+        translated = letnf_to_expr(node_to_let_nf(node, FreshLabels()))
+        ops = operators_used(translated)
+        assert "cap" not in ops and "minus" not in ops and "for" not in ops
+        for _ in range(10):
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_nodes(tree, node) == \
+                evaluate_nodes(tree, translated), source
+
+    def test_path_pipeline(self):
+        rng = random.Random(65)
+        path = parse_path("down* intersect down/down")
+        translated = epa_to_path(path_to_epa(path, FreshLabels()))
+        assert CORE_STAR_EQ.admits(translated)
+        for _ in range(10):
+            tree = random_tree(rng, 6, ["p", "q"])
+            assert evaluate_path(tree, path) == \
+                evaluate_path(tree, translated)
+
+    def test_blowup_is_real(self):
+        """Theorem 35: the ∩ side is genuinely more succinct — the
+        translated expression is much larger."""
+        from repro.xpath.measures import size
+        node = parse_node("not <(down*[p]) intersect (down*[q])>")
+        translated = letnf_to_expr(node_to_let_nf(node, FreshLabels()))
+        assert size(translated) > 20 * size(node)

@@ -1,0 +1,161 @@
+"""Unit tests for the XML tree substrate (Definition 1)."""
+
+import pytest
+
+from repro.trees import XMLTree
+
+
+@pytest.fixture
+def book():
+    return XMLTree.build(
+        ("Book", [
+            ("Chapter", [("Section", ["Paragraph", "Image"])]),
+            ("Chapter", [("Section", [("Section", ["Image"])])]),
+        ])
+    )
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = XMLTree(["a"], [None])
+        assert tree.size == 1
+        assert tree.root == 0
+        assert tree.label(0) == "a"
+        assert tree.is_leaf(0)
+
+    def test_build_nested(self, book):
+        assert book.size == 9
+        assert book.label(0) == "Book"
+        assert [book.label(c) for c in book.children(0)] == ["Chapter", "Chapter"]
+
+    def test_build_accepts_bare_string_leaves(self):
+        tree = XMLTree.build(("a", ["b", "c"]))
+        assert [tree.label(n) for n in tree.nodes] == ["a", "b", "c"]
+
+    def test_chain(self):
+        tree = XMLTree.chain("abc")
+        assert tree.size == 3
+        assert tree.children(0) == (1,)
+        assert tree.children(1) == (2,)
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(ValueError):
+            XMLTree.chain([])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            XMLTree([], [])
+
+    def test_non_preorder_rejected(self):
+        # node 1's subtree must be preorder-contiguous: here node 3 hangs
+        # under node 1 but is numbered after node 2 (a child of the root).
+        with pytest.raises(ValueError):
+            XMLTree(["a", "b", "c", "d"], [None, 0, 0, 1])
+        # A parent reference pointing forward is also rejected.
+        with pytest.raises(ValueError):
+            XMLTree(["a", "b"], [1, None])
+
+    def test_root_must_be_first(self):
+        with pytest.raises(ValueError):
+            XMLTree(["a", "b"], [0, None])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            XMLTree(["a", "b"], [None])
+
+
+class TestNavigation:
+    def test_parent_child(self, book):
+        for node in book.nodes:
+            for child in book.children(node):
+                assert book.parent(child) == node
+
+    def test_siblings(self, book):
+        first, second = book.children(0)
+        assert book.next_sibling(first) == second
+        assert book.prev_sibling(second) == first
+        assert book.next_sibling(second) is None
+        assert book.prev_sibling(first) is None
+
+    def test_first_child(self, book):
+        assert book.first_child(0) == 1
+        leaf = next(iter(book.leaves()))
+        assert book.first_child(leaf) is None
+
+    def test_depth_and_height(self, book):
+        assert book.depth(0) == 0
+        assert book.height() == 4  # Book/Chapter/Section/Section/Image
+
+    def test_descendants_contiguous(self, book):
+        desc = list(book.descendants(1))
+        assert desc == [2, 3, 4]
+
+    def test_descendants_or_self(self, book):
+        assert list(book.descendants_or_self(2)) == [2, 3, 4]
+
+    def test_ancestors(self, book):
+        image = max(book.nodes_with_label("Image"))
+        chain = list(book.ancestors(image))
+        assert chain[-1] == 0
+        assert all(book.is_ancestor(a, image) for a in chain)
+
+    def test_is_ancestor_irreflexive(self, book):
+        assert not book.is_ancestor(2, 2)
+
+    def test_sibling_iterators(self):
+        tree = XMLTree.build(("a", ["b", "c", "d"]))
+        assert list(tree.following_siblings(1)) == [2, 3]
+        assert list(tree.preceding_siblings(3)) == [2, 1]
+
+    def test_leaves_and_labels(self, book):
+        assert sorted(book.label(n) for n in book.leaves()) == \
+            ["Image", "Image", "Paragraph"]
+        assert len(list(book.nodes_with_label("Section"))) == 3
+
+    def test_alphabet(self, book):
+        assert book.alphabet() == {"Book", "Chapter", "Section",
+                                   "Paragraph", "Image"}
+
+
+class TestModifiers:
+    def test_relabel_dict(self, book):
+        renamed = book.relabel({"Image": "Figure"})
+        assert sorted(renamed.label(n) for n in renamed.leaves()) == \
+            ["Figure", "Figure", "Paragraph"]
+        # Original is unchanged (immutability).
+        assert "Image" in book.alphabet()
+
+    def test_relabel_callable(self, book):
+        upper = book.relabel(str.upper)
+        assert upper.label(0) == "BOOK"
+
+    def test_add_then_drop_root(self, book):
+        grown = book.add_root("Library")
+        assert grown.size == book.size + 1
+        assert grown.label(0) == "Library"
+        assert grown.drop_root() == book
+
+    def test_drop_root_requires_single_child(self, book):
+        with pytest.raises(ValueError):
+            book.drop_root()
+
+    def test_to_spec_roundtrip(self, book):
+        assert XMLTree.build(book.to_spec()) == book
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        a = XMLTree.build(("a", ["b"]))
+        b = XMLTree.build(("a", ["b"]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_labels(self):
+        assert XMLTree.build(("a", ["b"])) != XMLTree.build(("a", ["c"]))
+
+    def test_unequal_shape(self):
+        assert XMLTree.build(("a", ["b", "c"])) != \
+            XMLTree.build(("a", [("b", ["c"])]))
+
+    def test_repr_evaluable_shape(self, book):
+        assert "Book" in repr(book)

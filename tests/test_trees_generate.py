@@ -1,0 +1,116 @@
+"""Tests for tree generation/enumeration and serialization."""
+
+import math
+import random
+
+import pytest
+
+from repro.trees import (
+    XMLTree,
+    all_tree_shapes,
+    all_trees,
+    count_trees,
+    from_xml,
+    random_labeled_chain,
+    random_tree,
+    to_indented,
+    to_xml,
+)
+
+
+def _catalan(n: int) -> int:
+    return math.comb(2 * n, n) // (n + 1)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_shape_count_is_catalan(self, n):
+        assert sum(1 for _ in all_tree_shapes(n)) == _catalan(n - 1)
+
+    def test_shapes_are_distinct(self):
+        shapes = list(all_tree_shapes(5))
+        assert len(shapes) == len(set(shapes))
+
+    def test_all_trees_count_matches_formula(self):
+        trees = list(all_trees(4, ["a", "b"]))
+        assert len(trees) == count_trees(4, 2)
+        assert len(trees) == len(set(trees))
+
+    def test_all_trees_ordered_by_size(self):
+        sizes = [t.size for t in all_trees(3, ["a"])]
+        assert sizes == sorted(sizes)
+
+    def test_all_trees_requires_alphabet(self):
+        with pytest.raises(ValueError):
+            list(all_trees(2, []))
+
+    def test_zero_nodes_yields_nothing(self):
+        assert list(all_tree_shapes(0)) == []
+
+
+class TestRandom:
+    def test_random_tree_valid_and_bounded(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            tree = random_tree(rng, 9, ["a", "b", "c"])
+            assert 1 <= tree.size <= 9
+            assert tree.alphabet() <= {"a", "b", "c"}
+
+    def test_random_tree_deterministic_per_seed(self):
+        t1 = random_tree(random.Random(42), 8, ["a", "b"])
+        t2 = random_tree(random.Random(42), 8, ["a", "b"])
+        assert t1 == t2
+
+    def test_random_chain(self):
+        rng = random.Random(1)
+        chain = random_labeled_chain(rng, 5, ["x"])
+        assert chain.size == 5
+        assert all(len(chain.children(n)) <= 1 for n in chain.nodes)
+
+    def test_random_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_labeled_chain(random.Random(0), 0, ["x"])
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tree = XMLTree.build(("book", [("ch", ["s", "s"]), "ch"]))
+        assert from_xml(to_xml(tree)) == tree
+
+    def test_roundtrip_random(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            tree = random_tree(rng, 10, ["a", "b"])
+            assert from_xml(to_xml(tree)) == tree
+
+    def test_indented_roundtrip(self):
+        tree = XMLTree.build(("a", [("b", ["c"]), "d"]))
+        assert from_xml(to_indented(tree)) == tree
+
+    def test_self_closing(self):
+        assert from_xml("<a/>") == XMLTree(["a"], [None])
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ValueError):
+            from_xml("<a><b></a></b>")
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(ValueError):
+            from_xml("<a><b/>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ValueError):
+            from_xml("<a/><b/>")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_xml("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            from_xml("<a>hello</a>")
+
+    def test_unserializable_label_rejected(self):
+        tree = XMLTree(["weird label!"], [None])
+        with pytest.raises(ValueError):
+            to_xml(tree)

@@ -1,0 +1,114 @@
+"""Tests for the 2ATA construction (§3.3): Table III and Lemma 12."""
+
+import random
+
+import pytest
+
+from repro.automata import TwoATA, accepts, build_twoata, closure, to_normal_form
+from repro.automata.nf import NFLoop, NFNot
+from repro.semantics import evaluate_nodes
+from repro.trees import XMLTree, random_tree
+from repro.xpath import parse_node
+
+from .helpers import random_node
+
+STAR_EQ = frozenset({"star", "eq"})
+
+
+class TestClosure:
+    def test_contains_shifted_loops_and_negations(self):
+        nf = to_normal_form(parse_node("eq(down, down)"))
+        cl = closure(nf)
+        assert nf in cl
+        loops = [e for e in cl if isinstance(e, NFLoop)]
+        states = loops[0].automaton.num_states
+        # All state pairs are present, positively and negated.
+        assert len(loops) >= states * states
+        assert any(isinstance(e, NFNot) for e in cl)
+
+    def test_closure_polynomial_in_formula(self):
+        sizes = []
+        for n in range(1, 5):
+            inner = "/".join(["down"] * n)
+            ata = build_twoata(parse_node(f"<{inner}>"))
+            sizes.append(ata.num_states)
+        # Quadratic-ish growth, not exponential: successive ratios bounded.
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert max(ratios) < 3
+
+
+class TestAcceptancePriorities:
+    def test_loop_states_get_priority_one(self):
+        ata = build_twoata(parse_node("p"))
+        for index, expr in enumerate(ata.state_exprs):
+            expected = 1 if isinstance(expr, NFLoop) else 2
+            assert ata.priority(index) == expected
+
+    def test_initial_state_is_wrapped_loop(self):
+        ata = build_twoata(parse_node("p"))
+        assert isinstance(ata.initial_expr, NFLoop)
+
+
+class TestLemma12:
+    """A_φ accepts T iff T satisfies φ somewhere."""
+
+    @pytest.mark.parametrize("source", [
+        "p",
+        "not p",
+        "p and not q",
+        "<down[p]>",
+        "not <down*[p]>",
+        "eq(down*, down/down)",
+        "eq(down*[p]/up, .)",
+        "<(down[p])*[q]>",
+        "not eq(down[p], right*)",
+    ])
+    def test_acceptance_matches_satisfaction(self, source):
+        rng = random.Random(41)
+        phi = parse_node(source)
+        ata = build_twoata(phi)
+        hits = 0
+        for _ in range(10):
+            tree = random_tree(rng, 7, ["p", "q"])
+            expected = bool(evaluate_nodes(tree, phi))
+            hits += expected
+            assert accepts(ata, tree) == expected, (source, tree.to_spec())
+
+    def test_acceptance_random_formulas(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            phi = random_node(rng, 2, STAR_EQ)
+            ata = build_twoata(phi)
+            for _ in range(4):
+                tree = random_tree(rng, 6, ["p", "q"])
+                assert accepts(ata, tree) == bool(evaluate_nodes(tree, phi))
+
+    def test_single_node_trees(self):
+        ata = build_twoata(parse_node("p and not <down>"))
+        assert accepts(ata, XMLTree(["p"], [None]))
+        assert not accepts(ata, XMLTree(["q"], [None]))
+        # "somewhere": the leaf p-child satisfies it even under a p-root.
+        assert accepts(ata, XMLTree.build(("p", ["p"])))
+        assert accepts(ata, XMLTree.build(("q", ["p"])))
+        # No leaf carries p here: every p-node has a child.
+        assert not accepts(ata, XMLTree.build(("q", [("p", ["q"])])))
+
+    def test_deep_chain(self):
+        phi = parse_node("p and not <down*[q]>")
+        ata = build_twoata(phi)
+        assert accepts(ata, XMLTree.chain("ppp"))
+        assert not accepts(ata, XMLTree.chain("ppq"))
+
+    def test_loop_formula_on_wide_tree(self):
+        # eq(↓[p], ↓[q]): a child that is both p and q — impossible.
+        ata = build_twoata(parse_node("eq(down[p], down[q])"))
+        for spec in [("a", ["p", "q"]), ("a", [("p", ["q"])])]:
+            assert not accepts(ata, XMLTree.build(spec))
+
+    def test_delta_is_memoized(self):
+        ata = build_twoata(parse_node("p"))
+        tree = XMLTree.build(("p", ["q"]))
+        accepts(ata, tree)
+        memo_size = len(ata._delta_memo)
+        accepts(ata, tree)
+        assert len(ata._delta_memo) == memo_size
