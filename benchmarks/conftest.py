@@ -4,9 +4,28 @@ Each benchmark module reproduces one row/figure of the paper (see
 DESIGN.md's per-experiment index) and records its measured series in
 ``benchmark.extra_info`` so the numbers survive into pytest-benchmark's
 JSON output; a short human-readable series is also printed.
+
+In addition, every benchmark test runs inside a :mod:`repro.obs` recording:
+wall time plus all counters/gauges the instrumented engines emit (trees
+enumerated, evaluator calls, automaton states, modal atoms, ...) are
+written to ``BENCH_obs.json`` at session end.  The file is *append-safe* —
+records merge into any existing file keyed by test nodeid — so successive
+sessions grow one stable perf-trajectory artifact that later optimisation
+PRs are judged against (see EXPERIMENTS.md).
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+from repro import obs
+
+#: nodeid -> {"duration_s", "counters", "gauges"}; flushed at session end.
+_OBS_RECORDS: dict = {}
+
+_OBS_SCHEMA_VERSION = 1
+_OBS_FILENAME = "BENCH_obs.json"
 
 
 def report(title: str, series: dict) -> None:
@@ -26,3 +45,34 @@ def record(benchmark):
         report(title, series)
 
     return _record
+
+
+@pytest.fixture(autouse=True)
+def _obs_recording(request):
+    """Collect per-test spans/counters; harvested by pytest_sessionfinish."""
+    with obs.record(request.node.nodeid) as recording:
+        yield recording
+    run = recording.to_run_record()
+    _OBS_RECORDS[request.node.nodeid] = {
+        "duration_s": run.duration_s,
+        "counters": run.counters,
+        "gauges": run.gauges,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's records into BENCH_obs.json (stable keys)."""
+    if not _OBS_RECORDS:
+        return
+    path = Path(str(session.config.rootpath)) / _OBS_FILENAME
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = {}
+    runs = existing.get("runs", {}) if isinstance(existing, dict) else {}
+    runs.update(_OBS_RECORDS)
+    payload = {"schema_version": _OBS_SCHEMA_VERSION, "runs": runs}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

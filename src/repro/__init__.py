@@ -16,9 +16,12 @@ Quickstart::
 Subpackages: :mod:`repro.trees`, :mod:`repro.regexes`, :mod:`repro.edtd`,
 :mod:`repro.xpath`, :mod:`repro.semantics`, :mod:`repro.games`,
 :mod:`repro.automata`, :mod:`repro.analysis`, :mod:`repro.lowerbounds`,
-:mod:`repro.succinctness`.
+:mod:`repro.succinctness`, :mod:`repro.obs` (observability: tracing,
+counters, run records — see ``satisfiable(..., stats=True)``).
 """
 
+from . import obs
+from .obs import RunRecord
 from .trees import XMLTree, MultiLabelTree, from_xml, to_xml
 from .xpath import (
     parse_path,
@@ -42,5 +45,6 @@ __all__ = [
     "evaluate_path", "evaluate_nodes", "holds_somewhere",
     "EDTD", "DTD", "book_edtd",
     "satisfiable", "contains", "equivalent", "Verdict",
+    "obs", "RunRecord",
     "__version__",
 ]

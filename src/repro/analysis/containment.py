@@ -10,19 +10,49 @@ Dispatches per fragment:
   (:mod:`repro.analysis.engines`), the documented substitute for the paper's
   2-EXPTIME/non-elementary procedures: witnesses are conclusive, "no witness
   up to n nodes" is exact but bounded.
+
+Every public entry point takes ``stats=True`` to wrap the run in a
+:mod:`repro.obs` recording: the returned result then carries a
+``RunRecord`` dict (engine chosen, verdict, per-span timings, counters)
+in its ``stats`` field.
 """
 
 from __future__ import annotations
 
+from .. import obs
 from ..edtd import EDTD
-from ..xpath.ast import NodeExpr, PathExpr
-from ..xpath.fragments import DOWNWARD_CAP
+from ..xpath.ast import Expr, NodeExpr, PathExpr
+from ..xpath.fragments import DOWNWARD_CAP, fragment_of
+from ..xpath.measures import labels_used, size
 from .engines import DEFAULT_MAX_NODES, check_containment, node_satisfiable
 from .expspace import TooManyModalAtoms, downward_cap_satisfiable
 from .problems import ContainmentResult, SatResult, Verdict
 from .reductions import containment_to_node_unsat, sat_to_edtd_sat
 
 __all__ = ["satisfiable", "contains", "equivalent"]
+
+#: Engine names reported in run records and dispatch counters.
+ENGINE_EXPSPACE = "expspace"
+ENGINE_BOUNDED = "bounded"
+
+
+def _input_info(edtd: EDTD | None, **exprs: Expr) -> dict:
+    """Size/fragment/alphabet measures of the inputs, for run records."""
+    info: dict = {}
+    labels: set[str] = set()
+    for name, expr in exprs.items():
+        info[f"{name}_size"] = size(expr)
+        info[f"{name}_fragment"] = fragment_of(expr).name
+        labels |= labels_used(expr)
+    info["labels"] = len(labels)
+    info["schema"] = edtd is not None
+    return info
+
+
+def _dispatched(engine: str) -> None:
+    """Record which engine a (sub-)problem went to."""
+    obs.note("engine", engine)
+    obs.count(f"dispatch.{engine}")
 
 
 def _try_expspace(phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
@@ -36,6 +66,7 @@ def _try_expspace(phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
         try:
             inner = downward_cap_satisfiable(reduction.formula, reduction.edtd)
         except TooManyModalAtoms:
+            obs.count("dispatch.expspace_too_large")
             return None
         if inner.verdict is Verdict.SATISFIABLE:
             tree, node = reduction.decode(inner.witness, inner.witness_node)
@@ -46,6 +77,7 @@ def _try_expspace(phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
     try:
         return downward_cap_satisfiable(phi, edtd)
     except TooManyModalAtoms:
+        obs.count("dispatch.expspace_too_large")
         return None
 
 
@@ -54,25 +86,48 @@ def satisfiable(
     edtd: EDTD | None = None,
     method: str = "auto",
     max_nodes: int = DEFAULT_MAX_NODES,
+    stats: bool = False,
 ) -> SatResult:
     """Node satisfiability (§2.3), optionally w.r.t. an EDTD.
 
     ``method``: ``"auto"`` picks the complete Figure 2 engine when the input
     is CoreXPath↓(∩) (conclusive verdicts), else falls back to bounded
     search; ``"expspace"`` forces the former (raises if inapplicable);
-    ``"bounded"`` forces the latter.
+    ``"bounded"`` forces the latter.  ``stats=True`` attaches a
+    :mod:`repro.obs` run record to the result.
     """
     if method not in ("auto", "expspace", "bounded"):
         raise ValueError(f"unknown method {method!r}")
+    if not stats:
+        return _satisfiable_impl(phi, edtd, method, max_nodes)
+    with obs.record("satisfiable") as recording:
+        recording.note("command", "satisfiable")
+        recording.note("method", method)
+        recording.note("inputs", _input_info(edtd, phi=phi))
+        result = _satisfiable_impl(phi, edtd, method, max_nodes)
+        recording.note("verdict", result.verdict.value)
+        recording.note("conclusive", result.conclusive)
+    return result.with_stats(recording.to_run_record().to_dict())
+
+
+def _satisfiable_impl(
+    phi: NodeExpr,
+    edtd: EDTD | None,
+    method: str,
+    max_nodes: int,
+) -> SatResult:
     if method in ("auto", "expspace"):
-        result = _try_expspace(phi, edtd)
+        with obs.span("dispatch", problem="satisfiable"):
+            result = _try_expspace(phi, edtd)
         if result is not None:
+            _dispatched(ENGINE_EXPSPACE)
             return result
         if method == "expspace":
             raise ValueError(
                 "the Figure 2 engine needs a CoreXPath↓(∩) input "
                 f"(violations: {DOWNWARD_CAP.violations(phi)})"
             )
+    _dispatched(ENGINE_BOUNDED)
     return node_satisfiable(phi, max_nodes=max_nodes, edtd=edtd)
 
 
@@ -82,19 +137,42 @@ def contains(
     edtd: EDTD | None = None,
     method: str = "auto",
     max_nodes: int = DEFAULT_MAX_NODES,
+    stats: bool = False,
 ) -> ContainmentResult:
     """Path containment ``α ⊑ β`` (§2.3), optionally w.r.t. an EDTD.
 
     With ``method="auto"``, downward-∩ inputs are decided conclusively via
     the Prop. 4 reduction into the Figure 2 engine; other inputs are checked
-    by exhaustive counterexample search up to ``max_nodes``.
+    by exhaustive counterexample search up to ``max_nodes``.  ``stats=True``
+    attaches a :mod:`repro.obs` run record to the result.
     """
     if method not in ("auto", "expspace", "bounded"):
         raise ValueError(f"unknown method {method!r}")
+    if not stats:
+        return _contains_impl(alpha, beta, edtd, method, max_nodes)
+    with obs.record("contains") as recording:
+        recording.note("command", "contains")
+        recording.note("method", method)
+        recording.note("inputs", _input_info(edtd, alpha=alpha, beta=beta))
+        result = _contains_impl(alpha, beta, edtd, method, max_nodes)
+        recording.note("verdict", result.verdict.value)
+        recording.note("conclusive", result.conclusive)
+    return result.with_stats(recording.to_run_record().to_dict())
+
+
+def _contains_impl(
+    alpha: PathExpr,
+    beta: PathExpr,
+    edtd: EDTD | None,
+    method: str,
+    max_nodes: int,
+) -> ContainmentResult:
     if method in ("auto", "expspace"):
-        reduction = containment_to_node_unsat(alpha, beta, edtd)
-        result = _try_expspace(reduction.formula, reduction.edtd)
+        with obs.span("dispatch", problem="contains"):
+            reduction = containment_to_node_unsat(alpha, beta, edtd)
+            result = _try_expspace(reduction.formula, reduction.edtd)
         if result is not None:
+            _dispatched(ENGINE_EXPSPACE)
             if result.verdict is Verdict.SATISFIABLE:
                 tree, pair = reduction.decode(result.witness, result.witness_node)
                 return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
@@ -106,6 +184,7 @@ def contains(
             raise ValueError(
                 "the Figure 2 engine needs CoreXPath↓(∩) inputs"
             )
+    _dispatched(ENGINE_BOUNDED)
     return check_containment(alpha, beta, max_nodes=max_nodes, edtd=edtd)
 
 
@@ -115,13 +194,37 @@ def equivalent(
     edtd: EDTD | None = None,
     method: str = "auto",
     max_nodes: int = DEFAULT_MAX_NODES,
+    stats: bool = False,
 ) -> ContainmentResult:
     """Two-sided containment.  Returns the first failing direction's result
     (or the weaker of the two positive verdicts)."""
-    forward = contains(alpha, beta, edtd=edtd, method=method, max_nodes=max_nodes)
+    if method not in ("auto", "expspace", "bounded"):
+        raise ValueError(f"unknown method {method!r}")
+    if not stats:
+        return _equivalent_impl(alpha, beta, edtd, method, max_nodes)
+    with obs.record("equivalent") as recording:
+        recording.note("command", "equivalent")
+        recording.note("method", method)
+        recording.note("inputs", _input_info(edtd, alpha=alpha, beta=beta))
+        result = _equivalent_impl(alpha, beta, edtd, method, max_nodes)
+        recording.note("verdict", result.verdict.value)
+        recording.note("conclusive", result.conclusive)
+    return result.with_stats(recording.to_run_record().to_dict())
+
+
+def _equivalent_impl(
+    alpha: PathExpr,
+    beta: PathExpr,
+    edtd: EDTD | None,
+    method: str,
+    max_nodes: int,
+) -> ContainmentResult:
+    with obs.span("direction", which="forward"):
+        forward = _contains_impl(alpha, beta, edtd, method, max_nodes)
     if forward.verdict is Verdict.SATISFIABLE:
         return forward
-    backward = contains(beta, alpha, edtd=edtd, method=method, max_nodes=max_nodes)
+    with obs.span("direction", which="backward"):
+        backward = _contains_impl(beta, alpha, edtd, method, max_nodes)
     if backward.verdict is Verdict.SATISFIABLE:
         return backward
     weaker = Verdict.UNSATISFIABLE

@@ -18,8 +18,9 @@ from the schema in randomized mode).
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Iterable, Iterator
 
+from .. import obs
 from ..edtd import EDTD, random_conforming_tree
 from ..semantics import Evaluator
 from ..trees import all_trees, random_tree
@@ -48,6 +49,33 @@ def relevant_alphabet(phi: NodeExpr | PathExpr, edtd: EDTD | None = None) -> lis
     return sorted(used | {fresh_label(used)})
 
 
+def _sized_trees(max_nodes: int, alphabet: list[str]) -> Iterator:
+    """``all_trees`` with one obs span per candidate size (they arrive in
+    increasing size order); a plain pass-through when instrumentation is
+    off.  The per-size spans are what the Table I growth plots need — the
+    cost of the search concentrates in the last size tried."""
+    if obs.active() is None:
+        yield from all_trees(max_nodes, alphabet)
+        return
+    current_size: int | None = None
+    size_span = obs.NULL_SPAN
+    enumerated = 0
+    try:
+        for tree in all_trees(max_nodes, alphabet):
+            if tree.size != current_size:
+                size_span.annotate(trees=enumerated)
+                size_span.finish()
+                current_size = tree.size
+                enumerated = 0
+                size_span = obs.span("bounded.size", nodes=current_size).start()
+            enumerated += 1
+            obs.count("trees.enumerated")
+            yield tree
+    finally:
+        size_span.annotate(trees=enumerated)
+        size_span.finish()
+
+
 def node_satisfiable(
     phi: NodeExpr,
     max_nodes: int = DEFAULT_MAX_NODES,
@@ -58,16 +86,20 @@ def node_satisfiable(
     ``[[φ]]``?  Exhaustive over all trees with at most ``max_nodes`` nodes."""
     alphabet = list(alphabet) if alphabet is not None else relevant_alphabet(phi, edtd)
     checked = 0
-    for tree in all_trees(max_nodes, alphabet):
-        if edtd is not None and not edtd.conforms(tree):
-            continue
-        checked += 1
-        nodes = Evaluator(tree).nodes(phi)
-        if nodes:
-            return SatResult(Verdict.SATISFIABLE, tree, min(nodes),
-                             explored_up_to=tree.size, trees_checked=checked)
-    return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND,
-                     explored_up_to=max_nodes, trees_checked=checked)
+    with obs.span("bounded.search", problem="node-satisfiability",
+                  max_nodes=max_nodes, alphabet=len(alphabet)):
+        for tree in _sized_trees(max_nodes, alphabet):
+            if edtd is not None and not edtd.conforms(tree):
+                continue
+            checked += 1
+            nodes = Evaluator(tree).nodes(phi)
+            if nodes:
+                obs.count("trees.checked", checked)
+                return SatResult(Verdict.SATISFIABLE, tree, min(nodes),
+                                 explored_up_to=tree.size, trees_checked=checked)
+        obs.count("trees.checked", checked)
+        return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND,
+                         explored_up_to=max_nodes, trees_checked=checked)
 
 
 def path_satisfiable(
@@ -79,17 +111,22 @@ def path_satisfiable(
     """Is ``[[α]]`` nonempty on some tree?  (§2.3 path satisfiability.)"""
     alphabet = list(alphabet) if alphabet is not None else relevant_alphabet(alpha, edtd)
     checked = 0
-    for tree in all_trees(max_nodes, alphabet):
-        if edtd is not None and not edtd.conforms(tree):
-            continue
-        checked += 1
-        relation = Evaluator(tree).path(alpha)
-        for source, targets in sorted(relation.items()):
-            if targets:
-                return SatResult(Verdict.SATISFIABLE, tree, source,
-                                 explored_up_to=tree.size, trees_checked=checked)
-    return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND,
-                     explored_up_to=max_nodes, trees_checked=checked)
+    with obs.span("bounded.search", problem="path-satisfiability",
+                  max_nodes=max_nodes, alphabet=len(alphabet)):
+        for tree in _sized_trees(max_nodes, alphabet):
+            if edtd is not None and not edtd.conforms(tree):
+                continue
+            checked += 1
+            relation = Evaluator(tree).path(alpha)
+            for source, targets in sorted(relation.items()):
+                if targets:
+                    obs.count("trees.checked", checked)
+                    return SatResult(Verdict.SATISFIABLE, tree, source,
+                                     explored_up_to=tree.size,
+                                     trees_checked=checked)
+        obs.count("trees.checked", checked)
+        return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND,
+                         explored_up_to=max_nodes, trees_checked=checked)
 
 
 def check_containment(
@@ -108,22 +145,26 @@ def check_containment(
         set(relevant_alphabet(alpha, edtd)) | set(relevant_alphabet(beta, edtd))
     )
     checked = 0
-    for tree in all_trees(max_nodes, alphabet):
-        if edtd is not None and not edtd.conforms(tree):
-            continue
-        checked += 1
-        evaluator = Evaluator(tree)
-        left = evaluator.path(alpha)
-        right = evaluator.path(beta)
-        for source, targets in sorted(left.items()):
-            extra = targets - right.get(source, frozenset())
-            if extra:
-                return ContainmentResult(
-                    Verdict.SATISFIABLE, tree, (source, min(extra)),
-                    explored_up_to=tree.size, trees_checked=checked,
-                )
-    return ContainmentResult(Verdict.NO_WITNESS_WITHIN_BOUND,
-                             explored_up_to=max_nodes, trees_checked=checked)
+    with obs.span("bounded.search", problem="containment",
+                  max_nodes=max_nodes, alphabet=len(alphabet)):
+        for tree in _sized_trees(max_nodes, alphabet):
+            if edtd is not None and not edtd.conforms(tree):
+                continue
+            checked += 1
+            evaluator = Evaluator(tree)
+            left = evaluator.path(alpha)
+            right = evaluator.path(beta)
+            for source, targets in sorted(left.items()):
+                extra = targets - right.get(source, frozenset())
+                if extra:
+                    obs.count("trees.checked", checked)
+                    return ContainmentResult(
+                        Verdict.SATISFIABLE, tree, (source, min(extra)),
+                        explored_up_to=tree.size, trees_checked=checked,
+                    )
+        obs.count("trees.checked", checked)
+        return ContainmentResult(Verdict.NO_WITNESS_WITHIN_BOUND,
+                                 explored_up_to=max_nodes, trees_checked=checked)
 
 
 def random_witness_search(
@@ -138,13 +179,16 @@ def random_witness_search(
     engine can afford.  Finding a witness is conclusive; not finding one is
     only evidence."""
     alphabet = list(alphabet) if alphabet is not None else relevant_alphabet(phi, edtd)
-    for attempt in range(attempts):
-        if edtd is not None:
-            tree = random_conforming_tree(edtd, rng, max_nodes=max_nodes)
-        else:
-            tree = random_tree(rng, max_nodes, alphabet)
-        nodes = Evaluator(tree).nodes(phi)
-        if nodes:
-            return SatResult(Verdict.SATISFIABLE, tree, min(nodes),
-                             trees_checked=attempt + 1)
-    return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND, trees_checked=attempts)
+    with obs.span("bounded.random_search", attempts=attempts,
+                  max_nodes=max_nodes):
+        for attempt in range(attempts):
+            if edtd is not None:
+                tree = random_conforming_tree(edtd, rng, max_nodes=max_nodes)
+            else:
+                tree = random_tree(rng, max_nodes, alphabet)
+            obs.count("trees.sampled")
+            nodes = Evaluator(tree).nodes(phi)
+            if nodes:
+                return SatResult(Verdict.SATISFIABLE, tree, min(nodes),
+                                 trees_checked=attempt + 1)
+        return SatResult(Verdict.NO_WITNESS_WITHIN_BOUND, trees_checked=attempts)

@@ -31,6 +31,7 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 
+from .. import obs
 from ..edtd import EDTD
 from ..trees import XMLTree
 from ..xpath.ast import And, Label, NodeExpr, Not, SomePath, Top
@@ -207,48 +208,60 @@ def downward_cap_satisfiable(phi0: NodeExpr, edtd: EDTD,
     from ..semantics import evaluate_nodes
     from ..xpath.ast import AxisClosure, Axis, Filter, SomePath
 
-    wrapped = SomePath(Filter(AxisClosure(Axis.DOWN), phi0))
-    system = TypeSystem(wrapped, edtd, max_modal_atoms)
-    candidate_space = len(edtd.abstract_labels) * 2 ** len(system.modal_atoms)
+    with obs.span("expspace.setup"):
+        wrapped = SomePath(Filter(AxisClosure(Axis.DOWN), phi0))
+        system = TypeSystem(wrapped, edtd, max_modal_atoms)
+        candidate_space = len(edtd.abstract_labels) * 2 ** len(system.modal_atoms)
+    obs.gauge("expspace.modal_atoms", len(system.modal_atoms))
+    obs.gauge("expspace.candidate_space", candidate_space)
     if candidate_space > 60_000:
         raise TooManyModalAtoms(
             f"{candidate_space} candidate types; the explicit enumeration "
             "would be too large"
         )
-    types = system.all_types()
-    demand_table = {t: system.demands(t) for t in types}
+    with obs.span("expspace.types", candidates=candidate_space) as type_span:
+        types = system.all_types()
+        demand_table = {t: system.demands(t) for t in types}
+        type_span.annotate(types=len(types))
+    obs.count("expspace.types_enumerated", len(types))
 
     realizable: dict[CompleteType, tuple[CompleteType, ...]] = {}
     last_attempt: dict[CompleteType, int] = {}
-    changed = True
-    while changed:
-        changed = False
-        for t in types:
-            if t in realizable:
-                continue
-            # Re-attempt only when new types became realizable since the
-            # last try for this t.
-            if last_attempt.get(t) == len(realizable):
-                continue
-            last_attempt[t] = len(realizable)
-            word = _find_children_word(system, t, demand_table[t], realizable)
-            if word is not None:
-                realizable[t] = word
-                changed = True
+    with obs.span("expspace.fixpoint") as fixpoint_span:
+        changed = True
+        while changed:
+            changed = False
+            obs.count("expspace.fixpoint_rounds")
+            for t in types:
+                if t in realizable:
+                    continue
+                # Re-attempt only when new types became realizable since the
+                # last try for this t.
+                if last_attempt.get(t) == len(realizable):
+                    continue
+                last_attempt[t] = len(realizable)
+                word = _find_children_word(system, t, demand_table[t], realizable)
+                if word is not None:
+                    realizable[t] = word
+                    changed = True
+        fixpoint_span.annotate(realizable=len(realizable))
+    obs.gauge("expspace.realizable_types", len(realizable))
 
-    for t in types:
-        if t.abstract == edtd.root_type and t.holds(wrapped) and t in realizable:
-            witness = _reconstruct(system, t, realizable)
-            nodes = evaluate_nodes(witness, phi0)
-            if not nodes:
-                raise AssertionError(
-                    "Figure 2 certificate did not yield a model — "
-                    "type-system bug"
-                )
-            return SatResult(Verdict.SATISFIABLE, witness, min(nodes),
-                             explored_up_to=witness.size,
-                             trees_checked=len(types))
-    return SatResult(Verdict.UNSATISFIABLE, trees_checked=len(types))
+    with obs.span("expspace.witness"):
+        for t in types:
+            if t.abstract == edtd.root_type and t.holds(wrapped) \
+                    and t in realizable:
+                witness = _reconstruct(system, t, realizable)
+                nodes = evaluate_nodes(witness, phi0)
+                if not nodes:
+                    raise AssertionError(
+                        "Figure 2 certificate did not yield a model — "
+                        "type-system bug"
+                    )
+                return SatResult(Verdict.SATISFIABLE, witness, min(nodes),
+                                 explored_up_to=witness.size,
+                                 trees_checked=len(types))
+        return SatResult(Verdict.UNSATISFIABLE, trees_checked=len(types))
 
 
 def _find_children_word(
@@ -266,6 +279,7 @@ def _find_children_word(
     same profile are interchangeable for this search; this keeps the
     branching factor at ``|Δ| · 2^{|demands|}`` instead of the number of
     realizable types."""
+    obs.count("expspace.word_searches")
     nfa = system.edtd.content_nfa(t.abstract)
     profiles: dict[tuple, CompleteType] = {}
     for child in realizable:
@@ -283,6 +297,7 @@ def _find_children_word(
     queue = deque([start])
     while queue:
         config = queue.popleft()
+        obs.count("expspace.configs_explored")
         states, unmet = config
         if not unmet and states & nfa.accepting:
             word: list[CompleteType] = []

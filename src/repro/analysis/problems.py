@@ -12,7 +12,7 @@ that bound.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..trees import XMLTree
 
@@ -39,6 +39,10 @@ class SatResult:
     witness_node: int | None = None
     explored_up_to: int | None = None
     trees_checked: int = 0
+    #: Optional observability payload: a ``repro.obs.RunRecord`` dict
+    #: describing the run that produced this result (None unless the caller
+    #: asked for stats).
+    stats: dict | None = None
 
     def __bool__(self) -> bool:
         """Truthy iff satisfiable."""
@@ -47,6 +51,10 @@ class SatResult:
     @property
     def conclusive(self) -> bool:
         return self.verdict is not Verdict.NO_WITNESS_WITHIN_BOUND
+
+    def with_stats(self, stats: dict | None) -> "SatResult":
+        """The same result carrying an observability record."""
+        return replace(self, stats=stats)
 
 
 @dataclass(frozen=True)
@@ -61,6 +69,8 @@ class ContainmentResult:
     counterexample_pair: tuple[int, int] | None = None
     explored_up_to: int | None = None
     trees_checked: int = 0
+    #: Optional observability payload (see :class:`SatResult.stats`).
+    stats: dict | None = None
 
     def __bool__(self) -> bool:
         """Truthy iff containment *holds* (as far as the check could tell);
@@ -74,3 +84,7 @@ class ContainmentResult:
     @property
     def conclusive(self) -> bool:
         return self.verdict is not Verdict.NO_WITNESS_WITHIN_BOUND
+
+    def with_stats(self, stats: dict | None) -> "ContainmentResult":
+        """The same result carrying an observability record."""
+        return replace(self, stats=stats)

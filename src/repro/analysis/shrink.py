@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .. import obs
 from ..trees import XMLTree
 
 __all__ = ["shrink_witness", "shrink_sat_witness", "shrink_counterexample"]
@@ -71,38 +72,43 @@ def shrink_witness(tree: XMLTree,
         raise ValueError("the initial witness does not satisfy the predicate")
     current = tree
     changed = True
-    while changed:
-        changed = False
-        # Delete subtrees, biggest savings first.
-        nodes = sorted(
-            (n for n in current.nodes if n != current.root),
-            key=lambda n: -len(current.descendants_or_self(n)),
-        )
-        for victim in nodes:
-            if victim >= current.size:
+    with obs.span("shrink", initial_size=tree.size) as shrink_span:
+        while changed:
+            changed = False
+            # Delete subtrees, biggest savings first.
+            nodes = sorted(
+                (n for n in current.nodes if n != current.root),
+                key=lambda n: -len(current.descendants_or_self(n)),
+            )
+            for victim in nodes:
+                if victim >= current.size:
+                    continue
+                candidate = _delete_subtree(current, victim)
+                if candidate is not None and predicate(candidate):
+                    current = candidate
+                    changed = True
+                    obs.count("shrink.steps")
+                    break
+            if changed:
                 continue
-            candidate = _delete_subtree(current, victim)
-            if candidate is not None and predicate(candidate):
-                current = candidate
-                changed = True
-                break
-        if changed:
-            continue
-        for victim in list(current.nodes):
-            candidate = _splice_node(current, victim)
-            if candidate is not None and predicate(candidate):
-                current = candidate
-                changed = True
-                break
-        if changed:
-            continue
-        # The root is unreachable by the operations above; when it has a
-        # single child, try promoting that child.
-        if len(current.children(current.root)) == 1:
-            candidate = current.drop_root()
-            if predicate(candidate):
-                current = candidate
-                changed = True
+            for victim in list(current.nodes):
+                candidate = _splice_node(current, victim)
+                if candidate is not None and predicate(candidate):
+                    current = candidate
+                    changed = True
+                    obs.count("shrink.steps")
+                    break
+            if changed:
+                continue
+            # The root is unreachable by the operations above; when it has a
+            # single child, try promoting that child.
+            if len(current.children(current.root)) == 1:
+                candidate = current.drop_root()
+                if predicate(candidate):
+                    current = candidate
+                    changed = True
+                    obs.count("shrink.steps")
+        shrink_span.annotate(final_size=current.size)
     return current
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from .. import obs
 from ..xpath.ast import (
     And,
     AxisClosure,
@@ -257,6 +258,10 @@ def intersect_epas(first: EPA, second: EPA, fresh: FreshLabels) -> EPA:
         pack(auto1.initial, auto2.initial),
         pack(auto1.final, auto2.final),
     )
+    obs.count("epa.intersections")
+    obs.count("epa.states_built", product.num_states)
+    obs.count("epa.transitions_built", len(transitions))
+    obs.count("epa.let_bindings", len(new_pairs))
     # New pairs first: their definitions mention labels of ρ₁/ρ₂, which are
     # bound later in the sequence (front-to-back expansion resolves them).
     return EPA(product, tuple(new_pairs) + env1 + env2)
@@ -298,6 +303,7 @@ def path_to_epa(path: PathExpr, fresh: FreshLabels | None = None) -> EPA:
     bounded (Lemma 17) — the benchmark ``test_table1_cap`` measures both.
     """
     fresh = fresh or FreshLabels()
+    obs.count("epa.translate_calls")
 
     match path:
         case AxisStep() | AxisClosure() | Self():
@@ -405,6 +411,7 @@ def node_to_let_nf(expr: NodeExpr, fresh: FreshLabels | None = None) -> LetNF:
                 transitions.add((auto.final, step, auto.final))
             roaming = PathAutomaton(auto.num_states, frozenset(transitions),
                                     auto.initial, auto.final)
+            obs.count("epa.loop_tests")
             return LetNF(NFLoop(roaming), epa.environment)
         case PathEquality(left=a, right=b):
             return node_to_let_nf(SomePath(Intersect(a, b)), fresh)

@@ -23,6 +23,7 @@ solving the acceptance game never hashes deep expression trees.
 
 from __future__ import annotations
 
+from .. import obs
 from ..games import ParityGame, solve_parity
 from ..trees import XMLTree
 from ..xpath.ast import Axis, AxisClosure, Filter, NodeExpr, Seq
@@ -85,6 +86,9 @@ class TwoATA:
         self._formula_table: list[tuple] = [("true",), ("false",)]
         self._formula_ids: dict[tuple, int] = {("true",): 0, ("false",): 1}
         self._delta_memo: dict[tuple, int] = {}
+        obs.count("twoata.automata_built")
+        obs.count("twoata.states_built", len(self.state_exprs))
+        obs.gauge("twoata.states", len(self.state_exprs))
 
     # ------------------------------------------------------------ structure
 
@@ -144,6 +148,7 @@ class TwoATA:
         key = (state, label, poss_steps)
         index = self._delta_memo.get(key)
         if index is None:
+            obs.count("twoata.transitions_built")
             index = self._delta_raw(state, label, poss_steps)
             self._delta_memo[key] = index
         return index
@@ -227,9 +232,10 @@ def build_twoata(phi: NodeExpr) -> TwoATA:
     ``φ' = loop(↓*[φ]/↑*)`` holds at the root iff ``φ`` holds somewhere, so
     the automaton starts at the root in state ``q_{φ'}``.
     """
-    wrapped = Seq(Filter(AxisClosure(Axis.DOWN), phi), AxisClosure(Axis.UP))
-    phi_prime: NFExpr = NFLoop(eliminate_skips(path_to_automaton(wrapped)))
-    return TwoATA(phi_prime)
+    with obs.span("twoata.build"):
+        wrapped = Seq(Filter(AxisClosure(Axis.DOWN), phi), AxisClosure(Axis.UP))
+        phi_prime: NFExpr = NFLoop(eliminate_skips(path_to_automaton(wrapped)))
+        return TwoATA(phi_prime)
 
 
 def accepts(automaton: TwoATA, tree: XMLTree) -> bool:
@@ -292,6 +298,8 @@ def accepts(automaton: TwoATA, tree: XMLTree) -> bool:
             for successor in successors:
                 push(successor)
 
+    obs.count("twoata.games_solved")
+    obs.gauge("twoata.game_positions", len(seen))
     game = ParityGame(owner, priority, moves)
     win_eve, _ = solve_parity(game)
     return root_position in win_eve

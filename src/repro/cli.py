@@ -13,10 +13,23 @@ Commands
   paper's translations on an expression and print the result.
 * ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
 
+The decision commands take ``--stats`` (human-readable run statistics on
+stderr) and ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
+as JSON; ``-`` for stderr).
+
+Stream and exit-code contract: *answers* (verdicts, witnesses,
+counterexamples, evaluation results) go to stdout; *diagnostics* (errors,
+warnings, ``--stats`` reports) go to stderr.  Exit codes: 0 — conclusive
+positive answer (satisfiable / contained / valid); 1 — conclusive negative
+answer (counterexample found / invalid document); 2 — error, or an
+inconclusive bounded-search verdict (no witness up to the bound, which is
+*not* a proof: see ``Verdict.NO_WITNESS_WITHIN_BOUND``).
+
 Schemas are text files with one ``label = content-model`` rule per line; the
 first rule's label is the root type (lines like ``label -> concrete`` after
 a ``%projection`` marker define an EDTD projection).  Expressions use the
-library's ASCII syntax (see ``repro.xpath.parser``).
+library's ASCII syntax (see ``repro.xpath.parser``), which also accepts
+official XPath axis steps such as ``child::a`` or ``descendant::a``.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ import sys
 from .analysis import contains as _contains
 from .analysis import satisfiable as _satisfiable
 from .edtd import EDTD
+from .obs import RunRecord
 from .semantics import evaluate_path
 from .trees import XMLTree, from_xml, to_indented
 from .xpath import parse_node, parse_path, to_paper, to_source
@@ -87,31 +101,68 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _wants_stats(args) -> bool:
+    return bool(args.stats or args.trace_json)
+
+
+def _emit_stats(stats: dict | None, args) -> None:
+    """Route the run record to the requested sinks (all diagnostics)."""
+    if stats is None:
+        return
+    run_record = RunRecord.from_dict(stats)
+    if args.stats:
+        print(run_record.summary(), file=sys.stderr)
+    if args.trace_json:
+        if args.trace_json == "-":
+            print(run_record.to_json(), file=sys.stderr)
+        else:
+            with open(args.trace_json, "w", encoding="utf-8") as handle:
+                handle.write(run_record.to_json())
+                handle.write("\n")
+
+
+def _warn_inconclusive(explored_up_to: int | None) -> None:
+    bound = f" up to {explored_up_to} nodes" if explored_up_to else ""
+    print(f"warning: no witness found{bound}; the search bound was "
+          "exhausted, so this is evidence, not a proof "
+          "(raise --max-nodes to search further)", file=sys.stderr)
+
+
 def _cmd_satisfiable(args) -> int:
     phi = parse_node(args.expr)
     edtd = load_schema(args.schema) if args.schema else None
-    result = _satisfiable(phi, edtd=edtd, max_nodes=args.max_nodes)
+    result = _satisfiable(phi, edtd=edtd, max_nodes=args.max_nodes,
+                          stats=_wants_stats(args))
     print(f"verdict: {result.verdict.value} (conclusive: {result.conclusive})")
     if result.witness is not None:
         print("witness document:")
         print(to_indented(result.witness))
         print(f"satisfied at node {result.witness_node}")
+    _emit_stats(result.stats, args)
+    if result.witness is not None or result.conclusive:
         return 0
-    return 0 if result.conclusive else 2
+    _warn_inconclusive(result.explored_up_to)
+    return 2
 
 
 def _cmd_contains(args) -> int:
     alpha = parse_path(args.alpha)
     beta = parse_path(args.beta)
     edtd = load_schema(args.schema) if args.schema else None
-    result = _contains(alpha, beta, edtd=edtd, max_nodes=args.max_nodes)
+    result = _contains(alpha, beta, edtd=edtd, max_nodes=args.max_nodes,
+                       stats=_wants_stats(args))
     print(f"contained: {result.contained} (conclusive: {result.conclusive})")
     if result.counterexample is not None:
         d, e = result.counterexample_pair
         print(f"counterexample (pair {d} -> {e}):")
         print(to_indented(result.counterexample))
+        _emit_stats(result.stats, args)
         return 1
-    return 0 if result.conclusive else 2
+    _emit_stats(result.stats, args)
+    if result.conclusive:
+        return 0
+    _warn_inconclusive(result.explored_up_to)
+    return 2
 
 
 def _cmd_translate(args) -> int:
@@ -172,6 +223,15 @@ def _cmd_show(args) -> int:
     return 0
 
 
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--stats", action="store_true",
+        help="print run statistics (engine, spans, counters) to stderr")
+    subparser.add_argument(
+        "--trace-json", metavar="FILE", default=None,
+        help="write the full RunRecord as JSON to FILE ('-' for stderr)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -191,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("expr")
     sat.add_argument("--schema")
     sat.add_argument("--max-nodes", type=int, default=6)
+    _add_obs_flags(sat)
     sat.set_defaults(func=_cmd_satisfiable)
 
     cont = commands.add_parser("contains", help="path containment")
@@ -198,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     cont.add_argument("beta")
     cont.add_argument("--schema")
     cont.add_argument("--max-nodes", type=int, default=6)
+    _add_obs_flags(cont)
     cont.set_defaults(func=_cmd_contains)
 
     translate = commands.add_parser("translate", help="run a paper translation")
@@ -222,7 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        # Parse errors (XPathSyntaxError is a ValueError), bad schema files,
+        # unreadable documents: diagnostics belong on stderr, exit code 2.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

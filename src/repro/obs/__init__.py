@@ -1,0 +1,51 @@
+"""repro.obs — dependency-free observability for the decision procedures.
+
+Three layers, all zero-cost when disabled (see DESIGN.md's perf notes):
+
+* **Spans** (:func:`span`): context-managed wall-clock timers with nesting,
+  attached to the innermost active :class:`Recording` of the current thread.
+* **Metrics** (:func:`count`, :func:`gauge`): named monotone counters and
+  last-value gauges scoped to the active recording, so successive runs start
+  from a clean slate.
+* **Run records** (:class:`RunRecord`): a JSON-serializable account of one
+  whole decision-procedure invocation — inputs, engine, verdict, the span
+  tree, and all metrics — produced by :meth:`Recording.to_run_record`.
+
+Instrumentation points throughout the library call :func:`span` /
+:func:`count` unconditionally; with no recording active these are no-ops
+behind a single module-flag check, so the tier-1 test suite pays nothing.
+Enable ambient collection with :func:`enable`/:func:`disable` (used by the
+benchmark harness) or scope it with ``with record("name") as rec: ...``.
+"""
+
+from .core import (
+    NULL_SPAN,
+    Recording,
+    Span,
+    active,
+    count,
+    disable,
+    enable,
+    gauge,
+    is_enabled,
+    note,
+    record,
+    span,
+)
+from .runrecord import RunRecord
+
+__all__ = [
+    "NULL_SPAN",
+    "Recording",
+    "RunRecord",
+    "Span",
+    "active",
+    "count",
+    "disable",
+    "enable",
+    "gauge",
+    "is_enabled",
+    "note",
+    "record",
+    "span",
+]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .. import obs
 from ..trees import MultiLabelTree, XMLTree
 from ..xpath.ast import (
     And,
@@ -86,11 +87,13 @@ class Evaluator:
     def path(self, expr: PathExpr,
              assignment: Mapping[str, int] | None = None) -> Relation:
         """``[[expr]]_PExpr`` under ``assignment`` (default: empty)."""
+        obs.count("evaluator.calls")
         return self._path(expr, dict(assignment or {}))
 
     def nodes(self, expr: NodeExpr,
               assignment: Mapping[str, int] | None = None) -> frozenset[int]:
         """``[[expr]]_NExpr`` under ``assignment`` (default: empty)."""
+        obs.count("evaluator.calls")
         return self._nodes(expr, dict(assignment or {}))
 
     # -------------------------------------------------------- axis relations

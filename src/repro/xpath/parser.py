@@ -10,6 +10,14 @@ Grammar (path expressions, loosest-binding first)::
     seq       := postfix ('/' postfix)*
     postfix   := primary ('[' node ']' | '*' | '+')*
     primary   := 'down' | 'up' | 'left' | 'right' | '.' | '(' path ')'
+               | OFFICIAL_AXIS '::' (LABEL | '*')
+
+``OFFICIAL_AXIS`` accepts the official XPath 2.0 step syntax as sugar
+(``child``, ``parent``, ``self``, ``descendant``, ``ancestor``,
+``descendant-or-self``, ``ancestor-or-self``, ``following-sibling``,
+``preceding-sibling``); ``axis::a`` desugars to the CoreXPath encoding
+(e.g. ``descendant::a`` to ``down/down*[a]``), the inverse direction of
+:func:`repro.xpath.official.to_official`.
 
 and node expressions::
 
@@ -63,12 +71,30 @@ class XPathSyntaxError(ValueError):
 _TOKEN = re.compile(
     r"\s*(?:"
     r"(?P<quoted>'(?:[^'\\]|\\.)*')"
-    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_@#]*)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_@#-]*)"
+    r"|(?P<dcolon>::)"
     r"|(?P<punct>[/\[\]()<>,*+$.])"
     r")"
 )
 
 _AXES = {"down": Axis.DOWN, "up": Axis.UP, "left": Axis.LEFT, "right": Axis.RIGHT}
+
+#: Official XPath axis steps (``axis::nametest``), accepted as sugar so CLI
+#: users can paste real queries; each maps to the CoreXPath encoding used by
+#: :mod:`repro.xpath.official` in the other direction.
+_OFFICIAL_AXES = {
+    "child": lambda: AxisStep(Axis.DOWN),
+    "parent": lambda: AxisStep(Axis.UP),
+    "self": Self,
+    "descendant": lambda: Seq(AxisStep(Axis.DOWN), AxisClosure(Axis.DOWN)),
+    "ancestor": lambda: Seq(AxisStep(Axis.UP), AxisClosure(Axis.UP)),
+    "descendant-or-self": lambda: AxisClosure(Axis.DOWN),
+    "ancestor-or-self": lambda: AxisClosure(Axis.UP),
+    "following-sibling": lambda: Seq(AxisStep(Axis.RIGHT),
+                                     AxisClosure(Axis.RIGHT)),
+    "preceding-sibling": lambda: Seq(AxisStep(Axis.LEFT),
+                                     AxisClosure(Axis.LEFT)),
+}
 _KEYWORDS = {"union", "intersect", "except", "for", "in", "return",
              "and", "or", "not", "true", "false", "is", "eq"} | set(_AXES)
 
@@ -90,6 +116,8 @@ class _Tokens:
                 raw = match.group("quoted")[1:-1]
                 value = raw.replace("\\'", "'").replace("\\\\", "\\")
                 self.items.append(("label", value, match.start()))
+            elif match.group("dcolon"):
+                self.items.append(("punct", "::", match.start()))
             elif match.group("ident"):
                 self.items.append(("ident", match.group("ident"), match.start()))
             else:
@@ -216,8 +244,31 @@ def _postfix(tokens: _Tokens) -> PathExpr:
             return path
 
 
+def _official_step(tokens: _Tokens) -> PathExpr:
+    """``axis::nametest`` — the official XPath step syntax."""
+    _, axis_name = tokens.next()
+    tokens.expect("punct", "::")
+    path = _OFFICIAL_AXES[axis_name]()
+    got = tokens.peek()
+    if got == ("punct", "*"):
+        tokens.next()
+        return path
+    if got is not None and got[0] in ("ident", "label"):
+        _, name = tokens.next()
+        return Filter(path, Label(name))
+    raise XPathSyntaxError(
+        f"expected a name test after '{axis_name}::', "
+        f"got {got[1] if got else 'end of input'!r}"
+    )
+
+
 def _primary(tokens: _Tokens) -> tuple[PathExpr, bool]:
     """Returns (path, is_bare_axis_token)."""
+    ahead = tokens.peek()
+    if ahead is not None and ahead[0] == "ident" \
+            and ahead[1] in _OFFICIAL_AXES \
+            and tokens.peek(1) == ("punct", "::"):
+        return _official_step(tokens), False
     kind, value = tokens.next()
     if kind == "ident" and value in _AXES:
         return AxisStep(_AXES[value]), True
@@ -254,6 +305,13 @@ def _unary(tokens: _Tokens) -> NodeExpr:
 
 
 def _atom(tokens: _Tokens) -> NodeExpr:
+    ahead = tokens.peek()
+    if ahead is not None and ahead[0] == "ident" \
+            and ahead[1] in _OFFICIAL_AXES \
+            and tokens.peek(1) == ("punct", "::"):
+        # An official axis step used as a node test (e.g. ``self::a``,
+        # ``child::b``) holds wherever the step selects something.
+        return SomePath(_official_step(tokens))
     kind, value = tokens.next()
     if kind == "label":
         return Label(value)

@@ -143,3 +143,93 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_official_axis_syntax(self, capsys):
+        code = main(["contains", "child::a", "descendant::a"])
+        assert code == 0
+        assert "contained: True" in capsys.readouterr().out
+
+
+class TestStreamsAndExitCodes:
+    """The stream contract: answers on stdout, diagnostics on stderr."""
+
+    def test_verdict_on_stdout_only(self, capsys):
+        assert main(["satisfiable", "p"]) == 0
+        captured = capsys.readouterr()
+        assert "verdict: satisfiable" in captured.out
+        assert captured.err == ""
+
+    def test_parse_error_on_stderr_exit_2(self, capsys):
+        code = main(["satisfiable", "<<<not an expression"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert captured.out == ""
+
+    def test_bad_schema_file_on_stderr_exit_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.schema"
+        bad.write_text("no separator here\n")
+        code = main(["satisfiable", "p", "--schema", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inconclusive_warns_on_stderr_exit_2(self, capsys):
+        """Bound-exhausted 'no witness' is ambiguous: non-zero exit plus a
+        stderr warning, never a bare success."""
+        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "no-witness-within-bound" in captured.out
+        assert "warning:" in captured.err
+        assert "not a proof" in captured.err
+
+    def test_contains_inconclusive_exit_2(self, capsys):
+        code = main(["contains", "up", "up", "--max-nodes", "2"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "conclusive: False" in captured.out
+        assert "warning:" in captured.err
+
+
+class TestStatsFlags:
+    def test_stats_goes_to_stderr(self, capsys):
+        code = main(["satisfiable", "self::a", "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "verdict: satisfiable" in captured.out
+        assert "== run: satisfiable ==" in captured.err
+        assert "engine:" in captured.err
+        assert "counters:" in captured.err
+        assert "== run" not in captured.out
+
+    def test_trace_json_file(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(["contains", "child::a", "descendant::a",
+                     "--stats", "--trace-json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["meta"]["engine"] in ("expspace", "bounded")
+        assert data["meta"]["verdict"] == "unsatisfiable"
+        assert len(data["counters"]) >= 3
+
+        def spans(node):
+            yield node
+            for child in node.get("children", ()):
+                yield from spans(child)
+
+        named = [s for s in spans(data["spans"])
+                 if s.get("duration_s") is not None]
+        assert len(named) >= 3
+
+    def test_trace_json_dash_to_stderr(self, capsys):
+        code = main(["satisfiable", "p", "--trace-json", "-"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert '"schema_version"' in captured.err
+        assert '"schema_version"' not in captured.out
+
+    def test_stats_off_leaves_result_clean(self, capsys):
+        assert main(["satisfiable", "p"]) == 0
+        assert "== run" not in capsys.readouterr().err

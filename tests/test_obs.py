@@ -1,0 +1,200 @@
+"""Tests for the observability layer (repro.obs) and its threading through
+the decision procedures."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.analysis import contains, satisfiable
+from repro.analysis.problems import SatResult, Verdict
+from repro.obs import RunRecord
+from repro.xpath import parse_node, parse_path
+
+
+class TestSpans:
+    def test_disabled_is_noop(self):
+        assert obs.active() is None
+        assert not obs.is_enabled()
+        assert obs.span("anything") is obs.NULL_SPAN
+        obs.count("nothing")  # must not raise, must not record anywhere
+        obs.gauge("nothing", 1.0)
+        obs.note("nothing", "x")
+
+    def test_nesting_structure(self):
+        with obs.record("run") as rec:
+            with obs.span("outer"):
+                with obs.span("inner-a"):
+                    pass
+                with obs.span("inner-b", label=3):
+                    pass
+            with obs.span("sibling"):
+                pass
+        root = rec.root
+        assert [c.name for c in root.children] == ["outer", "sibling"]
+        outer = root.children[0]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert outer.children[1].attrs == {"label": 3}
+
+    def test_timing_monotonicity(self):
+        """Every span duration is non-negative and a parent runs at least
+        as long as each child (children are fully nested in time)."""
+        with obs.record("run") as rec:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    sum(range(1000))
+        outer = rec.root.children[0]
+        inner = outer.children[0]
+        assert inner.duration_s >= 0.0
+        assert outer.duration_s >= inner.duration_s
+        assert rec.root.duration_s >= outer.duration_s
+
+    def test_manual_span_driving(self):
+        with obs.record("run") as rec:
+            span = obs.span("loop").start()
+            span.annotate(items=7)
+            span.finish()
+        assert rec.root.children[0].attrs == {"items": 7}
+        assert rec.root.children[0].duration_s is not None
+
+    def test_exception_unwinds_spans(self):
+        with obs.record("run") as rec:
+            with pytest.raises(RuntimeError):
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise RuntimeError("boom")
+            with obs.span("after"):
+                pass
+        # "after" must be a sibling of "outer", not nested inside it.
+        assert [c.name for c in rec.root.children] == ["outer", "after"]
+
+
+class TestCounters:
+    def test_count_and_gauge(self):
+        with obs.record("run") as rec:
+            obs.count("widgets")
+            obs.count("widgets", 4)
+            obs.gauge("depth", 2)
+            obs.gauge("depth", 9)
+        assert rec.counters == {"widgets": 5}
+        assert rec.gauges == {"depth": 9}
+
+    def test_counters_reset_between_runs(self):
+        with obs.record("first") as first:
+            obs.count("widgets", 10)
+        with obs.record("second") as second:
+            obs.count("gadgets")
+        assert first.counters == {"widgets": 10}
+        assert second.counters == {"gadgets": 1}
+        assert "widgets" not in second.counters
+
+    def test_nested_recordings_innermost_wins(self):
+        with obs.record("outer") as outer:
+            obs.count("seen")
+            with obs.record("inner") as inner:
+                obs.count("seen")
+        assert outer.counters == {"seen": 1}
+        assert inner.counters == {"seen": 1}
+
+    def test_enable_disable_ambient(self):
+        recording = obs.enable("ambient-test")
+        try:
+            obs.count("ambient.hits")
+            assert obs.active() is recording
+        finally:
+            stopped = obs.disable()
+        assert stopped is recording
+        assert recording.counters == {"ambient.hits": 1}
+        assert obs.active() is None
+
+
+class TestRunRecord:
+    def _sample(self) -> RunRecord:
+        with obs.record("sample", flavor="test") as rec:
+            with obs.span("phase", step=1):
+                obs.count("things", 3)
+            obs.gauge("level", 4.5)
+            rec.note("engine", "bounded")
+        return rec.to_run_record()
+
+    def test_json_round_trip(self):
+        run = self._sample()
+        clone = RunRecord.from_json(run.to_json())
+        assert clone == run
+        # And through plain dicts (what result.stats carries).
+        assert RunRecord.from_dict(json.loads(json.dumps(run.to_dict()))) == run
+
+    def test_schema_version_guard(self):
+        data = self._sample().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError):
+            RunRecord.from_dict(data)
+
+    def test_iter_spans(self):
+        run = self._sample()
+        names = [span["name"] for span in run.iter_spans()]
+        assert names == ["sample", "phase"]
+        assert all(span["duration_s"] is not None for span in run.iter_spans())
+
+    def test_summary_mentions_key_facts(self):
+        run = self._sample()
+        text = run.summary()
+        assert "engine: bounded" in text
+        assert "things: 3" in text
+        assert "phase" in text
+
+
+class TestDecisionProcedureStats:
+    def test_stats_default_off(self):
+        result = satisfiable(parse_node("p"))
+        assert result.stats is None
+
+    def test_expspace_eligible_input_reports_expspace(self):
+        # CoreXPath↓(∩): dispatched to the complete Figure 2 engine.
+        result = satisfiable(parse_node("<down[p] intersect down*>"),
+                             stats=True)
+        assert result.verdict is Verdict.SATISFIABLE
+        assert result.stats["meta"]["engine"] == "expspace"
+        assert result.stats["counters"]["dispatch.expspace"] == 1
+        assert result.stats["counters"]["expspace.types_enumerated"] > 0
+        run = RunRecord.from_dict(result.stats)
+        assert any(s["name"] == "expspace.fixpoint" for s in run.iter_spans())
+
+    def test_bounded_only_input_reports_bounded(self):
+        # Uses the ↑ axis: outside CoreXPath↓(∩), must fall back to search.
+        result = satisfiable(parse_node("<up> and not <up>"),
+                             max_nodes=3, stats=True)
+        assert result.verdict is Verdict.NO_WITNESS_WITHIN_BOUND
+        assert result.stats["meta"]["engine"] == "bounded"
+        assert result.stats["counters"]["dispatch.bounded"] == 1
+        assert result.stats["counters"]["trees.enumerated"] > 0
+        assert result.stats["counters"]["evaluator.calls"] > 0
+        run = RunRecord.from_dict(result.stats)
+        sizes = [s for s in run.iter_spans() if s["name"] == "bounded.size"]
+        assert sizes and all(s["duration_s"] >= 0 for s in sizes)
+
+    def test_contains_stats_meta(self):
+        result = contains(parse_path("child::a"), parse_path("descendant::a"),
+                          stats=True)
+        assert result.contained and result.conclusive
+        meta = result.stats["meta"]
+        assert meta["command"] == "contains"
+        assert meta["verdict"] == "unsatisfiable"
+        assert meta["inputs"]["alpha_size"] == 3
+        run = RunRecord.from_dict(result.stats)
+        with_durations = [s for s in run.iter_spans()
+                          if s["duration_s"] is not None]
+        assert len(with_durations) >= 3
+        assert len(result.stats["counters"]) >= 3
+
+    def test_no_recording_leaks_after_stats_run(self):
+        satisfiable(parse_node("p"), stats=True)
+        assert obs.active() is None
+        assert not obs.is_enabled()
+
+    def test_with_stats_preserves_fields(self):
+        result = SatResult(Verdict.UNSATISFIABLE, trees_checked=7)
+        tagged = result.with_stats({"name": "x"})
+        assert tagged.trees_checked == 7
+        assert tagged.stats == {"name": "x"}
+        assert result.stats is None
