@@ -1,6 +1,14 @@
 """Static analysis: problems, reductions, and decision engines (§2.3, §5)."""
 
-from .problems import Verdict, SatResult, ContainmentResult
+from .problems import (
+    DEFAULT_MAX_NODES,
+    Verdict,
+    SatResult,
+    ContainmentResult,
+    Problem,
+    ProblemKind,
+)
+from .registry import Engine, EngineRegistry, default_registry, plan_and_run
 from .reductions import (
     NodeSatReduction,
     EDTDSatReduction,
@@ -39,7 +47,10 @@ from .optimize import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_NODES",
     "Verdict", "SatResult", "ContainmentResult",
+    "Problem", "ProblemKind",
+    "Engine", "EngineRegistry", "default_registry", "plan_and_run",
     "NodeSatReduction", "EDTDSatReduction",
     "containment_to_node_unsat", "sat_to_edtd_sat", "edtd_sat_to_sat",
     "node_satisfiable", "path_satisfiable", "check_containment",

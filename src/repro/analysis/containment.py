@@ -1,20 +1,20 @@
 """Top-level static-analysis API: satisfiability, containment, equivalence.
 
-Dispatches per fragment:
-
-* CoreXPath↓(∩) inputs (the EXPSPACE row of Table I) go to the complete
-  Figure 2 procedure (:mod:`repro.analysis.expspace`), via the Prop. 4/5
-  reductions when the problem arrives as containment or without a schema.
-  Verdicts from this engine are always conclusive.
-* Everything else goes to the bounded model-search engine
-  (:mod:`repro.analysis.engines`), the documented substitute for the paper's
-  2-EXPTIME/non-elementary procedures: witnesses are conclusive, "no witness
-  up to n nodes" is exact but bounded.
+These are thin wrappers: each builds a
+:class:`~repro.analysis.problems.Problem` and hands it to the engine
+registry (:func:`repro.analysis.registry.plan_and_run`).  Which procedure
+runs — the complete Figure 2 EXPSPACE engine, bounded model search,
+randomized sampling — is decided entirely by the registered engines'
+``admits``/``cost_hint`` declarations; no engine-specific branching lives
+here.  The chosen engine and the full candidate decision are part of the
+run record.
 
 Every public entry point takes ``stats=True`` to wrap the run in a
 :mod:`repro.obs` recording: the returned result then carries a
-``RunRecord`` dict (engine chosen, verdict, per-span timings, counters)
-in its ``stats`` field.
+``RunRecord`` dict (engine decision, verdict, per-span timings, counters)
+in its ``stats`` field.  The ``method`` keyword is the historical name for
+an engine preference: ``"auto"`` lets the registry choose, any registered
+engine name forces that engine (the CLI exposes this as ``--engine``).
 """
 
 from __future__ import annotations
@@ -22,18 +22,18 @@ from __future__ import annotations
 from .. import obs
 from ..edtd import EDTD
 from ..xpath.ast import Expr, NodeExpr, PathExpr
-from ..xpath.fragments import DOWNWARD_CAP, fragment_of
+from ..xpath.fragments import fragment_of
 from ..xpath.measures import labels_used, size
-from .engines import DEFAULT_MAX_NODES, check_containment, node_satisfiable
-from .expspace import TooManyModalAtoms, downward_cap_satisfiable
-from .problems import ContainmentResult, SatResult, Verdict
-from .reductions import containment_to_node_unsat, sat_to_edtd_sat
+from .problems import (
+    DEFAULT_MAX_NODES,
+    ContainmentResult,
+    Problem,
+    ProblemKind,
+    SatResult,
+)
+from .registry import default_registry
 
 __all__ = ["satisfiable", "contains", "equivalent"]
-
-#: Engine names reported in run records and dispatch counters.
-ENGINE_EXPSPACE = "expspace"
-ENGINE_BOUNDED = "bounded"
 
 
 def _input_info(edtd: EDTD | None, **exprs: Expr) -> dict:
@@ -49,36 +49,32 @@ def _input_info(edtd: EDTD | None, **exprs: Expr) -> dict:
     return info
 
 
-def _dispatched(engine: str) -> None:
-    """Record which engine a (sub-)problem went to."""
-    obs.note("engine", engine)
-    obs.count(f"dispatch.{engine}")
+def _engine_preference(method: str) -> str | None:
+    """Map the ``method`` keyword to an engine preference, validating the
+    name against the registry."""
+    if method == "auto":
+        return None
+    registry = default_registry()
+    if method not in registry.names():
+        raise ValueError(
+            f"unknown method {method!r} (expected 'auto' or one of: "
+            f"{', '.join(registry.names())})"
+        )
+    return method
 
 
-def _try_expspace(phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
-    """Run the complete Figure 2 engine if the input fits its fragment."""
-    if not DOWNWARD_CAP.admits(phi):
-        return None
-    if edtd is None:
-        reduction = sat_to_edtd_sat(phi)
-        if not DOWNWARD_CAP.admits(reduction.formula):
-            return None
-        try:
-            inner = downward_cap_satisfiable(reduction.formula, reduction.edtd)
-        except TooManyModalAtoms:
-            obs.count("dispatch.expspace_too_large")
-            return None
-        if inner.verdict is Verdict.SATISFIABLE:
-            tree, node = reduction.decode(inner.witness, inner.witness_node)
-            return SatResult(Verdict.SATISFIABLE, tree, node,
-                             explored_up_to=tree.size,
-                             trees_checked=inner.trees_checked)
-        return inner
-    try:
-        return downward_cap_satisfiable(phi, edtd)
-    except TooManyModalAtoms:
-        obs.count("dispatch.expspace_too_large")
-        return None
+def _solve(problem: Problem, command: str, stats: bool,
+           **inputs: Expr) -> SatResult | ContainmentResult:
+    if not stats:
+        return default_registry().plan_and_run(problem)
+    with obs.record(command) as recording:
+        recording.note("command", command)
+        recording.note("method", problem.engine or "auto")
+        recording.note("inputs", _input_info(problem.edtd, **inputs))
+        result = default_registry().plan_and_run(problem)
+        recording.note("verdict", result.verdict.value)
+        recording.note("conclusive", result.conclusive)
+    return result.with_stats(recording.to_run_record().to_dict())
 
 
 def satisfiable(
@@ -90,45 +86,17 @@ def satisfiable(
 ) -> SatResult:
     """Node satisfiability (§2.3), optionally w.r.t. an EDTD.
 
-    ``method``: ``"auto"`` picks the complete Figure 2 engine when the input
-    is CoreXPath↓(∩) (conclusive verdicts), else falls back to bounded
-    search; ``"expspace"`` forces the former (raises if inapplicable);
-    ``"bounded"`` forces the latter.  ``stats=True`` attaches a
-    :mod:`repro.obs` run record to the result.
+    ``method``: ``"auto"`` lets the registry pick the cheapest conclusive
+    engine that admits the input (the complete Figure 2 engine for
+    CoreXPath↓(∩), bounded search otherwise); an engine name forces that
+    engine (raising if it cannot take the input).  ``stats=True`` attaches
+    a :mod:`repro.obs` run record to the result.
     """
-    if method not in ("auto", "expspace", "bounded"):
-        raise ValueError(f"unknown method {method!r}")
-    if not stats:
-        return _satisfiable_impl(phi, edtd, method, max_nodes)
-    with obs.record("satisfiable") as recording:
-        recording.note("command", "satisfiable")
-        recording.note("method", method)
-        recording.note("inputs", _input_info(edtd, phi=phi))
-        result = _satisfiable_impl(phi, edtd, method, max_nodes)
-        recording.note("verdict", result.verdict.value)
-        recording.note("conclusive", result.conclusive)
-    return result.with_stats(recording.to_run_record().to_dict())
-
-
-def _satisfiable_impl(
-    phi: NodeExpr,
-    edtd: EDTD | None,
-    method: str,
-    max_nodes: int,
-) -> SatResult:
-    if method in ("auto", "expspace"):
-        with obs.span("dispatch", problem="satisfiable"):
-            result = _try_expspace(phi, edtd)
-        if result is not None:
-            _dispatched(ENGINE_EXPSPACE)
-            return result
-        if method == "expspace":
-            raise ValueError(
-                "the Figure 2 engine needs a CoreXPath↓(∩) input "
-                f"(violations: {DOWNWARD_CAP.violations(phi)})"
-            )
-    _dispatched(ENGINE_BOUNDED)
-    return node_satisfiable(phi, max_nodes=max_nodes, edtd=edtd)
+    problem = Problem(ProblemKind.SATISFIABILITY, phi=phi, edtd=edtd,
+                      max_nodes=max_nodes, engine=_engine_preference(method))
+    result = _solve(problem, "satisfiable", stats, phi=phi)
+    assert isinstance(result, SatResult)
+    return result
 
 
 def contains(
@@ -146,46 +114,12 @@ def contains(
     by exhaustive counterexample search up to ``max_nodes``.  ``stats=True``
     attaches a :mod:`repro.obs` run record to the result.
     """
-    if method not in ("auto", "expspace", "bounded"):
-        raise ValueError(f"unknown method {method!r}")
-    if not stats:
-        return _contains_impl(alpha, beta, edtd, method, max_nodes)
-    with obs.record("contains") as recording:
-        recording.note("command", "contains")
-        recording.note("method", method)
-        recording.note("inputs", _input_info(edtd, alpha=alpha, beta=beta))
-        result = _contains_impl(alpha, beta, edtd, method, max_nodes)
-        recording.note("verdict", result.verdict.value)
-        recording.note("conclusive", result.conclusive)
-    return result.with_stats(recording.to_run_record().to_dict())
-
-
-def _contains_impl(
-    alpha: PathExpr,
-    beta: PathExpr,
-    edtd: EDTD | None,
-    method: str,
-    max_nodes: int,
-) -> ContainmentResult:
-    if method in ("auto", "expspace"):
-        with obs.span("dispatch", problem="contains"):
-            reduction = containment_to_node_unsat(alpha, beta, edtd)
-            result = _try_expspace(reduction.formula, reduction.edtd)
-        if result is not None:
-            _dispatched(ENGINE_EXPSPACE)
-            if result.verdict is Verdict.SATISFIABLE:
-                tree, pair = reduction.decode(result.witness, result.witness_node)
-                return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
-                                         explored_up_to=tree.size,
-                                         trees_checked=result.trees_checked)
-            return ContainmentResult(Verdict.UNSATISFIABLE,
-                                     trees_checked=result.trees_checked)
-        if method == "expspace":
-            raise ValueError(
-                "the Figure 2 engine needs CoreXPath↓(∩) inputs"
-            )
-    _dispatched(ENGINE_BOUNDED)
-    return check_containment(alpha, beta, max_nodes=max_nodes, edtd=edtd)
+    problem = Problem(ProblemKind.CONTAINMENT, alpha=alpha, beta=beta,
+                      edtd=edtd, max_nodes=max_nodes,
+                      engine=_engine_preference(method))
+    result = _solve(problem, "contains", stats, alpha=alpha, beta=beta)
+    assert isinstance(result, ContainmentResult)
+    return result
 
 
 def equivalent(
@@ -197,42 +131,11 @@ def equivalent(
     stats: bool = False,
 ) -> ContainmentResult:
     """Two-sided containment.  Returns the first failing direction's result
-    (or the weaker of the two positive verdicts)."""
-    if method not in ("auto", "expspace", "bounded"):
-        raise ValueError(f"unknown method {method!r}")
-    if not stats:
-        return _equivalent_impl(alpha, beta, edtd, method, max_nodes)
-    with obs.record("equivalent") as recording:
-        recording.note("command", "equivalent")
-        recording.note("method", method)
-        recording.note("inputs", _input_info(edtd, alpha=alpha, beta=beta))
-        result = _equivalent_impl(alpha, beta, edtd, method, max_nodes)
-        recording.note("verdict", result.verdict.value)
-        recording.note("conclusive", result.conclusive)
-    return result.with_stats(recording.to_run_record().to_dict())
-
-
-def _equivalent_impl(
-    alpha: PathExpr,
-    beta: PathExpr,
-    edtd: EDTD | None,
-    method: str,
-    max_nodes: int,
-) -> ContainmentResult:
-    with obs.span("direction", which="forward"):
-        forward = _contains_impl(alpha, beta, edtd, method, max_nodes)
-    if forward.verdict is Verdict.SATISFIABLE:
-        return forward
-    with obs.span("direction", which="backward"):
-        backward = _contains_impl(beta, alpha, edtd, method, max_nodes)
-    if backward.verdict is Verdict.SATISFIABLE:
-        return backward
-    weaker = Verdict.UNSATISFIABLE
-    if Verdict.NO_WITNESS_WITHIN_BOUND in (forward.verdict, backward.verdict):
-        weaker = Verdict.NO_WITNESS_WITHIN_BOUND
-    return ContainmentResult(
-        weaker,
-        explored_up_to=min(filter(None, (forward.explored_up_to,
-                                         backward.explored_up_to)), default=None),
-        trees_checked=forward.trees_checked + backward.trees_checked,
-    )
+    (or, when both directions hold, an aggregate whose ``per_direction``
+    field carries the exact per-direction figures)."""
+    problem = Problem(ProblemKind.EQUIVALENCE, alpha=alpha, beta=beta,
+                      edtd=edtd, max_nodes=max_nodes,
+                      engine=_engine_preference(method))
+    result = _solve(problem, "equivalent", stats, alpha=alpha, beta=beta)
+    assert isinstance(result, ContainmentResult)
+    return result

@@ -344,3 +344,93 @@ def _reconstruct(
 
     emit(t, None)
     return XMLTree(labels, parents)
+
+
+# ----------------------------------------------------------- registry glue
+
+from .registry import Engine, default_registry  # noqa: E402  (after the
+# algorithm proper: the registry depends only on .problems, so this import
+# cannot cycle back into this module.)
+
+
+class ExpspaceEngine(Engine):
+    """Registry adapter for the complete Figure 2 procedure.
+
+    Admits CoreXPath↓(∩) inputs — directly for satisfiability w.r.t. a
+    schema, via the Prop. 5 reduction for schemaless satisfiability, via
+    the Prop. 4 reduction for containment.  Verdicts are always
+    conclusive.  Declines at runtime (``solve`` returns ``None``) when the
+    explicit type enumeration would not fit in memory; the registry then
+    falls through to the bounded engine.
+    """
+
+    name = "expspace"
+    conclusive = True
+    cost_hint = 10
+
+    def admits(self, problem) -> bool:
+        from ..xpath.fragments import DOWNWARD_CAP
+        from .problems import ProblemKind
+        from .reductions import containment_to_node_unsat, sat_to_edtd_sat
+
+        if problem.kind is ProblemKind.SATISFIABILITY:
+            if not DOWNWARD_CAP.admits(problem.phi):
+                return False
+            if problem.edtd is None:
+                return DOWNWARD_CAP.admits(sat_to_edtd_sat(problem.phi).formula)
+            return True
+        if problem.kind is ProblemKind.CONTAINMENT:
+            reduction = containment_to_node_unsat(problem.alpha, problem.beta,
+                                                  problem.edtd)
+            return DOWNWARD_CAP.admits(reduction.formula)
+        return False
+
+    def solve(self, problem):
+        from .problems import ContainmentResult, ProblemKind
+        from .reductions import containment_to_node_unsat
+
+        obs.note("engine", self.name)
+        if problem.kind is ProblemKind.SATISFIABILITY:
+            result = self._satisfiable(problem.phi, problem.edtd)
+            if result is not None:
+                obs.count(f"dispatch.{self.name}")
+            return result
+        reduction = containment_to_node_unsat(problem.alpha, problem.beta,
+                                              problem.edtd)
+        inner = self._satisfiable(reduction.formula, reduction.edtd)
+        if inner is None:
+            return None
+        obs.count(f"dispatch.{self.name}")
+        if inner.verdict is Verdict.SATISFIABLE:
+            tree, pair = reduction.decode(inner.witness, inner.witness_node)
+            return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
+                                     explored_up_to=tree.size,
+                                     trees_checked=inner.trees_checked)
+        return ContainmentResult(Verdict.UNSATISFIABLE,
+                                 trees_checked=inner.trees_checked)
+
+    def _satisfiable(self, phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
+        from .reductions import sat_to_edtd_sat
+
+        if edtd is None:
+            reduction = sat_to_edtd_sat(phi)
+            try:
+                inner = downward_cap_satisfiable(reduction.formula,
+                                                 reduction.edtd)
+            except TooManyModalAtoms:
+                obs.count("dispatch.expspace_too_large")
+                return None
+            if inner.verdict is Verdict.SATISFIABLE:
+                tree, node = reduction.decode(inner.witness, inner.witness_node)
+                return SatResult(Verdict.SATISFIABLE, tree, node,
+                                 explored_up_to=tree.size,
+                                 trees_checked=inner.trees_checked)
+            return inner
+        try:
+            return downward_cap_satisfiable(phi, edtd)
+        except TooManyModalAtoms:
+            obs.count("dispatch.expspace_too_large")
+            return None
+
+
+default_registry().register(ExpspaceEngine())

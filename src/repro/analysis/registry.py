@@ -1,0 +1,243 @@
+"""The pluggable engine registry: who decides which problem, and why.
+
+An :class:`Engine` wraps one decision procedure behind a uniform interface:
+
+* ``name`` — how users force it (``--engine NAME``, ``method=NAME``);
+* ``admits(problem)`` — a cheap syntactic test: could this engine run at
+  all on the problem's fragment/kind?
+* ``conclusive`` — whether its negative verdicts are proofs;
+* ``cost_hint`` — a rough ordering key; the registry tries admitted
+  engines cheapest-first, so a complete polynomial-ish procedure beats
+  exhaustive search beats random sampling;
+* ``solve(problem)`` — run it, or return ``None`` to *decline at runtime*
+  (e.g. the EXPSPACE engine's type space blows past its memory guard —
+  something ``admits`` cannot see syntactically).
+
+:func:`plan_and_run` is the single dispatch point for the whole analysis
+API: ``satisfiable``/``contains``/``equivalent`` build a
+:class:`~repro.analysis.problems.Problem` and call it.  Every run notes an
+``engine_decision`` record — the full candidate list with admission
+verdicts and the engine finally chosen — so run records explain *why* a
+problem went where it did.
+
+Engines self-register at import time; :func:`default_registry` imports the
+builtin engine modules lazily to avoid import cycles with
+:mod:`repro.analysis.engines` and :mod:`repro.analysis.expspace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .. import obs
+from .problems import ContainmentResult, Problem, ProblemKind, SatResult, Verdict
+
+__all__ = [
+    "Engine",
+    "EngineRegistry",
+    "default_registry",
+    "plan_and_run",
+]
+
+Result = SatResult | ContainmentResult
+
+
+class Engine:
+    """Base class for decision engines.  Subclasses set the class attributes
+    and implement :meth:`admits` and :meth:`solve`."""
+
+    #: Registry name; also the ``dispatch.<name>`` counter suffix.
+    name: str = "abstract"
+    #: Whether negative verdicts from this engine are proofs.
+    conclusive: bool = False
+    #: Rough relative cost; the registry tries cheaper engines first.
+    cost_hint: int = 100
+
+    def admits(self, problem: Problem) -> bool:
+        """Cheap syntactic admissibility check."""
+        raise NotImplementedError
+
+    def solve(self, problem: Problem) -> Result | None:
+        """Decide ``problem``, or return ``None`` to decline at runtime."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "conclusive": self.conclusive,
+            "cost_hint": self.cost_hint,
+        }
+
+
+class EngineRegistry:
+    """An ordered collection of engines plus the dispatch policy."""
+
+    def __init__(self) -> None:
+        self._engines: dict[str, Engine] = {}
+
+    def register(self, engine: Engine) -> Engine:
+        """Add (or replace) an engine under its name."""
+        self._engines[engine.name] = engine
+        return engine
+
+    def names(self) -> list[str]:
+        return sorted(self._engines)
+
+    def get(self, name: str) -> Engine:
+        engine = self._engines.get(name)
+        if engine is None:
+            raise ValueError(
+                f"unknown engine {name!r} (registered: {', '.join(self.names())})"
+            )
+        return engine
+
+    def candidates(self, problem: Problem) -> list[Engine]:
+        """All registered engines in dispatch order (cheapest first)."""
+        return sorted(self._engines.values(),
+                      key=lambda engine: (engine.cost_hint, engine.name))
+
+    def plan_and_run(self, problem: Problem) -> Result:
+        """Dispatch ``problem`` to an engine and return its result.
+
+        With ``problem.engine`` set, that engine must admit and solve the
+        problem (declining raises ``ValueError``) — except for equivalence,
+        where the preference is forwarded to the per-direction subproblems.
+        Otherwise admitted engines are tried cheapest-first until one
+        produces a result.
+        """
+        candidates = self.candidates(problem)
+        decision: list[dict] = []
+        chosen: Engine | None = None
+        forced = problem.engine
+        if forced is not None and problem.kind is not ProblemKind.EQUIVALENCE:
+            engine = self.get(forced)
+            decision = [dict(engine.describe(), admits=engine.admits(problem),
+                             forced=True)]
+            if not decision[0]["admits"]:
+                obs.note("engine_decision", {"candidates": decision,
+                                             "chosen": None})
+                raise ValueError(
+                    f"engine {forced!r} does not admit this "
+                    f"{problem.kind.value} problem"
+                )
+            chosen = engine
+        else:
+            for engine in candidates:
+                admitted = engine.admits(problem)
+                decision.append(dict(engine.describe(), admits=admitted))
+                if admitted and chosen is None:
+                    chosen = engine
+        with obs.span("dispatch", problem=problem.kind.value):
+            while chosen is not None:
+                result = chosen.solve(problem)
+                if result is not None:
+                    obs.note("engine_decision",
+                             {"candidates": decision, "chosen": chosen.name})
+                    return result
+                # Runtime decline: mark it and fall through to the next
+                # admitted candidate (or fail if the engine was forced).
+                for entry in decision:
+                    if entry["name"] == chosen.name:
+                        entry["declined"] = True
+                if forced is not None:
+                    obs.note("engine_decision", {"candidates": decision,
+                                                 "chosen": None})
+                    raise ValueError(
+                        f"engine {forced!r} declined this "
+                        f"{problem.kind.value} problem at runtime"
+                    )
+                chosen = next(
+                    (engine for engine in candidates
+                     if engine.admits(problem)
+                     and not any(entry["name"] == engine.name
+                                 and entry.get("declined")
+                                 for entry in decision)),
+                    None,
+                )
+        obs.note("engine_decision", {"candidates": decision, "chosen": None})
+        raise ValueError(
+            f"no registered engine admits this {problem.kind.value} problem"
+        )
+
+
+class BidirectionalEngine(Engine):
+    """Decides equivalence as two containment subproblems.
+
+    The per-direction results are preserved verbatim on
+    ``ContainmentResult.per_direction``; the aggregate ``explored_up_to``
+    is the tightest bound over the *inconclusive* directions only (a
+    conclusively-decided direction imposes no bound), and
+    ``trees_checked`` is the total work.
+    """
+
+    name = "bidirectional"
+    conclusive = False  # conclusive iff both directions are.
+    cost_hint = 50
+
+    def admits(self, problem: Problem) -> bool:
+        return problem.kind is ProblemKind.EQUIVALENCE
+
+    def solve(self, problem: Problem) -> ContainmentResult:
+        assert problem.alpha is not None and problem.beta is not None
+        forward_problem = Problem(
+            ProblemKind.CONTAINMENT, alpha=problem.alpha, beta=problem.beta,
+            edtd=problem.edtd, max_nodes=problem.max_nodes,
+            engine=problem.engine,
+        )
+        with obs.span("direction", which="forward"):
+            forward = plan_and_run(forward_problem)
+        assert isinstance(forward, ContainmentResult)
+        if forward.verdict is Verdict.SATISFIABLE:
+            return _with_directions(forward, (forward, None))
+        backward_problem = Problem(
+            ProblemKind.CONTAINMENT, alpha=problem.beta, beta=problem.alpha,
+            edtd=problem.edtd, max_nodes=problem.max_nodes,
+            engine=problem.engine,
+        )
+        with obs.span("direction", which="backward"):
+            backward = plan_and_run(backward_problem)
+        assert isinstance(backward, ContainmentResult)
+        if backward.verdict is Verdict.SATISFIABLE:
+            return _with_directions(backward, (forward, backward))
+        verdict = Verdict.UNSATISFIABLE
+        if not (forward.conclusive and backward.conclusive):
+            verdict = Verdict.NO_WITNESS_WITHIN_BOUND
+        bounds = [direction.explored_up_to
+                  for direction in (forward, backward)
+                  if not direction.conclusive]
+        return ContainmentResult(
+            verdict,
+            explored_up_to=min((b for b in bounds if b is not None),
+                               default=None),
+            trees_checked=forward.trees_checked + backward.trees_checked,
+            per_direction=(forward, backward),
+        )
+
+
+def _with_directions(
+    result: ContainmentResult,
+    directions: tuple[ContainmentResult | None, ContainmentResult | None],
+) -> ContainmentResult:
+    return replace(result, per_direction=directions)
+
+
+_DEFAULT: EngineRegistry | None = None
+
+
+def default_registry() -> EngineRegistry:
+    """The process-wide registry, with the builtin engines loaded."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        registry = EngineRegistry()
+        registry.register(BidirectionalEngine())
+        _DEFAULT = registry
+        # Builtin engine modules self-register on import; imported lazily
+        # here to break the cycle analysis.engines -> ... -> registry.
+        from . import engines as _engines  # noqa: F401
+        from . import expspace as _expspace  # noqa: F401
+    return _DEFAULT
+
+
+def plan_and_run(problem: Problem) -> Result:
+    """Dispatch ``problem`` through the default registry."""
+    return default_registry().plan_and_run(problem)

@@ -14,8 +14,11 @@ Commands
 * ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
 
 The decision commands take ``--stats`` (human-readable run statistics on
-stderr) and ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
-as JSON; ``-`` for stderr).
+stderr), ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
+as JSON; ``-`` for stderr), and ``--engine NAME`` to force a registered
+decision engine (``expspace``, ``bounded``, ``random``; the default
+``auto`` lets the engine registry pick — see
+:mod:`repro.analysis.registry`).
 
 Stream and exit-code contract: *answers* (verdicts, witnesses,
 counterexamples, evaluation results) go to stdout; *diagnostics* (errors,
@@ -131,8 +134,8 @@ def _warn_inconclusive(explored_up_to: int | None) -> None:
 def _cmd_satisfiable(args) -> int:
     phi = parse_node(args.expr)
     edtd = load_schema(args.schema) if args.schema else None
-    result = _satisfiable(phi, edtd=edtd, max_nodes=args.max_nodes,
-                          stats=_wants_stats(args))
+    result = _satisfiable(phi, edtd=edtd, method=args.engine,
+                          max_nodes=args.max_nodes, stats=_wants_stats(args))
     print(f"verdict: {result.verdict.value} (conclusive: {result.conclusive})")
     if result.witness is not None:
         print("witness document:")
@@ -149,8 +152,8 @@ def _cmd_contains(args) -> int:
     alpha = parse_path(args.alpha)
     beta = parse_path(args.beta)
     edtd = load_schema(args.schema) if args.schema else None
-    result = _contains(alpha, beta, edtd=edtd, max_nodes=args.max_nodes,
-                       stats=_wants_stats(args))
+    result = _contains(alpha, beta, edtd=edtd, method=args.engine,
+                       max_nodes=args.max_nodes, stats=_wants_stats(args))
     print(f"contained: {result.contained} (conclusive: {result.conclusive})")
     if result.counterexample is not None:
         d, e = result.counterexample_pair
@@ -230,6 +233,11 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--trace-json", metavar="FILE", default=None,
         help="write the full RunRecord as JSON to FILE ('-' for stderr)")
+    subparser.add_argument(
+        "--engine", metavar="NAME", default="auto",
+        help="force a registered decision engine (e.g. expspace, bounded, "
+             "random); default: auto-select the cheapest conclusive engine "
+             "that admits the input")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -2,7 +2,11 @@
 
 from .edtd import EDTD, DTD, ConformanceError
 from .examples import book_edtd, nested_sections_edtd, book_sample_rules
-from .generate import random_conforming_tree, GenerationBudgetExceeded
+from .generate import (
+    random_conforming_tree,
+    all_conforming_trees,
+    GenerationBudgetExceeded,
+)
 from .encode import dtd_to_corexpath_star, content_model_to_path
 
 __all__ = [
@@ -13,6 +17,7 @@ __all__ = [
     "nested_sections_edtd",
     "book_sample_rules",
     "random_conforming_tree",
+    "all_conforming_trees",
     "GenerationBudgetExceeded",
     "dtd_to_corexpath_star",
     "content_model_to_path",

@@ -1,19 +1,29 @@
 """Generation of trees conforming to an EDTD.
 
-Used to produce schema-respecting workloads for the benchmarks and for
-randomized conformance tests (everything we generate must validate, and
-mutations of it usually must not).
+Two generators: :func:`random_conforming_tree` samples schema-respecting
+workloads for the benchmarks and randomized conformance tests, and
+:func:`all_conforming_trees` enumerates *every* conforming tree up to a
+size bound in increasing size order — the bounded engines drive it
+directly instead of enumerating all trees over the schema's alphabet and
+filtering by conformance, which discards the overwhelming majority of
+candidates.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
+from typing import Iterator
 
 from ..regexes import NFA
 from ..trees import XMLTree
 from .edtd import EDTD
 
-__all__ = ["random_conforming_tree", "GenerationBudgetExceeded"]
+__all__ = [
+    "random_conforming_tree",
+    "all_conforming_trees",
+    "GenerationBudgetExceeded",
+]
 
 
 class GenerationBudgetExceeded(RuntimeError):
@@ -91,3 +101,119 @@ def _random_accepted_word(nfa: NFA, rng: random.Random, budget: int,
         states = frozenset(step)
         word.append(symbol)
     return None
+
+
+# ------------------------------------------------------- exhaustive generation
+
+#: A concrete subtree as nested hashable tuples: (label, (children...)).
+_Spec = tuple
+
+
+def all_conforming_trees(edtd: EDTD, max_nodes: int) -> Iterator[XMLTree]:
+    """Every tree conforming to ``edtd`` with at most ``max_nodes`` nodes,
+    in order of (weakly) increasing size — so the first tree satisfying a
+    property is a minimal witness, matching
+    :func:`repro.trees.generate.all_trees`.
+
+    Trees are generated *from* the schema: children words are enumerated
+    from the content-model NFAs, so no conformance filtering is needed.
+    Distinct abstract typings that project to the same concrete tree are
+    deduplicated.
+    """
+    words_memo: dict[tuple[str, int], list[tuple[str, ...]]] = {}
+    subtree_memo: dict[tuple[str, int], list[_Spec]] = {}
+
+    def accepted_words(abstract: str, max_len: int) -> list[tuple[str, ...]]:
+        """Children-type words of length ≤ max_len accepted by P(abstract)."""
+        memo_key = (abstract, max_len)
+        cached = words_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        nfa = edtd.content_nfa(abstract)  # ε-free by construction
+        symbols = sorted(nfa.alphabet(), key=str)
+        accepted: list[tuple[str, ...]] = []
+        frontier: list[tuple[tuple[str, ...], frozenset[int]]] = [
+            ((), frozenset(nfa.initial))
+        ]
+        if nfa.initial & nfa.accepting:
+            accepted.append(())
+        for _ in range(max_len):
+            grown: list[tuple[tuple[str, ...], frozenset[int]]] = []
+            for word, states in frontier:
+                for symbol in symbols:
+                    step = frozenset(
+                        target for state in states
+                        for target in nfa.successors(state, symbol)
+                    )
+                    if step:
+                        longer = word + (symbol,)
+                        grown.append((longer, step))
+                        if step & nfa.accepting:
+                            accepted.append(longer)
+            frontier = grown
+            if not frontier:
+                break
+        words_memo[memo_key] = accepted
+        return accepted
+
+    def subtrees(abstract: str, n: int) -> list[_Spec]:
+        """Concrete specs of conforming subtrees of type ``abstract`` with
+        exactly ``n`` nodes."""
+        memo_key = (abstract, n)
+        cached = subtree_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        label = edtd.projection[abstract]
+        specs: list[_Spec] = []
+        budget = n - 1  # nodes available for children
+        for word in accepted_words(abstract, budget):
+            if len(word) == 0:
+                if budget == 0:
+                    specs.append((label, ()))
+                continue
+            if len(word) > budget:
+                continue
+            for sizes in _compositions(budget, len(word)):
+                child_choices = [
+                    subtrees(child_type, child_size)
+                    for child_type, child_size in zip(word, sizes)
+                ]
+                if all(child_choices):
+                    for children in itertools.product(*child_choices):
+                        specs.append((label, children))
+        subtree_memo[memo_key] = specs
+        return specs
+
+    seen: set[_Spec] = set()
+    for n in range(1, max_nodes + 1):
+        for spec in subtrees(edtd.root_type, n):
+            if spec not in seen:
+                seen.add(spec)
+                yield _spec_to_tree(spec)
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to write ``total`` as an ordered sum of ``parts`` positive
+    integers."""
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for head in range(1, total - parts + 2):
+        for rest in _compositions(total - head, parts - 1):
+            yield (head,) + rest
+
+
+def _spec_to_tree(spec: _Spec) -> XMLTree:
+    labels: list[str] = []
+    parents: list[int | None] = []
+
+    def emit(node: _Spec, parent: int | None) -> None:
+        labels.append(node[0])
+        parents.append(parent)
+        me = len(labels) - 1
+        for child in node[1]:
+            emit(child, me)
+
+    emit(spec, None)
+    return XMLTree(labels, parents)

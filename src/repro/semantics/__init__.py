@@ -1,8 +1,20 @@
-"""Denotational semantics of CoreXPath and all extensions (Table II, §7)."""
+"""Denotational semantics of CoreXPath and all extensions (Table II, §7).
+
+Layered since the engine-kernel refactor:
+
+* :mod:`.relalg` — pure relation algebra shared by every backend.
+* :mod:`.plan` — compile-once/run-many plans (:func:`compile_plan`,
+  :class:`Plan`, :class:`TreeContext`), globally cached and CSE'd.
+* :mod:`.evaluator` — the stable public facade (:class:`Evaluator` and the
+  one-shot helpers), now plan-backed.
+* :mod:`.reference` — the original recursive evaluator, kept as the oracle
+  for differential testing.
+"""
 
 from .evaluator import (
     Evaluator,
     Relation,
+    UnboundVariableError,
     evaluate_path,
     evaluate_nodes,
     holds_somewhere,
@@ -10,14 +22,22 @@ from .evaluator import (
     path_contained_on,
     relation_pairs,
 )
+from .plan import Plan, TreeContext, compile_plan, plan_cache_info
+from .reference import ReferenceEvaluator
 
 __all__ = [
     "Evaluator",
+    "Plan",
+    "ReferenceEvaluator",
     "Relation",
+    "TreeContext",
+    "UnboundVariableError",
+    "compile_plan",
     "evaluate_path",
     "evaluate_nodes",
     "holds_somewhere",
     "holds_at",
     "path_contained_on",
+    "plan_cache_info",
     "relation_pairs",
 ]

@@ -6,8 +6,15 @@ Path expressions denote binary relations over tree nodes, represented as
 Expressions with free node variables are evaluated relative to an
 *assignment* mapping variable names to nodes (§7).
 
-The evaluator memoizes per (subexpression, relevant-assignment) pair, so
-repeated subexpressions and for-loop bodies are not recomputed.
+Since the engine-kernel refactor this module is a thin facade: expressions
+are compiled once into a :class:`~repro.semantics.plan.Plan` (normalized,
+interned, common subexpressions shared — see :mod:`repro.xpath.intern`) and
+executed against a per-tree :class:`~repro.semantics.plan.TreeContext`.
+Plans are cached globally, so constructing a fresh :class:`Evaluator` per
+tree is cheap; the per-tree state is just the lazily-built axis relations
+and label index.  The original recursive evaluator survives unchanged as
+:class:`repro.semantics.reference.ReferenceEvaluator` and serves as the
+oracle for the differential test suite.
 """
 
 from __future__ import annotations
@@ -16,33 +23,14 @@ from typing import Mapping
 
 from .. import obs
 from ..trees import MultiLabelTree, XMLTree
-from ..xpath.ast import (
-    And,
-    Axis,
-    AxisClosure,
-    AxisStep,
-    Complement,
-    Filter,
-    ForLoop,
-    Intersect,
-    Label,
-    NodeExpr,
-    Not,
-    PathEquality,
-    PathExpr,
-    Self,
-    Seq,
-    SomePath,
-    Star,
-    Top,
-    Union,
-    VarIs,
-)
-from ..xpath.measures import free_variables
+from ..xpath.ast import Axis, NodeExpr, PathExpr
+from .plan import Plan, TreeContext, UnboundVariableError, compile_plan
+from .relalg import EMPTY_TARGETS, Relation, relation_pairs
 
 __all__ = [
     "Evaluator",
     "Relation",
+    "UnboundVariableError",
     "evaluate_path",
     "evaluate_nodes",
     "holds_somewhere",
@@ -51,36 +39,21 @@ __all__ = [
     "relation_pairs",
 ]
 
-#: A binary relation over tree nodes: source -> set of targets.
-Relation = dict[int, frozenset[int]]
-
-_EMPTY: frozenset[int] = frozenset()
-
-
-class UnboundVariableError(LookupError):
-    """A ``. is $x`` test was evaluated with ``$x`` unbound."""
-
 
 class Evaluator:
     """Evaluates path and node expressions on one tree (standard or
-    multi-labeled)."""
+    multi-labeled).
+
+    Each call compiles (or fetches from the global plan cache) a plan for
+    the expression and runs it against this tree's shared
+    :class:`TreeContext`.  Results for repeated expressions on the same
+    tree come straight from the context's caches and the plan's shared
+    slots.
+    """
 
     def __init__(self, tree: XMLTree | MultiLabelTree):
         self.tree = tree
-        if isinstance(tree, MultiLabelTree):
-            self._shape = tree.skeleton
-            self._node_has_label = tree.has_label
-        else:
-            self._shape = tree
-            self._node_has_label = lambda node, name: tree.label(node) == name
-        self._all_nodes = frozenset(self._shape.nodes)
-        self._axis_cache: dict[Axis, Relation] = {}
-        self._axis_closure_cache: dict[Axis, Relation] = {}
-        # Memo tables keyed by (id(expr), assignment restricted to free vars).
-        # The expression object itself is stored to keep its id alive.
-        self._path_memo: dict[tuple, tuple[PathExpr, Relation]] = {}
-        self._node_memo: dict[tuple, tuple[NodeExpr, frozenset[int]]] = {}
-        self._free_vars: dict[int, frozenset[str]] = {}
+        self.context = TreeContext(tree)
 
     # ------------------------------------------------------------ public API
 
@@ -88,234 +61,29 @@ class Evaluator:
              assignment: Mapping[str, int] | None = None) -> Relation:
         """``[[expr]]_PExpr`` under ``assignment`` (default: empty)."""
         obs.count("evaluator.calls")
-        return self._path(expr, dict(assignment or {}))
+        result = compile_plan(expr).run(self.context, assignment)[0]
+        assert isinstance(result, dict)
+        return result
 
     def nodes(self, expr: NodeExpr,
               assignment: Mapping[str, int] | None = None) -> frozenset[int]:
         """``[[expr]]_NExpr`` under ``assignment`` (default: empty)."""
         obs.count("evaluator.calls")
-        return self._nodes(expr, dict(assignment or {}))
+        result = compile_plan(expr).run(self.context, assignment)[0]
+        assert isinstance(result, frozenset)
+        return result
+
+    def plan(self, *exprs: PathExpr | NodeExpr) -> Plan:
+        """Compile a (cached) multi-root plan; run it with ``self.context``."""
+        return compile_plan(*exprs)
 
     # -------------------------------------------------------- axis relations
 
     def axis_relation(self, axis: Axis) -> Relation:
-        relation = self._axis_cache.get(axis)
-        if relation is None:
-            relation = self._build_axis(axis)
-            self._axis_cache[axis] = relation
-        return relation
+        return self.context.axis_relation(axis)
 
     def axis_closure_relation(self, axis: Axis) -> Relation:
-        relation = self._axis_closure_cache.get(axis)
-        if relation is None:
-            relation = self._build_axis_closure(axis)
-            self._axis_closure_cache[axis] = relation
-        return relation
-
-    def _build_axis(self, axis: Axis) -> Relation:
-        shape = self._shape
-        relation: Relation = {}
-        if axis is Axis.DOWN:
-            for node in shape.nodes:
-                kids = shape.children(node)
-                if kids:
-                    relation[node] = frozenset(kids)
-        elif axis is Axis.UP:
-            for node in shape.nodes:
-                parent = shape.parent(node)
-                if parent is not None:
-                    relation[node] = frozenset((parent,))
-        elif axis is Axis.RIGHT:
-            for node in shape.nodes:
-                sibling = shape.next_sibling(node)
-                if sibling is not None:
-                    relation[node] = frozenset((sibling,))
-        elif axis is Axis.LEFT:
-            for node in shape.nodes:
-                sibling = shape.prev_sibling(node)
-                if sibling is not None:
-                    relation[node] = frozenset((sibling,))
-        return relation
-
-    def _build_axis_closure(self, axis: Axis) -> Relation:
-        shape = self._shape
-        relation: Relation = {}
-        if axis is Axis.DOWN:
-            for node in shape.nodes:
-                relation[node] = frozenset(shape.descendants_or_self(node))
-        elif axis is Axis.UP:
-            for node in shape.nodes:
-                relation[node] = frozenset((node, *shape.ancestors(node)))
-        elif axis is Axis.RIGHT:
-            for node in shape.nodes:
-                relation[node] = frozenset((node, *shape.following_siblings(node)))
-        elif axis is Axis.LEFT:
-            for node in shape.nodes:
-                relation[node] = frozenset((node, *shape.preceding_siblings(node)))
-        return relation
-
-    # ------------------------------------------------------------- machinery
-
-    def _restrict(self, expr, assignment: dict[str, int]) -> tuple:
-        key = id(expr)
-        fvs = self._free_vars.get(key)
-        if fvs is None:
-            fvs = free_variables(expr)
-            self._free_vars[key] = fvs
-        relevant = tuple(sorted((v, assignment[v]) for v in fvs if v in assignment))
-        return (key, relevant)
-
-    def _path(self, expr: PathExpr, assignment: dict[str, int]) -> Relation:
-        memo_key = self._restrict(expr, assignment)
-        cached = self._path_memo.get(memo_key)
-        if cached is not None:
-            return cached[1]
-        result = self._path_raw(expr, assignment)
-        self._path_memo[memo_key] = (expr, result)
-        return result
-
-    def _path_raw(self, expr: PathExpr, assignment: dict[str, int]) -> Relation:
-        match expr:
-            case AxisStep(axis=a):
-                return dict(self.axis_relation(a))
-            case AxisClosure(axis=a):
-                return dict(self.axis_closure_relation(a))
-            case Self():
-                return {node: frozenset((node,)) for node in self._all_nodes}
-            case Seq(left=a, right=b):
-                return _compose(self._path(a, assignment), self._path(b, assignment))
-            case Union(left=a, right=b):
-                return _union(self._path(a, assignment), self._path(b, assignment))
-            case Intersect(left=a, right=b):
-                return _intersect(self._path(a, assignment), self._path(b, assignment))
-            case Complement(left=a, right=b):
-                return _difference(self._path(a, assignment), self._path(b, assignment))
-            case Filter(path=a, predicate=p):
-                allowed = self._nodes(p, assignment)
-                relation = self._path(a, assignment)
-                return {
-                    source: kept
-                    for source, targets in relation.items()
-                    if (kept := targets & allowed)
-                }
-            case Star(path=a):
-                return _reflexive_transitive_closure(
-                    self._path(a, assignment), self._all_nodes
-                )
-            case ForLoop(var=v, source=a, body=b):
-                return self._for_loop(v, a, b, assignment)
-        raise TypeError(f"unknown path expression {expr!r}")
-
-    def _for_loop(self, var: str, source: PathExpr, body: PathExpr,
-                  assignment: dict[str, int]) -> Relation:
-        source_relation = self._path(source, assignment)
-        result: dict[int, set[int]] = {}
-        bound_values = {k for targets in source_relation.values() for k in targets}
-        body_relations = {}
-        for value in bound_values:
-            inner = dict(assignment)
-            inner[var] = value
-            body_relations[value] = self._path(body, inner)
-        for node, witnesses in source_relation.items():
-            targets: set[int] = set()
-            for value in witnesses:
-                targets |= body_relations[value].get(node, _EMPTY)
-            if targets:
-                result[node] = targets
-        return {node: frozenset(targets) for node, targets in result.items()}
-
-    def _nodes(self, expr: NodeExpr, assignment: dict[str, int]) -> frozenset[int]:
-        memo_key = self._restrict(expr, assignment)
-        cached = self._node_memo.get(memo_key)
-        if cached is not None:
-            return cached[1]
-        result = self._nodes_raw(expr, assignment)
-        self._node_memo[memo_key] = (expr, result)
-        return result
-
-    def _nodes_raw(self, expr: NodeExpr, assignment: dict[str, int]) -> frozenset[int]:
-        match expr:
-            case Label(name=name):
-                return frozenset(
-                    node for node in self._all_nodes
-                    if self._node_has_label(node, name)
-                )
-            case SomePath(path=a):
-                relation = self._path(a, assignment)
-                return frozenset(node for node, targets in relation.items() if targets)
-            case Top():
-                return self._all_nodes
-            case Not(child=c):
-                return self._all_nodes - self._nodes(c, assignment)
-            case And(left=a, right=b):
-                return self._nodes(a, assignment) & self._nodes(b, assignment)
-            case PathEquality(left=a, right=b):
-                left_rel = self._path(a, assignment)
-                right_rel = self._path(b, assignment)
-                return frozenset(
-                    node for node, targets in left_rel.items()
-                    if targets & right_rel.get(node, _EMPTY)
-                )
-            case VarIs(var=v):
-                if v not in assignment:
-                    raise UnboundVariableError(f"variable ${v} is unbound")
-                return frozenset((assignment[v],))
-        raise TypeError(f"unknown node expression {expr!r}")
-
-
-# ------------------------------------------------------------- relation ops
-
-
-def _compose(first: Relation, second: Relation) -> Relation:
-    result: Relation = {}
-    for source, mids in first.items():
-        targets: set[int] = set()
-        for mid in mids:
-            targets |= second.get(mid, _EMPTY)
-        if targets:
-            result[source] = frozenset(targets)
-    return result
-
-
-def _union(first: Relation, second: Relation) -> Relation:
-    result = dict(first)
-    for source, targets in second.items():
-        existing = result.get(source)
-        result[source] = targets if existing is None else existing | targets
-    return result
-
-
-def _intersect(first: Relation, second: Relation) -> Relation:
-    result: Relation = {}
-    for source, targets in first.items():
-        kept = targets & second.get(source, _EMPTY)
-        if kept:
-            result[source] = kept
-    return result
-
-
-def _difference(first: Relation, second: Relation) -> Relation:
-    result: Relation = {}
-    for source, targets in first.items():
-        kept = targets - second.get(source, _EMPTY)
-        if kept:
-            result[source] = kept
-    return result
-
-
-def _reflexive_transitive_closure(relation: Relation, nodes: frozenset[int]) -> Relation:
-    result: Relation = {}
-    for start in nodes:
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for target in relation.get(node, _EMPTY):
-                if target not in seen:
-                    seen.add(target)
-                    frontier.append(target)
-        result[start] = frozenset(seen)
-    return result
+        return self.context.axis_closure_relation(axis)
 
 
 # ---------------------------------------------------------- convenience API
@@ -346,17 +114,7 @@ def holds_at(tree: XMLTree | MultiLabelTree, expr: NodeExpr, node: int) -> bool:
 def path_contained_on(tree: XMLTree | MultiLabelTree,
                       alpha: PathExpr, beta: PathExpr) -> bool:
     """True iff ``[[α]] ⊆ [[β]]`` *on this particular tree*."""
-    evaluator = Evaluator(tree)
-    left = evaluator.path(alpha)
-    right = evaluator.path(beta)
-    return all(targets <= right.get(source, _EMPTY)
+    left, right = compile_plan(alpha, beta).run(TreeContext(tree))
+    assert isinstance(left, dict) and isinstance(right, dict)
+    return all(targets <= right.get(source, EMPTY_TARGETS)
                for source, targets in left.items())
-
-
-def relation_pairs(relation: Relation) -> frozenset[tuple[int, int]]:
-    """Flatten a relation to a set of (source, target) pairs."""
-    return frozenset(
-        (source, target)
-        for source, targets in relation.items()
-        for target in targets
-    )

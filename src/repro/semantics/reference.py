@@ -1,0 +1,257 @@
+"""The pre-plan recursive evaluator, kept verbatim as a semantics oracle.
+
+This is the direct transcription of Table II (extended per §2.2 and §7) that
+the library shipped before the compile-once/run-many plan kernel
+(:mod:`repro.semantics.plan`) replaced it on the hot paths.  It stays for
+two reasons:
+
+* it is the *specification*: the property-based differential tests assert
+  ``Plan.run ≡ ReferenceEvaluator`` on random trees and expressions, so any
+  optimization bug in the plan kernel shows up as a divergence from this
+  code; and
+* it has no caches shared across trees, which makes it the easiest backend
+  to reason about when debugging.
+
+Do not add optimizations here — that is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..trees import MultiLabelTree, XMLTree
+from ..xpath.ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Complement,
+    Filter,
+    ForLoop,
+    Intersect,
+    Label,
+    NodeExpr,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+    VarIs,
+)
+from ..xpath.measures import free_variables
+from .plan import UnboundVariableError
+from .relalg import (
+    EMPTY_TARGETS,
+    Relation,
+    compose,
+    difference,
+    intersect,
+    reflexive_transitive_closure,
+    union,
+)
+
+__all__ = ["ReferenceEvaluator"]
+
+
+class ReferenceEvaluator:
+    """Evaluates path and node expressions on one tree by direct recursion,
+    memoizing per (subexpression identity, relevant-assignment) pair."""
+
+    def __init__(self, tree: XMLTree | MultiLabelTree):
+        self.tree = tree
+        if isinstance(tree, MultiLabelTree):
+            self._shape = tree.skeleton
+            self._node_has_label = tree.has_label
+        else:
+            self._shape = tree
+            self._node_has_label = lambda node, name: tree.label(node) == name
+        self._all_nodes = frozenset(self._shape.nodes)
+        self._axis_cache: dict[Axis, Relation] = {}
+        self._axis_closure_cache: dict[Axis, Relation] = {}
+        self._path_memo: dict[tuple, tuple[PathExpr, Relation]] = {}
+        self._node_memo: dict[tuple, tuple[NodeExpr, frozenset[int]]] = {}
+        self._free_vars: dict[int, frozenset[str]] = {}
+
+    # ------------------------------------------------------------ public API
+
+    def path(self, expr: PathExpr,
+             assignment: Mapping[str, int] | None = None) -> Relation:
+        """``[[expr]]_PExpr`` under ``assignment`` (default: empty)."""
+        return self._path(expr, dict(assignment or {}))
+
+    def nodes(self, expr: NodeExpr,
+              assignment: Mapping[str, int] | None = None) -> frozenset[int]:
+        """``[[expr]]_NExpr`` under ``assignment`` (default: empty)."""
+        return self._nodes(expr, dict(assignment or {}))
+
+    # -------------------------------------------------------- axis relations
+
+    def axis_relation(self, axis: Axis) -> Relation:
+        relation = self._axis_cache.get(axis)
+        if relation is None:
+            relation = self._build_axis(axis)
+            self._axis_cache[axis] = relation
+        return relation
+
+    def axis_closure_relation(self, axis: Axis) -> Relation:
+        relation = self._axis_closure_cache.get(axis)
+        if relation is None:
+            relation = self._build_axis_closure(axis)
+            self._axis_closure_cache[axis] = relation
+        return relation
+
+    def _build_axis(self, axis: Axis) -> Relation:
+        shape = self._shape
+        relation: Relation = {}
+        if axis is Axis.DOWN:
+            for node in shape.nodes:
+                kids = shape.children(node)
+                if kids:
+                    relation[node] = frozenset(kids)
+        elif axis is Axis.UP:
+            for node in shape.nodes:
+                parent = shape.parent(node)
+                if parent is not None:
+                    relation[node] = frozenset((parent,))
+        elif axis is Axis.RIGHT:
+            for node in shape.nodes:
+                sibling = shape.next_sibling(node)
+                if sibling is not None:
+                    relation[node] = frozenset((sibling,))
+        elif axis is Axis.LEFT:
+            for node in shape.nodes:
+                sibling = shape.prev_sibling(node)
+                if sibling is not None:
+                    relation[node] = frozenset((sibling,))
+        return relation
+
+    def _build_axis_closure(self, axis: Axis) -> Relation:
+        shape = self._shape
+        relation: Relation = {}
+        if axis is Axis.DOWN:
+            for node in shape.nodes:
+                relation[node] = frozenset(shape.descendants_or_self(node))
+        elif axis is Axis.UP:
+            for node in shape.nodes:
+                relation[node] = frozenset((node, *shape.ancestors(node)))
+        elif axis is Axis.RIGHT:
+            for node in shape.nodes:
+                relation[node] = frozenset((node, *shape.following_siblings(node)))
+        elif axis is Axis.LEFT:
+            for node in shape.nodes:
+                relation[node] = frozenset((node, *shape.preceding_siblings(node)))
+        return relation
+
+    # ------------------------------------------------------------- machinery
+
+    def _restrict(self, expr, assignment: dict[str, int]) -> tuple:
+        key = id(expr)
+        fvs = self._free_vars.get(key)
+        if fvs is None:
+            fvs = free_variables(expr)
+            self._free_vars[key] = fvs
+        relevant = tuple(sorted((v, assignment[v]) for v in fvs if v in assignment))
+        return (key, relevant)
+
+    def _path(self, expr: PathExpr, assignment: dict[str, int]) -> Relation:
+        memo_key = self._restrict(expr, assignment)
+        cached = self._path_memo.get(memo_key)
+        if cached is not None:
+            return cached[1]
+        result = self._path_raw(expr, assignment)
+        self._path_memo[memo_key] = (expr, result)
+        return result
+
+    def _path_raw(self, expr: PathExpr, assignment: dict[str, int]) -> Relation:
+        match expr:
+            case AxisStep(axis=a):
+                return dict(self.axis_relation(a))
+            case AxisClosure(axis=a):
+                return dict(self.axis_closure_relation(a))
+            case Self():
+                return {node: frozenset((node,)) for node in self._all_nodes}
+            case Seq(left=a, right=b):
+                return compose(self._path(a, assignment), self._path(b, assignment))
+            case Union(left=a, right=b):
+                return union(self._path(a, assignment), self._path(b, assignment))
+            case Intersect(left=a, right=b):
+                return intersect(self._path(a, assignment),
+                                 self._path(b, assignment))
+            case Complement(left=a, right=b):
+                return difference(self._path(a, assignment),
+                                  self._path(b, assignment))
+            case Filter(path=a, predicate=p):
+                allowed = self._nodes(p, assignment)
+                relation = self._path(a, assignment)
+                return {
+                    source: kept
+                    for source, targets in relation.items()
+                    if (kept := targets & allowed)
+                }
+            case Star(path=a):
+                return reflexive_transitive_closure(
+                    self._path(a, assignment), self._all_nodes
+                )
+            case ForLoop(var=v, source=a, body=b):
+                return self._for_loop(v, a, b, assignment)
+        raise TypeError(f"unknown path expression {expr!r}")
+
+    def _for_loop(self, var: str, source: PathExpr, body: PathExpr,
+                  assignment: dict[str, int]) -> Relation:
+        source_relation = self._path(source, assignment)
+        result: dict[int, set[int]] = {}
+        bound_values = {k for targets in source_relation.values() for k in targets}
+        body_relations = {}
+        for value in bound_values:
+            inner = dict(assignment)
+            inner[var] = value
+            body_relations[value] = self._path(body, inner)
+        for node, witnesses in source_relation.items():
+            targets: set[int] = set()
+            for value in witnesses:
+                targets |= body_relations[value].get(node, EMPTY_TARGETS)
+            if targets:
+                result[node] = targets
+        return {node: frozenset(targets) for node, targets in result.items()}
+
+    def _nodes(self, expr: NodeExpr, assignment: dict[str, int]) -> frozenset[int]:
+        memo_key = self._restrict(expr, assignment)
+        cached = self._node_memo.get(memo_key)
+        if cached is not None:
+            return cached[1]
+        result = self._nodes_raw(expr, assignment)
+        self._node_memo[memo_key] = (expr, result)
+        return result
+
+    def _nodes_raw(self, expr: NodeExpr, assignment: dict[str, int]) -> frozenset[int]:
+        match expr:
+            case Label(name=name):
+                return frozenset(
+                    node for node in self._all_nodes
+                    if self._node_has_label(node, name)
+                )
+            case SomePath(path=a):
+                relation = self._path(a, assignment)
+                return frozenset(node for node, targets in relation.items() if targets)
+            case Top():
+                return self._all_nodes
+            case Not(child=c):
+                return self._all_nodes - self._nodes(c, assignment)
+            case And(left=a, right=b):
+                return self._nodes(a, assignment) & self._nodes(b, assignment)
+            case PathEquality(left=a, right=b):
+                left_rel = self._path(a, assignment)
+                right_rel = self._path(b, assignment)
+                return frozenset(
+                    node for node, targets in left_rel.items()
+                    if targets & right_rel.get(node, EMPTY_TARGETS)
+                )
+            case VarIs(var=v):
+                if v not in assignment:
+                    raise UnboundVariableError(f"variable ${v} is unbound")
+                return frozenset((assignment[v],))
+        raise TypeError(f"unknown node expression {expr!r}")

@@ -1,0 +1,87 @@
+"""Relation algebra over tree nodes, shared by every evaluation backend.
+
+A binary relation is represented as ``dict[int, frozenset[int]]`` mapping
+each source node to its set of targets (sources with no targets are absent).
+All operations are pure: they never mutate their inputs, so results may be
+shared and cached freely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EMPTY_TARGETS",
+    "Relation",
+    "compose",
+    "difference",
+    "intersect",
+    "reflexive_transitive_closure",
+    "relation_pairs",
+    "union",
+]
+
+#: A binary relation over tree nodes: source -> set of targets.
+Relation = dict[int, frozenset[int]]
+
+EMPTY_TARGETS: frozenset[int] = frozenset()
+
+
+def compose(first: Relation, second: Relation) -> Relation:
+    result: Relation = {}
+    for source, mids in first.items():
+        targets: set[int] = set()
+        for mid in mids:
+            targets |= second.get(mid, EMPTY_TARGETS)
+        if targets:
+            result[source] = frozenset(targets)
+    return result
+
+
+def union(first: Relation, second: Relation) -> Relation:
+    result = dict(first)
+    for source, targets in second.items():
+        existing = result.get(source)
+        result[source] = targets if existing is None else existing | targets
+    return result
+
+
+def intersect(first: Relation, second: Relation) -> Relation:
+    result: Relation = {}
+    for source, targets in first.items():
+        kept = targets & second.get(source, EMPTY_TARGETS)
+        if kept:
+            result[source] = kept
+    return result
+
+
+def difference(first: Relation, second: Relation) -> Relation:
+    result: Relation = {}
+    for source, targets in first.items():
+        kept = targets - second.get(source, EMPTY_TARGETS)
+        if kept:
+            result[source] = kept
+    return result
+
+
+def reflexive_transitive_closure(relation: Relation,
+                                 nodes: range | frozenset[int]) -> Relation:
+    result: Relation = {}
+    for start in nodes:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for target in relation.get(node, EMPTY_TARGETS):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        result[start] = frozenset(seen)
+    return result
+
+
+def relation_pairs(relation: Relation) -> frozenset[tuple[int, int]]:
+    """Flatten a relation to a set of (source, target) pairs."""
+    return frozenset(
+        (source, target)
+        for source, targets in relation.items()
+        for target in targets
+    )

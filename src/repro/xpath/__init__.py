@@ -37,6 +37,14 @@ from .measures import (
     free_variables,
 )
 from .fragments import Fragment, fragment_of
+from .intern import (
+    intern_expr,
+    intern_key,
+    is_interned,
+    normalize,
+    free_variables_cached,
+    interned_count,
+)
 from . import builders, fragments, rewrite
 
 __all__ = [
@@ -50,5 +58,7 @@ __all__ = [
     "subexpressions", "node_subexpressions", "labels_used", "axes_used",
     "operators_used", "free_variables",
     "Fragment", "fragment_of",
+    "intern_expr", "intern_key", "is_interned", "normalize",
+    "free_variables_cached", "interned_count",
     "builders", "fragments", "rewrite",
 ]

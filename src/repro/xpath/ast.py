@@ -87,7 +87,8 @@ class PathExpr:
     ``a - b`` complementation, ``a[phi]`` filter, ``a.star()`` closure.
     """
 
-    __slots__ = ()
+    # Storage for the memoized structural hash (see _install_cached_hash).
+    __slots__ = ("_hash_value",)
 
     def __truediv__(self, other: "PathExpr") -> "Seq":
         return Seq(self, _as_path(other))
@@ -117,7 +118,8 @@ class NodeExpr:
     """Base class of node expressions.  Supports ``~phi`` negation and
     ``phi & psi`` conjunction sugar."""
 
-    __slots__ = ()
+    # Storage for the memoized structural hash (see _install_cached_hash).
+    __slots__ = ("_hash_value",)
 
     def __invert__(self) -> "Not":
         return Not(self)
@@ -336,3 +338,34 @@ class VarIs(NodeExpr):
 
 #: Union type of the two sorts.
 Expr = PathExpr | NodeExpr
+
+
+def _install_cached_hash(cls: type) -> None:
+    """Memoize the dataclass-generated ``__hash__`` in the ``_hash_value``
+    slot of the base classes.
+
+    The hash-consing tables in :mod:`repro.xpath.intern` use expressions as
+    dict keys, so each node may be hashed many times; without memoization
+    every lookup re-hashes the entire subtree, which is quadratic overall
+    and — for the left-deep spines the normalizer builds — deep enough to
+    overflow the interpreter stack.  With it, hashing a node whose children
+    have been hashed before touches only that node.
+    """
+    field_hash = cls.__hash__
+
+    def __hash__(self) -> int:
+        try:
+            return object.__getattribute__(self, "_hash_value")
+        except AttributeError:
+            value = field_hash(self)
+            object.__setattr__(self, "_hash_value", value)
+            return value
+
+    cls.__hash__ = __hash__  # type: ignore[method-assign]
+
+
+for _cls in (AxisStep, AxisClosure, Self, Seq, Union, Filter, Intersect,
+             Complement, Star, ForLoop, Label, SomePath, Top, Not, And,
+             PathEquality, VarIs):
+    _install_cached_hash(_cls)
+del _cls

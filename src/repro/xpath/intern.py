@@ -1,0 +1,265 @@
+"""Hash-consing and normalization of expressions.
+
+Two facilities that give every expression a *stable structural identity*:
+
+* :func:`intern_expr` — hash-consing.  Structurally equal expressions are
+  collapsed onto one shared immutable instance, and every canonical instance
+  carries a dense integer :func:`intern_key`.  Downstream memo tables
+  (the evaluator, the plan cache) key on these integers instead of ``id()``
+  of arbitrary short-lived objects, so cache identity no longer depends on
+  callers keeping AST objects alive.
+* :func:`normalize` — a semantics-preserving canonicalization pass: flatten,
+  sort and deduplicate the commutative/associative connectives (``∪``,
+  ``∧``, ``∩``), collapse the unit laws ``./α = α/. = α`` and ``α[⊤] = α``,
+  and cancel double negation ``¬¬φ = φ``.  Normal forms are interned and
+  idempotent: ``normalize(normalize(e)) is normalize(e)``.
+
+Both tables are process-global and monotone: canonical nodes are kept alive
+for the lifetime of the process, which is what makes ``id``-free integer
+keys sound.  The size of the tables is bounded by the number of *distinct*
+subexpressions ever seen, which for the workloads in this repository is
+small (thousands, not millions).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable
+
+from .ast import (
+    And,
+    AxisClosure,
+    AxisStep,
+    Complement,
+    Expr,
+    Filter,
+    ForLoop,
+    Intersect,
+    Label,
+    Not,
+    PathEquality,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+    Union,
+    VarIs,
+)
+
+__all__ = [
+    "intern_expr",
+    "intern_key",
+    "is_interned",
+    "normalize",
+    "free_variables_cached",
+    "interned_count",
+]
+
+_lock = threading.RLock()
+
+#: Interning walks the AST recursively; generated formulas (DTD encodings,
+#: the Theorem 30 reductions) nest deeply enough to exceed CPython's
+#: default 1000-frame limit, so the public entry points guarantee headroom.
+_MIN_RECURSION_LIMIT = 20_000
+
+
+def _ensure_recursion_headroom() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+#: structural value -> canonical instance (the hash-consing table).
+_TABLE: dict[Expr, Expr] = {}
+#: id(canonical) -> dense integer key.  Safe: _TABLE keeps canonicals alive.
+_KEYS: dict[int, int] = {}
+#: id(canonical) -> canonical normal form (already interned).
+_NORMAL: dict[int, Expr] = {}
+#: id(canonical) -> free node variables of the expression.
+_FREE_VARS: dict[int, frozenset[str]] = {}
+
+
+def interned_count() -> int:
+    """Number of distinct canonical expressions interned so far."""
+    return len(_TABLE)
+
+
+def is_interned(expr: Expr) -> bool:
+    """True iff ``expr`` is itself the canonical instance of its value."""
+    return _TABLE.get(expr) is expr
+
+
+def _canon(expr: Expr) -> Expr:
+    """Intern a node whose children are already canonical."""
+    canonical = _TABLE.get(expr)
+    if canonical is None:
+        _TABLE[expr] = expr
+        _KEYS[id(expr)] = len(_KEYS)
+        canonical = expr
+    return canonical
+
+
+def intern_expr(expr: Expr) -> Expr:
+    """The canonical shared instance structurally equal to ``expr``."""
+    with _lock:
+        _ensure_recursion_headroom()
+        return _intern(expr)
+
+
+def _intern(expr: Expr) -> Expr:
+    hit = _TABLE.get(expr)
+    if hit is not None:
+        return hit
+    match expr:
+        case AxisStep() | AxisClosure() | Self() | Label() | Top() | VarIs():
+            rebuilt = expr
+        case Seq(left=a, right=b):
+            rebuilt = Seq(_intern(a), _intern(b))
+        case Union(left=a, right=b):
+            rebuilt = Union(_intern(a), _intern(b))
+        case Intersect(left=a, right=b):
+            rebuilt = Intersect(_intern(a), _intern(b))
+        case Complement(left=a, right=b):
+            rebuilt = Complement(_intern(a), _intern(b))
+        case Filter(path=a, predicate=p):
+            rebuilt = Filter(_intern(a), _intern(p))
+        case Star(path=a):
+            rebuilt = Star(_intern(a))
+        case ForLoop(var=v, source=a, body=b):
+            rebuilt = ForLoop(v, _intern(a), _intern(b))
+        case SomePath(path=a):
+            rebuilt = SomePath(_intern(a))
+        case Not(child=c):
+            rebuilt = Not(_intern(c))
+        case And(left=a, right=b):
+            rebuilt = And(_intern(a), _intern(b))
+        case PathEquality(left=a, right=b):
+            rebuilt = PathEquality(_intern(a), _intern(b))
+        case _:
+            raise TypeError(f"unknown expression {expr!r}")
+    return _canon(rebuilt)
+
+
+def intern_key(expr: Expr) -> int:
+    """A dense process-stable integer identifying ``expr`` up to structure."""
+    with _lock:
+        _ensure_recursion_headroom()
+        return _KEYS[id(_intern(expr))]
+
+
+def free_variables_cached(expr: Expr) -> frozenset[str]:
+    """Free node variables of ``expr``, cached on the canonical instance."""
+    with _lock:
+        canonical = _intern(expr)
+        cached = _FREE_VARS.get(id(canonical))
+        if cached is None:
+            from .measures import free_variables
+
+            cached = free_variables(canonical)
+            _FREE_VARS[id(canonical)] = cached
+        return cached
+
+
+# ------------------------------------------------------------- normalization
+
+
+def _flatten(expr: Expr, ctor: type) -> list[Expr]:
+    """Leaves of a (left- or right-leaning) ``ctor`` spine."""
+    out: list[Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ctor):
+            stack.append(node.right)  # type: ignore[attr-defined]
+            stack.append(node.left)  # type: ignore[attr-defined]
+        else:
+            out.append(node)
+    return out
+
+
+def _normalized_parts(expr: Expr, ctor: type) -> list[Expr]:
+    """Normalized leaves of a ``ctor`` spine, re-flattened (a leaf may itself
+    normalize to a ``ctor`` node), deduplicated (idempotence) and sorted by
+    intern key (commutativity)."""
+    flat: list[Expr] = []
+    for part in _flatten(expr, ctor):
+        normal = _normalize(part)
+        if isinstance(normal, ctor):
+            flat.extend(_flatten(normal, ctor))
+        else:
+            flat.append(normal)
+    by_key: dict[int, Expr] = {}
+    for part in flat:
+        by_key.setdefault(_KEYS[id(part)], part)
+    return [by_key[key] for key in sorted(by_key)]
+
+
+def _rebuild(parts: list[Expr], ctor: Callable[[Expr, Expr], Expr]) -> Expr:
+    """Left-deep spine over the already-normalized, sorted parts."""
+    result = parts[0]
+    for part in parts[1:]:
+        result = _canon(ctor(result, part))
+    return result
+
+
+def normalize(expr: Expr) -> Expr:
+    """The canonical normal form of ``expr`` (interned, idempotent).
+
+    The pass is purely semantics-preserving — ``[[normalize(e)]] = [[e]]``
+    on every tree and assignment — so engines may evaluate the normal form
+    in place of the original.  Syntactic measures (``size``, fragments)
+    should keep being computed on the original expression.
+    """
+    with _lock:
+        _ensure_recursion_headroom()
+        return _normalize(_intern(expr))
+
+
+def _normalize(expr: Expr) -> Expr:
+    cached = _NORMAL.get(id(expr))
+    if cached is not None:
+        return cached
+    match expr:
+        case AxisStep() | AxisClosure() | Self() | Label() | Top() | VarIs():
+            result = expr
+        case Seq(left=a, right=b):
+            a, b = _normalize(a), _normalize(b)
+            if isinstance(a, Self):
+                result = b
+            elif isinstance(b, Self):
+                result = a
+            else:
+                result = _canon(Seq(a, b))
+        case Union():
+            result = _rebuild(_normalized_parts(expr, Union), Union)
+        case Intersect():
+            result = _rebuild(_normalized_parts(expr, Intersect), Intersect)
+        case Complement(left=a, right=b):
+            result = _canon(Complement(_normalize(a), _normalize(b)))
+        case Filter(path=a, predicate=p):
+            a, p = _normalize(a), _normalize(p)
+            result = a if isinstance(p, Top) else _canon(Filter(a, p))
+        case Star(path=a):
+            a = _normalize(a)
+            if isinstance(a, (Star, Self)):
+                result = a  # (α*)* = α* and .* = . (closures are reflexive).
+            else:
+                result = _canon(Star(a))
+        case ForLoop(var=v, source=a, body=b):
+            result = _canon(ForLoop(v, _normalize(a), _normalize(b)))
+        case SomePath(path=a):
+            result = _canon(SomePath(_normalize(a)))
+        case Not(child=c):
+            c = _normalize(c)
+            result = c.child if isinstance(c, Not) else _canon(Not(c))
+        case And():
+            result = _rebuild(_normalized_parts(expr, And), And)
+        case PathEquality(left=a, right=b):
+            result = _canon(PathEquality(_normalize(a), _normalize(b)))
+        case _:
+            raise TypeError(f"unknown expression {expr!r}")
+    _NORMAL[id(expr)] = result
+    # A normal form is its own normal form (idempotence).
+    _NORMAL.setdefault(id(result), result)
+    return result

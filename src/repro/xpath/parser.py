@@ -140,7 +140,8 @@ class _Tokens:
     def expect(self, kind: str, value: str) -> None:
         got = self.peek()
         if got != (kind, value):
-            raise XPathSyntaxError(f"expected {value!r}, got {got[1] if got else 'end of input'!r}")
+            found = got[1] if got else "end of input"
+            raise XPathSyntaxError(f"expected {value!r}, got {found!r}")
         self.index += 1
 
     def match(self, kind: str, value: str) -> bool:

@@ -1,0 +1,194 @@
+"""Differential tests: the compiled plan kernel vs the reference evaluator.
+
+The plan-backed :class:`repro.semantics.Evaluator` must agree with the
+straightforward recursive :class:`repro.semantics.ReferenceEvaluator` on
+every tree, expression and assignment — the reference implements the paper
+semantics directly and never normalizes, interns or shares work, so any
+disagreement localizes a bug in interning, normalization or compilation.
+
+Also checks the interning laws the plan cache relies on:
+``intern_expr`` collapses structural equality onto identity and
+``normalize`` is idempotent (``normalize(normalize(e)) is normalize(e)``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.semantics import Evaluator, ReferenceEvaluator, compile_plan
+from repro.semantics.plan import TreeContext
+from repro.trees import MultiLabelTree, random_tree
+from repro.xpath import intern_expr, normalize, parse_node, parse_path
+from repro.xpath.ast import ForLoop, VarIs
+
+from .helpers import DEFAULT_LABELS, random_node, random_path
+
+# One fragment per extension operator the generators can emit, plus the
+# base language and the full combination.
+FRAGMENTS = [
+    pytest.param(frozenset(), id="core"),
+    pytest.param(frozenset({"cap"}), id="cap"),
+    pytest.param(frozenset({"minus"}), id="minus"),
+    pytest.param(frozenset({"star"}), id="star"),
+    pytest.param(frozenset({"eq"}), id="eq"),
+    pytest.param(frozenset({"cap", "minus", "star", "eq"}), id="all"),
+]
+
+
+def _random_trees(rng: random.Random, count: int, max_nodes: int = 6):
+    return [random_tree(rng, max_nodes, DEFAULT_LABELS) for _ in range(count)]
+
+
+@pytest.mark.parametrize("operators", FRAGMENTS)
+def test_plan_matches_reference_on_paths(operators):
+    rng = random.Random(hash(tuple(sorted(operators))) & 0xFFFF)
+    trees = _random_trees(rng, 6)
+    for _ in range(40):
+        alpha = random_path(rng, rng.randint(1, 4), operators)
+        for tree in trees:
+            expected = ReferenceEvaluator(tree).path(alpha)
+            actual = Evaluator(tree).path(alpha)
+            assert actual == expected, (alpha, tree.labels)
+
+
+@pytest.mark.parametrize("operators", FRAGMENTS)
+def test_plan_matches_reference_on_nodes(operators):
+    rng = random.Random(~hash(tuple(sorted(operators))) & 0xFFFF)
+    trees = _random_trees(rng, 6)
+    for _ in range(40):
+        phi = random_node(rng, rng.randint(1, 4), operators)
+        for tree in trees:
+            expected = ReferenceEvaluator(tree).nodes(phi)
+            actual = Evaluator(tree).nodes(phi)
+            assert actual == expected, (phi, tree.labels)
+
+
+def test_plan_matches_reference_on_for_loops():
+    """The helpers never emit for/is, so exercise the binder opcodes
+    explicitly: random bodies wrapped in for-loops over random sources."""
+    rng = random.Random(2007)
+    trees = _random_trees(rng, 6)
+    for _ in range(30):
+        source = random_path(rng, 2, frozenset({"star"}))
+        body = random_path(rng, 2, frozenset({"cap"}))
+        hop = random_path(rng, 1)
+        expr = ForLoop("i", source, Seq_or(body, hop))
+        for tree in trees:
+            expected = ReferenceEvaluator(tree).path(expr)
+            actual = Evaluator(tree).path(expr)
+            assert actual == expected, (expr, tree.labels)
+
+
+def Seq_or(body, hop):
+    """``body[. is $i] ∪ hop`` — guarantees the bound variable occurs."""
+    from repro.xpath.ast import Filter, Union
+
+    return Union(Filter(body, VarIs("i")), hop)
+
+
+def test_plan_matches_reference_under_assignments():
+    rng = random.Random(7)
+    expr = parse_path("down*[. is $x]/down union up[. is $y]")
+    for tree in _random_trees(rng, 8):
+        for x in range(len(tree.labels)):
+            assignment = {"x": x, "y": rng.randrange(len(tree.labels))}
+            expected = ReferenceEvaluator(tree).path(expr, assignment)
+            actual = Evaluator(tree).path(expr, assignment)
+            assert actual == expected
+
+
+def test_parsed_official_style_expressions_agree():
+    cases = [
+        "down[p]/down*[q]",
+        "(down union right)*[p and not q]",
+        "down[<up/up>]/left*",
+        "down* intersect (down/down*)",
+        "down* except (down[p]/down*)",
+        "for $i in down* return down[. is $i]",
+    ]
+    rng = random.Random(13)
+    trees = _random_trees(rng, 6)
+    for source in cases:
+        expr = parse_path(source)
+        for tree in trees:
+            assert (Evaluator(tree).path(expr)
+                    == ReferenceEvaluator(tree).path(expr)), source
+
+
+def test_plan_matches_reference_on_multilabel_trees():
+    rng = random.Random(99)
+    for _ in range(20):
+        base = random_tree(rng, 5, DEFAULT_LABELS)
+        labels = [frozenset(rng.sample(("p", "q", "r"), rng.randint(0, 2)))
+                  for _ in range(base.size)]
+        tree = MultiLabelTree(base, labels)
+        phi = random_node(rng, 3, frozenset({"eq"}),
+                          labels=("p", "q", "r"))
+        assert (Evaluator(tree).nodes(phi)
+                == ReferenceEvaluator(tree).nodes(phi))
+
+
+def test_shared_plan_runs_all_roots_in_one_pass():
+    alpha = parse_path("down[p]/down*")
+    beta = parse_path("down/down*")
+    plan = compile_plan(alpha, beta)
+    rng = random.Random(3)
+    for tree in _random_trees(rng, 5):
+        left, right = plan.run(TreeContext(tree))
+        assert left == ReferenceEvaluator(tree).path(alpha)
+        assert right == ReferenceEvaluator(tree).path(beta)
+
+
+# ------------------------------------------------------------- interning laws
+
+
+def test_intern_collapses_structural_equality_to_identity():
+    rng = random.Random(42)
+    for _ in range(50):
+        expr = random_path(rng, 3, frozenset({"cap", "minus", "star"}))
+        clone = parse_path_roundtrip(expr)
+        assert intern_expr(expr) is intern_expr(clone)
+
+
+def parse_path_roundtrip(expr):
+    from repro.xpath import parse_path, to_source
+
+    return parse_path(to_source(expr))
+
+
+def test_normalize_is_idempotent():
+    rng = random.Random(17)
+    for _ in range(60):
+        expr = random_path(rng, 4, frozenset({"cap", "minus", "star", "eq"}))
+        normal = normalize(expr)
+        assert normalize(normal) is normal
+    for _ in range(60):
+        phi = random_node(rng, 4, frozenset({"cap", "minus", "star", "eq"}))
+        normal = normalize(phi)
+        assert normalize(normal) is normal
+
+
+def test_normalize_preserves_semantics():
+    rng = random.Random(23)
+    trees = _random_trees(rng, 5)
+    for _ in range(40):
+        expr = random_path(rng, 4, frozenset({"cap", "minus", "star", "eq"}))
+        normal = normalize(expr)
+        for tree in trees:
+            assert (ReferenceEvaluator(tree).path(normal)
+                    == ReferenceEvaluator(tree).path(expr))
+
+
+def test_normalize_unit_laws():
+    p = parse_path("down[p]")
+    assert normalize(parse_path("./down[p]")) is normalize(p)
+    assert normalize(parse_path("down[p]/.")) is normalize(p)
+    assert normalize(parse_path("down[p][true]")) is normalize(p)
+    phi = parse_node("not not p")
+    assert normalize(phi) is normalize(parse_node("p"))
+    # Commutativity + associativity + idempotence of union.
+    a = parse_path("(down union up) union down")
+    b = parse_path("up union down")
+    assert normalize(a) is normalize(b)

@@ -1,0 +1,183 @@
+"""The engine registry: dispatch policy, forcing, decision records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Problem,
+    ProblemKind,
+    contains,
+    default_registry,
+    equivalent,
+    plan_and_run,
+    satisfiable,
+)
+from repro.analysis.problems import Verdict
+from repro.analysis.registry import Engine, EngineRegistry
+from repro.semantics import plan_cache_info
+from repro.xpath import parse_node, parse_path
+
+
+class TestDefaultRegistry:
+    def test_builtin_engines_are_registered(self):
+        names = default_registry().names()
+        for expected in ("expspace", "bidirectional", "bounded", "random"):
+            assert expected in names
+
+    def test_candidates_ordered_by_cost(self):
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        candidates = default_registry().candidates(problem)
+        costs = [engine.cost_hint for engine in candidates]
+        assert costs == sorted(costs)
+        assert candidates[0].name == "expspace"
+
+    def test_auto_prefers_cheapest_conclusive_engine(self):
+        result = satisfiable(parse_node("p"), stats=True)
+        assert result.stats["meta"]["engine"] == "expspace"
+        decision = result.stats["meta"]["engine_decision"]
+        assert decision["chosen"] == "expspace"
+        assert [c["name"] for c in decision["candidates"]] == [
+            "expspace", "bidirectional", "bounded", "random"]
+
+    def test_auto_falls_back_when_fragment_not_admitted(self):
+        # Path complementation is outside the EXPSPACE engine's fragment.
+        phi = parse_node("<down except down[p]>")
+        result = satisfiable(phi, stats=True)
+        assert result.stats["meta"]["engine"] == "bounded"
+        decision = result.stats["meta"]["engine_decision"]
+        by_name = {c["name"]: c for c in decision["candidates"]}
+        assert by_name["expspace"]["admits"] is False
+        assert by_name["bounded"]["admits"] is True
+
+    def test_decision_record_is_attached_for_containment(self):
+        result = contains(parse_path("down[p]"), parse_path("down"),
+                          stats=True)
+        decision = result.stats["meta"]["engine_decision"]
+        assert decision["chosen"] == result.stats["meta"]["engine"]
+
+
+class TestForcedEngines:
+    def test_forced_engine_must_admit(self):
+        phi = parse_node("<down except down[p]>")
+        with pytest.raises(ValueError, match="does not admit"):
+            satisfiable(phi, method="expspace")
+
+    def test_unknown_method_is_rejected_before_dispatch(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            satisfiable(parse_node("p"), method="quantum")
+
+    def test_forcing_bounded_skips_the_complete_engine(self):
+        result = satisfiable(parse_node("p"), method="bounded", stats=True)
+        assert result.stats["meta"]["engine"] == "bounded"
+        assert result.verdict is Verdict.SATISFIABLE
+
+    def test_forcing_random_engine(self):
+        result = satisfiable(parse_node("p"), method="random")
+        assert result.verdict is Verdict.SATISFIABLE
+        assert not result.conclusive or result.witness is not None
+
+
+class TestRegistryMechanics:
+    def test_get_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            EngineRegistry().get("nope")
+
+    def test_runtime_decline_falls_through_to_next_engine(self):
+        calls: list[str] = []
+
+        class Declines(Engine):
+            name = "declines"
+            conclusive = True
+            cost_hint = 1
+
+            def admits(self, problem):
+                return True
+
+            def solve(self, problem):
+                calls.append("declines")
+                return None
+
+        class Answers(Engine):
+            name = "answers"
+            cost_hint = 2
+
+            def admits(self, problem):
+                return True
+
+            def solve(self, problem):
+                calls.append("answers")
+                from repro.analysis.problems import SatResult
+                return SatResult(Verdict.UNSATISFIABLE)
+
+        registry = EngineRegistry()
+        registry.register(Declines())
+        registry.register(Answers())
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        result = registry.plan_and_run(problem)
+        assert calls == ["declines", "answers"]
+        assert result.verdict is Verdict.UNSATISFIABLE
+
+    def test_no_admitting_engine_raises(self):
+        registry = EngineRegistry()
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        with pytest.raises(ValueError, match="no registered engine"):
+            registry.plan_and_run(problem)
+
+    def test_module_level_plan_and_run_uses_default_registry(self):
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        result = plan_and_run(problem)
+        assert result.verdict is Verdict.SATISFIABLE
+
+
+class TestEquivalenceAggregation:
+    def test_per_direction_figures_are_preserved(self):
+        # α ≡ β via bounded search: both directions inconclusive.
+        alpha = parse_path("down except down[p]")
+        beta = parse_path("down[not p]")
+        result = equivalent(alpha, beta, max_nodes=4)
+        assert result.verdict is Verdict.NO_WITNESS_WITHIN_BOUND
+        forward, backward = result.per_direction
+        assert forward is not None and backward is not None
+        assert result.trees_checked == (forward.trees_checked
+                                        + backward.trees_checked)
+        assert result.explored_up_to == 4
+        assert forward.explored_up_to == 4
+        assert backward.explored_up_to == 4
+
+    def test_failing_forward_direction_short_circuits(self):
+        result = equivalent(parse_path("down"), parse_path("down[p]"),
+                            max_nodes=3)
+        assert result.verdict is Verdict.SATISFIABLE  # counterexample found
+        assert result.counterexample is not None
+        forward, backward = result.per_direction
+        assert forward is result or forward.counterexample is not None
+        assert backward is None
+
+    def test_conclusive_equivalence_has_conclusive_directions(self):
+        # Downward fragment: both directions go through the complete engine.
+        result = equivalent(parse_path("down[p]"), parse_path("down[p]"))
+        assert result.verdict is Verdict.UNSATISFIABLE
+        assert result.conclusive
+        forward, backward = result.per_direction
+        assert forward.conclusive and backward.conclusive
+        assert result.explored_up_to is None
+
+
+class TestPlanCacheCounters:
+    def test_cache_hits_show_up_in_stats(self):
+        phi = parse_node("<down except down[q1]>")
+        first = satisfiable(phi, max_nodes=3, stats=True)
+        assert first.stats["counters"].get("plan.cache.miss", 0) >= 1
+        second = satisfiable(phi, max_nodes=3, stats=True)
+        assert second.stats["counters"].get("plan.cache.hit", 0) >= 1
+
+    def test_plan_cache_info_reports_progress(self):
+        before = plan_cache_info()
+        phi = parse_node("<down except down[q2]>")
+        satisfiable(phi, max_nodes=3)
+        satisfiable(phi, max_nodes=3)
+        after = plan_cache_info()
+        assert after["misses"] >= before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1
+        assert after["plans"] >= before["plans"]
