@@ -21,8 +21,12 @@ import pytest
 
 from repro import obs
 
-#: nodeid -> {"duration_s", "counters", "gauges"}; flushed at session end.
-_OBS_RECORDS: dict = {}
+#: Append-only log of per-test-run records, in execution order.  A test id
+#: can legitimately appear more than once in a session (the same nodeid
+#: passed twice on the command line, rerun plugins, flaky-test retries);
+#: the session-end merge dedupes by test id keeping the LATEST record, so
+#: BENCH_obs.json never grows duplicate or stale entries for one test.
+_OBS_RECORDS: list[dict] = []
 
 _OBS_SCHEMA_VERSION = 1
 _OBS_FILENAME = "BENCH_obs.json"
@@ -53,11 +57,31 @@ def _obs_recording(request):
     with obs.record(request.node.nodeid) as recording:
         yield recording
     run = recording.to_run_record()
-    _OBS_RECORDS[request.node.nodeid] = {
-        "duration_s": run.duration_s,
-        "counters": run.counters,
-        "gauges": run.gauges,
-    }
+    _OBS_RECORDS.append({
+        "nodeid": request.node.nodeid,
+        "record": {
+            "duration_s": run.duration_s,
+            "counters": run.counters,
+            "gauges": run.gauges,
+        },
+    })
+
+
+def merge_obs_records(existing, records: list[dict]) -> dict:
+    """Merge a session's record log into a BENCH_obs.json payload.
+
+    ``existing`` is the previous file content (any malformed shape is
+    discarded); ``records`` is the append-only session log.  Entries are
+    deduplicated by test id with the latest record winning — both within
+    the session (a re-run test contributes exactly one entry) and against
+    the existing file (a fresh record replaces the stored one).
+    """
+    runs: dict = {}
+    if isinstance(existing, dict) and isinstance(existing.get("runs"), dict):
+        runs.update(existing["runs"])
+    for entry in records:  # execution order: later re-runs overwrite earlier
+        runs[entry["nodeid"]] = entry["record"]
+    return {"schema_version": _OBS_SCHEMA_VERSION, "runs": runs}
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -65,14 +89,12 @@ def pytest_sessionfinish(session, exitstatus):
     if not _OBS_RECORDS:
         return
     path = Path(str(session.config.rootpath)) / _OBS_FILENAME
-    existing: dict = {}
+    existing = None
     if path.exists():
         try:
             existing = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            existing = {}
-    runs = existing.get("runs", {}) if isinstance(existing, dict) else {}
-    runs.update(_OBS_RECORDS)
-    payload = {"schema_version": _OBS_SCHEMA_VERSION, "runs": runs}
+            existing = None
+    payload = merge_obs_records(existing, _OBS_RECORDS)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

@@ -1,0 +1,123 @@
+"""Batch throughput: ``repro.parallel`` vs sequential dispatch.
+
+The corpus is a Table I-style scaling family — downward containment
+problems over qualifiers, ``except``, and ``*`` (the rows whose decision
+procedures dominate Table I's complexity landscape), label-permuted so
+every instance costs roughly the same and a 4-worker pool load-balances.
+
+Three configurations are measured on the *same* corpus:
+
+* **sequential** — one in-process :func:`repro.analysis.contains` call per
+  pair (the pre-batch baseline);
+* **batch cold** — :class:`repro.parallel.BatchRunner` with 4 workers and
+  an empty on-disk :class:`VerdictCache`;
+* **batch warm** — a second runner over the same cache directory (fresh
+  cache object, so hits come off disk, not the in-memory layer).
+
+Verdicts must be *byte-identical* across all three (checked via the
+cache's canonical JSON encoding).  The cold speedup is recorded always
+and asserted ≥2× only where ≥4 CPUs are actually available — on fewer
+cores a CPU-bound pool cannot beat physics, and the honest figure is the
+one worth keeping in BENCH_obs.json.  The warm run must hit the cache on
+≥90% of problems and beat sequential dispatch ≥2× regardless of core
+count: skipping solved instances is the throughput win repeated
+benchmark/CI runs actually see.
+"""
+
+import os
+import time
+
+from repro.analysis import contains
+from repro.parallel import BatchRunner, VerdictCache
+from repro.parallel.cache import encode_result
+from repro.analysis.problems import Problem, ProblemKind
+from repro.xpath import parse_path
+
+MAX_NODES = 6
+WORKERS = 4
+
+#: (α, β) sources: two mid-weight shapes × label permutations.
+CORPUS = [
+    (f"down[{a}]/down[{b}]", "down/down")
+    for a, b in [("p", "q"), ("q", "p"), ("p", "r"),
+                 ("r", "p"), ("q", "r"), ("r", "q")]
+] + [
+    (f"down*[{a}]", f"down* except down*[{b}]")
+    for a, b in [("q", "p"), ("p", "q"), ("r", "q"), ("q", "r")]
+]
+
+
+def _problems():
+    return [
+        Problem(ProblemKind.CONTAINMENT, alpha=parse_path(a),
+                beta=parse_path(b), max_nodes=MAX_NODES)
+        for a, b in CORPUS
+    ]
+
+
+def _canon(results):
+    """Canonical bytes for a verdict list (the cache's JSON codec)."""
+    return [encode_result(result) for result in results]
+
+
+class TestBatchThroughput:
+    def test_batch_vs_sequential(self, benchmark, record, tmp_path):
+        problems = _problems()
+        cache_dir = tmp_path / "verdicts"
+
+        t0 = time.perf_counter()
+        sequential = [
+            contains(p.alpha, p.beta, max_nodes=p.max_nodes)
+            for p in problems
+        ]
+        sequential_s = time.perf_counter() - t0
+
+        cold_runner = BatchRunner(workers=WORKERS,
+                                  cache=VerdictCache(cache_dir))
+        cold = cold_runner.run(problems)
+        warm_runner = BatchRunner(workers=WORKERS,
+                                  cache=VerdictCache(cache_dir))
+        warm = warm_runner.run(problems)
+
+        # Byte-identical verdicts: sequential == batch cold == batch warm.
+        want = _canon(sequential)
+        assert _canon(cold.results()) == want
+        assert _canon(warm.results()) == want
+        assert not cold.failed and not warm.failed
+
+        hit_rate = warm.cache_hits / len(problems)
+        assert hit_rate >= 0.9, f"warm cache hit rate {hit_rate:.0%} < 90%"
+
+        cold_speedup = sequential_s / cold.wall_s
+        warm_speedup = sequential_s / warm.wall_s
+        assert warm_speedup >= 2.0, (
+            f"warm batch only {warm_speedup:.2f}x over sequential")
+        cpus = len(os.sched_getaffinity(0)) \
+            if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
+        if cpus >= WORKERS:
+            assert cold_speedup >= 2.0, (
+                f"cold batch only {cold_speedup:.2f}x over sequential "
+                f"with {WORKERS} workers on {cpus} CPUs")
+
+        benchmark(lambda: None)
+        record("batch throughput (Table I family)", {
+            "problems": len(problems),
+            "workers": WORKERS,
+            "cpus_available": cpus,
+            "sequential_s": round(sequential_s, 3),
+            "batch_cold_s": round(cold.wall_s, 3),
+            "batch_warm_s": round(warm.wall_s, 3),
+            "speedup_cold": round(cold_speedup, 2),
+            "speedup_warm": round(warm_speedup, 2),
+            "warm_cache_hit_rate": hit_rate,
+        })
+        # Gauges land in BENCH_obs.json via the autouse obs recording.
+        from repro import obs
+        obs.gauge("batch_bench.sequential_s", sequential_s)
+        obs.gauge("batch_bench.cold_wall_s", cold.wall_s)
+        obs.gauge("batch_bench.warm_wall_s", warm.wall_s)
+        obs.gauge("batch_bench.speedup_cold", cold_speedup)
+        obs.gauge("batch_bench.speedup_warm", warm_speedup)
+        obs.gauge("batch_bench.warm_hit_rate", hit_rate)
+        obs.gauge("batch_bench.workers", WORKERS)
+        obs.gauge("batch_bench.cpus", cpus)

@@ -17,7 +17,10 @@ Subpackages: :mod:`repro.trees`, :mod:`repro.regexes`, :mod:`repro.edtd`,
 :mod:`repro.xpath`, :mod:`repro.semantics`, :mod:`repro.games`,
 :mod:`repro.automata`, :mod:`repro.analysis`, :mod:`repro.lowerbounds`,
 :mod:`repro.succinctness`, :mod:`repro.obs` (observability: tracing,
-counters, run records — see ``satisfiable(..., stats=True)``).
+counters, run records — see ``satisfiable(..., stats=True)``), and
+:mod:`repro.parallel` (batch execution on a worker pool with engine
+racing, timeouts, and a persistent verdict cache — see
+``contains_many``/``satisfiable_many`` and ``python -m repro batch``).
 """
 
 from . import obs
@@ -35,6 +38,13 @@ from .xpath import (
 from .semantics import evaluate_path, evaluate_nodes, holds_somewhere
 from .edtd import EDTD, DTD, book_edtd
 from .analysis import satisfiable, contains, equivalent, Verdict
+from .parallel import (
+    BatchRunner,
+    VerdictCache,
+    contains_many,
+    run_batch,
+    satisfiable_many,
+)
 
 __version__ = "1.0.0"
 

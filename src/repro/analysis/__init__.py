@@ -8,7 +8,13 @@ from .problems import (
     Problem,
     ProblemKind,
 )
-from .registry import Engine, EngineRegistry, default_registry, plan_and_run
+from .registry import (
+    Engine,
+    EngineDeclined,
+    EngineRegistry,
+    default_registry,
+    plan_and_run,
+)
 from .reductions import (
     NodeSatReduction,
     EDTDSatReduction,
@@ -50,7 +56,8 @@ __all__ = [
     "DEFAULT_MAX_NODES",
     "Verdict", "SatResult", "ContainmentResult",
     "Problem", "ProblemKind",
-    "Engine", "EngineRegistry", "default_registry", "plan_and_run",
+    "Engine", "EngineDeclined", "EngineRegistry", "default_registry",
+    "plan_and_run",
     "NodeSatReduction", "EDTDSatReduction",
     "containment_to_node_unsat", "sat_to_edtd_sat", "edtd_sat_to_sat",
     "node_satisfiable", "path_satisfiable", "check_containment",

@@ -34,12 +34,18 @@ from .problems import ContainmentResult, Problem, ProblemKind, SatResult, Verdic
 
 __all__ = [
     "Engine",
+    "EngineDeclined",
     "EngineRegistry",
     "default_registry",
     "plan_and_run",
 ]
 
 Result = SatResult | ContainmentResult
+
+
+class EngineDeclined(ValueError):
+    """A forced engine could not take its problem: it either does not admit
+    the input or declined at runtime (e.g. a memory guard tripped)."""
 
 
 class Engine:
@@ -100,10 +106,14 @@ class EngineRegistry:
         """Dispatch ``problem`` to an engine and return its result.
 
         With ``problem.engine`` set, that engine must admit and solve the
-        problem (declining raises ``ValueError``) — except for equivalence,
-        where the preference is forwarded to the per-direction subproblems.
+        problem (declining raises :class:`EngineDeclined`; an engine
+        exception is re-raised) — except for equivalence, where the
+        preference is forwarded to the per-direction subproblems.
         Otherwise admitted engines are tried cheapest-first until one
-        produces a result.
+        produces a result; an engine that *raises* mid-``solve`` is treated
+        like a runtime decline — the error is recorded on its
+        ``engine_decision`` entry and dispatch falls through to the next
+        admitted engine, re-raising only when no engine remains.
         """
         candidates = self.candidates(problem)
         decision: list[dict] = []
@@ -116,7 +126,7 @@ class EngineRegistry:
             if not decision[0]["admits"]:
                 obs.note("engine_decision", {"candidates": decision,
                                              "chosen": None})
-                raise ValueError(
+                raise EngineDeclined(
                     f"engine {forced!r} does not admit this "
                     f"{problem.kind.value} problem"
                 )
@@ -127,34 +137,54 @@ class EngineRegistry:
                 decision.append(dict(engine.describe(), admits=admitted))
                 if admitted and chosen is None:
                     chosen = engine
+        last_error: Exception | None = None
         with obs.span("dispatch", problem=problem.kind.value):
             while chosen is not None:
-                result = chosen.solve(problem)
-                if result is not None:
-                    obs.note("engine_decision",
-                             {"candidates": decision, "chosen": chosen.name})
-                    return result
-                # Runtime decline: mark it and fall through to the next
-                # admitted candidate (or fail if the engine was forced).
-                for entry in decision:
-                    if entry["name"] == chosen.name:
-                        entry["declined"] = True
-                if forced is not None:
-                    obs.note("engine_decision", {"candidates": decision,
-                                                 "chosen": None})
-                    raise ValueError(
-                        f"engine {forced!r} declined this "
-                        f"{problem.kind.value} problem at runtime"
-                    )
+                try:
+                    result = chosen.solve(problem)
+                except Exception as error:
+                    # An engine bug or an uncaught guard must not abort the
+                    # whole dispatch: record the failure on the decision
+                    # entry and fall through like a runtime decline.
+                    for entry in decision:
+                        if entry["name"] == chosen.name:
+                            entry["error"] = f"{type(error).__name__}: {error}"
+                    obs.count(f"dispatch.error.{chosen.name}")
+                    if forced is not None:
+                        obs.note("engine_decision", {"candidates": decision,
+                                                     "chosen": None})
+                        raise
+                    last_error = error
+                    result = None
+                else:
+                    if result is not None:
+                        obs.note("engine_decision",
+                                 {"candidates": decision, "chosen": chosen.name})
+                        return result
+                    # Runtime decline: mark it and fall through to the next
+                    # admitted candidate (or fail if the engine was forced).
+                    for entry in decision:
+                        if entry["name"] == chosen.name:
+                            entry["declined"] = True
+                    if forced is not None:
+                        obs.note("engine_decision", {"candidates": decision,
+                                                     "chosen": None})
+                        raise EngineDeclined(
+                            f"engine {forced!r} declined this "
+                            f"{problem.kind.value} problem at runtime"
+                        )
                 chosen = next(
                     (engine for engine in candidates
                      if engine.admits(problem)
                      and not any(entry["name"] == engine.name
-                                 and entry.get("declined")
+                                 and (entry.get("declined")
+                                      or "error" in entry)
                                  for entry in decision)),
                     None,
                 )
         obs.note("engine_decision", {"candidates": decision, "chosen": None})
+        if last_error is not None:
+            raise last_error
         raise ValueError(
             f"no registered engine admits this {problem.kind.value} problem"
         )

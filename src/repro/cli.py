@@ -12,6 +12,9 @@ Commands
 * ``translate EXPR --to {eq,for,normal-form,official}`` — run one of the
   paper's translations on an expression and print the result.
 * ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
+* ``batch INPUT.jsonl [--workers N] [--timeout S] [--race] [--cache-dir D]``
+  — decide a JSONL stream of problems on a worker pool (see
+  :mod:`repro.parallel`); answers are emitted as JSONL.
 
 The decision commands take ``--stats`` (human-readable run statistics on
 stderr), ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
@@ -26,7 +29,14 @@ warnings, ``--stats`` reports) go to stderr.  Exit codes: 0 — conclusive
 positive answer (satisfiable / contained / valid); 1 — conclusive negative
 answer (counterexample found / invalid document); 2 — error, or an
 inconclusive bounded-search verdict (no witness up to the bound, which is
-*not* a proof: see ``Verdict.NO_WITNESS_WITHIN_BOUND``).
+*not* a proof: see ``Verdict.NO_WITNESS_WITHIN_BOUND``).  The contract
+holds even when a forced engine declines or raises at runtime: the
+failure is a diagnostic on stderr and exit code 2, never a traceback.
+
+``batch`` emits one JSON object per problem on the answer stream and a
+one-line summary on stderr; its exit code is 0 when every problem
+produced a verdict and 2 when some input line was malformed or some
+problem could not be decided by any engine.
 
 Schemas are text files with one ``label = content-model`` rule per line; the
 first rule's label is the root type (lines like ``label -> concrete`` after
@@ -38,6 +48,7 @@ official XPath axis steps such as ``child::a`` or ``descendant::a``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import contains as _contains
@@ -168,6 +179,146 @@ def _cmd_contains(args) -> int:
     return 2
 
 
+def _parse_batch_line(line: str, number: int, args, edtd) -> tuple:
+    """One JSONL problem line -> (record_id, Problem).  Raises ValueError
+    with a line-scoped message on malformed input."""
+    from .analysis import Problem, ProblemKind, default_registry
+
+    try:
+        data = json.loads(line)
+    except ValueError as error:
+        raise ValueError(f"line {number}: invalid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ValueError(f"line {number}: expected a JSON object")
+    kind_name = data.get("kind", "contains")
+    record_id = data.get("id", number)
+    max_nodes = data.get("max_nodes", args.max_nodes)
+    engine = data.get("engine", None if args.engine == "auto" else args.engine)
+    if engine is not None and engine not in default_registry().names():
+        raise ValueError(f"line {number}: unknown engine {engine!r}")
+    try:
+        if kind_name == "satisfiable":
+            problem = Problem(ProblemKind.SATISFIABILITY,
+                              phi=parse_node(data["expr"]), edtd=edtd,
+                              max_nodes=max_nodes, engine=engine)
+        elif kind_name in ("contains", "equivalent"):
+            kind = (ProblemKind.CONTAINMENT if kind_name == "contains"
+                    else ProblemKind.EQUIVALENCE)
+            problem = Problem(kind, alpha=parse_path(data["alpha"]),
+                              beta=parse_path(data["beta"]), edtd=edtd,
+                              max_nodes=max_nodes, engine=engine)
+        else:
+            raise ValueError(f"unknown kind {kind_name!r} (expected "
+                             "'satisfiable', 'contains' or 'equivalent')")
+    except KeyError as error:
+        raise ValueError(
+            f"line {number}: missing field {error.args[0]!r}") from error
+    except ValueError as error:
+        raise ValueError(f"line {number}: {error}") from error
+    return record_id, kind_name, problem
+
+
+def _batch_record(record_id, kind_name, outcome) -> dict:
+    record: dict = {"id": record_id, "kind": kind_name}
+    result = outcome.result
+    if result is None:
+        record["error"] = outcome.error
+    else:
+        record["verdict"] = result.verdict.value
+        record["conclusive"] = result.conclusive
+        if kind_name in ("contains", "equivalent"):
+            record["contained"] = result.contained
+            if result.counterexample_pair is not None:
+                record["counterexample_pair"] = list(result.counterexample_pair)
+    record["engine"] = outcome.engine
+    record["cache"] = "hit" if outcome.cache_hit else "miss"
+    record["elapsed_s"] = round(outcome.worker_time_s, 6)
+    if outcome.race_winner is not None:
+        record["race_winner"] = outcome.race_winner
+    if outcome.failures:
+        record["engine_failures"] = [
+            {"engine": failure.engine, "error": failure.error_type,
+             "message": failure.message}
+            for failure in outcome.failures
+        ]
+    timeouts = [attempt["engine"] for attempt in outcome.attempts
+                if attempt["status"] == "timeout"]
+    if timeouts:
+        record["timeouts"] = timeouts
+    return record
+
+
+def _cmd_batch(args) -> int:
+    from . import obs
+    from .analysis import default_registry
+    from .parallel import BatchRunner, VerdictCache
+
+    if args.engine != "auto" and args.engine not in default_registry().names():
+        raise ValueError(
+            f"unknown engine {args.engine!r} (registered: "
+            f"{', '.join(default_registry().names())})")
+    edtd = load_schema(args.schema) if args.schema else None
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.input, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    problems = []
+    ids: list[tuple] = []
+    bad_records: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        try:
+            record_id, kind_name, problem = _parse_batch_line(
+                line, number, args, edtd)
+        except ValueError as error:
+            bad_records.append({"id": number, "error": str(error)})
+            continue
+        ids.append((record_id, kind_name))
+        problems.append(problem)
+
+    cache = None if args.no_cache else VerdictCache(args.cache_dir)
+    runner = BatchRunner(workers=args.workers, timeout=args.timeout,
+                         race=args.race, cache=cache)
+    if _wants_stats(args):
+        with obs.record("batch") as recording:
+            report = runner.run(problems)
+        stats = recording.to_run_record().to_dict()
+    else:
+        report = runner.run(problems)
+        stats = None
+
+    records = [_batch_record(record_id, kind_name, outcome)
+               for (record_id, kind_name), outcome
+               in zip(ids, report.outcomes)]
+    records.extend(bad_records)
+    out = sys.stdout
+    if args.output and args.output != "-":
+        out = open(args.output, "w", encoding="utf-8")
+    try:
+        for record in records:
+            print(json.dumps(record, sort_keys=True), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+    summary = report.summary()
+    if cache is not None:
+        summary["cache"] = cache.info()
+    print(f"batch: {summary['problems']} problems in "
+          f"{summary['wall_s']:.2f}s on {summary['workers']} workers "
+          f"({summary['cache_hits']} cache hits, {summary['timeouts']} "
+          f"timeouts, {summary['worker_failures']} engine failures, "
+          f"{summary['unsolved']} unsolved, {len(bad_records)} bad input "
+          "lines)", file=sys.stderr)
+    if stats is not None:
+        _emit_stats(stats, args)
+    if bad_records or report.failed:
+        return 2
+    return 0
+
+
 def _cmd_translate(args) -> int:
     if args.to == "official":
         from .xpath.official import to_official
@@ -282,6 +433,35 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--xml")
     validate.set_defaults(func=_cmd_validate)
 
+    batch = commands.add_parser(
+        "batch", help="decide a JSONL stream of problems on a worker pool")
+    batch.add_argument(
+        "input", metavar="INPUT",
+        help="JSONL file of problems ('-' for stdin); each line is an "
+             'object like {"kind": "contains", "alpha": "...", "beta": '
+             '"..."} or {"kind": "satisfiable", "expr": "..."} with '
+             "optional id/max_nodes/engine fields")
+    batch.add_argument("--output", metavar="FILE", default=None,
+                       help="write JSONL answers to FILE (default: stdout)")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count, max 8)")
+    batch.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-engine-attempt wall-clock timeout; on "
+                            "expiry the problem retries on the next-cheapest "
+                            "admitted engine")
+    batch.add_argument("--race", action="store_true",
+                       help="race conclusive admitted engines per problem; "
+                            "first conclusive verdict wins")
+    batch.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="verdict cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent verdict cache")
+    batch.add_argument("--schema", help="schema applied to every problem")
+    batch.add_argument("--max-nodes", type=int, default=6)
+    _add_obs_flags(batch)
+    batch.set_defaults(func=_cmd_batch)
+
     show = commands.add_parser("show", help="inspect an expression")
     show.add_argument("expr")
     show.set_defaults(func=_cmd_show)
@@ -296,8 +476,17 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except (ValueError, OSError) as error:
         # Parse errors (XPathSyntaxError is a ValueError), bad schema files,
-        # unreadable documents: diagnostics belong on stderr, exit code 2.
+        # unreadable documents, unknown/declining engines: diagnostics
+        # belong on stderr, exit code 2.
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # noqa: BLE001
+        # The stream/exit-code contract holds even when a decision engine
+        # raises something unexpected mid-solve (a guard like
+        # TooManyModalAtoms is a RuntimeError, and --engine NAME re-raises
+        # the forced engine's exception verbatim): no tracebacks on the
+        # answer stream, diagnostics to stderr, exit 2.
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
         return 2
 
 

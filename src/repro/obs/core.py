@@ -73,8 +73,9 @@ class Span:
 
     def start(self) -> "Span":
         stack = self._recording._span_stack
-        stack[-1].children.append(self)
-        stack.append(self)
+        if stack:
+            stack[-1].children.append(self)
+            stack.append(self)
         self._t0 = time.perf_counter()
         return self
 
@@ -83,6 +84,14 @@ class Span:
             return
         self.duration_s = time.perf_counter() - self._t0
         stack = self._recording._span_stack
+        if self not in stack:
+            # Already unwound — an exception escaped an enclosing span, whose
+            # exit popped this one as "abandoned".  A late finish() (typical
+            # for loop-carried spans closed from a generator's ``finally``)
+            # must leave the stack alone: popping here would evict *live*
+            # spans and corrupt the timings of every later span in this
+            # recording.
+            return
         while len(stack) > 1 and stack.pop() is not self:
             pass  # unwind spans abandoned by an exception
 

@@ -1,0 +1,256 @@
+"""Persistent on-disk verdict cache for decision problems.
+
+Repeated benchmark and CI runs re-decide the same containment and
+satisfiability instances over and over; the :class:`VerdictCache` lets the
+batch runner (and anything else that dispatches :class:`Problem`\\ s) skip
+instances that were already solved under the same configuration.
+
+Keys
+----
+
+A cache key must identify a problem *structurally* and survive across
+processes.  In-process, the structural identity of an expression is its
+:func:`repro.xpath.intern.intern_key`; but intern keys are dense integers
+assigned in first-seen order, so they are not stable between runs.  The
+cache therefore keys on the stable cross-process rendering of the same
+identity: :func:`repro.xpath.to_source`, which round-trips through the
+parser and is injective on ASTs.  The full key is a SHA-256 over a
+canonical JSON payload of
+
+* the problem kind,
+* the source rendering of each input expression,
+* a schema fingerprint (root type, content models, projection),
+* the search bound (``max_nodes``) and the engine preference, and
+* a cache schema version (bump it when verdict semantics change).
+
+Two expressions that differ only by normalization (operand order of ``∪``,
+``∧``, ``∩``) hash differently — the cache may miss where the in-process
+plan cache would hit.  That is deliberately conservative: a miss costs a
+re-solve, a false hit would return a wrong verdict.
+
+Values
+------
+
+Entries store the full result — verdict, witness / counterexample trees
+(as tag-only XML), bounds, work counters — so a cache hit reconstructs a
+result equal to the one the engines produced.  Run-record ``stats`` are
+*not* cached; they describe one concrete run, not the problem.  Each entry
+is its own ``<digest>.json`` file written atomically (temp file +
+``os.replace``), so concurrent writers — e.g. several batch coordinator
+threads, or parallel CI jobs sharing a cache directory — never interleave
+partial writes.  Corrupt or unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..analysis.problems import (
+    ContainmentResult,
+    Problem,
+    ProblemKind,
+    SatResult,
+    Verdict,
+)
+from ..edtd import EDTD
+from ..trees import from_xml, to_xml
+from ..xpath import to_source
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "VerdictCache",
+    "default_cache_dir",
+    "problem_fingerprint",
+]
+
+CACHE_SCHEMA_VERSION = 1
+
+Result = SatResult | ContainmentResult
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _edtd_fingerprint(edtd: EDTD | None) -> dict | None:
+    if edtd is None:
+        return None
+    labels = sorted(edtd.abstract_labels)
+    return {
+        "root": edtd.root_type,
+        # Regex nodes are frozen dataclasses; their reprs are canonical.
+        "content": {label: repr(edtd.content[label]) for label in labels},
+        "projection": {label: edtd.projection[label] for label in labels},
+    }
+
+
+def problem_fingerprint(problem: Problem) -> str:
+    """The stable cache key of ``problem`` (a SHA-256 hex digest)."""
+    payload = {
+        "v": CACHE_SCHEMA_VERSION,
+        "kind": problem.kind.value,
+        "exprs": [to_source(expr) for expr in problem.expressions()],
+        "schema": _edtd_fingerprint(problem.edtd),
+        "max_nodes": problem.max_nodes,
+        "engine": problem.engine or "auto",
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------- result round-trip
+
+
+def encode_result(result: Result) -> dict:
+    """A JSON-able rendering of a result; raises ``ValueError`` if a witness
+    tree carries labels outside the XML-serializable alphabet."""
+    data: dict = {
+        "verdict": result.verdict.value,
+        "explored_up_to": result.explored_up_to,
+        "trees_checked": result.trees_checked,
+    }
+    if isinstance(result, SatResult):
+        data["type"] = "sat"
+        if result.witness is not None:
+            data["witness"] = to_xml(result.witness)
+            data["witness_node"] = result.witness_node
+        return data
+    data["type"] = "containment"
+    if result.counterexample is not None:
+        data["counterexample"] = to_xml(result.counterexample)
+        data["pair"] = list(result.counterexample_pair)
+    if result.per_direction is not None:
+        data["per_direction"] = [
+            encode_result(direction) if direction is not None else None
+            for direction in result.per_direction
+        ]
+    return data
+
+
+def decode_result(data: dict) -> Result:
+    """Inverse of :func:`encode_result`."""
+    verdict = Verdict(data["verdict"])
+    explored = data.get("explored_up_to")
+    checked = data.get("trees_checked", 0)
+    if data["type"] == "sat":
+        witness = data.get("witness")
+        return SatResult(
+            verdict,
+            witness=from_xml(witness) if witness is not None else None,
+            witness_node=data.get("witness_node"),
+            explored_up_to=explored,
+            trees_checked=checked,
+        )
+    counterexample = data.get("counterexample")
+    pair = data.get("pair")
+    per_direction = None
+    if data.get("per_direction") is not None:
+        decoded = [
+            decode_result(direction) if direction is not None else None
+            for direction in data["per_direction"]
+        ]
+        per_direction = (decoded[0], decoded[1])
+    assert isinstance(per_direction, tuple) or per_direction is None
+    return ContainmentResult(
+        verdict,
+        counterexample=(from_xml(counterexample)
+                        if counterexample is not None else None),
+        counterexample_pair=tuple(pair) if pair is not None else None,
+        explored_up_to=explored,
+        trees_checked=checked,
+        per_direction=per_direction,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------- the cache
+
+
+class VerdictCache:
+    """On-disk verdict store with an in-memory read-through layer.
+
+    Thread-safe for the batch runner's usage pattern: ``get``/``put`` from
+    several coordinator threads.  The in-memory dict relies on CPython's
+    atomic dict operations; disk writes are atomic renames.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, problem: Problem) -> Result | None:
+        """The cached result of ``problem``, or ``None`` on a miss."""
+        key = problem_fingerprint(problem)
+        data = self._memory.get(key)
+        if data is None:
+            try:
+                data = json.loads(self._path(key).read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = None
+        if data is None:
+            self.misses += 1
+            return None
+        try:
+            result = decode_result(data)
+        except (KeyError, TypeError, ValueError, IndexError):
+            # Corrupt or incompatible entry: treat as a miss (the next put
+            # overwrites it).
+            self.misses += 1
+            return None
+        self._memory[key] = data
+        self.hits += 1
+        return result
+
+    def put(self, problem: Problem, result: Result) -> bool:
+        """Store ``result`` under ``problem``'s key; returns False when the
+        result cannot be serialized (exotic witness labels)."""
+        if problem.kind is ProblemKind.SATISFIABILITY \
+                and not isinstance(result, SatResult):
+            raise TypeError("satisfiability problems cache SatResults")
+        key = problem_fingerprint(problem)
+        try:
+            data = encode_result(result)
+        except ValueError:
+            return False
+        self._memory[key] = data
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle, sort_keys=True)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to memory-only.
+            return False
+        self.stores += 1
+        return True
+
+    def info(self) -> dict:
+        """Hit/miss/store counters plus the backing directory."""
+        return {
+            "directory": str(self.directory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

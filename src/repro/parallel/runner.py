@@ -1,0 +1,643 @@
+"""The batch runner: many decision problems, one worker pool.
+
+:class:`BatchRunner` executes an iterable of
+:class:`~repro.analysis.problems.Problem`\\ s on a pool of worker
+*processes* (decision procedures are CPU-bound; threads would serialize on
+the GIL).  A pool of coordinator threads — one per worker slot — drives the
+lifecycle of each problem:
+
+1. **Cache.** With a :class:`~repro.parallel.cache.VerdictCache` attached,
+   a hit returns the stored result without spawning a worker.
+2. **Race** (``race=True``).  All *conclusive* admitted engines start
+   concurrently, one worker process each; the first conclusive verdict
+   wins and the losers are terminated.  With fewer than two conclusive
+   contenders the race degenerates to the ladder.
+3. **Ladder.**  One worker walks the admitted engines cheapest-first
+   (exactly the :meth:`EngineRegistry.plan_and_run` order), falling
+   through on runtime declines and engine exceptions.  The parent imposes
+   a per-engine wall-clock ``timeout``: on expiry the worker is terminated
+   and a fresh worker resumes at the next-cheapest engine — a timeout
+   degrades the answer, never the batch.
+
+Every problem yields a :class:`BatchOutcome` with the result (or a
+structured error), the engine that produced it, cache/timing/attempt
+metadata, and any :class:`~repro.parallel.worker.WorkerFailure` records.
+Failures are data: a raising or hanging engine cannot poison the pool or
+perturb any other problem's verdict.
+
+Workers are forked (configurable via ``mp_context``), so engines
+registered at runtime — including test doubles — are visible to workers
+without pickling.  Only results cross the process boundary.
+
+:func:`contains_many` and :func:`satisfiable_many` are the list-in,
+list-out conveniences mirroring :func:`repro.analysis.contains` and
+:func:`repro.analysis.satisfiable`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .. import obs
+from ..analysis.problems import (
+    DEFAULT_MAX_NODES,
+    ContainmentResult,
+    Problem,
+    ProblemKind,
+    SatResult,
+)
+from ..analysis.registry import default_registry
+from ..edtd import EDTD
+from ..xpath.ast import NodeExpr, PathExpr
+from .cache import VerdictCache
+from .worker import WorkerFailure, solve_in_child
+
+__all__ = [
+    "BatchError",
+    "BatchOutcome",
+    "BatchReport",
+    "BatchRunner",
+    "contains_many",
+    "run_batch",
+    "satisfiable_many",
+]
+
+Result = SatResult | ContainmentResult
+
+#: Poll granularity while waiting without a timeout (also the heartbeat for
+#: detecting a worker that died without a final message).
+_POLL_S = 0.2
+
+
+class BatchError(RuntimeError):
+    """Raised by the ``*_many`` conveniences when some problem produced no
+    result at all; carries the failing outcomes."""
+
+    def __init__(self, message: str, outcomes: "list[BatchOutcome]"):
+        super().__init__(message)
+        self.outcomes = outcomes
+
+
+@dataclass
+class BatchOutcome:
+    """Everything the runner learned about one problem."""
+
+    index: int
+    problem: Problem
+    result: Result | None = None
+    engine: str | None = None
+    cache_hit: bool = False
+    queue_wait_s: float = 0.0
+    worker_time_s: float = 0.0
+    #: One dict per engine attempt: ``{"engine", "status"}`` with status in
+    #: ``result | declined | failed | timeout | died | lost-race``.
+    attempts: list[dict] = field(default_factory=list)
+    failures: list[WorkerFailure] = field(default_factory=list)
+    race_winner: str | None = None
+    #: Set when no engine produced a result.
+    error: str | None = None
+    #: The worker's own run record (``collect_stats=True`` only).
+    stats: dict | None = None
+
+
+@dataclass
+class BatchReport:
+    """A finished batch: per-problem outcomes plus aggregate figures."""
+
+    outcomes: list[BatchOutcome]
+    wall_s: float
+    workers: int
+    race: bool
+    cache_info: dict | None = None
+    stats: dict | None = None
+
+    def results(self) -> list[Result | None]:
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cache_hit)
+
+    @property
+    def failed(self) -> list[BatchOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.result is None]
+
+    def summary(self) -> dict:
+        timeouts = sum(1 for outcome in self.outcomes
+                       for attempt in outcome.attempts
+                       if attempt["status"] == "timeout")
+        return {
+            "problems": len(self.outcomes),
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "race": self.race,
+            "cache_hits": self.cache_hits,
+            "timeouts": timeouts,
+            "worker_failures": sum(len(outcome.failures)
+                                   for outcome in self.outcomes),
+            "unsolved": len(self.failed),
+        }
+
+
+class BatchRunner:
+    """See the module docstring.
+
+    Parameters:
+
+    * ``workers`` — worker-slot count (default: ``os.cpu_count()``, ≤ 8).
+    * ``timeout`` — per-engine-attempt wall-clock seconds (``None`` = no
+      timeout).
+    * ``race`` — race conclusive admitted engines per problem.
+    * ``cache`` — a :class:`VerdictCache`, a directory for one, or ``None``
+      to disable caching.
+    * ``collect_stats`` — ship each worker's own obs run record back with
+      its result (attached to ``BatchOutcome.stats``).
+    * ``mp_context`` — a multiprocessing start-method name or context;
+      defaults to ``fork`` where available (registered engines are then
+      inherited by workers without pickling).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float | None = None,
+        race: bool = False,
+        cache: VerdictCache | str | Path | None = None,
+        collect_stats: bool = False,
+        mp_context: str | multiprocessing.context.BaseContext | None = None,
+    ):
+        self.workers = workers if workers is not None \
+            else min(8, os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.timeout = timeout
+        self.race = race
+        if cache is None or isinstance(cache, VerdictCache):
+            self.cache = cache
+        else:
+            self.cache = VerdictCache(cache)
+        self.collect_stats = collect_stats
+        if isinstance(mp_context, multiprocessing.context.BaseContext):
+            self._ctx = mp_context
+        else:
+            method = mp_context
+            if method is None:
+                method = "fork" if "fork" in \
+                    multiprocessing.get_all_start_methods() else "spawn"
+            self._ctx = multiprocessing.get_context(method)
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, problems: Iterable[Problem]) -> BatchReport:
+        """Decide every problem; outcomes come back in input order."""
+        items = list(problems)
+        outcomes: list[BatchOutcome | None] = [None] * len(items)
+        started = time.perf_counter()
+        with obs.span("batch.run", problems=len(items), workers=self.workers,
+                      race=self.race):
+            if items:
+                with ThreadPoolExecutor(
+                        max_workers=min(self.workers, len(items)),
+                        thread_name_prefix="batch") as pool:
+                    futures = [
+                        pool.submit(self._run_one, index, problem, started)
+                        for index, problem in enumerate(items)
+                    ]
+                    for index, future in enumerate(futures):
+                        outcomes[index] = future.result()
+        wall = time.perf_counter() - started
+        done = [outcome for outcome in outcomes if outcome is not None]
+        assert len(done) == len(items)
+        report = BatchReport(
+            outcomes=done, wall_s=wall, workers=self.workers, race=self.race,
+            cache_info=self.cache.info() if self.cache is not None else None,
+        )
+        self._emit_metrics(report)
+        return report
+
+    # ---------------------------------------------------- one problem slot
+
+    def _run_one(self, index: int, problem: Problem,
+                 submitted: float) -> BatchOutcome:
+        outcome = BatchOutcome(index=index, problem=problem)
+        outcome.queue_wait_s = time.perf_counter() - submitted
+        if self.cache is not None:
+            cached = self.cache.get(problem)
+            if cached is not None:
+                outcome.result = cached
+                outcome.engine = "cache"
+                outcome.cache_hit = True
+                return outcome
+        solve_started = time.perf_counter()
+        try:
+            if self.race:
+                self._run_race(problem, outcome)
+            if outcome.result is None and outcome.error is None:
+                self._run_ladder(problem, outcome)
+        except Exception as error:  # coordinator bug — never kill the batch
+            outcome.error = f"{type(error).__name__}: {error}"
+        outcome.worker_time_s = time.perf_counter() - solve_started
+        if outcome.result is not None and self.cache is not None:
+            self.cache.put(problem, outcome.result)
+        return outcome
+
+    # ------------------------------------------------------------- ladder
+
+    def _run_ladder(self, problem: Problem, outcome: BatchOutcome) -> None:
+        """Worker-backed engine ladder with parent-enforced timeouts."""
+        exclude: set[str] = {attempt["engine"] for attempt in outcome.attempts}
+        while True:
+            status, engine = self._attempt(problem, frozenset(exclude),
+                                           None, outcome)
+            if status == "result":
+                return
+            if status == "exhausted":
+                if outcome.error is None:
+                    outcome.error = self._exhausted_message(outcome)
+                return
+            # timeout / died: exclude the engine that was running and
+            # resume the ladder in a fresh worker.
+            if engine is None:
+                outcome.error = f"worker {status} before choosing an engine"
+                return
+            exclude.add(engine)
+            # Engines that declined or failed inside the dead worker must
+            # not be retried by its successor.
+            exclude.update(
+                attempt["engine"] for attempt in outcome.attempts
+                if attempt["status"] in ("declined", "failed"))
+
+    def _exhausted_message(self, outcome: BatchOutcome) -> str:
+        if outcome.failures:
+            failure = outcome.failures[-1]
+            return (f"no engine produced a result; last failure: "
+                    f"{failure.engine}: {failure.error_type}: "
+                    f"{failure.message}")
+        return "no registered engine admitted or solved the problem"
+
+    def _attempt(self, problem: Problem, exclude: frozenset[str],
+                 only_engine: str | None, outcome: BatchOutcome,
+                 ) -> tuple[str, str | None]:
+        """One worker process; returns ``(status, engine)`` where status is
+        ``result | exhausted | timeout | died``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=solve_in_child,
+            args=(child_conn, problem, exclude, self.collect_stats,
+                  only_engine),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        current: dict | None = None
+        deadline = None if self.timeout is None \
+            else time.perf_counter() + self.timeout
+        try:
+            while True:
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not parent_conn.poll(remaining):
+                        if parent_conn.poll(0):
+                            pass  # a message raced the deadline; drain it
+                        else:
+                            if current is not None:
+                                current["status"] = "timeout"
+                            return ("timeout",
+                                    current["engine"] if current else None)
+                elif not parent_conn.poll(_POLL_S):
+                    if process.is_alive() or parent_conn.poll(0):
+                        continue
+                    if current is not None:
+                        current["status"] = "died"
+                    self._record_death(outcome, current)
+                    return ("died", current["engine"] if current else None)
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    if current is not None:
+                        current["status"] = "died"
+                    self._record_death(outcome, current)
+                    return ("died", current["engine"] if current else None)
+                kind = message[0]
+                if kind == "trying":
+                    current = {"engine": message[1], "status": "running"}
+                    outcome.attempts.append(current)
+                    if self.timeout is not None:
+                        deadline = time.perf_counter() + self.timeout
+                elif kind == "declined":
+                    if current is not None and current["engine"] == message[1]:
+                        current["status"] = "declined"
+                    else:
+                        outcome.attempts.append(
+                            {"engine": message[1], "status": "declined"})
+                    current = None
+                elif kind == "failed":
+                    failure = WorkerFailure(**message[2])
+                    outcome.failures.append(failure)
+                    if current is not None and current["engine"] == message[1]:
+                        current["status"] = "failed"
+                    else:
+                        outcome.attempts.append(
+                            {"engine": message[1], "status": "failed"})
+                    current = None
+                elif kind == "result":
+                    _, engine, result, stats = message
+                    if current is not None and current["engine"] == engine:
+                        current["status"] = "result"
+                    outcome.result = result
+                    outcome.engine = engine
+                    if stats is not None:
+                        outcome.stats = stats
+                    return ("result", engine)
+                elif kind == "exhausted":
+                    return ("exhausted", None)
+        finally:
+            parent_conn.close()
+            self._reap(process)
+
+    @staticmethod
+    def _record_death(outcome: BatchOutcome, current: dict | None) -> None:
+        engine = current["engine"] if current else "?"
+        outcome.failures.append(WorkerFailure(
+            engine=engine, error_type="WorkerDied",
+            message="worker process exited without reporting a result",
+            traceback="",
+        ))
+
+    @staticmethod
+    def _reap(process) -> None:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            process.kill()
+            process.join(timeout=5)
+
+    # --------------------------------------------------------------- race
+
+    def _run_race(self, problem: Problem, outcome: BatchOutcome) -> None:
+        """Race all conclusive admitted engines; first conclusive verdict
+        wins, losers are terminated.  Leaves ``outcome.result`` unset when
+        the race is not applicable or produced no conclusive verdict — the
+        ladder then takes over (excluding engines the race already ran) —
+        except that a race's *inconclusive* result is kept as a fallback if
+        the ladder also comes up empty."""
+        if problem.engine is not None:
+            return
+        registry = default_registry()
+        try:
+            contenders = [engine.name
+                          for engine in registry.candidates(problem)
+                          if engine.conclusive and engine.admits(problem)]
+        except Exception:
+            return  # admits() raised; let the ladder sort it out
+        if len(contenders) < 2:
+            return
+        entries = []  # (engine, process, conn, attempt_dict)
+        for name in contenders:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=solve_in_child,
+                args=(child_conn, problem, frozenset(), self.collect_stats,
+                      name),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            attempt = {"engine": name, "status": "racing"}
+            outcome.attempts.append(attempt)
+            entries.append((name, process, parent_conn, attempt))
+        by_conn = {conn: (name, process, attempt)
+                   for name, process, conn, attempt in entries}
+        deadline = None if self.timeout is None \
+            else time.perf_counter() + self.timeout
+        stash: tuple[Result, str, dict | None] | None = None
+        try:
+            pending = set(by_conn)
+            while pending:
+                if deadline is None:
+                    ready = _conn_wait(list(pending), timeout=_POLL_S)
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    ready = _conn_wait(list(pending), timeout=remaining)
+                if not ready:
+                    if deadline is not None:
+                        break  # race timed out
+                    if not any(process.is_alive()
+                               for _, process, _ in
+                               (by_conn[conn] for conn in pending)):
+                        break
+                    continue
+                for conn in ready:
+                    name, process, attempt = by_conn[conn]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        pending.discard(conn)
+                        attempt["status"] = "died"
+                        self._record_death(outcome, attempt)
+                        continue
+                    kind = message[0]
+                    if kind == "trying":
+                        continue
+                    if kind == "declined":
+                        attempt["status"] = "declined"
+                        pending.discard(conn)
+                    elif kind == "failed":
+                        attempt["status"] = "failed"
+                        outcome.failures.append(WorkerFailure(**message[2]))
+                        pending.discard(conn)
+                    elif kind == "exhausted":
+                        pending.discard(conn)
+                    elif kind == "result":
+                        _, engine, result, stats = message
+                        if result.conclusive:
+                            attempt["status"] = "result"
+                            for other in pending:
+                                if other is not conn:
+                                    by_conn[other][2]["status"] = "lost-race"
+                            outcome.result = result
+                            outcome.engine = engine
+                            outcome.race_winner = engine
+                            if stats is not None:
+                                outcome.stats = stats
+                            return
+                        attempt["status"] = "inconclusive"
+                        if stash is None:
+                            stash = (result, engine, stats)
+                        pending.discard(conn)
+        finally:
+            for _, process, conn, attempt in entries:
+                if attempt["status"] == "racing":
+                    attempt["status"] = "timeout" if deadline is not None \
+                        else "lost-race"
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                self._reap(process)
+        if stash is not None and outcome.result is None:
+            # No conclusive winner; remember the inconclusive verdict in
+            # case the ladder cannot do better.
+            outcome.attempts.append(
+                {"engine": stash[1], "status": "race-fallback"})
+            result, engine, stats = stash
+            outcome.result = result
+            outcome.engine = engine
+            if stats is not None:
+                outcome.stats = stats
+
+    # ------------------------------------------------------------ metrics
+
+    def _emit_metrics(self, report: BatchReport) -> None:
+        """Fold the report into the active obs recording (main thread) —
+        coordinator threads never touch the thread-local recording."""
+        if obs.active() is None:
+            return
+        obs.count("batch.problems", len(report.outcomes))
+        queue_wait = 0.0
+        worker_time = 0.0
+        for outcome in report.outcomes:
+            queue_wait += outcome.queue_wait_s
+            worker_time += outcome.worker_time_s
+            if self.cache is not None:
+                obs.count("batch.cache.hit" if outcome.cache_hit
+                          else "batch.cache.miss")
+            if outcome.result is None:
+                obs.count("batch.unsolved")
+            if outcome.failures:
+                obs.count("batch.worker_failures", len(outcome.failures))
+            if outcome.race_winner is not None:
+                obs.count("batch.race.races")
+                obs.count(f"batch.race.win.{outcome.race_winner}")
+            for attempt in outcome.attempts:
+                if attempt["status"] == "timeout":
+                    obs.count("batch.timeouts")
+            retries = sum(1 for attempt in outcome.attempts
+                          if attempt["status"] in ("timeout", "died")) \
+                if not outcome.cache_hit else 0
+            if retries:
+                obs.count("batch.retries", retries)
+        obs.gauge("batch.queue_wait_s", queue_wait)
+        obs.gauge("batch.worker_time_s", worker_time)
+        obs.gauge("batch.wall_s", report.wall_s)
+        obs.note("batch", report.summary())
+
+
+# ------------------------------------------------------------- conveniences
+
+
+def run_batch(
+    problems: Iterable[Problem],
+    *,
+    workers: int | None = None,
+    timeout: float | None = None,
+    race: bool = False,
+    cache: VerdictCache | str | Path | None = None,
+    collect_stats: bool = False,
+    stats: bool = False,
+    mp_context=None,
+) -> BatchReport:
+    """Run ``problems`` through a fresh :class:`BatchRunner`.  With
+    ``stats=True`` the whole batch runs inside an obs recording whose run
+    record lands on ``BatchReport.stats``."""
+    runner = BatchRunner(workers=workers, timeout=timeout, race=race,
+                         cache=cache, collect_stats=collect_stats,
+                         mp_context=mp_context)
+    if not stats:
+        return runner.run(problems)
+    with obs.record("batch") as recording:
+        report = runner.run(problems)
+    report.stats = recording.to_run_record().to_dict()
+    return report
+
+
+def _engine_preference(method: str) -> str | None:
+    if method == "auto":
+        return None
+    registry = default_registry()
+    if method not in registry.names():
+        raise ValueError(
+            f"unknown method {method!r} (expected 'auto' or one of: "
+            f"{', '.join(registry.names())})"
+        )
+    return method
+
+
+def _checked_results(report: BatchReport, what: str) -> list[Result]:
+    failed = report.failed
+    if failed:
+        first = failed[0]
+        raise BatchError(
+            f"{len(failed)} of {len(report.outcomes)} {what} problems "
+            f"produced no result (first: #{first.index}: {first.error})",
+            failed,
+        )
+    results = report.results()
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
+
+
+def contains_many(
+    pairs: Sequence[tuple[PathExpr, PathExpr]],
+    *,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+    workers: int | None = None,
+    timeout: float | None = None,
+    race: bool = False,
+    cache: VerdictCache | str | Path | None = None,
+    mp_context=None,
+) -> list[ContainmentResult]:
+    """Decide ``α ⊑ β`` for every pair on a worker pool; results come back
+    in input order and agree with sequential :func:`repro.analysis.contains`
+    under the same configuration.  Raises :class:`BatchError` if some
+    problem could not be decided by any engine."""
+    engine = _engine_preference(method)
+    problems = [
+        Problem(ProblemKind.CONTAINMENT, alpha=alpha, beta=beta, edtd=edtd,
+                max_nodes=max_nodes, engine=engine)
+        for alpha, beta in pairs
+    ]
+    report = run_batch(problems, workers=workers, timeout=timeout, race=race,
+                       cache=cache, mp_context=mp_context)
+    results = _checked_results(report, "containment")
+    assert all(isinstance(result, ContainmentResult) for result in results)
+    return results  # type: ignore[return-value]
+
+
+def satisfiable_many(
+    exprs: Sequence[NodeExpr],
+    *,
+    edtd: EDTD | None = None,
+    method: str = "auto",
+    max_nodes: int = DEFAULT_MAX_NODES,
+    workers: int | None = None,
+    timeout: float | None = None,
+    race: bool = False,
+    cache: VerdictCache | str | Path | None = None,
+    mp_context=None,
+) -> list[SatResult]:
+    """Batch node satisfiability; see :func:`contains_many`."""
+    engine = _engine_preference(method)
+    problems = [
+        Problem(ProblemKind.SATISFIABILITY, phi=phi, edtd=edtd,
+                max_nodes=max_nodes, engine=engine)
+        for phi in exprs
+    ]
+    report = run_batch(problems, workers=workers, timeout=timeout, race=race,
+                       cache=cache, mp_context=mp_context)
+    results = _checked_results(report, "satisfiability")
+    assert all(isinstance(result, SatResult) for result in results)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,135 @@
+"""Child-process side of the batch runner.
+
+One worker process decides one problem (or, under racing, one engine's
+attempt at one problem) and streams progress back to the parent over a
+pipe.  The parent never trusts a worker to stay healthy: an engine that
+raises is converted into a structured :class:`WorkerFailure` message, an
+engine that declines is reported and the ladder moves on, and a worker
+that hangs is terminated by the parent's per-attempt timeout — none of
+these poison the pool or leak into other problems' verdicts.
+
+Message protocol (child → parent), in order:
+
+* ``("trying", engine)`` — a new engine attempt begins.  The parent resets
+  its per-attempt timeout clock on this message, so each engine gets the
+  full budget.
+* ``("declined", engine, reason)`` — the engine declined at runtime (its
+  ``solve`` returned ``None``, e.g. the EXPSPACE memory guard).
+* ``("failed", engine, failure_dict)`` — the engine raised; the exception
+  is re-raised *as data* (a :class:`WorkerFailure` rendering), never as a
+  live exception crossing the process boundary.
+* ``("result", engine, result, run_record_or_None)`` — a verdict.
+* ``("exhausted",)`` — every eligible engine declined or failed.
+
+The engine ladder mirrors :meth:`EngineRegistry.plan_and_run`: admitted
+engines cheapest-first, runtime declines and exceptions fall through.  It
+is re-entrant across worker restarts — the parent passes the set of
+engines already tried (timed out, declined, or failed) as ``exclude`` so a
+respawned worker resumes at the next-cheapest engine.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import asdict, dataclass
+
+from .. import obs
+from ..analysis.problems import Problem, ProblemKind
+from ..analysis.registry import Engine, default_registry
+
+__all__ = ["WorkerFailure", "solve_in_child"]
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A structured record of an engine exception inside a worker."""
+
+    engine: str
+    error_type: str
+    message: str
+    traceback: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_exception(cls, engine: str, error: BaseException) -> "WorkerFailure":
+        return cls(
+            engine=engine,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(traceback.format_exception(error)),
+        )
+
+
+def _ladder(problem: Problem, exclude: frozenset[str],
+            only_engine: str | None) -> list[Engine]:
+    """The engines this worker may try, in dispatch order."""
+    registry = default_registry()
+    if only_engine is not None:
+        return [registry.get(only_engine)]
+    forced = problem.engine
+    if forced is not None and problem.kind is not ProblemKind.EQUIVALENCE:
+        # A forced engine is the whole ladder (equivalence forwards the
+        # preference to its per-direction subproblems instead).
+        return [] if forced in exclude else [registry.get(forced)]
+    return [engine for engine in registry.candidates(problem)
+            if engine.name not in exclude]
+
+
+def solve_in_child(conn, problem: Problem, exclude: frozenset[str],
+                   collect_stats: bool, only_engine: str | None = None) -> None:
+    """Process entry point: walk the engine ladder, streaming messages.
+
+    Never raises: every failure mode becomes a message (or, at worst, a
+    closed pipe the parent observes as a dead worker).
+    """
+    recording = obs.record("batch.worker").start() if collect_stats else None
+    try:
+        try:
+            engines = _ladder(problem, exclude, only_engine)
+        except ValueError as error:  # unknown engine name
+            conn.send(("failed", only_engine or problem.engine or "?",
+                       WorkerFailure.from_exception("?", error).to_dict()))
+            conn.send(("exhausted",))
+            return
+        for engine in engines:
+            try:
+                admitted = engine.admits(problem)
+            except Exception as error:
+                conn.send(("failed", engine.name,
+                           WorkerFailure.from_exception(engine.name,
+                                                        error).to_dict()))
+                continue
+            if not admitted:
+                continue
+            conn.send(("trying", engine.name))
+            try:
+                result = engine.solve(problem)
+            except Exception as error:
+                conn.send(("failed", engine.name,
+                           WorkerFailure.from_exception(engine.name,
+                                                        error).to_dict()))
+                continue
+            if result is None:
+                conn.send(("declined", engine.name, "declined at runtime"))
+                continue
+            stats = None
+            if recording is not None:
+                recording.note("engine", engine.name)
+                recording.note("verdict", result.verdict.value)
+                recording.stop()
+                stats = recording.to_run_record().to_dict()
+                recording = None
+            conn.send(("result", engine.name, result, stats))
+            return
+        conn.send(("exhausted",))
+    except (BrokenPipeError, OSError):
+        pass  # parent went away (timeout terminate racing with a send)
+    finally:
+        if recording is not None:
+            recording.stop()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,74 @@
+"""The benchmark harness's BENCH_obs.json merge: dedupe by test id,
+latest record wins.
+
+The merge logic lives in ``benchmarks/conftest.py``, which pytest loads
+only for benchmark sessions; these tests import the module directly so
+the dedupe invariant is covered by the tier-1 suite.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+def _load_merge():
+    spec = importlib.util.spec_from_file_location("bench_conftest_under_test",
+                                                  _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(duration):
+    return {"duration_s": duration, "counters": {}, "gauges": {}}
+
+
+class TestMergeObsRecords:
+    def test_fresh_records_build_a_payload(self):
+        module = _load_merge()
+        payload = module.merge_obs_records(None, [
+            {"nodeid": "t::a", "record": _record(1.0)},
+        ])
+        assert payload["schema_version"] == module._OBS_SCHEMA_VERSION
+        assert payload["runs"] == {"t::a": _record(1.0)}
+
+    def test_rerun_in_one_session_dedupes_keeping_latest(self):
+        """A test id appearing twice in the session log (rerun plugins,
+        duplicated nodeids on the command line) must contribute exactly one
+        entry — the later one."""
+        module = _load_merge()
+        payload = module.merge_obs_records(None, [
+            {"nodeid": "t::a", "record": _record(1.0)},
+            {"nodeid": "t::b", "record": _record(5.0)},
+            {"nodeid": "t::a", "record": _record(2.0)},
+        ])
+        assert payload["runs"]["t::a"] == _record(2.0)
+        assert payload["runs"]["t::b"] == _record(5.0)
+        assert len(payload["runs"]) == 2
+
+    def test_fresh_record_replaces_stored_one(self):
+        module = _load_merge()
+        existing = {"schema_version": module._OBS_SCHEMA_VERSION,
+                    "runs": {"t::a": _record(9.0), "t::old": _record(3.0)}}
+        payload = module.merge_obs_records(existing, [
+            {"nodeid": "t::a", "record": _record(1.5)},
+        ])
+        assert payload["runs"]["t::a"] == _record(1.5)
+        # Entries from other sessions survive untouched.
+        assert payload["runs"]["t::old"] == _record(3.0)
+
+    def test_malformed_existing_payload_is_discarded(self):
+        module = _load_merge()
+        for junk in (["not", "a", "dict"], {"runs": "nope"}, 42, "text"):
+            payload = module.merge_obs_records(junk, [
+                {"nodeid": "t::a", "record": _record(1.0)},
+            ])
+            assert payload["runs"] == {"t::a": _record(1.0)}
+
+    def test_idempotent_over_repeated_sessions(self):
+        module = _load_merge()
+        records = [{"nodeid": "t::a", "record": _record(1.0)}]
+        once = module.merge_obs_records(None, records)
+        twice = module.merge_obs_records(once, records)
+        assert twice == once

@@ -191,6 +191,170 @@ class TestStreamsAndExitCodes:
         assert "warning:" in captured.err
 
 
+class TestEngineErrorPaths:
+    """Satellite contract: a forced engine that declines, raises, or does
+    not exist is a diagnostic on stderr and exit code 2 — never a
+    traceback on either stream."""
+
+    # Enough distinct modal atoms that the EXPSPACE engine's memory guard
+    # declines at runtime (candidate space > 60k types).
+    TOO_BIG = " and ".join(f"<down[p{i}]>" for i in range(12))
+
+    def test_unknown_engine_name_exits_2(self, capsys):
+        code = main(["satisfiable", "p", "--engine", "warp-drive"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "warp-drive" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_runtime_decline_honors_exit_contract(self, capsys):
+        code = main(["satisfiable", self.TOO_BIG, "--engine", "expspace"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "declined" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_forced_engine_exception_exits_2(self, capsys):
+        from repro.analysis import default_registry
+        from repro.analysis.registry import Engine
+
+        class Explodes(Engine):
+            name = "test-cli-explodes"
+
+            def admits(self, problem):
+                return True
+
+            def solve(self, problem):
+                raise RuntimeError("catastrophic engine bug")
+
+        default_registry().register(Explodes())
+        try:
+            code = main(["satisfiable", "p", "--engine", "test-cli-explodes"])
+        finally:
+            default_registry()._engines.pop("test-cli-explodes", None)
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: RuntimeError: catastrophic engine bug" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_auto_dispatch_still_answers_declined_input(self, capsys):
+        # Without forcing, the guard's decline falls through to the bounded
+        # engine: the same input yields a clean (inconclusive) verdict, not
+        # an error.
+        code = main(["satisfiable", self.TOO_BIG, "--max-nodes", "2"])
+        captured = capsys.readouterr()
+        assert code == 2  # bound too small for a witness — but no crash
+        assert "no-witness-within-bound" in captured.out
+        assert "warning:" in captured.err
+        assert "error:" not in captured.err
+
+
+class TestBatchCommand:
+    def _write_corpus(self, tmp_path):
+        lines = [
+            {"id": "c1", "kind": "contains", "alpha": "down[p]",
+             "beta": "down"},
+            {"id": "s1", "kind": "satisfiable", "expr": "p and <down[q]>"},
+            {"id": "c2", "kind": "contains", "alpha": "down",
+             "beta": "down[p]", "max_nodes": 3},
+        ]
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("# comment line\n" + "\n".join(
+            __import__("json").dumps(line) for line in lines) + "\n")
+        return path
+
+    def _records(self, out):
+        import json
+        return {record["id"]: record
+                for record in map(json.loads, out.splitlines())}
+
+    def test_batch_happy_path_and_warm_cache(self, capsys, tmp_path):
+        corpus = self._write_corpus(tmp_path)
+        argv = ["batch", str(corpus), "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        records = self._records(captured.out)
+        assert records["c1"]["verdict"] == "unsatisfiable"
+        assert records["c1"]["contained"] is True
+        assert records["c2"]["contained"] is False
+        assert records["c2"]["counterexample_pair"] is not None
+        assert records["s1"]["verdict"] == "satisfiable"
+        assert all(record["cache"] == "miss" for record in records.values())
+        assert "3 problems" in captured.err
+
+        assert main(argv) == 0  # warm run: every verdict from the cache
+        captured = capsys.readouterr()
+        records = self._records(captured.out)
+        assert all(record["cache"] == "hit" for record in records.values())
+        assert "3 cache hits" in captured.err
+
+    def test_batch_output_file_and_stdin(self, capsys, tmp_path, monkeypatch):
+        import io
+        import json
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"kind": "satisfiable", "expr": "p"}\n'))
+        out = tmp_path / "answers.jsonl"
+        code = main(["batch", "-", "--no-cache", "--workers", "1",
+                     "--output", str(out)])
+        assert code == 0
+        assert capsys.readouterr().out == ""  # answers went to the file
+        [record] = [json.loads(line)
+                    for line in out.read_text().splitlines()]
+        assert record["verdict"] == "satisfiable"
+
+    def test_batch_bad_line_exits_2_with_error_record(self, capsys, tmp_path):
+        corpus = tmp_path / "bad.jsonl"
+        corpus.write_text(
+            'not json at all\n'
+            '{"kind": "contains", "alpha": "down[p]", "beta": "down"}\n')
+        code = main(["batch", str(corpus), "--no-cache", "--workers", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        records = self._records(captured.out)
+        assert "invalid JSON" in records[1]["error"]
+        # The good line is still decided.
+        good = next(r for r in records.values() if "verdict" in r)
+        assert good["verdict"] == "unsatisfiable"
+        assert "1 bad input lines" in captured.err
+
+    def test_batch_unknown_engine_flag_exits_2(self, capsys, tmp_path):
+        corpus = self._write_corpus(tmp_path)
+        code = main(["batch", str(corpus), "--engine", "warp-drive"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "warp-drive" in captured.err
+
+    def test_batch_unknown_engine_on_a_line_is_line_scoped(self, capsys,
+                                                           tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text(
+            '{"kind": "satisfiable", "expr": "p", "engine": "warp-drive"}\n'
+            '{"kind": "satisfiable", "expr": "p"}\n')
+        code = main(["batch", str(corpus), "--no-cache", "--workers", "1"])
+        assert code == 2
+        records = self._records(capsys.readouterr().out)
+        assert "unknown engine" in records[1]["error"]
+        good = next(r for r in records.values() if "verdict" in r)
+        assert good["verdict"] == "satisfiable"
+
+    def test_batch_stats_flag_reports_run(self, capsys, tmp_path):
+        corpus = self._write_corpus(tmp_path)
+        code = main(["batch", str(corpus), "--no-cache", "--workers", "2",
+                     "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "== run: batch ==" in captured.err
+        assert "batch.problems" in captured.err
+
+
 class TestStatsFlags:
     def test_stats_goes_to_stderr(self, capsys):
         code = main(["satisfiable", "self::a", "--stats"])

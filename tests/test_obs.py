@@ -68,6 +68,36 @@ class TestSpans:
         # "after" must be a sibling of "outer", not nested inside it.
         assert [c.name for c in rec.root.children] == ["outer", "after"]
 
+    def test_unwound_span_finish_does_not_corrupt_the_stack(self):
+        """Regression: finishing a span that was already unwound off the
+        stack (its parent finished first, e.g. during exception cleanup of
+        manually-driven spans) must not pop live entries — that stack
+        unbalance used to corrupt the parentage and timings of every later
+        span in the recording."""
+        with obs.record("run") as rec:
+            outer = obs.span("outer").start()
+            inner = obs.span("inner").start()
+            outer.finish()  # unwinds inner too (exception-path analog)
+            inner.finish()  # already off the stack: must be a no-op
+            inner.finish()  # double-finish: also a no-op
+            with obs.span("after"):
+                pass
+        assert [c.name for c in rec.root.children] == ["outer", "after"]
+        after = rec.root.children[1]
+        assert after.duration_s is not None and after.duration_s >= 0.0
+        assert rec.root.duration_s >= after.duration_s
+
+    def test_span_started_after_recording_stopped_is_inert(self):
+        """A span object that outlives its recording (kept by a generator or
+        a worker shutting down) must not attach to the cleared stack or
+        raise when driven."""
+        with obs.record("run") as rec:
+            straggler = obs.span("late")
+        straggler.start()  # recording stopped: nothing to attach to
+        straggler.finish()
+        assert rec.root.children == []
+        assert straggler.duration_s is not None  # still timed, just detached
+
 
 class TestCounters:
     def test_count_and_gauge(self):

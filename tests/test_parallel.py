@@ -1,0 +1,388 @@
+"""Tests for repro.parallel: the batch runner, the verdict cache, engine
+racing, timeouts, and worker-failure isolation.
+
+The pool uses the ``fork`` start method, so engine doubles registered in
+the *parent's* default registry (the ``Raiser``/``Sleeper`` classes below)
+are inherited by worker processes without pickling; only results cross
+the pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.analysis import contains, default_registry, satisfiable
+from repro.analysis.problems import (
+    ContainmentResult,
+    Problem,
+    ProblemKind,
+    SatResult,
+)
+from repro.analysis.registry import Engine
+from repro.parallel import (
+    BatchError,
+    BatchRunner,
+    VerdictCache,
+    contains_many,
+    problem_fingerprint,
+    run_batch,
+    satisfiable_many,
+)
+from repro.parallel.cache import decode_result, encode_result
+from repro.xpath import parse_node, parse_path
+
+from .helpers import random_path
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # fork-in-threads notice on 3.12+
+
+
+# --------------------------------------------------------- engine doubles
+
+
+class Raiser(Engine):
+    """Admits everything, always raises: the poison the pool must survive."""
+
+    name = "test-raiser"
+    conclusive = False
+    cost_hint = 1  # cheapest: always tried first
+
+    def admits(self, problem):
+        return problem.kind in (ProblemKind.SATISFIABILITY,
+                                ProblemKind.CONTAINMENT)
+
+    def solve(self, problem):
+        raise RuntimeError("injected engine failure")
+
+
+class Sleeper(Engine):
+    """Hangs far past any test timeout; only a terminate stops it."""
+
+    name = "test-sleeper"
+    conclusive = True  # a race contender
+    cost_hint = 1
+
+    def admits(self, problem):
+        return problem.kind in (ProblemKind.SATISFIABILITY,
+                                ProblemKind.CONTAINMENT)
+
+    def solve(self, problem):
+        time.sleep(60)
+        raise AssertionError("sleeper was not terminated")
+
+
+@pytest.fixture
+def register_engine():
+    """Register doubles in the default registry; always unregister after."""
+    names: list[str] = []
+
+    def _register(engine: Engine) -> Engine:
+        default_registry().register(engine)
+        names.append(engine.name)
+        return engine
+
+    yield _register
+    for name in names:
+        default_registry()._engines.pop(name, None)
+
+
+def _pairs(seed: int, count: int):
+    rng = random.Random(seed)
+    operators = frozenset({"minus", "star"})
+    return [(random_path(rng, 2, operators), random_path(rng, 2, operators))
+            for _ in range(count)]
+
+
+def _canon(results):
+    return [encode_result(result) for result in results]
+
+
+# ------------------------------------------------------------ verdict cache
+
+
+class TestProblemFingerprint:
+    def test_stable_across_reparses(self):
+        first = Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                        beta=parse_path("down"))
+        second = Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                         beta=parse_path("down"))
+        assert problem_fingerprint(first) == problem_fingerprint(second)
+
+    def test_sensitive_to_every_config_axis(self):
+        base = Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                       beta=parse_path("down"), max_nodes=6)
+        variants = [
+            Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[q]"),
+                    beta=parse_path("down"), max_nodes=6),
+            Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down"),
+                    beta=parse_path("down[p]"), max_nodes=6),
+            Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                    beta=parse_path("down"), max_nodes=7),
+            Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                    beta=parse_path("down"), max_nodes=6, engine="bounded"),
+            Problem(ProblemKind.EQUIVALENCE, alpha=parse_path("down[p]"),
+                    beta=parse_path("down"), max_nodes=6),
+        ]
+        keys = {problem_fingerprint(variant) for variant in variants}
+        assert problem_fingerprint(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_schema_changes_the_key(self):
+        from repro.edtd import DTD
+        plain = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        schema = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"),
+                         edtd=DTD({"p": "p*"}, root="p"))
+        assert problem_fingerprint(plain) != problem_fingerprint(schema)
+
+
+class TestResultRoundTrip:
+    def test_sat_result_with_witness(self):
+        result = satisfiable(parse_node("p and <down[q]>"))
+        assert result.witness is not None
+        clone = decode_result(encode_result(result))
+        assert encode_result(clone) == encode_result(result)
+        assert clone.verdict is result.verdict
+        assert clone.witness_node == result.witness_node
+
+    def test_containment_with_counterexample(self):
+        result = contains(parse_path("down"), parse_path("down[p]"),
+                          max_nodes=3)
+        assert result.counterexample is not None
+        clone = decode_result(encode_result(result))
+        assert encode_result(clone) == encode_result(result)
+        assert clone.counterexample_pair == result.counterexample_pair
+
+    def test_equivalence_per_direction(self):
+        from repro.analysis import equivalent
+        result = equivalent(parse_path("down except down[p]"),
+                            parse_path("down[not p]"), max_nodes=4)
+        assert result.per_direction is not None
+        clone = decode_result(encode_result(result))
+        assert isinstance(clone, ContainmentResult)
+        assert clone.per_direction is not None
+        assert encode_result(clone) == encode_result(result)
+
+
+class TestVerdictCache:
+    def _problem(self):
+        return Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                       beta=parse_path("down"), max_nodes=4)
+
+    def test_put_then_get_across_instances(self, tmp_path):
+        problem = self._problem()
+        result = contains(problem.alpha, problem.beta,
+                          max_nodes=problem.max_nodes)
+        writer = VerdictCache(tmp_path)
+        assert writer.put(problem, result)
+        reader = VerdictCache(tmp_path)  # cold in-memory layer: hits disk
+        cached = reader.get(problem)
+        assert cached is not None
+        assert encode_result(cached) == encode_result(result)
+        assert reader.info()["hits"] == 1
+        assert writer.info()["stores"] == 1
+
+    def test_miss_counts(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        assert cache.get(self._problem()) is None
+        assert cache.info() == {"directory": str(tmp_path), "hits": 0,
+                                "misses": 1, "stores": 0}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        problem = self._problem()
+        result = contains(problem.alpha, problem.beta,
+                          max_nodes=problem.max_nodes)
+        VerdictCache(tmp_path).put(problem, result)
+        key = problem_fingerprint(problem)
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        fresh = VerdictCache(tmp_path)
+        assert fresh.get(problem) is None
+        assert fresh.info()["misses"] == 1
+
+    def test_incompatible_entry_is_a_miss(self, tmp_path):
+        problem = self._problem()
+        key = problem_fingerprint(problem)
+        tmp_path.joinpath(f"{key}.json").write_text(
+            json.dumps({"type": "sat", "verdict": "not-a-verdict"}),
+            encoding="utf-8")
+        assert VerdictCache(tmp_path).get(problem) is None
+
+
+# --------------------------------------------------- differential behaviour
+
+
+class TestDifferential:
+    """The tentpole contract: batch verdicts == sequential verdicts, under
+    every pool configuration, including poisoned and hanging engines."""
+
+    def test_pool_race_and_cache_match_sequential(self, tmp_path):
+        pairs = _pairs(seed=7, count=12)
+        sequential = [contains(alpha, beta, max_nodes=3)
+                      for alpha, beta in pairs]
+        want = _canon(sequential)
+
+        cache_dir = tmp_path / "cache"
+        cold = contains_many(pairs, max_nodes=3, workers=2, cache=cache_dir)
+        assert _canon(cold) == want
+
+        warm_cache = VerdictCache(cache_dir)
+        warm = contains_many(pairs, max_nodes=3, workers=2, cache=warm_cache)
+        assert _canon(warm) == want
+        assert warm_cache.info()["hits"] == len(pairs)
+
+        raced = contains_many(pairs, max_nodes=3, workers=2, race=True)
+        assert _canon(raced) == want
+
+    def test_raising_first_engine_changes_nothing(self, register_engine):
+        register_engine(Raiser())
+        pairs = _pairs(seed=11, count=6)
+        # Sequential dispatch also survives the raiser (it falls through),
+        # so both sides exercise the same ladder semantics.
+        sequential = [contains(alpha, beta, max_nodes=3)
+                      for alpha, beta in pairs]
+        report = run_batch(
+            [Problem(ProblemKind.CONTAINMENT, alpha=alpha, beta=beta,
+                     max_nodes=3) for alpha, beta in pairs],
+            workers=2)
+        assert not report.failed
+        assert _canon(report.results()) == _canon(sequential)
+        for outcome in report.outcomes:
+            assert any(failure.engine == "test-raiser"
+                       and failure.error_type == "RuntimeError"
+                       for failure in outcome.failures)
+            assert outcome.engine != "test-raiser"
+
+    def test_timing_out_first_engine_changes_nothing(self, register_engine):
+        # Sequential baseline *without* the sleeper: a timed-out engine must
+        # degrade to exactly the verdict the rest of the ladder produces.
+        pairs = _pairs(seed=13, count=2)
+        sequential = [contains(alpha, beta, max_nodes=3)
+                      for alpha, beta in pairs]
+        register_engine(Sleeper())
+        report = run_batch(
+            [Problem(ProblemKind.CONTAINMENT, alpha=alpha, beta=beta,
+                     max_nodes=3) for alpha, beta in pairs],
+            workers=2, timeout=1.0)
+        assert not report.failed
+        assert _canon(report.results()) == _canon(sequential)
+        for outcome in report.outcomes:
+            statuses = {attempt["engine"]: attempt["status"]
+                        for attempt in outcome.attempts}
+            assert statuses["test-sleeper"] == "timeout"
+            assert outcome.engine not in (None, "test-sleeper")
+
+    def test_satisfiable_many_matches_sequential(self):
+        exprs = [parse_node("p"), parse_node("p and not p"),
+                 parse_node("<down[p]> and <down[q]>")]
+        sequential = [satisfiable(phi, max_nodes=3) for phi in exprs]
+        batch = satisfiable_many(exprs, max_nodes=3, workers=2)
+        assert _canon(batch) == _canon(sequential)
+        assert all(isinstance(result, SatResult) for result in batch)
+
+
+# ------------------------------------------------------------------ racing
+
+
+class TestRacing:
+    def test_first_conclusive_verdict_wins(self, register_engine):
+        register_engine(Sleeper())
+        report = run_batch(
+            [Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                     beta=parse_path("down"))],
+            workers=1, race=True, timeout=10.0)
+        [outcome] = report.outcomes
+        assert outcome.result is not None and outcome.result.conclusive
+        assert outcome.race_winner == "expspace"
+        statuses = {attempt["engine"]: attempt["status"]
+                    for attempt in outcome.attempts}
+        assert statuses["test-sleeper"] == "lost-race"
+
+    def test_forced_engine_skips_the_race(self):
+        report = run_batch(
+            [Problem(ProblemKind.CONTAINMENT, alpha=parse_path("down[p]"),
+                     beta=parse_path("down"), engine="bounded")],
+            workers=1, race=True)
+        [outcome] = report.outcomes
+        assert outcome.race_winner is None
+        assert outcome.engine == "bounded"
+
+
+# ------------------------------------------------------- failure isolation
+
+
+class TestFailureIsolation:
+    def test_all_engines_failing_raises_batch_error(self, register_engine):
+        register_engine(Raiser())
+        with pytest.raises(BatchError) as info:
+            satisfiable_many([parse_node("p")], method="test-raiser",
+                             workers=1)
+        [outcome] = info.value.outcomes
+        assert outcome.result is None
+        assert "RuntimeError" in outcome.error
+        assert outcome.failures[0].traceback  # full child traceback shipped
+
+    def test_runner_reports_failures_without_raising(self, register_engine):
+        register_engine(Raiser())
+        report = BatchRunner(workers=1).run(
+            [Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"),
+                     engine="test-raiser")])
+        [outcome] = report.outcomes
+        assert report.failed == [outcome]
+        assert outcome.error is not None
+        assert report.summary()["worker_failures"] == 1
+
+    def test_poisoned_problem_does_not_leak(self, register_engine):
+        """One forced-to-fail problem next to healthy ones: the healthy
+        verdicts are unchanged and arrive in input order."""
+        register_engine(Raiser())
+        healthy = Problem(ProblemKind.CONTAINMENT,
+                          alpha=parse_path("down[p]"), beta=parse_path("down"))
+        poisoned = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"),
+                           engine="test-raiser")
+        report = run_batch([healthy, poisoned, healthy], workers=2)
+        first, bad, last = report.outcomes
+        assert first.result is not None and first.result.conclusive
+        assert last.result is not None
+        assert encode_result(first.result) == encode_result(last.result)
+        assert bad.result is None and bad.error is not None
+
+
+# ----------------------------------------------------------- API mechanics
+
+
+class TestBatchAPI:
+    def test_unknown_method_rejected_before_spawning(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            contains_many([(parse_path("down"), parse_path("down"))],
+                          method="quantum")
+
+    def test_empty_batch(self):
+        report = BatchRunner(workers=2).run([])
+        assert report.outcomes == []
+        assert report.summary()["problems"] == 0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            BatchRunner(workers=0)
+
+    def test_results_in_input_order(self):
+        pairs = [(parse_path("down[p]"), parse_path("down")),
+                 (parse_path("down"), parse_path("down[p]")),
+                 (parse_path("down[q]"), parse_path("down"))]
+        results = contains_many(pairs, max_nodes=3, workers=3)
+        assert [bool(result) for result in results] == [True, False, True]
+
+    def test_batch_metrics_reach_the_recording(self, tmp_path):
+        from repro import obs
+        pairs = [(parse_path("down[p]"), parse_path("down"))]
+        with obs.record("test-batch") as recording:
+            contains_many(pairs, workers=1, cache=tmp_path / "cache")
+            contains_many(pairs, workers=1, cache=tmp_path / "cache")
+        counters = recording.counters
+        assert counters["batch.problems"] == 2
+        assert counters["batch.cache.miss"] == 1
+        assert counters["batch.cache.hit"] == 1
+        assert "batch.wall_s" in recording.gauges

@@ -14,7 +14,7 @@ from repro.analysis import (
     satisfiable,
 )
 from repro.analysis.problems import Verdict
-from repro.analysis.registry import Engine, EngineRegistry
+from repro.analysis.registry import Engine, EngineDeclined, EngineRegistry
 from repro.semantics import plan_cache_info
 from repro.xpath import parse_node, parse_path
 
@@ -124,10 +124,89 @@ class TestRegistryMechanics:
         with pytest.raises(ValueError, match="no registered engine"):
             registry.plan_and_run(problem)
 
+    def test_forced_decline_raises_engine_declined(self):
+        phi = parse_node("<down except down[p]>")
+        with pytest.raises(EngineDeclined):
+            satisfiable(phi, method="expspace")
+
     def test_module_level_plan_and_run_uses_default_registry(self):
         problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
         result = plan_and_run(problem)
         assert result.verdict is Verdict.SATISFIABLE
+
+
+class _Boom(Engine):
+    name = "boom"
+    cost_hint = 1
+
+    def admits(self, problem):
+        return True
+
+    def solve(self, problem):
+        raise RuntimeError("engine bug")
+
+
+class _Answers(Engine):
+    name = "answers"
+    cost_hint = 2
+
+    def admits(self, problem):
+        return True
+
+    def solve(self, problem):
+        from repro.analysis.problems import SatResult
+        return SatResult(Verdict.UNSATISFIABLE)
+
+
+class TestEngineExceptionFallthrough:
+    """Regression: an engine raising mid-``solve`` used to abort the whole
+    dispatch; it must fall through like a runtime decline."""
+
+    def _problem(self):
+        return Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+
+    def test_raising_engine_falls_through_to_next(self):
+        registry = EngineRegistry()
+        registry.register(_Boom())
+        registry.register(_Answers())
+        result = registry.plan_and_run(self._problem())
+        assert result.verdict is Verdict.UNSATISFIABLE
+
+    def test_error_is_recorded_in_the_decision(self):
+        from repro import obs
+        registry = EngineRegistry()
+        registry.register(_Boom())
+        registry.register(_Answers())
+        with obs.record("run") as recording:
+            registry.plan_and_run(self._problem())
+        decision = recording.meta["engine_decision"]
+        assert decision["chosen"] == "answers"
+        by_name = {entry["name"]: entry for entry in decision["candidates"]}
+        assert by_name["boom"]["error"] == "RuntimeError: engine bug"
+        assert recording.counters["dispatch.error.boom"] == 1
+
+    def test_forced_raising_engine_reraises(self):
+        registry = EngineRegistry()
+        registry.register(_Boom())
+        registry.register(_Answers())
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"),
+                          engine="boom")
+        with pytest.raises(RuntimeError, match="engine bug"):
+            registry.plan_and_run(problem)
+
+    def test_all_raising_engines_reraise_the_last_error(self):
+        class Boom2(_Boom):
+            name = "boom2"
+            cost_hint = 2
+
+            def solve(self, problem):
+                raise KeyError("second bug")
+
+        registry = EngineRegistry()
+        registry.register(_Boom())
+        registry.register(Boom2())
+        with pytest.raises(KeyError, match="second bug"):
+            registry.plan_and_run(self._problem())
 
 
 class TestEquivalenceAggregation:
