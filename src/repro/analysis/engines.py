@@ -1,7 +1,8 @@
 """Satisfiability engines based on systematic model search.
 
-This is the reproduction's substitute for the paper's worst-case-optimal
-decision procedures (2ATA emptiness, Theorem 10): a witness search that is
+This is the dispatch ladder's fallback below the conclusive procedures
+(the Figure 2 EXPSPACE engine and the Theorem 10 2ATA emptiness engine of
+:mod:`repro.analysis.automata_engine`): a witness search that is
 
 * **complete for satisfiable inputs** given enough budget — it enumerates
   *every* tree up to the size bound over the relevant label alphabet, in

@@ -263,6 +263,7 @@ def default_registry() -> EngineRegistry:
         _DEFAULT = registry
         # Builtin engine modules self-register on import; imported lazily
         # here to break the cycle analysis.engines -> ... -> registry.
+        from . import automata_engine as _automata  # noqa: F401
         from . import engines as _engines  # noqa: F401
         from . import expspace as _expspace  # noqa: F401
     return _DEFAULT

@@ -21,7 +21,22 @@ from .normalform import (
     NormalFormError,
 )
 from .evaluate import NFEvaluator, possible_steps, loops_fixpoint
+from .core import (
+    AlphabetPartition,
+    FormulaTable,
+    nf_true,
+    nf_false,
+    nf_not,
+    nf_and,
+    nf_or,
+    nf_and_all,
+    nf_or_all,
+    nf_intern,
+    nf_key,
+    automaton_base_key,
+)
 from .twoata import TwoATA, build_twoata, accepts, closure
+from .emptiness import EmptinessLimit, EmptinessResult, decide_emptiness
 from .epa import (
     EPA,
     LetNF,
@@ -41,7 +56,11 @@ __all__ = [
     "nf_subexpressions",
     "to_normal_form", "path_to_automaton", "eliminate_skips", "NormalFormError",
     "NFEvaluator", "possible_steps", "loops_fixpoint",
+    "AlphabetPartition", "FormulaTable", "nf_true", "nf_false", "nf_not",
+    "nf_and", "nf_or", "nf_and_all", "nf_or_all", "nf_intern", "nf_key",
+    "automaton_base_key",
     "TwoATA", "build_twoata", "accepts", "closure",
+    "EmptinessLimit", "EmptinessResult", "decide_emptiness",
     "EPA", "LetNF", "Environment", "FreshLabels", "path_to_epa",
     "node_to_let_nf", "intersect_epas", "nf_substitute_label",
     "eliminate_lets",

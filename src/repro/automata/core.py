@@ -1,0 +1,313 @@
+"""Shared symbolic core of the automata stack.
+
+Before this module existed, :mod:`~repro.automata.twoata`,
+:mod:`~repro.automata.epa`, :mod:`~repro.automata.nf` and
+:mod:`~repro.automata.letelim` each half-implemented the same three
+facilities privately; they are owned here once:
+
+* **Interned transition formulas** (:class:`FormulaTable`) — the positive
+  boolean formulas over moves ``δ`` ranges over (Definition 8), hash-consed
+  as tuples with dense integer indices, reusing the dense-key discipline of
+  :class:`repro.xpath.intern.DenseInterner`.  ``conj``/``disj`` apply the
+  unit laws, and :meth:`FormulaTable.dual` is the memoized De Morgan
+  dualization that Table III's negative rows are derived from.
+* **A symbolic alphabet partition** (:class:`AlphabetPartition`) — the
+  labels mentioned by the problem plus a single "other" class.  Since
+  normal-form expressions inspect labels only through ``NFLabel`` tests,
+  two concrete labels in the same class are indistinguishable, so the
+  transition function and the emptiness check work per *class*, not per
+  concrete label.
+* **Memoized normal-form operations** — smart constructors
+  (:func:`nf_and`, :func:`nf_or`, their ``_all`` folds) that apply the
+  boolean unit laws at the :class:`~repro.automata.nf.NFExpr` level, plus
+  a process-global interner for normal-form expressions and for path
+  automaton *bases* (the transition table without endpoints — all the
+  shifted variants ``π_{q,q'}`` of §3.1 share one base).
+
+The smart constructors deliberately do **not** intern their results:
+:func:`repro.automata.letelim.relativize_steps` distinguishes gadget
+occurrences by ``id()``, and collapsing structurally equal subterms onto
+one instance would merge occurrences that must stay distinct.  Interning
+is opt-in via :func:`nf_intern`/:func:`nf_key` for memo tables that want
+dense keys (the emptiness checker's valuation caches).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..xpath.intern import DenseInterner
+from .nf import (
+    NFAnd,
+    NFExpr,
+    NFLabel,
+    NFNot,
+    NFTop,
+    PathAutomaton,
+    nf_labels_used,
+    nf_negate,
+)
+
+__all__ = [
+    "EPS",
+    "TRUE",
+    "FALSE",
+    "AlphabetPartition",
+    "FormulaTable",
+    "nf_true",
+    "nf_false",
+    "nf_not",
+    "nf_and",
+    "nf_or",
+    "nf_and_all",
+    "nf_or_all",
+    "nf_intern",
+    "nf_key",
+    "automaton_base_key",
+]
+
+#: ε is represented by the move ``"eps"``; the other moves are
+#: :class:`~repro.automata.nf.Step` members.
+EPS = "eps"
+
+#: Reserved formula indices of every :class:`FormulaTable`.
+TRUE = 0
+FALSE = 1
+
+
+# --------------------------------------------------------------- the alphabet
+
+
+class AlphabetPartition:
+    """The symbolic alphabet: one class per mentioned label plus "other".
+
+    Classes are dense integers ``0 .. num_classes - 1``; the last class is
+    the "other" class standing for every concrete label the problem never
+    mentions.  All members of a class are indistinguishable to the
+    formulas the partition was built for, so any per-class computation
+    (transition formulas, emptiness summaries) covers the full infinite
+    alphabet.
+    """
+
+    __slots__ = ("labels", "_index")
+
+    def __init__(self, labels: Iterable[str]):
+        self.labels: tuple[str, ...] = tuple(sorted(set(labels)))
+        self._index = {label: i for i, label in enumerate(self.labels)}
+
+    @classmethod
+    def from_nf(cls, *exprs: NFExpr) -> "AlphabetPartition":
+        mentioned: set[str] = set()
+        for expr in exprs:
+            mentioned |= nf_labels_used(expr)
+        return cls(mentioned)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.labels) + 1
+
+    @property
+    def other(self) -> int:
+        """The class of every unmentioned label."""
+        return len(self.labels)
+
+    def classes(self) -> range:
+        return range(self.num_classes)
+
+    def class_of(self, label: str) -> int:
+        return self._index.get(label, len(self.labels))
+
+    def representative(self, klass: int) -> str:
+        """A concrete label of the class (used to decode witness trees)."""
+        if 0 <= klass < len(self.labels):
+            return self.labels[klass]
+        if klass == len(self.labels):
+            return _fresh_label(self.labels)
+        raise ValueError(f"no alphabet class {klass}")
+
+
+def _fresh_label(taken: Sequence[str], stem: str = "z") -> str:
+    candidate = stem
+    counter = 0
+    while candidate in taken:
+        candidate = f"{stem}{counter}"
+        counter += 1
+    return candidate
+
+
+# ------------------------------------------------------- transition formulas
+
+
+class FormulaTable:
+    """Hash-consed positive boolean transition formulas (Definition 8).
+
+    Nodes are tuples — ``("true",)``, ``("false",)``,
+    ``("atom", move, state)``, ``("and", indices)``, ``("or", indices)`` —
+    identified by dense integer indices (:data:`TRUE` is 0, :data:`FALSE`
+    is 1).  ``conj``/``disj`` apply the unit laws, deduplicate and sort
+    children, so equal formulas always get equal indices.
+
+    ``negate_state`` maps a state index to the state of the negated
+    expression (``q_ψ ↦ q_{¬ψ}``, total on ``cl(φ')`` by construction);
+    with it, :meth:`dual` computes the De Morgan dual of any stored
+    formula, which is exactly how Table III's rows for ``¬ψ`` relate to
+    the rows for ``ψ``.
+    """
+
+    __slots__ = ("_nodes", "_ids", "_dual_memo", "_negate_state")
+
+    def __init__(self, negate_state: Callable[[int], int] | None = None):
+        self._nodes: list[tuple] = [("true",), ("false",)]
+        self._ids: dict[tuple, int] = {("true",): TRUE, ("false",): FALSE}
+        self._dual_memo: dict[int, int] = {TRUE: FALSE, FALSE: TRUE}
+        self._negate_state = negate_state
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> tuple:
+        """The hash-consed formula node with the given index."""
+        return self._nodes[index]
+
+    def _intern(self, node: tuple) -> int:
+        index = self._ids.get(node)
+        if index is None:
+            index = len(self._nodes)
+            self._nodes.append(node)
+            self._ids[node] = index
+        return index
+
+    def atom(self, move, state: int) -> int:
+        """``(move, state)``: send a copy along ``move`` in ``state``."""
+        return self._intern(("atom", move, state))
+
+    def conj(self, children: Iterable[int]) -> int:
+        children = list(children)
+        if FALSE in children:
+            return FALSE
+        parts = sorted({child for child in children if child != TRUE})
+        if not parts:
+            return TRUE  # empty conjunction is true
+        if len(parts) == 1:
+            return parts[0]
+        return self._intern(("and", tuple(parts)))
+
+    def disj(self, children: Iterable[int]) -> int:
+        children = list(children)
+        if TRUE in children:
+            return TRUE
+        parts = sorted({child for child in children if child != FALSE})
+        if not parts:
+            return FALSE  # empty disjunction is false
+        if len(parts) == 1:
+            return parts[0]
+        return self._intern(("or", tuple(parts)))
+
+    def dual(self, index: int) -> int:
+        """The De Morgan dual: swap ∧/∨ and ⊤/⊥, negate atom states."""
+        memo = self._dual_memo
+        result = memo.get(index)
+        if result is not None:
+            return result
+        node = self._nodes[index]
+        tag = node[0]
+        if tag == "atom":
+            if self._negate_state is None:
+                raise ValueError("dualization needs a negate_state map")
+            result = self.atom(node[1], self._negate_state(node[2]))
+        elif tag == "and":
+            result = self.disj([self.dual(child) for child in node[1]])
+        else:
+            assert tag == "or", f"unknown formula node {node!r}"
+            result = self.conj([self.dual(child) for child in node[1]])
+        memo[index] = result
+        # Dualization is an involution on formulas built through it.
+        memo.setdefault(result, index)
+        return result
+
+
+# ------------------------------------------- normal-form smart constructors
+
+_TOP = NFTop()
+_BOTTOM = NFNot(_TOP)
+
+
+def nf_true() -> NFExpr:
+    return _TOP
+
+
+def nf_false() -> NFExpr:
+    return _BOTTOM
+
+
+def nf_not(expr: NFExpr) -> NFExpr:
+    """Negation with double-negation collapse (same as :func:`nf_negate`)."""
+    return nf_negate(expr)
+
+
+def nf_and(left: NFExpr, right: NFExpr) -> NFExpr:
+    """Conjunction with the ⊤/⊥ unit laws."""
+    if isinstance(left, NFTop):
+        return right
+    if isinstance(right, NFTop):
+        return left
+    if left == _BOTTOM or right == _BOTTOM:
+        return _BOTTOM
+    return NFAnd(left, right)
+
+
+def nf_or(left: NFExpr, right: NFExpr) -> NFExpr:
+    """``φ ∨ ψ = ¬(¬φ ∧ ¬ψ)`` at the normal-form level, with unit laws."""
+    if isinstance(left, NFTop) or isinstance(right, NFTop):
+        return _TOP
+    if left == _BOTTOM:
+        return right
+    if right == _BOTTOM:
+        return left
+    return NFNot(nf_and(nf_negate(left), nf_negate(right)))
+
+
+def nf_and_all(parts: Sequence[NFExpr]) -> NFExpr:
+    if not parts:
+        return _TOP
+    result = parts[0]
+    for part in parts[1:]:
+        result = nf_and(result, part)
+    return result
+
+
+def nf_or_all(parts: Sequence[NFExpr]) -> NFExpr:
+    if not parts:
+        return _BOTTOM
+    result = parts[0]
+    for part in parts[1:]:
+        result = nf_or(result, part)
+    return result
+
+
+# ----------------------------------------------------------------- interning
+
+#: Process-global interner for normal-form expressions.  Monotone, like the
+#: expression-AST tables in :mod:`repro.xpath.intern`.
+_NF_INTERNER = DenseInterner()
+
+#: Process-global interner for path-automaton *bases*: the transition table
+#: with the endpoints stripped, shared by all ``π_{q,q'}`` shifts.
+_BASE_INTERNER = DenseInterner()
+
+
+def nf_intern(expr: NFExpr) -> NFExpr:
+    """The canonical instance structurally equal to ``expr``."""
+    return _NF_INTERNER.canonical(expr)
+
+
+def nf_key(expr: NFExpr) -> int:
+    """A dense integer identifying ``expr`` up to structural equality."""
+    return _NF_INTERNER.key(expr)
+
+
+def automaton_base_key(automaton: PathAutomaton) -> int:
+    """A dense integer identifying ``automaton``'s *base* — its state count
+    and transition table, ignoring the initial/final endpoints — so that
+    all state-shifted variants ``π_{q,q'}`` share one key."""
+    return _BASE_INTERNER.key((automaton.num_states, automaton.transitions))

@@ -1,0 +1,730 @@
+"""Emptiness of the Table III 2ATAs (Theorem 10) over the first-child /
+next-sibling encoding.
+
+:func:`decide_emptiness` takes the 2ATA ``A_φ`` of :func:`build_twoata`
+and decides whether *some finite XML tree* satisfies ``φ`` somewhere —
+i.e. whether ``L(A_φ)`` is nonempty — returning a concrete witness tree
+when it is.  Together with Prop. 4 this is the paper's conclusive decision
+procedure for CoreXPath(*, ≈) containment; the ``automata`` engine
+(:mod:`repro.analysis.automata_engine`) wires it into the registry.
+
+The reduction, in the shape the symbolic solvers of Genevès et al. use
+(PAPERS.md): an on-the-fly fixpoint over *node summaries* followed by a
+parity game on the discovered summary space.
+
+**Summaries.**  Work in the first-child/next-sibling view: every node has
+at most two FCNS children (``c1`` = first child, ``c2`` = next sibling),
+and the four basic steps move along FCNS tree edges (↓₁/↑₁ along ``c1``
+edges, →/← along ``c2`` edges).  For a path automaton base ``π`` with
+states ``Q``, any product path from ``(n, q)`` to ``(n, q')`` decomposes
+at its visits to ``n`` into test edges at ``n``, excursions into the FCNS
+subtree of a child, and excursions into the context above.  Writing
+``tc`` for reflexive-transitive closure over state pairs this gives exact
+mutual recurrences:
+
+* subtree summary  ``S(n) = tc(tests(n) ∪ wrap(↓₁, S(c1)) ∪ wrap(→, S(c2)))``
+* context summary  ``W(c1) = tc(tests(n) ∪ wrap(→, S(c2)) ∪ up(n))`` where
+  ``up(n) = wrapup(σ, W(n))`` for the attachment step ``σ`` of ``n``
+* full relation     ``Full(n) = tc(S(n) ∪ up(n))`` — ``loop(π_{q,q'})``
+  holds at ``n`` iff ``(q, q') ∈ Full(n)``
+
+with ``wrap(τ, R) = {(q_i, q_l) | (q_i, τ, q_j), (q_k, τ˘, q_l) ∈ Δ,
+(q_j, q_k) ∈ R}`` and ``wrapup`` its upward twin.  Tests mention only
+*strictly nested* automata, so bases form a DAG and are processed in
+topological rank order — the truth of a test at ``n`` is read off the
+``Full`` relations of lower-rank bases, already computed at ``n``.
+
+**Saturation.**  A node summary is a pair ``(ctx, S̄)`` of an interned
+context (``None`` at the root, else the attachment step plus the context
+relations ``W̄``) and the per-base subtree relations ``S̄``.  Summaries
+are derived leaves-up on demand: contexts computed by any evaluation are
+activated, every activated context seeds leaf summaries, and derived
+summaries combine under all activated contexts.  Label classes come from
+the automaton's :class:`~repro.automata.core.AlphabetPartition`, so the
+infinite alphabet costs ``|labels φ mentions| + 1`` classes.  The
+recurrences are rank-stratified (rank-0 relations never look at the
+context, rank-``r`` relations look only at ranks ``< r`` of it), so the
+demanded contexts converge to the exact ones after at most one round per
+rank — this is what makes the demand-driven search complete, not just
+sound.
+
+**The game.**  The discovered summaries form a parity game: Eve picks a
+derivation (label class + child summaries) for each summary, Adam picks
+which FCNS child to descend into; every internal position has priority 1
+and the "no child left" sink priority 2, so Eve wins iff she can build a
+*finite* consistent tree — exactly the co-Büchi discipline the 2ATA's
+``Acc`` imposes on ``loop`` states.  The verdict is read off
+:func:`repro.games.solve_parity`; on nonemptiness a minimal-rank winning
+strategy is decoded back through the FCNS encoding into an
+:class:`~repro.trees.XMLTree` witness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .. import obs
+from ..games import ParityGame, solve_parity
+from ..trees import XMLTree
+from .nf import (
+    NFAnd,
+    NFExpr,
+    NFLabel,
+    NFLoop,
+    NFNot,
+    NFTop,
+    PathAutomaton,
+    Step,
+    nf_subexpressions,
+)
+from .twoata import TwoATA
+
+__all__ = ["EmptinessLimit", "EmptinessResult", "decide_emptiness"]
+
+#: Summary-space guards: past these the checker raises
+#: :class:`EmptinessLimit` and the engine declines to the bounded fallback.
+DEFAULT_MAX_EVALS = 400_000
+DEFAULT_MAX_ENTRIES = 6_000
+DEFAULT_MAX_CONTEXTS = 2_000
+
+#: At most this many alternative derivations are kept per summary; the
+#: first one is always the (well-founded) derivation that discovered it.
+_COMBOS_PER_ENTRY = 4
+
+
+class EmptinessLimit(RuntimeError):
+    """The summary space outgrew the configured guards."""
+
+
+@dataclass(frozen=True)
+class EmptinessResult:
+    """Outcome of an emptiness check.
+
+    ``empty`` — is ``L(A_φ)`` empty?  ``witness`` — a tree accepted by the
+    automaton (``None`` iff empty).  The counters describe the run:
+    summaries and contexts discovered, and positions of the final game.
+    """
+
+    empty: bool
+    witness: XMLTree | None
+    entries: int
+    contexts: int
+    game_positions: int
+
+
+@dataclass(frozen=True)
+class _Eval:
+    """Result of evaluating one node template ``(ctx, ℓ, S̄(c1), S̄(c2))``:
+    its subtree summary, the contexts its FCNS children would live in, and
+    whether ``φ'`` holds at it (meaningful for root candidates)."""
+
+    svec: int
+    ctx1: int
+    ctx2: int
+    root_true: bool
+
+
+@dataclass
+class _Entry:
+    """One derived summary ``(ctx, S̄)`` with its known derivations."""
+
+    combos: list[tuple[int, tuple | None, tuple | None]]
+
+
+#: Dense indices for the four steps; all hot-path tables key on these
+#: instead of hashing enum members.
+_STEPS: tuple[Step, ...] = tuple(Step)
+_STEP_INDEX: dict[Step, int] = {step: i for i, step in enumerate(_STEPS)}
+_CONVERSE: tuple[int, ...] = tuple(
+    _STEP_INDEX[step.converse] for step in _STEPS
+)
+_FC = _STEP_INDEX[Step.FIRST_CHILD]
+_RIGHT = _STEP_INDEX[Step.RIGHT]
+
+
+class _Checker:
+    def __init__(self, ata: TwoATA, max_evals: int, max_entries: int,
+                 max_contexts: int):
+        self.partition = ata.partition
+        self.phi_prime: NFExpr = ata.initial_expr
+        self.max_evals = max_evals
+        self.max_entries = max_entries
+        self.max_contexts = max_contexts
+
+        # ---- base automata in topological (nesting) rank order
+        self._base_ids: dict[tuple, int] = {}
+        #: per base, per step index: the ``(source, target)`` step edges.
+        self._steps: list[tuple[tuple[tuple[int, int], ...], ...]] = []
+        #: per base: the test transitions, with tests compiled to predicate
+        #: indices into ``_preds`` (see :meth:`_compile`).
+        self._tests: list[tuple[tuple[int, int, int], ...]] = []
+        self._preds: list[list] = []
+        self._states: list[int] = []
+        self._compile_memo: dict[int, object] = {}
+        for sub in nf_subexpressions(self.phi_prime):
+            if isinstance(sub, NFLoop):
+                self._add_base(sub.automaton)
+        self.num_bases = len(self._states)
+        self._root_pred = self._compile(self.phi_prime)
+
+        # ---- interning: relations, summary vectors, contexts
+        self._rels: list[frozenset] = []
+        self._rel_ids: dict[frozenset, int] = {}
+        self._empty = self._rid(frozenset())
+        self._vecs: list[tuple[int, ...]] = []
+        self._vec_ids: dict[tuple[int, ...], int] = {}
+        self._ctxs: list[tuple[int, int] | None] = [None]
+        self._ctx_ids: dict[tuple[int, int] | None, int] = {None: 0}
+
+        # ---- memoized relation algebra and node evaluation
+        self._rtc_memo: dict[tuple[int, int], int] = {}
+        self._rtc3_memo: dict[tuple[int, int, int, int], int] = {}
+        self._wrap_memo: dict[tuple[int, int, int], int] = {}
+        self._tests_memo: dict[tuple[int, int], int] = {}
+        self._eval_memo: dict[tuple[int, int, int, int], _Eval] = {}
+        self.evals = 0
+
+        # ---- saturation state
+        self.entries: dict[tuple[int, int], _Entry] = {}
+        self._pool: list[int] = []  # derived summary vectors, in order
+        self._pool_set: set[int] = set()
+        self._active: list[int] = []  # activated context ids, in order
+        self._active_set: set[int] = set()
+        #: per active context (parallel to ``_active``): pool length up to
+        #: which all (class, child, child) combos have been processed.
+        self._cursor: list[int] = []
+        self._wakes: deque[tuple[int, int, int, int]] = deque()
+        self._waiting: dict[tuple[int, int], list[tuple[int, int, int, int]]] = {}
+
+    # ------------------------------------------------------------ base setup
+
+    def _add_base(self, auto: PathAutomaton) -> int:
+        key = (auto.num_states, auto.transitions)
+        hit = self._base_ids.get(key)
+        if hit is not None:
+            return hit
+        # Nested bases first: tests mention strictly smaller automata, so
+        # this recursion is well-founded and yields a topological order.
+        for _, test, _ in auto.test_transitions():
+            for sub in nf_subexpressions(test):
+                if isinstance(sub, NFLoop):
+                    self._add_base(sub.automaton)
+        hit = self._base_ids.get(key)
+        if hit is not None:  # added while processing its own tests
+            return hit
+        index = len(self._states)
+        self._base_ids[key] = index
+        self._states.append(auto.num_states)
+        steps: list[list[tuple[int, int]]] = [[] for _ in _STEPS]
+        for source, tau, target in auto.step_transitions():
+            steps[_STEP_INDEX[tau]].append((source, target))
+        self._steps.append(tuple(tuple(pairs) for pairs in steps))
+        self._preds.append([])
+        self._tests.append(tuple(
+            (source, self._compile(test, index), target)
+            for source, test, target in auto.test_transitions()
+        ))
+        return index
+
+    def _base_of(self, auto: PathAutomaton) -> int:
+        return self._base_ids[(auto.num_states, auto.transitions)]
+
+    def _compile(self, expr: NFExpr, base: int | None = None):
+        """Compile a test expression into a closure ``fn(lcls, full)`` over
+        the label class and the per-base ``Full`` relations (which, by rank
+        order, are already available for every base the test mentions).
+
+        With ``base`` given, returns the index of the predicate in that
+        base's ``_preds`` slot (registering the closure if new) — the
+        evaluator keys its tests-relation memo on the bitmask of those
+        predicate values.  Compilation is shared by object identity; the
+        expressions live in the automaton, which outlives the checker.
+        """
+        fn = self._compile_memo.get(id(expr))
+        if fn is None:
+            match expr:
+                case NFLabel(name=name):
+                    klass = self.partition.class_of(name)
+
+                    def fn(lcls, full, _k=klass):
+                        return lcls == _k
+                case NFTop():
+                    def fn(lcls, full):
+                        return True
+                case NFNot(child=child):
+                    inner = self._compile(child)
+
+                    def fn(lcls, full, _f=inner):
+                        return not _f(lcls, full)
+                case NFAnd(left=left, right=right):
+                    first = self._compile(left)
+                    second = self._compile(right)
+
+                    def fn(lcls, full, _a=first, _b=second):
+                        return _a(lcls, full) and _b(lcls, full)
+                case NFLoop(automaton=auto):
+                    pair = (auto.initial, auto.final)
+                    sub_base = self._base_of(auto)
+
+                    def fn(lcls, full, _p=pair, _b=sub_base):
+                        return _p in full[_b]
+                case _:
+                    raise TypeError(f"unknown normal form {expr!r}")
+            self._compile_memo[id(expr)] = fn
+        if base is None:
+            return fn
+        preds = self._preds[base]
+        for index, known in enumerate(preds):
+            if known is fn:
+                return index
+        preds.append(fn)
+        return len(preds) - 1
+
+    # ------------------------------------------------------- interning layer
+
+    def _rid(self, rel: frozenset) -> int:
+        hit = self._rel_ids.get(rel)
+        if hit is None:
+            hit = len(self._rels)
+            self._rels.append(rel)
+            self._rel_ids[rel] = hit
+        return hit
+
+    def _vid(self, vec: tuple[int, ...]) -> int:
+        hit = self._vec_ids.get(vec)
+        if hit is None:
+            hit = len(self._vecs)
+            self._vecs.append(vec)
+            self._vec_ids[vec] = hit
+        return hit
+
+    def _cid(self, ctx: tuple[int, int] | None) -> int:
+        hit = self._ctx_ids.get(ctx)
+        if hit is None:
+            hit = len(self._ctxs)
+            self._ctxs.append(ctx)
+            self._ctx_ids[ctx] = hit
+        return hit
+
+    # ------------------------------------------------------ relation algebra
+    #
+    # All operations take and return dense relation ids, so the memo keys
+    # are small integer tuples and every distinct (base, operands) pair is
+    # computed once across the whole saturation.
+
+    def _rtc(self, base: int, rel_id: int) -> int:
+        """Reflexive-transitive closure over the base's state pairs."""
+        key = (base, rel_id)
+        hit = self._rtc_memo.get(key)
+        if hit is not None:
+            return hit
+        states = self._states[base]
+        adjacency: dict[int, set[int]] = {}
+        for source, target in self._rels[rel_id]:
+            adjacency.setdefault(source, set()).add(target)
+        closed = set()
+        for start in range(states):
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                state = frontier.pop()
+                for nxt in adjacency.get(state, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            closed.update((start, reach) for reach in seen)
+        hit = self._rid(frozenset(closed))
+        self._rtc_memo[key] = hit
+        # Closure is idempotent.
+        self._rtc_memo[(base, hit)] = hit
+        return hit
+
+    def _rtc3(self, base: int, first: int, second: int, third: int) -> int:
+        """``rtc(first ∪ second ∪ third)`` — the shape every summary,
+        context and full relation is built in."""
+        key = (base, first, second, third)
+        hit = self._rtc3_memo.get(key)
+        if hit is not None:
+            return hit
+        rels = self._rels
+        hit = self._rtc(
+            base, self._rid(rels[first] | rels[second] | rels[third])
+        )
+        self._rtc3_memo[key] = hit
+        return hit
+
+    def _wrap(self, base: int, tau: int, rel_id: int) -> int:
+        """Excursion along step index ``tau``: step out with ``tau``,
+        traverse ``rel`` on the far side, step back with ``tau˘``."""
+        key = (base, tau, rel_id)
+        hit = self._wrap_memo.get(key)
+        if hit is not None:
+            return hit
+        rel = self._rels[rel_id]
+        out = self._steps[base][tau]
+        back = self._steps[base][_CONVERSE[tau]]
+        wrapped = frozenset(
+            (q_i, q_l)
+            for q_i, q_j in out
+            for q_k, q_l in back
+            if (q_j, q_k) in rel
+        )
+        hit = self._rid(wrapped)
+        self._wrap_memo[key] = hit
+        return hit
+
+    def _tests_rel(self, base: int, mask: int) -> int:
+        """The test-edge relation of the base given the bitmask of its
+        predicate values."""
+        key = (base, mask)
+        hit = self._tests_memo.get(key)
+        if hit is not None:
+            return hit
+        hit = self._rid(frozenset(
+            (source, target)
+            for source, pred, target in self._tests[base]
+            if mask >> pred & 1
+        ))
+        self._tests_memo[key] = hit
+        return hit
+
+    # --------------------------------------------------------- one-node eval
+
+    def _evaluate(self, ctx_id: int, lcls: int, s1: int, s2: int) -> _Eval:
+        """Evaluate the node template: context ``ctx_id``, label class
+        ``lcls``, FCNS children with summary vectors ``s1``/``s2`` (or −1
+        for an absent child)."""
+        key = (ctx_id, lcls, s1, s2)
+        hit = self._eval_memo.get(key)
+        if hit is not None:
+            return hit
+        self.evals += 1
+        if self.evals > self.max_evals:
+            raise EmptinessLimit(
+                f"emptiness summary search exceeded {self.max_evals} "
+                "node evaluations"
+            )
+        ctx = self._ctxs[ctx_id]
+        wvec = self._vecs[ctx[1]] if ctx is not None else None
+        s1vec = self._vecs[s1] if s1 >= 0 else None
+        s2vec = self._vecs[s2] if s2 >= 0 else None
+        empty = self._empty
+
+        full: list[frozenset] = []
+        svec: list[int] = []
+        tvec: list[int] = []
+        upvec: list[int] = []
+        wraps1: list[int] = []
+        wraps2: list[int] = []
+        for base in range(self.num_bases):
+            # Rank order: tests here mention only lower bases, whose Full
+            # relations are already in ``full``.
+            mask = 0
+            for index, pred in enumerate(self._preds[base]):
+                if pred(lcls, full):
+                    mask |= 1 << index
+            tests = self._tests_rel(base, mask)
+            inner1 = self._wrap(base, _FC, s1vec[base]) \
+                if s1vec is not None else empty
+            inner2 = self._wrap(base, _RIGHT, s2vec[base]) \
+                if s2vec is not None else empty
+            s_id = self._rtc3(base, tests, inner1, inner2)
+            if ctx is None:
+                up = empty
+                full_id = s_id
+            else:
+                up = self._wrap(base, _CONVERSE[ctx[0]], wvec[base])
+                full_id = self._rtc3(base, s_id, up, empty)
+            svec.append(s_id)
+            tvec.append(tests)
+            upvec.append(up)
+            wraps1.append(inner1)
+            wraps2.append(inner2)
+            full.append(self._rels[full_id])
+
+        w1 = tuple(
+            self._rtc3(base, tvec[base], wraps2[base], upvec[base])
+            for base in range(self.num_bases)
+        )
+        w2 = tuple(
+            self._rtc3(base, tvec[base], wraps1[base], upvec[base])
+            for base in range(self.num_bases)
+        )
+        ctx1 = self._cid((_FC, self._vid(w1)))
+        ctx2 = self._cid((_RIGHT, self._vid(w2)))
+
+        result = _Eval(self._vid(tuple(svec)), ctx1, ctx2,
+                       self._root_pred(lcls, full))
+        self._eval_memo[key] = result
+        return result
+
+    # ------------------------------------------------------------ saturation
+
+    def _activate(self, ctx_id: int) -> None:
+        if ctx_id in self._active_set:
+            return
+        self._active_set.add(ctx_id)
+        self._active.append(ctx_id)
+        self._cursor.append(-1)  # -1: not swept yet (distinct from "pool
+        # was empty when swept", which is 0)
+        if len(self._active) > self.max_contexts:
+            raise EmptinessLimit(
+                f"emptiness summary search exceeded {self.max_contexts} "
+                "contexts"
+            )
+
+    def _add_to_pool(self, svec: int) -> None:
+        if svec not in self._pool_set:
+            self._pool_set.add(svec)
+            self._pool.append(svec)
+
+    def _add_entry(self, key: tuple[int, int],
+                   combo: tuple[int, tuple | None, tuple | None]) -> None:
+        entry = self.entries.get(key)
+        if entry is not None:
+            if combo not in entry.combos \
+                    and len(entry.combos) < _COMBOS_PER_ENTRY:
+                entry.combos.append(combo)
+            return
+        self.entries[key] = _Entry([combo])
+        if len(self.entries) > self.max_entries:
+            raise EmptinessLimit(
+                f"emptiness summary search exceeded {self.max_entries} "
+                "summaries"
+            )
+        for waiter in self._waiting.pop(key, ()):
+            self._wakes.append(waiter)
+        self._add_to_pool(key[1])
+
+    def _process(self, ctx_id: int, lcls: int, s1: int, s2: int) -> None:
+        result = self._evaluate(ctx_id, lcls, s1, s2)
+        # Liberal context demand: activate the children contexts this
+        # template computes even if the combination below fails — the
+        # rank-stratified convergence argument needs the approximate
+        # contexts activated so the next round can refine them.
+        self._activate(result.ctx1)
+        self._activate(result.ctx2)
+        child1 = (result.ctx1, s1) if s1 >= 0 else None
+        child2 = (result.ctx2, s2) if s2 >= 0 else None
+        missing = [child for child in (child1, child2)
+                   if child is not None and child not in self.entries]
+        if missing:
+            for child in missing:
+                self._waiting.setdefault(child, []).append(
+                    (ctx_id, lcls, s1, s2)
+                )
+            return
+        self._add_entry((ctx_id, result.svec), (lcls, child1, child2))
+
+    def saturate(self) -> None:
+        """Run all (context, class, child, child) combos to the fixpoint.
+
+        Combos are never materialized into a queue (the cross product can
+        dwarf the number of evaluations actually performed): each context
+        keeps a cursor over the pool, and every sweep processes only the
+        combos that involve pool vectors past it — new contexts sweep from
+        zero.  Combos that had to wait on a missing child summary are woken
+        explicitly when it appears.
+        """
+        self._activate(0)  # the root context
+        classes = range(self.partition.num_classes)
+        progress = True
+        while progress:
+            progress = False
+            while self._wakes:
+                progress = True
+                self._process(*self._wakes.popleft())
+            # Note: _process can activate contexts and extend the pool
+            # mid-sweep; the index loop picks up new contexts, and the next
+            # outer round covers pool growth past this sweep's snapshot.
+            for index in range(len(self._active)):
+                ctx_id = self._active[index]
+                done = self._cursor[index]
+                limit = len(self._pool)
+                if done == limit:
+                    continue
+                progress = True
+                children = [-1, *self._pool[:limit]]
+                for lcls in classes:
+                    if done < 0:
+                        for s1 in children:
+                            for s2 in children:
+                                self._process(ctx_id, lcls, s1, s2)
+                    else:
+                        old = children[:done + 1]
+                        fresh = children[done + 1:]
+                        for s1 in fresh:
+                            for s2 in children:
+                                self._process(ctx_id, lcls, s1, s2)
+                        for s1 in old:
+                            for s2 in fresh:
+                                self._process(ctx_id, lcls, s1, s2)
+                self._cursor[index] = limit
+
+    # ------------------------------------------------------- root candidates
+
+    def root_combos(self) -> list[tuple[int, tuple | None]]:
+        """All ``(label class, first-child summary)`` pairs that a witness
+        root can carry: no context, no next sibling, ``φ'`` true."""
+        combos: list[tuple[int, tuple | None]] = []
+        for lcls in self.partition.classes():
+            for s1 in (-1, *self._pool):
+                result = self._evaluate(0, lcls, s1, -1)
+                if not result.root_true:
+                    continue
+                if s1 >= 0:
+                    child = (result.ctx1, s1)
+                    if child not in self.entries:
+                        continue
+                    combos.append((lcls, child))
+                else:
+                    combos.append((lcls, None))
+        return combos
+
+    # ------------------------------------------------------------- the game
+
+    def build_game(self, roots: list[tuple[int, tuple | None]]) -> ParityGame:
+        """The emptiness parity game over the discovered summaries.
+
+        Eve picks derivations, Adam picks the FCNS child to verify; every
+        internal position has priority 1, so Eve wins only by forcing every
+        branch into the "no child" sink (priority 2) — i.e. by exhibiting a
+        finite consistent tree below every summary she relies on.
+        """
+        eve_sink = ("sink", 0)
+        adam_sink = ("sink", 1)
+        owner: dict = {eve_sink: 0, adam_sink: 1}
+        priority: dict = {eve_sink: 2, adam_sink: 1}
+        moves: dict = {eve_sink: (eve_sink,), adam_sink: (adam_sink,)}
+
+        root = ("root",)
+        owner[root] = 0
+        priority[root] = 1
+        moves[root] = tuple(
+            ("rc", index) for index in range(len(roots))
+        ) or (adam_sink,)
+
+        pending: list[tuple] = []
+        for index, (_, child) in enumerate(roots):
+            position = ("rc", index)
+            owner[position] = 1
+            priority[position] = 1
+            if child is None:
+                moves[position] = (eve_sink,)
+            else:
+                moves[position] = (("entry", child),)
+                pending.append(("entry", child))
+
+        seen = set(pending)
+        while pending:
+            position = pending.pop()
+            _, key = position
+            entry = self.entries[key]
+            owner[position] = 0
+            priority[position] = 1
+            moves[position] = tuple(
+                ("combo", key, index) for index in range(len(entry.combos))
+            )
+            for index, (_, child1, child2) in enumerate(entry.combos):
+                combo_position = ("combo", key, index)
+                owner[combo_position] = 1
+                priority[combo_position] = 1
+                successors = tuple(
+                    ("entry", child)
+                    for child in (child1, child2) if child is not None
+                ) or (eve_sink,)
+                moves[combo_position] = successors
+                for successor in successors:
+                    if successor != eve_sink and successor not in seen:
+                        seen.add(successor)
+                        pending.append(successor)
+        return ParityGame(owner, priority, moves)
+
+    # ------------------------------------------------------ witness decoding
+
+    def _entry_ranks(self) -> dict[tuple[int, int], float]:
+        """Least derivation height per summary (Bellman iteration; the
+        first stored combo is always well-founded, so every reachable
+        summary gets a finite rank)."""
+        ranks: dict[tuple[int, int], float] = {
+            key: float("inf") for key in self.entries
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, entry in self.entries.items():
+                best = ranks[key]
+                for _, child1, child2 in entry.combos:
+                    height = 1 + max(
+                        (ranks[child] for child in (child1, child2)
+                         if child is not None),
+                        default=0,
+                    )
+                    if height < best:
+                        best = height
+                if best < ranks[key]:
+                    ranks[key] = best
+                    changed = True
+        return ranks
+
+    def decode_witness(self, roots: list[tuple[int, tuple | None]]) -> XMLTree:
+        """The FCNS-decoded witness tree of a minimal-rank strategy."""
+        ranks = self._entry_ranks()
+
+        def combo_height(combo: tuple) -> float:
+            _, child1, child2 = combo
+            return 1 + max((ranks[child] for child in (child1, child2)
+                            if child is not None), default=0)
+
+        def expansion(key: tuple[int, int]) -> tuple:
+            return min(self.entries[key].combos, key=combo_height)
+
+        def unranked(lcls: int, first: tuple | None):
+            # Follow the FCNS decoding: the c1 child starts the children
+            # list, its c2 chain continues it.
+            children = []
+            current = first
+            while current is not None:
+                child_class, child_first, sibling = expansion(current)
+                children.append(unranked(child_class, child_first))
+                current = sibling
+            return (self.partition.representative(lcls), children)
+
+        def root_height(candidate: tuple[int, tuple | None]) -> float:
+            _, child = candidate
+            return 0 if child is None else ranks[child]
+
+        lcls, first = min(roots, key=root_height)
+        return XMLTree.build(unranked(lcls, first))
+
+
+def decide_emptiness(
+    ata: TwoATA,
+    max_evals: int = DEFAULT_MAX_EVALS,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    max_contexts: int = DEFAULT_MAX_CONTEXTS,
+) -> EmptinessResult:
+    """Is ``L(A_φ)`` empty?  Conclusive either way; raises
+    :class:`EmptinessLimit` when the summary space outgrows the guards."""
+    with obs.span("twoata.emptiness.solve"):
+        checker = _Checker(ata, max_evals=max_evals, max_entries=max_entries,
+                           max_contexts=max_contexts)
+        obs.count("twoata.emptiness.states", ata.num_states)
+        obs.count("twoata.emptiness.bases", checker.num_bases)
+        checker.saturate()
+        roots = checker.root_combos()
+        game = checker.build_game(roots)
+        obs.count("twoata.emptiness.game_nodes", len(game.owner))
+        obs.gauge("twoata.emptiness.entries", len(checker.entries))
+        obs.gauge("twoata.emptiness.contexts", len(checker._active))
+        obs.gauge("twoata.emptiness.evals", checker.evals)
+        win_eve, _ = solve_parity(game)
+        obs.count("twoata.emptiness.games_solved")
+        if ("root",) not in win_eve:
+            return EmptinessResult(True, None, len(checker.entries),
+                                   len(checker._active), len(game.owner))
+        witness = checker.decode_witness(roots)
+        obs.count("twoata.emptiness.witnesses_decoded")
+        return EmptinessResult(False, witness, len(checker.entries),
+                               len(checker._active), len(game.owner))

@@ -18,6 +18,12 @@ universal quantifier by ``¬⋁P``), which is what the proof's argument needs.
 
 from __future__ import annotations
 
+# The connective builders live in the shared symbolic core; they are
+# re-exported here because the let-elimination call sites historically
+# imported them from this module.  The core versions apply the ⊤/⊥ unit
+# laws, which never drop a gadget (gadgets are loops, not units), so the
+# id()-based skip-set discipline below is unaffected.
+from .core import nf_and_all, nf_or, nf_or_all  # noqa: F401
 from .epa import LetNF, nf_substitute_label
 from .nf import (
     NFAnd,
@@ -41,29 +47,6 @@ __all__ = [
     "nf_exists_right",
     "relativize_steps",
 ]
-
-
-def nf_or(left: NFExpr, right: NFExpr) -> NFExpr:
-    """``φ ∨ ψ = ¬(¬φ ∧ ¬ψ)`` at the normal-form level."""
-    return NFNot(NFAnd(nf_negate(left), nf_negate(right)))
-
-
-def nf_or_all(parts: list[NFExpr]) -> NFExpr:
-    if not parts:
-        return NFNot(NFTop())
-    result = parts[0]
-    for part in parts[1:]:
-        result = nf_or(result, part)
-    return result
-
-
-def nf_and_all(parts: list[NFExpr]) -> NFExpr:
-    if not parts:
-        return NFTop()
-    result = parts[0]
-    for part in parts[1:]:
-        result = NFAnd(result, part)
-    return result
 
 
 def _roam_loops(state: int) -> set:

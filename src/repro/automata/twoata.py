@@ -10,15 +10,19 @@ and whose parity condition assigns 1 to ``loop`` states and 2 to all others.
 
 Acceptance of a *given finite tree* is decided exactly, by solving the parity
 game on the product of tree and automaton (:func:`accepts`).  Emptiness of
-``L(A_φ)`` — Theorem 10's EXPTIME result via automata on infinite binary
-trees — is substituted by the bounded search engine of
-:mod:`repro.analysis.engines`; see DESIGN.md §2 item 1.
+``L(A_φ)`` — Theorem 10's EXPTIME result — is decided by
+:mod:`repro.automata.emptiness` over the first-child/next-sibling encoding;
+the ``automata`` engine in :mod:`repro.analysis.automata_engine` exposes it
+as the conclusive decision procedure for CoreXPath(*, ≈) containment.
 
-Implementation notes: states are interned to integers (indices into
-``cl(φ')``) and transition formulas are hash-consed tuples —
-``("true",)``, ``("false",)``, ``("atom", move, state_index)``,
-``("and", child_indices)``, ``("or", child_indices)`` — so that building and
-solving the acceptance game never hashes deep expression trees.
+The symbolic machinery lives in :mod:`repro.automata.core`: states are
+interned to integers (indices into ``cl(φ')``), transition formulas are
+hash-consed tuples in a shared :class:`~repro.automata.core.FormulaTable`
+(Table III's negative rows are its memoized De Morgan duals of the positive
+rows), and the transition function is computed per *alphabet class* of an
+:class:`~repro.automata.core.AlphabetPartition` — the labels ``φ`` mentions
+plus one "other" class — rather than per concrete label, so ``δ`` is finite
+even though the label alphabet is not.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from .. import obs
 from ..games import ParityGame, solve_parity
 from ..trees import XMLTree
 from ..xpath.ast import Axis, AxisClosure, Filter, NodeExpr, Seq
+from .core import EPS, FALSE, TRUE, AlphabetPartition, FormulaTable
 from .evaluate import possible_steps, step_target
 from .nf import (
     NFAnd,
@@ -42,10 +47,7 @@ from .nf import (
 )
 from .normalform import eliminate_skips, path_to_automaton
 
-__all__ = ["TwoATA", "closure", "build_twoata", "accepts"]
-
-#: ε is represented by the move ``"eps"``; the other moves are :class:`Step`.
-EPS = "eps"
+__all__ = ["TwoATA", "closure", "build_twoata", "accepts", "EPS"]
 
 
 def closure(phi_prime: NFExpr) -> frozenset[NFExpr]:
@@ -69,7 +71,8 @@ class TwoATA:
     """The 2ATA ``A_φ`` with states ``{q_ψ | ψ ∈ cl(φ')}``.
 
     ``state_exprs[i]`` is the normal-form expression of state ``i``;
-    ``initial`` is the index of ``q_{φ'}``.
+    ``initial`` is the index of ``q_{φ'}``.  ``partition`` is the symbolic
+    alphabet and ``table`` the shared transition-formula store.
     """
 
     def __init__(self, phi_prime: NFExpr):
@@ -82,13 +85,13 @@ class TwoATA:
         self._priorities = [
             1 if isinstance(expr, NFLoop) else 2 for expr in self.state_exprs
         ]
-        # Hash-consed transition formulas; index 0 is true, 1 is false.
-        self._formula_table: list[tuple] = [("true",), ("false",)]
-        self._formula_ids: dict[tuple, int] = {("true",): 0, ("false",): 1}
+        self.partition = AlphabetPartition.from_nf(phi_prime)
+        self.table = FormulaTable(negate_state=self._negate_state)
         self._delta_memo: dict[tuple, int] = {}
         obs.count("twoata.automata_built")
         obs.count("twoata.states_built", len(self.state_exprs))
         obs.gauge("twoata.states", len(self.state_exprs))
+        obs.gauge("twoata.alphabet_classes", self.partition.num_classes)
 
     # ------------------------------------------------------------ structure
 
@@ -104,109 +107,78 @@ class TwoATA:
     def state_of(self, expr: NFExpr) -> int:
         return self._state_ids[expr]
 
+    def _negate_state(self, state: int) -> int:
+        """``q_ψ ↦ q_{¬ψ}`` — total on ``cl(φ')`` by construction."""
+        return self._state_ids[nf_negate(self.state_exprs[state])]
+
     def formula(self, index: int) -> tuple:
         """The hash-consed transition formula node with the given index."""
-        return self._formula_table[index]
-
-    # ------------------------------------------------------ formula building
-
-    def _intern(self, node: tuple) -> int:
-        index = self._formula_ids.get(node)
-        if index is None:
-            index = len(self._formula_table)
-            self._formula_table.append(node)
-            self._formula_ids[node] = index
-        return index
-
-    def _atom(self, move, state: int) -> int:
-        return self._intern(("atom", move, state))
-
-    def _conj(self, children: list[int]) -> int:
-        if 1 in children:
-            return 1
-        children = sorted({child for child in children if child != 0})
-        if not children:
-            return 0  # empty conjunction is true
-        if len(children) == 1:
-            return children[0]
-        return self._intern(("and", tuple(children)))
-
-    def _disj(self, children: list[int]) -> int:
-        if 0 in children:
-            return 0
-        children = sorted({child for child in children if child != 1})
-        if not children:
-            return 1  # empty disjunction is false
-        if len(children) == 1:
-            return children[0]
-        return self._intern(("or", tuple(children)))
+        return self.table.node(index)
 
     # ------------------------------------------------------------ transition
 
     def delta(self, state: int, label: str, poss_steps: frozenset[Step]) -> int:
         """Table III; returns the index of the transition formula."""
-        key = (state, label, poss_steps)
+        return self.delta_class(
+            state, self.partition.class_of(label), poss_steps
+        )
+
+    def delta_class(self, state: int, klass: int,
+                    poss_steps: frozenset[Step]) -> int:
+        """Table III per alphabet class — all concrete labels in one class
+        share one transition formula."""
+        key = (state, klass, poss_steps)
         index = self._delta_memo.get(key)
         if index is None:
             obs.count("twoata.transitions_built")
-            index = self._delta_raw(state, label, poss_steps)
+            index = self._delta_raw(state, klass, poss_steps)
             self._delta_memo[key] = index
         return index
 
-    def _delta_raw(self, state: int, label: str,
+    def _delta_raw(self, state: int, klass: int,
                    poss_steps: frozenset[Step]) -> int:
         expr = self.state_exprs[state]
         match expr:
             case NFLabel(name=name):
-                return 0 if name == label else 1
+                matches = self.partition.class_of(name) == klass
+                return TRUE if matches else FALSE
             case NFTop():
-                return 0
+                return TRUE
             case NFAnd(left=a, right=b):
-                return self._conj([self._atom(EPS, self.state_of(a)),
-                                   self._atom(EPS, self.state_of(b))])
-            case NFLoop(automaton=auto):
-                return self._delta_loop(auto, poss_steps, positive=True)
-            case NFNot(child=child):
-                return self._delta_negative(child, label, poss_steps)
-        raise TypeError(f"unknown state expression {expr!r}")
-
-    def _delta_negative(self, child: NFExpr, label: str,
-                        poss_steps: frozenset[Step]) -> int:
-        match child:
-            case NFLabel(name=name):
-                return 1 if name == label else 0
-            case NFTop():
-                return 1
-            case NFNot(child=inner):
-                # ¬¬ψ does not occur in cl(φ'), but resolve it for safety.
-                return self.delta(self.state_of(inner), label, poss_steps)
-            case NFAnd(left=a, right=b):
-                return self._disj([
-                    self._atom(EPS, self.state_of(nf_negate(a))),
-                    self._atom(EPS, self.state_of(nf_negate(b))),
+                return self.table.conj([
+                    self.table.atom(EPS, self.state_of(a)),
+                    self.table.atom(EPS, self.state_of(b)),
                 ])
             case NFLoop(automaton=auto):
-                return self._delta_loop(auto, poss_steps, positive=False)
-        raise TypeError(f"unknown negated state expression {child!r}")
+                return self._delta_loop(auto, poss_steps)
+            case NFNot(child=child):
+                # Table III's ¬ψ rows are the De Morgan duals of the ψ rows
+                # (with every atom's state negated); ¬¬ψ collapses to ψ.
+                inner = child.child if isinstance(child, NFNot) else None
+                if inner is not None:
+                    return self.delta_class(self.state_of(inner), klass,
+                                            poss_steps)
+                return self.table.dual(
+                    self.delta_class(self.state_of(child), klass, poss_steps)
+                )
+        raise TypeError(f"unknown state expression {expr!r}")
 
-    def _delta_loop(self, auto: PathAutomaton, poss_steps: frozenset[Step],
-                    positive: bool) -> int:
+    def _delta_loop(self, auto: PathAutomaton,
+                    poss_steps: frozenset[Step]) -> int:
         q_init, q_final = auto.initial, auto.final
         if q_init == q_final:
-            return 0 if positive else 1
+            return TRUE
 
         def loop_atom(move, q: int, q_prime: int) -> int:
-            loop_expr: NFExpr = NFLoop(auto.shift(q, q_prime))
-            if not positive:
-                loop_expr = NFNot(loop_expr)
-            return self._atom(move, self.state_of(loop_expr))
+            return self.table.atom(
+                move, self.state_of(NFLoop(auto.shift(q, q_prime)))
+            )
 
         parts: list[int] = []
         # Direct test transitions from q_I to q_F.
         for source, test, target in auto.test_transitions():
             if source == q_init and target == q_final:
-                target_expr = test if positive else nf_negate(test)
-                parts.append(self._atom(EPS, self.state_of(target_expr)))
+                parts.append(self.table.atom(EPS, self.state_of(test)))
         # Step out and return: (q_I, τ, q_k) and (q_ℓ, τ˘, q_F).
         for source, tau, q_k in auto.step_transitions():
             if source != q_init or tau not in poss_steps:
@@ -215,15 +187,15 @@ class TwoATA:
                 if target == q_final and sym is tau.converse:
                     parts.append(loop_atom(tau, q_k, q_l))
         # Split the loop at an intermediate state.  q_k ∈ {q_I, q_F} is
-        # redundant (it yields a trivial ⊤-half plus the state itself), so it
-        # is pruned; the halves are built in negated (dual) form when
-        # positive=False, so only the outer connective flips below.
+        # redundant (it yields a trivial ⊤-half plus the state itself), so
+        # it is pruned.
         for q_k in range(auto.num_states):
             if q_k in (q_init, q_final):
                 continue
-            halves = [loop_atom(EPS, q_init, q_k), loop_atom(EPS, q_k, q_final)]
-            parts.append(self._conj(halves) if positive else self._disj(halves))
-        return self._disj(parts) if positive else self._conj(parts)
+            parts.append(self.table.conj([
+                loop_atom(EPS, q_init, q_k), loop_atom(EPS, q_k, q_final),
+            ]))
+        return self.table.disj(parts)
 
 
 def build_twoata(phi: NodeExpr) -> TwoATA:
@@ -255,6 +227,9 @@ def accepts(automaton: TwoATA, tree: XMLTree) -> bool:
     pending = [root_position]
     seen = {root_position}
     poss = {node: possible_steps(tree, node) for node in tree.nodes}
+    # Transition formulas depend on the label only through its class.
+    klass = {node: automaton.partition.class_of(tree.label(node))
+             for node in tree.nodes}
 
     def push(position) -> None:
         if position not in seen:
@@ -265,7 +240,8 @@ def accepts(automaton: TwoATA, tree: XMLTree) -> bool:
         position = pending.pop()
         kind, node, payload = position
         if kind == "st":
-            formula_index = automaton.delta(payload, tree.label(node), poss[node])
+            formula_index = automaton.delta_class(payload, klass[node],
+                                                  poss[node])
             successor = ("f", node, formula_index)
             owner[position] = 0
             priority[position] = automaton.priority(payload)

@@ -19,9 +19,12 @@ Commands
 The decision commands take ``--stats`` (human-readable run statistics on
 stderr), ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
 as JSON; ``-`` for stderr), and ``--engine NAME`` to force a registered
-decision engine (``expspace``, ``bounded``, ``random``; the default
-``auto`` lets the engine registry pick — see
-:mod:`repro.analysis.registry`).
+decision engine (``expspace``, ``automata``, ``bounded``, ``random``; the
+default ``auto`` lets the engine registry pick — see
+:mod:`repro.analysis.registry`).  ``batch`` takes the same flags with the
+same semantics, applied per problem: a forced ``--engine`` becomes the
+default for every line (overridable per line by a JSONL ``engine`` field)
+and ``--stats`` reports the merged run record of the whole batch.
 
 Stream and exit-code contract: *answers* (verdicts, witnesses,
 counterexamples, evaluation results) go to stdout; *diagnostics* (errors,
@@ -386,9 +389,9 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         help="write the full RunRecord as JSON to FILE ('-' for stderr)")
     subparser.add_argument(
         "--engine", metavar="NAME", default="auto",
-        help="force a registered decision engine (e.g. expspace, bounded, "
-             "random); default: auto-select the cheapest conclusive engine "
-             "that admits the input")
+        help="force a registered decision engine (e.g. expspace, automata, "
+             "bounded, random); default: auto-select the cheapest "
+             "conclusive engine that admits the input")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -19,7 +19,12 @@ Quickstart::
 The CLI front-end is ``python -m repro batch`` (JSONL in, JSONL out).
 """
 
-from .cache import VerdictCache, default_cache_dir, problem_fingerprint
+from .cache import (
+    VerdictCache,
+    default_cache_dir,
+    engine_set_fingerprint,
+    problem_fingerprint,
+)
 from .runner import (
     BatchError,
     BatchOutcome,
@@ -40,6 +45,7 @@ __all__ = [
     "WorkerFailure",
     "contains_many",
     "default_cache_dir",
+    "engine_set_fingerprint",
     "problem_fingerprint",
     "run_batch",
     "satisfiable_many",

@@ -20,8 +20,15 @@ canonical JSON payload of
 * the problem kind,
 * the source rendering of each input expression,
 * a schema fingerprint (root type, content models, projection),
-* the search bound (``max_nodes``) and the engine preference, and
+* the search bound (``max_nodes``) and the engine preference,
+* the set of registered engines (auto dispatch can produce a *different*
+  — typically stronger — verdict once a new engine lands, so a cache
+  written under the old engine ladder must not serve the new one), and
 * a cache schema version (bump it when verdict semantics change).
+
+Because the key hashes the whole payload, both version and engine-set
+mismatches invalidate by construction: an entry written under another
+configuration is simply never looked up.
 
 Two expressions that differ only by normalization (operand order of ``∪``,
 ``∧``, ``∩``) hash differently — the cache may miss where the in-process
@@ -64,10 +71,14 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "VerdictCache",
     "default_cache_dir",
+    "engine_set_fingerprint",
     "problem_fingerprint",
 ]
 
-CACHE_SCHEMA_VERSION = 1
+#: Bumped to 2 when the automata (2ATA emptiness) engine landed: auto
+#: dispatch verdicts for CoreXPath(*, ≈) instances went from inconclusive
+#: bounded-search answers to conclusive ones.
+CACHE_SCHEMA_VERSION = 2
 
 Result = SatResult | ContainmentResult
 
@@ -95,6 +106,18 @@ def _edtd_fingerprint(edtd: EDTD | None) -> dict | None:
     }
 
 
+def engine_set_fingerprint() -> str:
+    """The sorted names of all registered engines, comma-joined.
+
+    Part of every cache key: an ``engine="auto"`` verdict depends on which
+    engines exist, so adding (or removing) an engine must invalidate the
+    whole cache rather than replay stale inconclusive results.
+    """
+    from ..analysis.registry import default_registry
+
+    return ",".join(default_registry().names())
+
+
 def problem_fingerprint(problem: Problem) -> str:
     """The stable cache key of ``problem`` (a SHA-256 hex digest)."""
     payload = {
@@ -104,6 +127,7 @@ def problem_fingerprint(problem: Problem) -> str:
         "schema": _edtd_fingerprint(problem.edtd),
         "max_nodes": problem.max_nodes,
         "engine": problem.engine or "auto",
+        "engines": engine_set_fingerprint(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -50,6 +50,7 @@ from .ast import (
 )
 
 __all__ = [
+    "DenseInterner",
     "intern_expr",
     "intern_key",
     "is_interned",
@@ -57,6 +58,47 @@ __all__ = [
     "free_variables_cached",
     "interned_count",
 ]
+
+
+class DenseInterner:
+    """A generic dense-key hash-consing table.
+
+    The discipline is the one this module applies to expression ASTs:
+    structurally equal (hashable) values collapse onto one canonical
+    instance which is kept alive for the lifetime of the table, and every
+    canonical instance carries a dense integer key assigned in first-seen
+    order.  Downstream memo tables key on these integers instead of
+    hashing deep structures repeatedly (or relying on ``id()`` of
+    short-lived objects).  Other layers — notably the automata core
+    (:mod:`repro.automata.core`) — instantiate their own tables for their
+    own value universes.
+    """
+
+    __slots__ = ("_table", "_keys", "_lock")
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+        self._keys: dict[int, int] = {}
+        self._lock = threading.RLock()
+
+    def canonical(self, value):
+        """The canonical shared instance structurally equal to ``value``."""
+        with self._lock:
+            hit = self._table.get(value)
+            if hit is None:
+                self._table[value] = value
+                self._keys[id(value)] = len(self._keys)
+                hit = value
+            return hit
+
+    def key(self, value) -> int:
+        """A dense process-stable integer identifying ``value`` up to
+        structural equality."""
+        with self._lock:
+            return self._keys[id(self.canonical(value))]
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 _lock = threading.RLock()
 

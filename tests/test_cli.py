@@ -83,7 +83,10 @@ class TestCommands:
         assert "unsatisfiable" in capsys.readouterr().out
 
     def test_satisfiable_inconclusive(self, capsys):
-        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3"])
+        # Forced bounded search: auto dispatch would hand this to the
+        # automata engine and decide it conclusively.
+        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3",
+                     "--engine", "bounded"])
         assert code == 2
 
     def test_satisfiable_with_schema(self, capsys, schema_file):
@@ -176,7 +179,8 @@ class TestStreamsAndExitCodes:
     def test_inconclusive_warns_on_stderr_exit_2(self, capsys):
         """Bound-exhausted 'no witness' is ambiguous: non-zero exit plus a
         stderr warning, never a bare success."""
-        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3"])
+        code = main(["satisfiable", "<up> and not <up>", "--max-nodes", "3",
+                     "--engine", "bounded"])
         assert code == 2
         captured = capsys.readouterr()
         assert "no-witness-within-bound" in captured.out
@@ -184,7 +188,8 @@ class TestStreamsAndExitCodes:
         assert "not a proof" in captured.err
 
     def test_contains_inconclusive_exit_2(self, capsys):
-        code = main(["contains", "up", "up", "--max-nodes", "2"])
+        code = main(["contains", "up", "up", "--max-nodes", "2",
+                     "--engine", "bounded"])
         assert code == 2
         captured = capsys.readouterr()
         assert "conclusive: False" in captured.out
@@ -344,6 +349,26 @@ class TestBatchCommand:
         assert "unknown engine" in records[1]["error"]
         good = next(r for r in records.values() if "verdict" in r)
         assert good["verdict"] == "satisfiable"
+
+    def test_batch_engine_flag_has_single_problem_semantics(self, capsys,
+                                                            tmp_path):
+        """``batch --engine`` forces the same engine a single-problem
+        ``satisfiable --engine`` call would use: under auto dispatch the ↑
+        axis goes to the automata engine and is decided conclusively, under
+        a forced bounded search the very same line stays inconclusive."""
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text('{"kind": "satisfiable", "id": "s", '
+                          '"expr": "<up> and not <up>", "max_nodes": 3}\n')
+        assert main(["batch", str(corpus), "--no-cache",
+                     "--workers", "1"]) == 0
+        auto = self._records(capsys.readouterr().out)["s"]
+        assert auto["verdict"] == "unsatisfiable"
+        assert auto["engine"] == "automata"
+        assert main(["batch", str(corpus), "--no-cache", "--workers", "1",
+                     "--engine", "bounded"]) == 0
+        forced = self._records(capsys.readouterr().out)["s"]
+        assert forced["verdict"] == "no-witness-within-bound"
+        assert forced["engine"] == "bounded"
 
     def test_batch_stats_flag_reports_run(self, capsys, tmp_path):
         corpus = self._write_corpus(tmp_path)

@@ -1,0 +1,176 @@
+"""Tests for 2ATA emptiness (Theorem 10) and the ``automata`` engine.
+
+Three layers:
+
+* unit tests of :func:`repro.automata.emptiness.decide_emptiness` on
+  hand-picked formulas with known verdicts;
+* the engine contract — admission, conclusiveness, runtime declines,
+  telemetry;
+* differential sweeps against the bounded search over random
+  CoreXPath(*, ≈) families: wherever both engines are conclusive the
+  verdicts must agree, and every SAT witness must actually satisfy the
+  formula under the reference semantics (``Plan.run``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import contains, satisfiable
+from repro.analysis.automata_engine import AutomataEngine
+from repro.analysis.problems import Problem, ProblemKind, Verdict
+from repro.automata import build_twoata, decide_emptiness
+from repro.semantics import TreeContext, compile_plan
+from repro.xpath import parse_node
+
+from .helpers import random_node, random_path, relation_as_pairs
+
+#: CoreXPath(*, ≈): transitive closure and path equality, no ∩ / ∖.
+STAR_EQ = frozenset({"star", "eq"})
+
+
+class TestDecideEmptiness:
+    UNSAT = [
+        "p and not p",
+        "<up> and not <up>",
+        "p and not <down*[p]>",
+        "<down> and not <down[p]> and not <down[not p]>",
+    ]
+    SAT = [
+        "p",
+        "p and <down[q]>",
+        "<up[q]> and p",
+        "not <up> and <down*[q and not <down>]>",
+        "<left> and <right>",
+    ]
+
+    @pytest.mark.parametrize("source", UNSAT)
+    def test_unsatisfiable_formulas_give_empty(self, source):
+        result = decide_emptiness(build_twoata(parse_node(source)))
+        assert result.empty
+        assert result.witness is None
+
+    @pytest.mark.parametrize("source", SAT)
+    def test_satisfiable_formulas_give_verified_witness(self, source):
+        phi = parse_node(source)
+        result = decide_emptiness(build_twoata(phi))
+        assert not result.empty
+        assert compile_plan(phi).run_single(TreeContext(result.witness))
+
+    def test_result_carries_search_telemetry(self):
+        result = decide_emptiness(build_twoata(parse_node("p")))
+        assert result.entries > 0
+        assert result.contexts > 0
+        assert result.game_positions > 0
+
+
+class TestAutomataEngine:
+    def test_registered_between_expspace_and_bounded(self):
+        from repro.analysis import default_registry
+        engines = {e.name: e for e in
+                   default_registry().candidates(
+                       Problem(ProblemKind.SATISFIABILITY,
+                               phi=parse_node("p")))}
+        automata = engines["automata"]
+        assert automata.conclusive
+        assert engines["expspace"].cost_hint < automata.cost_hint
+        assert automata.cost_hint < engines["bounded"].cost_hint
+
+    def test_rejects_schema_and_foreign_fragments(self):
+        from repro.edtd import DTD
+        engine = AutomataEngine()
+        with_schema = Problem(ProblemKind.SATISFIABILITY,
+                              phi=parse_node("p"),
+                              edtd=DTD({"p": "p*"}, root="p"))
+        assert not engine.admits(with_schema)
+        outside = Problem(ProblemKind.SATISFIABILITY,
+                          phi=parse_node("<down except down[p]>"))
+        assert not engine.admits(outside)
+
+    def test_conclusive_unsat_where_bounded_gives_up(self):
+        result = satisfiable(parse_node("<up> and not <up>"),
+                             max_nodes=3, stats=True)
+        assert result.verdict is Verdict.UNSATISFIABLE
+        assert result.conclusive
+        assert result.stats["meta"]["engine"] == "automata"
+
+    def test_emptiness_counters_land_in_run_records(self):
+        result = satisfiable(parse_node("<up> and not <up>"), stats=True)
+        counters = result.stats["counters"]
+        assert counters["twoata.emptiness.states"] > 0
+        assert counters["twoata.emptiness.bases"] > 0
+        assert counters["twoata.emptiness.game_nodes"] > 0
+        assert counters["twoata.emptiness.games_solved"] == 1
+        assert counters["dispatch.automata"] == 1
+
+    def test_too_many_states_declines(self):
+        engine = AutomataEngine()
+        engine_small = AutomataEngine()
+        engine_small.max_states = 1
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        assert engine.solve(problem) is not None
+        assert engine_small.solve(problem) is None
+
+
+class TestDifferentialAgainstBounded:
+    """Random CoreXPath(*, ≈) sweeps: automata vs bounded search.
+
+    The bounded engine is conclusive only on the SAT side, so agreement
+    means: a bounded witness forces an automata SAT, an automata UNSAT
+    forces a bounded give-up, and both engines' verdicts coincide
+    byte-for-byte whenever both are conclusive.
+    """
+
+    def test_node_satisfiability_sweep(self):
+        rng = random.Random(7)
+        engine = AutomataEngine()
+        decided = 0
+        for _ in range(60):
+            phi = random_node(rng, 2, STAR_EQ)
+            problem = Problem(ProblemKind.SATISFIABILITY, phi=phi)
+            assert engine.admits(problem)
+            result = engine.solve(problem)
+            if result is None:  # guards tripped: dispatch falls to bounded
+                continue
+            decided += 1
+            assert result.conclusive
+            bounded = satisfiable(phi, method="bounded", max_nodes=4)
+            if result.verdict is Verdict.SATISFIABLE:
+                nodes = compile_plan(phi).run_single(
+                    TreeContext(result.witness))
+                assert result.witness_node in nodes
+            else:
+                assert bounded.verdict is Verdict.NO_WITNESS_WITHIN_BOUND
+            if bounded.verdict is Verdict.SATISFIABLE:
+                assert result.verdict is Verdict.SATISFIABLE
+        assert decided >= 40
+
+    def test_containment_sweep(self):
+        rng = random.Random(11)
+        engine = AutomataEngine()
+        decided = 0
+        for _ in range(20):
+            alpha = random_path(rng, 2, STAR_EQ)
+            beta = random_path(rng, 2, STAR_EQ)
+            problem = Problem(ProblemKind.CONTAINMENT,
+                              alpha=alpha, beta=beta)
+            assert engine.admits(problem)
+            result = engine.solve(problem)
+            if result is None:
+                continue
+            decided += 1
+            assert result.conclusive
+            bounded = contains(alpha, beta, method="bounded", max_nodes=4)
+            if result.verdict is Verdict.SATISFIABLE:
+                rel_a, rel_b = compile_plan(alpha, beta).run(
+                    TreeContext(result.counterexample))
+                pair = result.counterexample_pair
+                assert pair in relation_as_pairs(rel_a)
+                assert pair not in relation_as_pairs(rel_b)
+            else:
+                assert bounded.verdict is not Verdict.SATISFIABLE
+            if bounded.verdict is Verdict.SATISFIABLE:
+                assert result.verdict is Verdict.SATISFIABLE
+        assert decided >= 10

@@ -112,8 +112,17 @@ class TestDispatcher:
         assert result.verdict is Verdict.UNSATISFIABLE
         assert result.conclusive
 
-    def test_non_downward_falls_back_to_bounded(self):
+    def test_non_downward_goes_to_automata(self):
+        # Outside CoreXPath↓(∩), but inside CoreXPath(*, ≈): since the
+        # 2ATA emptiness engine landed this is decided conclusively
+        # instead of falling through to the bounded search.
         result = satisfiable(parse_node("<up> and not <up>"), max_nodes=3)
+        assert result.verdict is Verdict.UNSATISFIABLE
+        assert result.conclusive
+
+    def test_non_downward_forced_bounded_is_inconclusive(self):
+        result = satisfiable(parse_node("<up> and not <up>"), max_nodes=3,
+                             method="bounded")
         assert result.verdict is Verdict.NO_WITNESS_WITHIN_BOUND
 
     def test_method_expspace_rejects_bad_fragment(self):

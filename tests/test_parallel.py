@@ -32,7 +32,11 @@ from repro.parallel import (
     run_batch,
     satisfiable_many,
 )
-from repro.parallel.cache import decode_result, encode_result
+from repro.parallel.cache import (
+    decode_result,
+    encode_result,
+    engine_set_fingerprint,
+)
 from repro.xpath import parse_node, parse_path
 
 from .helpers import random_path
@@ -138,6 +142,18 @@ class TestProblemFingerprint:
                          edtd=DTD({"p": "p*"}, root="p"))
         assert problem_fingerprint(plain) != problem_fingerprint(schema)
 
+    def test_engine_set_changes_the_key(self, register_engine):
+        """Registering a new engine invalidates every key: an auto-dispatch
+        verdict depends on which engines exist (the whole point of the v2
+        schema bump that accompanied the automata engine)."""
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+        before = problem_fingerprint(problem)
+        register_engine(Sleeper())
+        assert problem_fingerprint(problem) != before
+
+    def test_current_engine_set_is_in_the_fingerprint(self):
+        assert "automata" in engine_set_fingerprint().split(",")
+
 
 class TestResultRoundTrip:
     def test_sat_result_with_witness(self):
@@ -201,6 +217,22 @@ class TestVerdictCache:
         fresh = VerdictCache(tmp_path)
         assert fresh.get(problem) is None
         assert fresh.info()["misses"] == 1
+
+    def test_stale_entry_not_served_after_engine_change(self, tmp_path,
+                                                        register_engine):
+        """An entry written under one engine ladder round-trips under that
+        ladder but is invisible (a miss, not a wrong hit) once the set of
+        registered engines changes."""
+        problem = self._problem()
+        result = contains(problem.alpha, problem.beta,
+                          max_nodes=problem.max_nodes)
+        cache = VerdictCache(tmp_path)
+        assert cache.put(problem, result)
+        round_tripped = VerdictCache(tmp_path).get(problem)
+        assert round_tripped is not None
+        assert encode_result(round_tripped) == encode_result(result)
+        register_engine(Sleeper())
+        assert VerdictCache(tmp_path).get(problem) is None
 
     def test_incompatible_entry_is_a_miss(self, tmp_path):
         problem = self._problem()

@@ -38,7 +38,7 @@ class TestDefaultRegistry:
         decision = result.stats["meta"]["engine_decision"]
         assert decision["chosen"] == "expspace"
         assert [c["name"] for c in decision["candidates"]] == [
-            "expspace", "bidirectional", "bounded", "random"]
+            "expspace", "automata", "bidirectional", "bounded", "random"]
 
     def test_auto_falls_back_when_fragment_not_admitted(self):
         # Path complementation is outside the EXPSPACE engine's fragment.
