@@ -1,0 +1,170 @@
+"""E11 — the rewrite pipeline: size reduction, engine deltas, cache hits.
+
+Three claims about :mod:`repro.xpath.passes` measured on Table I-style
+scaling families with deliberately redundant surface forms:
+
+* **Node reduction** — the ``full`` pipeline removes ≥ 20 % of interned
+  nodes on average on at least two scaling families (duplicated union
+  members, stacked filters, towers of closures).
+* **Engine parity and time** — for each decision engine (automata,
+  expspace, bounded) the verdicts at ``--passes full`` and ``--passes
+  none`` are identical on every workload instance, and the time deltas
+  are recorded into ``BENCH_obs.json`` (the pipeline's per-pass
+  ``rewrite.pass.*`` counters land there too, via the autouse obs
+  recording).
+* **Cache warming** — syntactic variants of one problem used to miss the
+  :class:`~repro.parallel.VerdictCache` cold (their raw fingerprints
+  differ); keyed on canonical forms they collide onto one entry, so the
+  second variant is a warm hit.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.analysis import Problem, ProblemKind, contains, satisfiable
+from repro.parallel import VerdictCache
+from repro.parallel.cache import problem_fingerprint
+from repro.xpath import parse_node, parse_path, passes, size
+from repro.xpath.passes import canonical_with_stats
+
+SCALES = (2, 4, 6, 8)
+
+#: name -> (builder of a redundant source at scale n, parser).
+FAMILIES = {
+    "union-duplicates": (
+        lambda n: " union ".join(["down[p]"] * n + ["down"]), parse_path),
+    "filter-stacks": (
+        lambda n: "down" + "[p]" * n + "/up" + "[q]" * n, parse_path),
+    "closure-towers": (
+        lambda n: "/".join(["down*"] * n), parse_path),
+}
+
+
+class TestNodeReduction:
+    def test_mean_reduction_at_least_20_percent(self, benchmark, record):
+        per_family: dict[str, dict] = {}
+        means: dict[str, float] = {}
+        for family, (build, parser) in FAMILIES.items():
+            rows = {}
+            reductions = []
+            for n in SCALES:
+                expr = parser(build(n))
+                raw = size(expr)
+                result, stats = canonical_with_stats(expr, level="full")
+                reduced = size(result)
+                reduction = 1.0 - reduced / raw
+                reductions.append(reduction)
+                rows[f"n={n}"] = {
+                    "raw_nodes": raw,
+                    "canonical_nodes": reduced,
+                    "reduction": round(reduction, 3),
+                    "passes_fired": sum(
+                        entry["fired"] for entry in stats.per_pass.values()),
+                }
+            per_family[family] = rows
+            means[family] = statistics.mean(reductions)
+        # The acceptance bar: ≥ 20 % mean reduction on ≥ 2 families.
+        assert sum(mean >= 0.20 for mean in means.values()) >= 2, means
+        benchmark(lambda: None)
+        record("E11 node reduction", {
+            "means": {k: round(v, 3) for k, v in means.items()},
+            **per_family,
+        })
+
+
+#: engine -> (kind, workload of redundant instances).  Each instance must
+#: be admitted by its engine in raw *and* canonical form.
+ENGINE_WORKLOADS = {
+    "automata": ("satisfiable", [
+        "<down*/down*[p]> and <down*/down*[p]>",
+        "<down[p][p]> and not <down[p]>",
+        "eq(down/down, down/down) and not <down/down>",
+    ]),
+    "expspace": ("satisfiable", [
+        "<down[p][p] intersect down*/down*>",
+        "<down[p] intersect down[q]> and <down[p] intersect down[q]>",
+        "<(down[p] union down[p])/down>",
+    ]),
+    "bounded": ("contains", [
+        ("down[p] union down[p] union down", "down"),
+        ("down" + "[p]" * 4, "down[p]"),
+        ("down*/down*", "down*"),
+    ]),
+}
+
+
+def _solve(engine: str, kind: str, instance):
+    if kind == "satisfiable":
+        return satisfiable(parse_node(instance), method=engine, max_nodes=4)
+    alpha, beta = instance
+    return contains(parse_path(alpha), parse_path(beta), method=engine,
+                    max_nodes=4)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("engine", sorted(ENGINE_WORKLOADS))
+    def test_identical_verdicts_and_time_delta(self, benchmark, record,
+                                               engine):
+        kind, workload = ENGINE_WORKLOADS[engine]
+        rows = {}
+        previous = passes.default_pipeline()
+        try:
+            for index, instance in enumerate(workload):
+                passes.set_default_pipeline("none")
+                start = time.perf_counter()
+                baseline = _solve(engine, kind, instance)
+                time_none = time.perf_counter() - start
+                passes.set_default_pipeline("full")
+                start = time.perf_counter()
+                piped = _solve(engine, kind, instance)
+                time_full = time.perf_counter() - start
+                assert piped.verdict is baseline.verdict, (engine, instance)
+                assert piped.conclusive == baseline.conclusive
+                rows[f"case{index}"] = {
+                    "verdict": piped.verdict.value,
+                    "time_none_s": round(time_none, 6),
+                    "time_full_s": round(time_full, 6),
+                }
+        finally:
+            passes.set_default_pipeline(previous)
+        benchmark(lambda: None)
+        record(f"E11 engine parity: {engine}", rows)
+
+
+class TestCacheWarming:
+    def test_syntactic_variants_share_one_entry(self, benchmark, record,
+                                                tmp_path):
+        variants = [
+            Problem(ProblemKind.SATISFIABILITY,
+                    phi=parse_node("<down[p] union down[q]>")),
+            Problem(ProblemKind.SATISFIABILITY,
+                    phi=parse_node("<down[q] union down[p]>")),
+            Problem(ProblemKind.SATISFIABILITY,
+                    phi=parse_node("<down[q] union down[p] union down[q]>")),
+        ]
+        # Raw fingerprints all differ: before canonical keying each variant
+        # was a cold miss of its own.
+        raw_keys = {problem_fingerprint(problem) for problem in variants}
+        assert len(raw_keys) == len(variants)
+        canonical_keys = {problem_fingerprint(problem.canonical())
+                          for problem in variants}
+        assert len(canonical_keys) == 1
+
+        cache = VerdictCache(tmp_path)
+        result = satisfiable(variants[0].phi, max_nodes=4)
+        assert cache.get(variants[0].canonical()) is None  # cold
+        assert cache.put(variants[0].canonical(), result)
+        for variant in variants[1:]:
+            warm = cache.get(variant.canonical())
+            assert warm is not None and warm.verdict is result.verdict
+        benchmark(lambda: None)
+        record("E11 cache warming", {
+            "variants": len(variants),
+            "raw_fingerprints": len(raw_keys),
+            "canonical_fingerprints": len(canonical_keys),
+            **cache.info(),
+        })

@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..edtd import EDTD
-from ..xpath.ast import PathExpr, Union
+from ..xpath import passes
+from ..xpath.ast import PathExpr
+from ..xpath.passes import rebuild_union, union_members
 from .containment import contains
 from .engines import DEFAULT_MAX_NODES
 from .problems import Verdict
@@ -133,14 +135,25 @@ def simplify_union(
 ) -> PathExpr:
     """Drop union members contained in the union of the others.
 
-    Returns a (possibly) smaller equivalent query; non-union queries are
-    returned unchanged.  A member is dropped when the containment check
-    reports it contained — conclusively for the complete engines, or with
-    no counterexample up to ``max_nodes`` for the bounded one (in which
-    case the simplification is exact up to documents of that size; pick the
-    bound accordingly).
+    Returns a (possibly) smaller equivalent query in rewrite-pipeline
+    canonical form.  The query is canonicalized first
+    (:func:`repro.xpath.passes.canonical`), so *syntactic* redundancy —
+    duplicated members, members subsumed by a sibling's closure — is
+    eliminated for free before any engine runs; the containment loop then
+    only pays for the genuinely semantic drops.  Union flattening and
+    rebuilding use the shared :func:`~repro.xpath.passes.union_members` /
+    :func:`~repro.xpath.passes.rebuild_union` — this module used to carry
+    its own copies which neither deduplicated nor canonically ordered
+    members, so its output diverged from the normalizer's form (and missed
+    the plan cache).
+
+    A member is dropped when the containment check reports it contained —
+    conclusively for the complete engines, or with no counterexample up to
+    ``max_nodes`` for the bounded one (in which case the simplification is
+    exact up to documents of that size; pick the bound accordingly).
     """
-    members = _union_members(query)
+    query = passes.canonical(query)
+    members = union_members(query)
     if len(members) == 1:
         return query
     kept = list(members)
@@ -149,24 +162,11 @@ def simplify_union(
         changed = False
         for index, member in enumerate(kept):
             rest = kept[:index] + kept[index + 1:]
-            rest_union = _rebuild_union(rest)
+            rest_union = rebuild_union(rest)
             verdict = contains(member, rest_union, edtd=edtd, method=method,
                                max_nodes=max_nodes)
             if verdict.contained:
                 kept.pop(index)
                 changed = True
                 break
-    return _rebuild_union(kept)
-
-
-def _union_members(query: PathExpr) -> list[PathExpr]:
-    if isinstance(query, Union):
-        return _union_members(query.left) + _union_members(query.right)
-    return [query]
-
-
-def _rebuild_union(members: list[PathExpr]) -> PathExpr:
-    result = members[0]
-    for member in members[1:]:
-        result = Union(result, member)
-    return result
+    return rebuild_union(kept)

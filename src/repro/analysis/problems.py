@@ -83,6 +83,32 @@ class Problem:
         """The same problem with the engine preference replaced."""
         return replace(self, engine=engine)
 
+    def canonical(self, level: str | None = None) -> "Problem":
+        """The same problem with every input expression canonicalized by
+        the rewrite pipeline (:mod:`repro.xpath.passes`) at ``level``
+        (default: the session level).
+
+        With a schema, the EDTD's concrete labels are passed as the
+        alphabet, enabling dead-branch elimination — sound because the
+        problem only quantifies over conforming documents.  The
+        canonicalization is semantics-preserving, so verdicts (and cache
+        entries — see :func:`repro.parallel.cache.problem_fingerprint`) for
+        the canonical problem are verdicts for the original.  Idempotent:
+        canonicalizing twice returns structurally identical expressions.
+        """
+        from ..xpath import passes
+
+        alphabet = (frozenset(self.edtd.concrete_labels())
+                    if self.edtd is not None else None)
+
+        def canon(expr):
+            if expr is None:
+                return None
+            return passes.canonical(expr, level=level, alphabet=alphabet)
+
+        return replace(self, phi=canon(self.phi), alpha=canon(self.alpha),
+                       beta=canon(self.beta))
+
 
 class Verdict(enum.Enum):
     """Outcome of a satisfiability or containment check."""

@@ -58,6 +58,12 @@ class Engine:
     conclusive: bool = False
     #: Rough relative cost; the registry tries cheaper engines first.
     cost_hint: int = 100
+    #: Which rewrite-pipeline level (:data:`repro.xpath.passes.PIPELINES`)
+    #: this engine wants its inputs canonicalized at; ``None`` inherits the
+    #: session default (set by the CLI's ``--passes`` flag).  An engine that
+    #: declares a level gets the *original* problem re-canonicalized at
+    #: that level before ``solve``.
+    pipeline: str | None = None
 
     def admits(self, problem: Problem) -> bool:
         """Cheap syntactic admissibility check."""
@@ -72,6 +78,7 @@ class Engine:
             "name": self.name,
             "conclusive": self.conclusive,
             "cost_hint": self.cost_hint,
+            "pipeline": self.pipeline,
         }
 
 
@@ -114,7 +121,17 @@ class EngineRegistry:
         like a runtime decline — the error is recorded on its
         ``engine_decision`` entry and dispatch falls through to the next
         admitted engine, re-raising only when no engine remains.
+
+        Every problem is canonicalized by the rewrite pipeline
+        (:mod:`repro.xpath.passes`) before admission checks and dispatch,
+        at the session level — so fragment tests, plan-cache keys and
+        verdict-cache keys all see canonical forms.  An engine that
+        declares its own ``pipeline`` level gets the original problem
+        re-canonicalized at that level instead (memoized, so this costs a
+        dictionary hit).
         """
+        original = problem
+        problem = problem.canonical()
         candidates = self.candidates(problem)
         decision: list[dict] = []
         chosen: Engine | None = None
@@ -140,8 +157,10 @@ class EngineRegistry:
         last_error: Exception | None = None
         with obs.span("dispatch", problem=problem.kind.value):
             while chosen is not None:
+                solve_input = problem if chosen.pipeline is None \
+                    else original.canonical(chosen.pipeline)
                 try:
-                    result = chosen.solve(problem)
+                    result = chosen.solve(solve_input)
                 except Exception as error:
                     # An engine bug or an uncaught guard must not abort the
                     # whole dispatch: record the failure on the decision

@@ -114,20 +114,36 @@ def shrink_witness(tree: XMLTree,
 
 def shrink_sat_witness(tree: XMLTree, phi) -> XMLTree:
     """Minimize a model of a node expression (it must stay satisfiable
-    *somewhere* in the tree)."""
-    from ..semantics import holds_somewhere
+    *somewhere* in the tree).
 
-    return shrink_witness(tree, lambda t: holds_somewhere(t, phi))
+    The expression is compiled once (:func:`repro.semantics.compile_plan`,
+    which canonicalizes through the rewrite pipeline) and the plan is
+    re-run per shrink candidate — the delta-debugging loop evaluates the
+    same expression hundreds of times, so per-candidate AST walks were the
+    dominant cost here."""
+    from ..semantics import TreeContext, compile_plan
+
+    plan = compile_plan(phi)
+
+    def still_holds(candidate: XMLTree) -> bool:
+        return bool(plan.run_single(TreeContext(candidate)))
+
+    return shrink_witness(tree, still_holds)
 
 
 def shrink_counterexample(tree: XMLTree, alpha, beta) -> XMLTree:
     """Minimize a containment counterexample: some α-pair must remain that
-    is not a β-pair."""
-    from ..semantics import evaluate_path
+    is not a β-pair.
+
+    Both paths are compiled into one shared plan up front (common
+    subexpressions between α and β get a single slot), then evaluated per
+    candidate on a fresh :class:`~repro.semantics.TreeContext`."""
+    from ..semantics import TreeContext, compile_plan
+
+    plan = compile_plan(alpha, beta)
 
     def still_refutes(candidate: XMLTree) -> bool:
-        left = evaluate_path(candidate, alpha)
-        right = evaluate_path(candidate, beta)
+        left, right = plan.run(TreeContext(candidate))
         return any(
             targets - right.get(source, frozenset())
             for source, targets in left.items()

@@ -33,6 +33,7 @@ from ..xpath.ast import (
     Top,
     Union,
 )
+from ..xpath import passes
 from ..xpath.builders import down_star, up_star
 from ..xpath.rewrite import converse
 from .nf import NFAnd, NFExpr, NFLabel, NFLoop, NFNot, NFTop, PathAutomaton, Step
@@ -71,9 +72,17 @@ class _Builder:
 
 
 def path_to_automaton(path: PathExpr) -> PathAutomaton:
-    """Translate a CoreXPath(*, ≈) path expression into a path automaton."""
+    """Translate a CoreXPath(*, ≈) path expression into a path automaton.
+
+    The input is consumed through the rewrite pipeline at level ``basic``
+    (the normalizer — pipeline level 0) rather than re-normalized ad hoc:
+    duplicate union members and unit compositions disappear before the
+    Thompson construction, so the automaton never materializes states for
+    them.  (Inputs arriving through engine dispatch are already canonical
+    at the session level; re-running ``basic`` on them is a memo hit.)
+    """
     builder = _Builder()
-    start, end = _build(path, builder)
+    start, end = _build(passes.canonical(path, level="basic"), builder)
     return builder.finish(start, end)
 
 
@@ -220,7 +229,12 @@ _ANYWHERE: PathExpr = Seq(up_star, down_star)
 
 
 def to_normal_form(expr: NodeExpr) -> NFExpr:
-    """Translate a CoreXPath(*, ≈) node expression into the normal form."""
+    """Translate a CoreXPath(*, ≈) node expression into the normal form.
+
+    Consumes rewrite-pipeline output at level ``basic`` (see
+    :func:`path_to_automaton`); a session-level canonical input passes
+    through unchanged."""
+    expr = passes.canonical(expr, level="basic")
     match expr:
         case Label(name=name):
             return NFLabel(name)

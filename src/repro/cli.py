@@ -11,6 +11,9 @@ Commands
   containment; prints the verdict and a counterexample if one exists.
 * ``translate EXPR --to {eq,for,normal-form,official}`` — run one of the
   paper's translations on an expression and print the result.
+* ``simplify EXPR [--passes LEVEL] [--schema FILE]`` — print the rewrite
+  pipeline's canonical form of an expression (the exact input every engine
+  sees); ``--stats``-style per-pass statistics go to stderr.
 * ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
 * ``batch INPUT.jsonl [--workers N] [--timeout S] [--race] [--cache-dir D]``
   — decide a JSONL stream of problems on a worker pool (see
@@ -21,7 +24,10 @@ stderr), ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
 as JSON; ``-`` for stderr), and ``--engine NAME`` to force a registered
 decision engine (``expspace``, ``automata``, ``bounded``, ``random``; the
 default ``auto`` lets the engine registry pick — see
-:mod:`repro.analysis.registry`).  ``batch`` takes the same flags with the
+:mod:`repro.analysis.registry`), and ``--passes {none,basic,full}`` to set
+the session rewrite-pipeline level (:mod:`repro.xpath.passes`; default
+``full``) applied to every expression before dispatch and cache keying.
+``batch`` takes the same flags with the
 same semantics, applied per problem: a forced ``--engine`` becomes the
 default for every line (overridable per line by a JSONL ``engine`` field)
 and ``--stats`` reports the merged run record of the whole batch.
@@ -145,7 +151,16 @@ def _warn_inconclusive(explored_up_to: int | None) -> None:
           "(raise --max-nodes to search further)", file=sys.stderr)
 
 
+def _apply_passes(args) -> None:
+    """Install the requested rewrite-pipeline level as the session default
+    (commands run once per process, so there is nothing to restore)."""
+    from .xpath import passes
+
+    passes.set_default_pipeline(args.passes)
+
+
 def _cmd_satisfiable(args) -> int:
+    _apply_passes(args)
     phi = parse_node(args.expr)
     edtd = load_schema(args.schema) if args.schema else None
     result = _satisfiable(phi, edtd=edtd, method=args.engine,
@@ -163,6 +178,7 @@ def _cmd_satisfiable(args) -> int:
 
 
 def _cmd_contains(args) -> int:
+    _apply_passes(args)
     alpha = parse_path(args.alpha)
     beta = parse_path(args.beta)
     edtd = load_schema(args.schema) if args.schema else None
@@ -256,6 +272,7 @@ def _cmd_batch(args) -> int:
     from .analysis import default_registry
     from .parallel import BatchRunner, VerdictCache
 
+    _apply_passes(args)
     if args.engine != "auto" and args.engine not in default_registry().names():
         raise ValueError(
             f"unknown engine {args.engine!r} (registered: "
@@ -355,6 +372,28 @@ def _cmd_translate(args) -> int:
     raise SystemExit(f"unknown translation target {args.to!r}")
 
 
+def _cmd_simplify(args) -> int:
+    from .xpath import canonical_with_stats
+
+    try:
+        expr = parse_path(args.expr)
+    except Exception:  # noqa: BLE001 - fall back to node expressions
+        expr = parse_node(args.expr)
+    alphabet = None
+    if args.schema:
+        alphabet = load_schema(args.schema).concrete_labels()
+    result, stats = canonical_with_stats(expr, level=args.passes,
+                                         alphabet=alphabet)
+    print(to_source(result))
+    print(f"passes: level={stats.level} nodes {stats.nodes_before} -> "
+          f"{stats.nodes_after}", file=sys.stderr)
+    for name, entry in sorted(stats.per_pass.items()):
+        print(f"  {name}: fired={entry['fired']} "
+              f"nodes {entry['nodes_before']} -> {entry['nodes_after']}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args) -> int:
     edtd = load_schema(args.schema)
     tree = _load_document(args)
@@ -392,6 +431,10 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         help="force a registered decision engine (e.g. expspace, automata, "
              "bounded, random); default: auto-select the cheapest "
              "conclusive engine that admits the input")
+    subparser.add_argument(
+        "--passes", choices=["none", "basic", "full"], default="full",
+        help="rewrite-pipeline level applied to every expression before "
+             "dispatch and cache keying (default: full)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -429,6 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--to", required=True,
                            choices=["eq", "for", "normal-form", "official"])
     translate.set_defaults(func=_cmd_translate)
+
+    simplify = commands.add_parser(
+        "simplify", help="print an expression's rewrite-pipeline canonical "
+                         "form (per-pass statistics on stderr)")
+    simplify.add_argument("expr")
+    simplify.add_argument("--passes", choices=["none", "basic", "full"],
+                          default="full",
+                          help="pipeline level to run (default: full)")
+    simplify.add_argument("--schema",
+                          help="schema whose labels enable dead-branch "
+                               "elimination")
+    simplify.set_defaults(func=_cmd_simplify)
 
     validate = commands.add_parser("validate", help="EDTD conformance")
     validate.add_argument("--schema", required=True)

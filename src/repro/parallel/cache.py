@@ -23,17 +23,20 @@ canonical JSON payload of
 * the search bound (``max_nodes``) and the engine preference,
 * the set of registered engines (auto dispatch can produce a *different*
   — typically stronger — verdict once a new engine lands, so a cache
-  written under the old engine ladder must not serve the new one), and
+  written under the old engine ladder must not serve the new one),
+* the active rewrite-pipeline level (a verdict computed at ``--passes
+  none`` must not serve a ``--passes full`` session and vice versa), and
 * a cache schema version (bump it when verdict semantics change).
 
-Because the key hashes the whole payload, both version and engine-set
-mismatches invalidate by construction: an entry written under another
-configuration is simply never looked up.
+Because the key hashes the whole payload, version, engine-set and
+pipeline-level mismatches all invalidate by construction: an entry written
+under another configuration is simply never looked up.
 
-Two expressions that differ only by normalization (operand order of ``∪``,
-``∧``, ``∩``) hash differently — the cache may miss where the in-process
-plan cache would hit.  That is deliberately conservative: a miss costs a
-re-solve, a false hit would return a wrong verdict.
+Since cache schema v3, callers canonicalize problems through the rewrite
+pipeline (:meth:`Problem.canonical`) before keying — the batch runner does
+it once per problem — so syntactic variants of the same instance (operand
+order, duplicated union members, redundant filters) collide onto one
+entry instead of each missing cold.
 
 Values
 ------
@@ -77,8 +80,11 @@ __all__ = [
 
 #: Bumped to 2 when the automata (2ATA emptiness) engine landed: auto
 #: dispatch verdicts for CoreXPath(*, ≈) instances went from inconclusive
-#: bounded-search answers to conclusive ones.
-CACHE_SCHEMA_VERSION = 2
+#: bounded-search answers to conclusive ones.  Bumped to 3 when keys moved
+#: to rewrite-pipeline canonical forms (syntactic variants of the same
+#: problem now collide onto one entry, and the active pipeline level joined
+#: the payload).
+CACHE_SCHEMA_VERSION = 3
 
 Result = SatResult | ContainmentResult
 
@@ -119,7 +125,16 @@ def engine_set_fingerprint() -> str:
 
 
 def problem_fingerprint(problem: Problem) -> str:
-    """The stable cache key of ``problem`` (a SHA-256 hex digest)."""
+    """The stable cache key of ``problem`` (a SHA-256 hex digest).
+
+    The fingerprint hashes the problem *as given* — callers that want
+    syntactic variants to collide (the batch runner, the engine registry)
+    canonicalize first via :meth:`Problem.canonical`; the active pipeline
+    level is part of the payload, so verdicts computed under different
+    levels never serve each other.
+    """
+    from ..xpath import passes
+
     payload = {
         "v": CACHE_SCHEMA_VERSION,
         "kind": problem.kind.value,
@@ -128,6 +143,7 @@ def problem_fingerprint(problem: Problem) -> str:
         "max_nodes": problem.max_nodes,
         "engine": problem.engine or "auto",
         "engines": engine_set_fingerprint(),
+        "passes": passes.default_pipeline(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -227,6 +227,11 @@ class BatchRunner:
 
     def _run_one(self, index: int, problem: Problem,
                  submitted: float) -> BatchOutcome:
+        # Canonicalize once, before the cache probe: cache keys, worker
+        # dispatch and engine admission all see the rewrite-pipeline
+        # canonical form, so syntactic variants of one instance share a
+        # cache entry (and the workers solve the smaller expressions).
+        problem = problem.canonical()
         outcome = BatchOutcome(index=index, problem=problem)
         outcome.queue_wait_s = time.perf_counter() - submitted
         if self.cache is not None:

@@ -56,6 +56,7 @@ from ..xpath.ast import (
     Union,
     VarIs,
 )
+from ..xpath import passes
 from ..xpath.intern import free_variables_cached, intern_key, normalize
 from .relalg import (
     EMPTY_TARGETS,
@@ -519,7 +520,8 @@ class _Compiler:
 
 
 _cache_lock = threading.RLock()
-_PLAN_CACHE: dict[tuple[int, ...], Plan] = {}
+#: (pipeline level, *intern keys of the canonical roots) -> compiled plan.
+_PLAN_CACHE: dict[tuple, Plan] = {}
 _cache_hits = 0
 _cache_misses = 0
 
@@ -527,15 +529,25 @@ _cache_misses = 0
 def compile_plan(*exprs: PathExpr | NodeExpr) -> Plan:
     """Compile one plan evaluating every given expression on a shared
     register file.  Results of :meth:`Plan.run` align with the argument
-    order.  Plans are cached globally by the intern keys of the normalized
-    roots, so repeated compilation of the same queries is a dict lookup.
+    order.
+
+    Roots are canonicalized by the rewrite pipeline
+    (:mod:`repro.xpath.passes`) at the session level before lowering —
+    normalization is guaranteed as a floor even at level ``none`` (the
+    CSE slot allocation wants the normalizer's sharing), so the historical
+    ``normalize``-only behaviour is the ``--passes none`` baseline.  Plans
+    are cached globally by the pipeline level plus the intern keys of the
+    canonical roots, so repeated compilation of the same queries — or of
+    syntactic variants with the same canonical form — is a dict lookup.
     """
     global _cache_hits, _cache_misses
     if not exprs:
         raise ValueError("compile_plan needs at least one expression")
+    level = passes.default_pipeline()
     with _cache_lock:
-        roots = tuple(normalize(e) for e in exprs)
-        cache_key = tuple(intern_key(root) for root in roots)
+        roots = tuple(passes.canonical(normalize(e), level=level)
+                      for e in exprs)
+        cache_key = (level, *(intern_key(root) for root in roots))
         plan = _PLAN_CACHE.get(cache_key)
         if plan is not None:
             _cache_hits += 1

@@ -27,6 +27,7 @@ from .parser import parse_path, parse_node, XPathSyntaxError
 from .printer import to_source, to_paper
 from .measures import (
     size,
+    dag_size,
     intersection_depth,
     direct_intersection_depth,
     subexpressions,
@@ -45,7 +46,13 @@ from .intern import (
     free_variables_cached,
     interned_count,
 )
-from . import builders, fragments, rewrite
+from .passes import (
+    canonical,
+    canonical_with_stats,
+    default_pipeline,
+    set_default_pipeline,
+)
+from . import builders, fragments, passes, rewrite
 
 __all__ = [
     "Axis", "PathExpr", "AxisStep", "AxisClosure", "Self", "Seq", "Union",
@@ -54,11 +61,13 @@ __all__ = [
     "VarIs", "Expr",
     "parse_path", "parse_node", "XPathSyntaxError",
     "to_source", "to_paper",
-    "size", "intersection_depth", "direct_intersection_depth",
+    "size", "dag_size", "intersection_depth", "direct_intersection_depth",
     "subexpressions", "node_subexpressions", "labels_used", "axes_used",
     "operators_used", "free_variables",
     "Fragment", "fragment_of",
     "intern_expr", "intern_key", "is_interned", "normalize",
     "free_variables_cached", "interned_count",
-    "builders", "fragments", "rewrite",
+    "canonical", "canonical_with_stats", "default_pipeline",
+    "set_default_pipeline",
+    "builders", "fragments", "passes", "rewrite",
 ]

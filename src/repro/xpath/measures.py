@@ -36,6 +36,7 @@ from .ast import (
 
 __all__ = [
     "size",
+    "dag_size",
     "intersection_depth",
     "direct_intersection_depth",
     "subexpressions",
@@ -73,6 +74,16 @@ def size(expr: Expr) -> int:
         case PathEquality(left=a, right=b):
             return 1 + size(a) + size(b)
     raise TypeError(f"unknown expression {expr!r}")
+
+
+def dag_size(expr: Expr) -> int:
+    """Number of *distinct* subexpressions of ``expr``.
+
+    This is what the interner actually materializes (one canonical node per
+    distinct subexpression) and what the plan compiler allocates slots for;
+    the rewrite pipeline's cost model ranks by :func:`size` first and this
+    second, so sharing-increasing rewrites win ties."""
+    return len(set(subexpressions(expr)))
 
 
 def direct_intersection_depth(path: PathExpr) -> int:

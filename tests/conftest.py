@@ -1,0 +1,18 @@
+"""Shared fixtures: keep process-global configuration test-local.
+
+The CLI decision commands install their ``--passes`` level as the session
+default (:func:`repro.xpath.passes.set_default_pipeline`); tests drive the
+CLI in-process, so without a guard one test's ``--passes basic`` would
+leak into every later test's dispatch, plan-cache and verdict-cache keys.
+"""
+
+import pytest
+
+from repro.xpath import passes
+
+
+@pytest.fixture(autouse=True)
+def _restore_pipeline_level():
+    previous = passes.default_pipeline()
+    yield
+    passes.set_default_pipeline(previous)

@@ -355,15 +355,24 @@ class TestBatchCommand:
         """``batch --engine`` forces the same engine a single-problem
         ``satisfiable --engine`` call would use: under auto dispatch the ↑
         axis goes to the automata engine and is decided conclusively, under
-        a forced bounded search the very same line stays inconclusive."""
+        a forced bounded search the very same line stays inconclusive.
+
+        Pinned to ``--passes basic``: the full rewrite pipeline collapses
+        ``<up> and not <up>`` to ``false`` before dispatch, at which point
+        the (cheaper) expspace engine rightly takes the ↑-free residue."""
         corpus = tmp_path / "corpus.jsonl"
         corpus.write_text('{"kind": "satisfiable", "id": "s", '
                           '"expr": "<up> and not <up>", "max_nodes": 3}\n')
-        assert main(["batch", str(corpus), "--no-cache",
-                     "--workers", "1"]) == 0
+        assert main(["batch", str(corpus), "--no-cache", "--workers", "1",
+                     "--passes", "basic"]) == 0
         auto = self._records(capsys.readouterr().out)["s"]
         assert auto["verdict"] == "unsatisfiable"
         assert auto["engine"] == "automata"
+        assert main(["batch", str(corpus), "--no-cache",
+                     "--workers", "1"]) == 0
+        full = self._records(capsys.readouterr().out)["s"]
+        assert full["verdict"] == "unsatisfiable"
+        assert full["engine"] == "expspace"
         assert main(["batch", str(corpus), "--no-cache", "--workers", "1",
                      "--engine", "bounded"]) == 0
         forced = self._records(capsys.readouterr().out)["s"]

@@ -90,14 +90,17 @@ class TestAutomataEngine:
         assert not engine.admits(outside)
 
     def test_conclusive_unsat_where_bounded_gives_up(self):
-        result = satisfiable(parse_node("<up> and not <up>"),
+        # Semantically (not syntactically) unsatisfiable: a grandparent
+        # implies a parent.  The rewrite pipeline cannot collapse it, so
+        # the ↑ axes reach dispatch and select the automata engine.
+        result = satisfiable(parse_node("<up/up> and not <up>"),
                              max_nodes=3, stats=True)
         assert result.verdict is Verdict.UNSATISFIABLE
         assert result.conclusive
         assert result.stats["meta"]["engine"] == "automata"
 
     def test_emptiness_counters_land_in_run_records(self):
-        result = satisfiable(parse_node("<up> and not <up>"), stats=True)
+        result = satisfiable(parse_node("<up/up> and not <up>"), stats=True)
         counters = result.stats["counters"]
         assert counters["twoata.emptiness.states"] > 0
         assert counters["twoata.emptiness.bases"] > 0

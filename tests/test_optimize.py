@@ -10,7 +10,8 @@ from repro.analysis.optimize import (
 )
 from repro.semantics import evaluate_path
 from repro.trees import random_tree
-from repro.xpath import parse_path, to_source
+from repro.xpath import parse_path, passes, to_source
+from repro.xpath.passes import union_members
 
 
 WORKLOAD = [
@@ -78,7 +79,10 @@ class TestSimplifyUnion:
     def test_irredundant_union_unchanged(self):
         query = parse_path("down[p] union up")
         simplified = simplify_union(query, method="bounded", max_nodes=4)
-        assert simplified == query
+        # No member is dropped; the result is the rewrite-pipeline
+        # canonical form of the same union (members canonically ordered).
+        assert simplified == passes.canonical(query)
+        assert set(union_members(simplified)) == set(union_members(query))
 
     def test_simplification_is_equivalent(self):
         import random
@@ -92,4 +96,16 @@ class TestSimplifyUnion:
 
     def test_non_union_passthrough(self):
         query = parse_path("down[p]")
-        assert simplify_union(query) is query
+        assert simplify_union(query) is passes.canonical(query)
+
+    def test_syntactic_duplicate_needs_no_engine(self):
+        # Canonicalization dedupes the members before the containment
+        # loop ever runs: no engine is dispatched at all.
+        from repro import obs
+
+        query = parse_path("down[p] union down[p]")
+        with obs.record("simplify-union") as recording:
+            simplified = simplify_union(query, method="bounded", max_nodes=4)
+        assert to_source(simplified) == "down[p]"
+        counters = recording.to_run_record().to_dict()["counters"]
+        assert not any(name.startswith("dispatch.") for name in counters)
