@@ -28,7 +28,9 @@ from repro import obs
 #: BENCH_obs.json never grows duplicate or stale entries for one test.
 _OBS_RECORDS: list[dict] = []
 
-_OBS_SCHEMA_VERSION = 1
+#: Version 2 adds per-test histogram summaries (p50/p90/p99) next to the
+#: counters/gauges; version-1 entries merge in unchanged (no histograms).
+_OBS_SCHEMA_VERSION = 2
 _OBS_FILENAME = "BENCH_obs.json"
 
 
@@ -63,6 +65,14 @@ def _obs_recording(request):
             "duration_s": run.duration_s,
             "counters": run.counters,
             "gauges": run.gauges,
+            # Quantile summaries only — the sparse bucket lists are trace
+            # detail and would bloat a committed artifact.
+            "histograms": {
+                name: {key: data[key] for key in
+                       ("count", "sum", "min", "max", "mean",
+                        "p50", "p90", "p99")}
+                for name, data in run.histograms.items()
+            },
         },
     })
 

@@ -27,6 +27,7 @@ builtin engine modules lazily to avoid import cycles with
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 from .. import obs
@@ -155,6 +156,7 @@ class EngineRegistry:
                 if admitted and chosen is None:
                     chosen = engine
         last_error: Exception | None = None
+        dispatch_start = time.perf_counter()
         with obs.span("dispatch", problem=problem.kind.value):
             while chosen is not None:
                 solve_input = problem if chosen.pipeline is None \
@@ -179,6 +181,8 @@ class EngineRegistry:
                     if result is not None:
                         obs.note("engine_decision",
                                  {"candidates": decision, "chosen": chosen.name})
+                        obs.observe("dispatch.solve_s",
+                                    time.perf_counter() - dispatch_start)
                         return result
                     # Runtime decline: mark it and fall through to the next
                     # admitted candidate (or fail if the engine was forced).

@@ -61,6 +61,7 @@ strategy is decoded back through the FCNS encoding into an
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -103,7 +104,8 @@ class EmptinessResult:
 
     ``empty`` — is ``L(A_φ)`` empty?  ``witness`` — a tree accepted by the
     automaton (``None`` iff empty).  The counters describe the run:
-    summaries and contexts discovered, and positions of the final game.
+    summaries and contexts discovered, positions of the final game, and the
+    saturation-phase profile (outer rounds, node evaluations performed).
     """
 
     empty: bool
@@ -111,6 +113,8 @@ class EmptinessResult:
     entries: int
     contexts: int
     game_positions: int
+    rounds: int = 0
+    evals: int = 0
 
 
 @dataclass(frozen=True)
@@ -184,6 +188,13 @@ class _Checker:
         self._tests_memo: dict[tuple[int, int], int] = {}
         self._eval_memo: dict[tuple[int, int, int, int], _Eval] = {}
         self.evals = 0
+        self.eval_hits = 0
+
+        # ---- saturation-phase profile (plain ints on the hot path; the
+        # obs layer sees them once, after saturation finishes)
+        self.rounds = 0
+        self.wakes_woken = 0
+        self.combos_subsumed = 0
 
         # ---- saturation state
         self.entries: dict[tuple[int, int], _Entry] = {}
@@ -398,6 +409,7 @@ class _Checker:
         key = (ctx_id, lcls, s1, s2)
         hit = self._eval_memo.get(key)
         if hit is not None:
+            self.eval_hits += 1
             return hit
         self.evals += 1
         if self.evals > self.max_evals:
@@ -483,6 +495,7 @@ class _Checker:
                    combo: tuple[int, tuple | None, tuple | None]) -> None:
         entry = self.entries.get(key)
         if entry is not None:
+            self.combos_subsumed += 1
             if combo not in entry.combos \
                     and len(entry.combos) < _COMBOS_PER_ENTRY:
                 entry.combos.append(combo)
@@ -532,8 +545,12 @@ class _Checker:
         progress = True
         while progress:
             progress = False
+            self.rounds += 1
+            round_start = time.perf_counter()
+            evals_before = self.evals
             while self._wakes:
                 progress = True
+                self.wakes_woken += 1
                 self._process(*self._wakes.popleft())
             # Note: _process can activate contexts and extend the pool
             # mid-sweep; the index loop picks up new contexts, and the next
@@ -561,6 +578,10 @@ class _Checker:
                             for s2 in fresh:
                                 self._process(ctx_id, lcls, s1, s2)
                 self._cursor[index] = limit
+            obs.observe("twoata.emptiness.round_s",
+                        time.perf_counter() - round_start)
+            obs.observe("twoata.emptiness.round_evals",
+                        self.evals - evals_before)
 
     # ------------------------------------------------------- root candidates
 
@@ -708,23 +729,39 @@ def decide_emptiness(
     """Is ``L(A_φ)`` empty?  Conclusive either way; raises
     :class:`EmptinessLimit` when the summary space outgrows the guards."""
     with obs.span("twoata.emptiness.solve"):
-        checker = _Checker(ata, max_evals=max_evals, max_entries=max_entries,
-                           max_contexts=max_contexts)
+        with obs.span("twoata.emptiness.compile"):
+            checker = _Checker(ata, max_evals=max_evals,
+                               max_entries=max_entries,
+                               max_contexts=max_contexts)
         obs.count("twoata.emptiness.states", ata.num_states)
         obs.count("twoata.emptiness.bases", checker.num_bases)
-        checker.saturate()
-        roots = checker.root_combos()
-        game = checker.build_game(roots)
+        with obs.span("twoata.emptiness.saturate"):
+            checker.saturate()
+        obs.count("twoata.emptiness.rounds", checker.rounds)
+        obs.count("twoata.emptiness.wakes", checker.wakes_woken)
+        obs.count("twoata.emptiness.combos_subsumed", checker.combos_subsumed)
+        probes = checker.evals + checker.eval_hits
+        if probes:
+            obs.gauge("twoata.emptiness.eval_memo_hit_rate",
+                      checker.eval_hits / probes)
+        with obs.span("twoata.emptiness.roots"):
+            roots = checker.root_combos()
+        with obs.span("twoata.emptiness.game_build"):
+            game = checker.build_game(roots)
         obs.count("twoata.emptiness.game_nodes", len(game.owner))
         obs.gauge("twoata.emptiness.entries", len(checker.entries))
         obs.gauge("twoata.emptiness.contexts", len(checker._active))
         obs.gauge("twoata.emptiness.evals", checker.evals)
-        win_eve, _ = solve_parity(game)
+        with obs.span("twoata.emptiness.game_solve"):
+            win_eve, _ = solve_parity(game)
         obs.count("twoata.emptiness.games_solved")
         if ("root",) not in win_eve:
             return EmptinessResult(True, None, len(checker.entries),
-                                   len(checker._active), len(game.owner))
-        witness = checker.decode_witness(roots)
+                                   len(checker._active), len(game.owner),
+                                   checker.rounds, checker.evals)
+        with obs.span("twoata.emptiness.decode"):
+            witness = checker.decode_witness(roots)
         obs.count("twoata.emptiness.witnesses_decoded")
         return EmptinessResult(False, witness, len(checker.entries),
-                               len(checker._active), len(game.owner))
+                               len(checker._active), len(game.owner),
+                               checker.rounds, checker.evals)

@@ -18,19 +18,26 @@ Commands
 * ``batch INPUT.jsonl [--workers N] [--timeout S] [--race] [--cache-dir D]``
   — decide a JSONL stream of problems on a worker pool (see
   :mod:`repro.parallel`); answers are emitted as JSONL.
+* ``report BENCH_obs.json [--compare BASELINE --fail-on-regression PCT]``
+  — render the benchmark harness's per-test perf artifact as a table, or
+  gate against a committed baseline (the CI perf-regression job).
 
 The decision commands take ``--stats`` (human-readable run statistics on
-stderr), ``--trace-json FILE`` (the full :class:`repro.obs.RunRecord`
-as JSON; ``-`` for stderr), and ``--engine NAME`` to force a registered
-decision engine (``expspace``, ``automata``, ``bounded``, ``random``; the
-default ``auto`` lets the engine registry pick — see
-:mod:`repro.analysis.registry`), and ``--passes {none,basic,full}`` to set
-the session rewrite-pipeline level (:mod:`repro.xpath.passes`; default
-``full``) applied to every expression before dispatch and cache keying.
-``batch`` takes the same flags with the
+stderr), ``--trace FILE`` (a Chrome trace-event JSON file — load it at
+https://ui.perfetto.dev — whose ``otherData.runs`` carries the full
+:class:`repro.obs.RunRecord` dicts; ``-`` for stderr; ``--trace-json`` is
+an alias kept from the format's RunRecord-only first generation), and
+``--engine NAME`` to force a registered decision engine (``expspace``,
+``automata``, ``bounded``, ``random``; the default ``auto`` lets the
+engine registry pick — see :mod:`repro.analysis.registry`), and
+``--passes {none,basic,full}`` to set the session rewrite-pipeline level
+(:mod:`repro.xpath.passes`; default ``full``) applied to every expression
+before dispatch and cache keying.  ``batch`` takes the same flags with the
 same semantics, applied per problem: a forced ``--engine`` becomes the
-default for every line (overridable per line by a JSONL ``engine`` field)
-and ``--stats`` reports the merged run record of the whole batch.
+default for every line (overridable per line by a JSONL ``engine`` field),
+``--stats`` reports the merged run record of the whole batch, and
+``--trace`` merges the coordinator's and every worker process's span trees
+into one cross-process timeline (one Perfetto lane per worker pid).
 
 Stream and exit-code contract: *answers* (verdicts, witnesses,
 counterexamples, evaluation results) go to stdout; *diagnostics* (errors,
@@ -125,23 +132,32 @@ def _cmd_evaluate(args) -> int:
 
 
 def _wants_stats(args) -> bool:
-    return bool(args.stats or args.trace_json)
+    return bool(args.stats or args.trace)
 
 
-def _emit_stats(stats: dict | None, args) -> None:
-    """Route the run record to the requested sinks (all diagnostics)."""
+def _emit_stats(stats: dict | None, args,
+                trace_payload: dict | None = None) -> None:
+    """Route the run record to the requested sinks (all diagnostics).
+
+    ``--stats`` prints the human summary; ``--trace`` writes a Chrome
+    trace-event payload (``trace_payload`` when the caller pre-built one —
+    the batch command's cross-process merge — else a single-process render
+    of ``stats``).
+    """
     if stats is None:
         return
     run_record = RunRecord.from_dict(stats)
     if args.stats:
         print(run_record.summary(), file=sys.stderr)
-    if args.trace_json:
-        if args.trace_json == "-":
-            print(run_record.to_json(), file=sys.stderr)
+    if args.trace:
+        from .obs import traceout
+
+        if trace_payload is None:
+            trace_payload = traceout.single_trace(run_record)
+        if args.trace == "-":
+            print(json.dumps(trace_payload, sort_keys=True), file=sys.stderr)
         else:
-            with open(args.trace_json, "w", encoding="utf-8") as handle:
-                handle.write(run_record.to_json())
-                handle.write("\n")
+            traceout.write_trace(args.trace, trace_payload)
 
 
 def _warn_inconclusive(explored_up_to: int | None) -> None:
@@ -299,12 +315,20 @@ def _cmd_batch(args) -> int:
         problems.append(problem)
 
     cache = None if args.no_cache else VerdictCache(args.cache_dir)
+    # --trace needs the full cross-process picture: coordinator-thread
+    # recordings plus every worker's shipped run record.
     runner = BatchRunner(workers=args.workers, timeout=args.timeout,
-                         race=args.race, cache=cache)
+                         race=args.race, cache=cache,
+                         collect_stats=bool(args.trace))
+    trace_payload = None
     if _wants_stats(args):
         with obs.record("batch") as recording:
             report = runner.run(problems)
         stats = recording.to_run_record().to_dict()
+        if args.trace:
+            from .obs import traceout
+
+            trace_payload = traceout.batch_trace(report, coordinator=stats)
     else:
         report = runner.run(problems)
         stats = None
@@ -333,10 +357,31 @@ def _cmd_batch(args) -> int:
           f"{summary['unsolved']} unsolved, {len(bad_records)} bad input "
           "lines)", file=sys.stderr)
     if stats is not None:
-        _emit_stats(stats, args)
+        _emit_stats(stats, args, trace_payload)
     if bad_records or report.failed:
         return 2
     return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import report as obs_report
+
+    payload = obs_report.load_bench(args.input)
+    required = [key for chunk in (args.require_keys or [])
+                for key in chunk.split(",") if key]
+    missing = obs_report.missing_keys(payload, required)
+    if args.compare:
+        baseline = obs_report.load_bench(args.compare)
+        comparison = obs_report.compare(
+            payload, baseline, fail_pct=args.fail_on_regression,
+            min_duration_s=args.min_duration)
+        print(obs_report.render_report(comparison, missing), file=sys.stderr)
+        return 0 if comparison.ok and not missing else 1
+    print(obs_report.render_table(payload))
+    for prefix in missing:
+        print(f"FAIL missing instrumentation: no key matches {prefix!r}",
+              file=sys.stderr)
+    return 1 if missing else 0
 
 
 def _cmd_translate(args) -> int:
@@ -424,8 +469,11 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         "--stats", action="store_true",
         help="print run statistics (engine, spans, counters) to stderr")
     subparser.add_argument(
-        "--trace-json", metavar="FILE", default=None,
-        help="write the full RunRecord as JSON to FILE ('-' for stderr)")
+        "--trace", "--trace-json", dest="trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON file to FILE ('-' for "
+             "stderr): load it at https://ui.perfetto.dev; the full "
+             "RunRecords ride along under otherData.runs "
+             "(--trace-json is an alias)")
     subparser.add_argument(
         "--engine", metavar="NAME", default="auto",
         help="force a registered decision engine (e.g. expspace, automata, "
@@ -519,6 +567,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-nodes", type=int, default=6)
     _add_obs_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    rep = commands.add_parser(
+        "report", help="render or gate a BENCH_obs.json perf artifact")
+    rep.add_argument(
+        "input", metavar="BENCH_OBS",
+        help="BENCH_obs.json written by the benchmark harness")
+    rep.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="gate against a baseline BENCH_obs.json: duration regressions "
+             "and missing instrumentation fail (exit 1), counter drift "
+             "only warns")
+    rep.add_argument(
+        "--fail-on-regression", type=float, default=50.0, metavar="PCT",
+        help="relative duration growth that fails the gate "
+             "(default: 50%%)")
+    rep.add_argument(
+        "--min-duration", type=float, default=0.05, metavar="S",
+        help="noise floor: tests faster than this on either side never "
+             "trip the duration gate (default: 0.05s)")
+    rep.add_argument(
+        "--require-keys", action="append", metavar="PREFIX[,PREFIX...]",
+        help="fail unless each prefix matches some counter/gauge/histogram "
+             "key in the artifact (catches silently dropped "
+             "instrumentation); repeatable or comma-separated")
+    rep.set_defaults(func=_cmd_report)
 
     show = commands.add_parser("show", help="inspect an expression")
     show.add_argument("expr")

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
+from .. import obs
+
 __all__ = ["ParityGame", "solve_parity", "solve_cobuchi"]
 
 Position = Hashable
@@ -101,16 +103,30 @@ def _attractor(game: ParityGame, player: int, targets: Iterable[Position],
 
 def solve_parity(game: ParityGame) -> tuple[set[Position], set[Position]]:
     """Zielonka's algorithm.  Returns ``(win_eve, win_adam)``, a partition of
-    all positions (parity games are determined)."""
+    all positions (parity games are determined).
+
+    Profiling: recursion/attractor counts and subgame sizes accumulate in
+    plain locals while solving and are emitted to the obs layer once at the
+    end, so the recursion itself stays instrumentation-free.
+    """
+    recursions = 0
+    attractors = 0
+    lifted = 0  # positions pulled into attractors across the whole solve
+    subgame_sizes: list[int] = []
 
     def solve(region: set[Position]) -> tuple[set[Position], set[Position]]:
+        nonlocal recursions, attractors, lifted
         if not region:
             return set(), set()
+        recursions += 1
+        subgame_sizes.append(len(region))
         lowest = min(game.priority[v] for v in region)
         player = lowest % 2  # 0 if the lowest priority is even (good for Eve)
         opponent = 1 - player
         best = {v for v in region if game.priority[v] == lowest}
         attr = _attractor(game, player, best, region)
+        attractors += 1
+        lifted += len(attr) - len(best & region)
         rest = region - attr
         win_sub = solve(rest)
         if not win_sub[opponent]:
@@ -118,11 +134,22 @@ def solve_parity(game: ParityGame) -> tuple[set[Position], set[Position]]:
             result[player].update(region)
             return result
         escape = _attractor(game, opponent, win_sub[opponent], region)
+        attractors += 1
+        lifted += len(escape) - len(win_sub[opponent])
         win_rest = solve(region - escape)
         win_rest[opponent].update(escape)
         return win_rest
 
-    return solve(game.positions)
+    outcome = solve(game.positions)
+    if obs.is_enabled():
+        obs.count("parity.games_solved")
+        obs.count("parity.recursions", recursions)
+        obs.count("parity.attractors", attractors)
+        obs.count("parity.lifted", lifted)
+        obs.gauge("parity.positions", len(game.owner))
+        for size in subgame_sizes:
+            obs.observe("parity.subgame_size", size)
+    return outcome
 
 
 def solve_cobuchi(game: ParityGame) -> tuple[set[Position], set[Position]]:

@@ -1,21 +1,27 @@
 """repro.obs — dependency-free observability for the decision procedures.
 
-Three layers, all zero-cost when disabled (see DESIGN.md's perf notes):
+Four layers, all zero-cost when disabled (see DESIGN.md's perf notes):
 
 * **Spans** (:func:`span`): context-managed wall-clock timers with nesting,
-  attached to the innermost active :class:`Recording` of the current thread.
-* **Metrics** (:func:`count`, :func:`gauge`): named monotone counters and
-  last-value gauges scoped to the active recording, so successive runs start
-  from a clean slate.
+  trace/span/parent ids and epoch anchors, attached to the innermost active
+  :class:`Recording` of the current thread.
+* **Metrics** (:func:`count`, :func:`gauge`, :func:`observe`): named
+  monotone counters, last-value gauges, and fixed-bucket latency/size
+  :class:`Histogram`\\ s with p50/p90/p99 summaries, scoped to the active
+  recording so successive runs start from a clean slate.
 * **Run records** (:class:`RunRecord`): a JSON-serializable account of one
   whole decision-procedure invocation — inputs, engine, verdict, the span
   tree, and all metrics — produced by :meth:`Recording.to_run_record`.
+* **Trace export** (:mod:`repro.obs.traceout`): run records — including
+  worker records shipped across process boundaries by the batch runner —
+  rendered as Chrome trace-event JSON, loadable in Perfetto.
 
 Instrumentation points throughout the library call :func:`span` /
-:func:`count` unconditionally; with no recording active these are no-ops
-behind a single module-flag check, so the tier-1 test suite pays nothing.
-Enable ambient collection with :func:`enable`/:func:`disable` (used by the
-benchmark harness) or scope it with ``with record("name") as rec: ...``.
+:func:`count` / :func:`observe` unconditionally; with no recording active
+these are no-ops behind a single module-flag check, so the tier-1 test
+suite pays nothing.  Enable ambient collection with
+:func:`enable`/:func:`disable` (used by the benchmark harness) or scope it
+with ``with record("name") as rec: ...``.
 """
 
 from .core import (
@@ -29,13 +35,16 @@ from .core import (
     gauge,
     is_enabled,
     note,
+    observe,
     record,
     span,
 )
+from .histogram import Histogram
 from .runrecord import RunRecord
 
 __all__ = [
     "NULL_SPAN",
+    "Histogram",
     "Recording",
     "RunRecord",
     "Span",
@@ -46,6 +55,7 @@ __all__ = [
     "gauge",
     "is_enabled",
     "note",
+    "observe",
     "record",
     "span",
 ]

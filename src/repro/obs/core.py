@@ -1,18 +1,29 @@
-"""Spans, counters, gauges, and the recording stack.
+"""Spans, counters, gauges, histograms, and the recording stack.
 
-A :class:`Recording` owns one span tree plus counter/gauge tables.
-Recordings nest (a stats-collecting ``equivalent`` drives two ``contains``
-calls whose spans all land in the outer recording) and are thread-local, so
-concurrent recordings never interleave.  The module-global ``_ENABLED``
-flag short-circuits every instrumentation call when no recording exists
-anywhere — the "no-op fast path" that keeps instrumented hot loops at full
-speed in ordinary test runs.
+A :class:`Recording` owns one span tree plus counter/gauge/histogram
+tables.  Recordings nest (a stats-collecting ``equivalent`` drives two
+``contains`` calls whose spans all land in the outer recording) and are
+thread-local, so concurrent recordings never interleave.  The
+module-global ``_ENABLED`` flag short-circuits every instrumentation call
+when no recording exists anywhere — the "no-op fast path" that keeps
+instrumented hot loops at full speed in ordinary test runs.
+
+Trace identity (second-generation layer): every recording carries a
+``trace_id`` and allocates dense ``span_id``\\ s; each span records its
+``parent_id`` and a wall-clock ``start_ts`` (epoch seconds) next to its
+monotonic duration.  Wall-clock anchoring is what lets
+:mod:`repro.obs.traceout` merge span trees from *different processes*
+(batch coordinator + forked workers share the system clock) onto one
+Chrome trace-event timeline.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+
+from .histogram import Histogram
 
 __all__ = [
     "NULL_SPAN",
@@ -25,6 +36,7 @@ __all__ = [
     "gauge",
     "is_enabled",
     "note",
+    "observe",
     "record",
     "span",
 ]
@@ -61,21 +73,28 @@ class Span:
     :meth:`start`/:meth:`finish` manually for loop-carried spans (the
     bounded engine opens one span per candidate-tree size this way)."""
 
-    __slots__ = ("name", "attrs", "children", "duration_s", "_recording", "_t0")
+    __slots__ = ("name", "attrs", "children", "duration_s", "span_id",
+                 "parent_id", "start_ts", "_recording", "_t0")
 
     def __init__(self, recording: "Recording", name: str, attrs: dict):
         self.name = name
         self.attrs = attrs
         self.children: list[Span] = []
         self.duration_s: float | None = None
+        self.span_id = recording._alloc_span_id()
+        self.parent_id: int | None = None
+        self.start_ts: float | None = None
         self._recording = recording
         self._t0: float | None = None
 
     def start(self) -> "Span":
         stack = self._recording._span_stack
         if stack:
-            stack[-1].children.append(self)
+            parent = stack[-1]
+            parent.children.append(self)
+            self.parent_id = parent.span_id
             stack.append(self)
+        self.start_ts = time.time()
         self._t0 = time.perf_counter()
         return self
 
@@ -106,7 +125,10 @@ class Span:
         self.finish()
 
     def to_dict(self) -> dict:
-        data: dict = {"name": self.name, "duration_s": self.duration_s}
+        data: dict = {"name": self.name, "duration_s": self.duration_s,
+                      "id": self.span_id, "parent": self.parent_id}
+        if self.start_ts is not None:
+            data["start_ts"] = self.start_ts
         if self.attrs:
             data["attrs"] = dict(self.attrs)
         if self.children:
@@ -146,14 +168,30 @@ class Recording:
     thread) accumulate here until :meth:`stop`.
     """
 
+    _trace_seq = 0
+    _trace_lock = threading.Lock()
+
     def __init__(self, name: str, **meta):
         self.name = name
         self.meta: dict = dict(meta)
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        with Recording._trace_lock:
+            Recording._trace_seq += 1
+            sequence = Recording._trace_seq
+        #: Stable-ish trace identity: unique within a process run, and
+        #: distinguishable across processes (forked workers embed their pid).
+        self.trace_id = f"{os.getpid():x}-{sequence:x}"
+        self._span_seq = 0
         self.root = Span(self, name, {})
         self._span_stack: list[Span] = []
         self._live = False
+
+    def _alloc_span_id(self) -> int:
+        span_id = self._span_seq
+        self._span_seq += 1
+        return span_id
 
     # ------------------------------------------------------------ lifecycle
 
@@ -168,6 +206,7 @@ class Recording:
             _ENABLED = True
         # Root span bypasses Span.start: there is no parent to attach to.
         self._span_stack.append(self.root)
+        self.root.start_ts = time.time()
         self.root._t0 = time.perf_counter()
         return self
 
@@ -200,6 +239,13 @@ class Recording:
         """Record a run-level fact (engine chosen, verdict, input sizes)."""
         self.meta[key] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
     def to_run_record(self):
         """Freeze this recording into a :class:`~repro.obs.RunRecord`."""
         from .runrecord import RunRecord
@@ -213,7 +259,10 @@ class Recording:
             meta=dict(self.meta),
             counters=dict(self.counters),
             gauges=dict(self.gauges),
+            histograms={name: histogram.to_dict()
+                        for name, histogram in self.histograms.items()},
             spans=self.root.to_dict(),
+            trace_id=self.trace_id,
         )
 
 
@@ -261,6 +310,18 @@ def note(key: str, value) -> None:
     recording = active()
     if recording is not None:
         recording.meta[key] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Add one observation to the named histogram on the active recording
+    (no-op otherwise).  Use for latency/size distributions — per-problem
+    wall time, queue waits, saturation-round cost — where a counter's sum
+    or a gauge's last value would hide the tail."""
+    if not _ENABLED:
+        return
+    recording = active()
+    if recording is not None:
+        recording.observe(name, value)
 
 
 _ambient: Recording | None = None

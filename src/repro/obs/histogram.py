@@ -1,0 +1,152 @@
+"""Fixed-bucket histograms for the observability layer.
+
+``obs.observe(name, value)`` feeds one of these per metric name on the
+active recording.  The design goals, in order:
+
+1. **Cheap updates.**  ``observe`` is called from hot loops (one
+   observation per saturation round, per problem, per cache probe), so an
+   update is a bisect plus three arithmetic ops — no per-observation
+   allocation, no exact-value retention.
+2. **Stable buckets.**  Every histogram shares one fixed log-spaced bucket
+   ladder (a 1–2–5 decade pattern from 1e-7 to 1e4), so histograms from
+   different runs, processes, and sessions can be compared and merged
+   bucket-by-bucket without rebinning.  The ladder comfortably spans
+   microsecond-scale cache probes to multi-second saturation phases, and
+   doubles for dimensionless counts (evals per round, nodes lifted).
+3. **Quantiles without samples.**  p50/p90/p99 are read off the bucket
+   counts by linear interpolation inside the crossing bucket, clamped to
+   the exact observed ``min``/``max`` — the classic Prometheus-style
+   estimate, accurate to bucket resolution (±25% worst case on this
+   ladder, far tighter near the recorded extremes).
+
+Summaries serialize into :class:`~repro.obs.RunRecord` as plain dicts
+(see :meth:`Histogram.to_dict`) and round-trip through
+:meth:`Histogram.from_dict`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["DEFAULT_BOUNDS", "Histogram"]
+
+
+def _build_bounds() -> tuple[float, ...]:
+    bounds: list[float] = []
+    for decade in range(-7, 5):
+        for mantissa in (1.0, 2.0, 5.0):
+            bounds.append(mantissa * 10.0 ** decade)
+    return tuple(bounds)
+
+
+#: Upper bucket bounds (inclusive), shared by every histogram: a 1–2–5
+#: ladder over 1e-7 … 5e4.  Values above the last bound land in a final
+#: overflow bucket.
+DEFAULT_BOUNDS: tuple[float, ...] = _build_bounds()
+
+
+class Histogram:
+    """One metric's distribution: fixed log buckets + exact extremes."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BOUNDS):
+        self.bounds = bounds
+        #: ``counts[i]`` observations with ``value <= bounds[i]``;
+        #: ``counts[len(bounds)]`` is the overflow bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # ------------------------------------------------------------ quantiles
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (``0 <= q <= 1``); exact when all
+        observations share a bucket, else interpolated within the crossing
+        bucket and clamped to the observed ``[min, max]``."""
+        if self.count == 0:
+            raise ValueError("quantile of an empty histogram")
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) \
+                    else self.max
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, fraction)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - guarded by count above
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Summary + sparse buckets, the shape stored in run records."""
+        data: dict = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+        data["p50"] = self.quantile(0.50) if self.count else None
+        data["p90"] = self.quantile(0.90) if self.count else None
+        data["p99"] = self.quantile(0.99) if self.count else None
+        data["buckets"] = [
+            [self.bounds[i] if i < len(self.bounds) else None, n]
+            for i, n in enumerate(self.counts) if n
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls()
+        histogram.count = data["count"]
+        histogram.total = data["sum"]
+        histogram.min = data["min"] if data["min"] is not None \
+            else float("inf")
+        histogram.max = data["max"] if data["max"] is not None \
+            else float("-inf")
+        bound_index = {bound: i for i, bound in enumerate(histogram.bounds)}
+        for bound, n in data.get("buckets", ()):
+            index = bound_index[bound] if bound is not None \
+                else len(histogram.bounds)
+            histogram.counts[index] = n
+        return histogram
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (same bucket ladder)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, n in enumerate(other.counts):
+            self.counts[index] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "Histogram(empty)"
+        return (f"Histogram(count={self.count}, mean={self.mean:.4g}, "
+                f"p50={self.quantile(0.5):.4g}, max={self.max:.4g})")

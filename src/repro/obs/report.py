@@ -1,0 +1,220 @@
+"""Perf reporting over ``BENCH_obs.json``: tables, baselines, regressions.
+
+The benchmark harness (``benchmarks/conftest.py``) merges every session's
+per-test obs records into ``BENCH_obs.json`` — one entry per test nodeid
+with wall duration, counters, gauges and histogram summaries.  This module
+is the read side: it renders that artifact as a per-test table
+(``repro report FILE``) and diffs it against a committed baseline
+(``repro report FILE --compare BASELINE``), which is what the CI
+perf-regression gate runs.
+
+Comparison semantics (deliberately asymmetric):
+
+* **Durations fail the gate.**  A test whose wall time grew more than
+  ``fail_pct`` percent over the baseline — and by more than an absolute
+  noise floor (``min_duration_s``, so microsecond-scale tests cannot trip
+  the gate on scheduler jitter) — is a regression.
+* **Counters warn only.**  Counter drift (more evaluations, fewer cache
+  hits) is evidence worth printing, not proof of a regression: many
+  counters legitimately move when algorithms change.  The gate reports
+  them but they never affect the exit code.
+* **Missing instrumentation fails.**  ``required_keys`` prefixes (e.g.
+  ``twoata.emptiness.`` or a histogram name) must each match at least one
+  counter/gauge/histogram key somewhere in the current payload.  A refactor
+  that silently drops instrumentation is exactly the failure mode this
+  catches — perf numbers from an uninstrumented run would be meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "Comparison",
+    "Regression",
+    "compare",
+    "load_bench",
+    "missing_keys",
+    "render_report",
+    "render_table",
+]
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and shape-check a ``BENCH_obs.json`` payload.
+
+    Raises :class:`ValueError` on malformed content — the CLI maps that to
+    exit code 2 (error), distinct from exit 1 (regression found).
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValueError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) or not isinstance(data.get("runs"), dict):
+        raise ValueError(f"{path} is not a BENCH_obs.json payload "
+                         "(expected an object with a 'runs' mapping)")
+    for nodeid, record in data["runs"].items():
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}: run {nodeid!r} is not an object")
+    return data
+
+
+def _short_id(nodeid: str) -> str:
+    """``benchmarks/test_x.py::test_y[case]`` -> ``test_x.py::test_y[case]``."""
+    return nodeid.rsplit("/", 1)[-1]
+
+
+def _format_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def render_table(payload: Mapping[str, Any], *, counters: int = 3) -> str:
+    """The per-test table behind ``repro report FILE``.
+
+    One row per test: wall duration, histogram p50/p99 summaries (latency
+    histograms only), and the ``counters`` largest counters.
+    """
+    runs = payload.get("runs", {})
+    lines = [f"{'test':<58} {'duration':>10}  detail"]
+    for nodeid in sorted(runs):
+        record = runs[nodeid]
+        duration = record.get("duration_s", 0.0)
+        details: list[str] = []
+        for name, data in sorted(record.get("histograms", {}).items()):
+            if name.endswith("_s") and data.get("count"):
+                details.append(f"{name} p50={_format_s(data['p50'])} "
+                               f"p99={_format_s(data['p99'])}")
+        top = sorted(record.get("counters", {}).items(),
+                     key=lambda item: -abs(item[1]))[:counters]
+        details.extend(f"{name}={value}" for name, value in top)
+        lines.append(f"{_short_id(nodeid):<58} {_format_s(duration):>10}  "
+                     + "  ".join(details))
+    lines.append(f"{len(runs)} test(s)")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gate-failing finding of :func:`compare`."""
+
+    nodeid: str
+    kind: str  # "duration" | "missing-key"
+    detail: str
+
+
+@dataclass
+class Comparison:
+    """Everything :func:`compare` found; ``ok`` iff the gate passes."""
+
+    regressions: list[Regression] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    improved: list[str] = field(default_factory=list)
+    missing_tests: list[str] = field(default_factory=list)
+    new_tests: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(current: Mapping[str, Any], baseline: Mapping[str, Any], *,
+            fail_pct: float = 50.0, min_duration_s: float = 0.05,
+            counter_warn_pct: float = 25.0) -> Comparison:
+    """Diff two BENCH_obs payloads; see the module docstring for semantics.
+
+    ``fail_pct`` — relative duration growth that fails the gate;
+    ``min_duration_s`` — absolute noise floor: both sides must exceed it
+    for a duration diff to count either way; ``counter_warn_pct`` —
+    relative counter drift worth a warning line.
+    """
+    result = Comparison()
+    current_runs = current.get("runs", {})
+    baseline_runs = baseline.get("runs", {})
+    result.missing_tests = sorted(set(baseline_runs) - set(current_runs))
+    result.new_tests = sorted(set(current_runs) - set(baseline_runs))
+    for nodeid in sorted(set(current_runs) & set(baseline_runs)):
+        now = current_runs[nodeid]
+        then = baseline_runs[nodeid]
+        short = _short_id(nodeid)
+
+        now_s = now.get("duration_s", 0.0)
+        then_s = then.get("duration_s", 0.0)
+        if then_s > min_duration_s and now_s > min_duration_s:
+            pct = (now_s - then_s) / then_s * 100.0
+            if pct > fail_pct:
+                result.regressions.append(Regression(
+                    nodeid, "duration",
+                    f"{short}: {_format_s(then_s)} -> {_format_s(now_s)} "
+                    f"(+{pct:.0f}%, gate {fail_pct:g}%)"))
+            elif pct < -fail_pct:
+                result.improved.append(
+                    f"{short}: {_format_s(then_s)} -> {_format_s(now_s)} "
+                    f"({pct:.0f}%)")
+
+        now_counters = now.get("counters", {})
+        then_counters = then.get("counters", {})
+        for name in sorted(set(now_counters) & set(then_counters)):
+            old = then_counters[name]
+            new = now_counters[name]
+            if old and abs(new - old) / abs(old) * 100.0 > counter_warn_pct:
+                result.warnings.append(
+                    f"{short}: counter {name} {old} -> {new}")
+        for name in sorted(set(then_counters) - set(now_counters)):
+            result.warnings.append(
+                f"{short}: counter {name} disappeared (was "
+                f"{then_counters[name]})")
+    return result
+
+
+def _instrument_keys(payload: Mapping[str, Any]) -> set[str]:
+    keys: set[str] = set()
+    for record in payload.get("runs", {}).values():
+        keys.update(record.get("counters", {}))
+        keys.update(record.get("gauges", {}))
+        keys.update(record.get("histograms", {}))
+    return keys
+
+
+def missing_keys(payload: Mapping[str, Any],
+                 required: list[str]) -> list[str]:
+    """The ``required`` prefixes matching no counter/gauge/histogram key
+    anywhere in the payload (each unmatched prefix fails the gate)."""
+    present = _instrument_keys(payload)
+    return [prefix for prefix in required
+            if not any(key.startswith(prefix) for key in present)]
+
+
+def render_report(comparison: Comparison,
+                  missing: list[str] | None = None) -> str:
+    """The human-readable gate report (diagnostics stream)."""
+    lines: list[str] = []
+    missing = missing or []
+    for prefix in missing:
+        lines.append(f"FAIL missing instrumentation: no key matches "
+                     f"{prefix!r}")
+    for regression in comparison.regressions:
+        lines.append(f"FAIL {regression.kind}: {regression.detail}")
+    for warning in comparison.warnings:
+        lines.append(f"warn {warning}")
+    for improvement in comparison.improved:
+        lines.append(f"ok improved {improvement}")
+    for nodeid in comparison.missing_tests:
+        lines.append(f"note baseline test absent from current run: "
+                     f"{_short_id(nodeid)}")
+    for nodeid in comparison.new_tests:
+        lines.append(f"note new test (no baseline): {_short_id(nodeid)}")
+    verdict = "PASS" if comparison.ok and not missing else "FAIL"
+    lines.append(
+        f"{verdict}: {len(comparison.regressions)} regression(s), "
+        f"{len(missing)} missing instrumentation key(s), "
+        f"{len(comparison.warnings)} counter warning(s)")
+    return "\n".join(lines)

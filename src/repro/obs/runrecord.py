@@ -1,10 +1,11 @@
 """RunRecord: the JSON-serializable account of one decision-procedure run.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "name": "contains",                 # recording name
+      "trace_id": "a1b2-3",               # recording identity (pid-seq)
       "duration_s": 0.0123,
       "meta": {                           # run-level facts (free-form keys)
         "command": "contains",
@@ -14,15 +15,23 @@ Schema (version 1)::
       },
       "counters": {"trees.enumerated": 123, ...},   # monotone ints
       "gauges": {"expspace.modal_atoms": 4, ...},   # last-value floats
+      "histograms": {                     # latency/size distributions
+        "batch.problem_s": {"count": 10, "sum": 0.4, "min": ..., "max": ...,
+                            "mean": ..., "p50": ..., "p90": ..., "p99": ...,
+                            "buckets": [[upper_bound, count], ...]}
+      },
       "spans": {                          # nested span tree, root first
         "name": "contains", "duration_s": 0.0123,
+        "id": 0, "parent": null,          # dense span ids, parent links
+        "start_ts": 1754640000.123,       # wall clock (cross-process merge)
         "attrs": {...}, "children": [ ... same shape ... ]
       }
     }
 
-The record is a plain-data object: ``to_dict``/``from_dict`` round-trip
-exactly, and ``summary()`` renders the human-readable report behind the
-CLI's ``--stats`` flag.
+Version 1 records (no histograms, no trace/span ids) still load — the new
+fields default to empty.  The record is a plain-data object:
+``to_dict``/``from_dict`` round-trip exactly, and ``summary()`` renders
+the human-readable report behind the CLI's ``--stats`` flag.
 """
 
 from __future__ import annotations
@@ -33,7 +42,11 @@ from typing import Iterator
 
 __all__ = ["RunRecord", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions ``from_dict`` accepts; older ones upgrade in place (missing
+#: fields default), newer ones are rejected.
+_READABLE_VERSIONS = frozenset({1, 2})
 
 
 def _format_duration(seconds: float | None) -> str:
@@ -55,7 +68,9 @@ class RunRecord:
     meta: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
     spans: dict = field(default_factory=dict)
+    trace_id: str = ""
 
     # -------------------------------------------------------- serialization
 
@@ -63,17 +78,19 @@ class RunRecord:
         return {
             "schema_version": SCHEMA_VERSION,
             "name": self.name,
+            "trace_id": self.trace_id,
             "duration_s": self.duration_s,
             "meta": self.meta,
             "counters": self.counters,
             "gauges": self.gauges,
+            "histograms": self.histograms,
             "spans": self.spans,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunRecord":
         version = data.get("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported RunRecord schema version {version}")
         return cls(
             name=data["name"],
@@ -81,7 +98,9 @@ class RunRecord:
             meta=dict(data.get("meta", {})),
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
+            histograms=dict(data.get("histograms", {})),
             spans=dict(data.get("spans", {})),
+            trace_id=data.get("trace_id", ""),
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -146,4 +165,21 @@ class RunRecord:
             lines.append("gauges:")
             for key in sorted(self.gauges):
                 lines.append(f"  {key}: {self.gauges[key]}")
+        if self.histograms:
+            lines.append("histograms:")
+            for key in sorted(self.histograms):
+                data = self.histograms[key]
+                if not data.get("count"):
+                    lines.append(f"  {key}: empty")
+                    continue
+                # Latency histograms (``*_s``) render as durations; others
+                # (sizes, counts per round) as plain numbers.
+                fmt = _format_duration if key.endswith("_s") \
+                    else lambda value: f"{value:g}"
+                lines.append(
+                    f"  {key}: n={data['count']} "
+                    f"mean={fmt(data['mean'])} p50={fmt(data['p50'])} "
+                    f"p90={fmt(data['p90'])} p99={fmt(data['p99'])} "
+                    f"max={fmt(data['max'])}"
+                )
         return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Chrome trace-event export: one timeline across processes.
+
+Run records carry span trees with wall-clock anchors (``start_ts``) and
+dense ``id``/``parent`` links (:mod:`repro.obs.core`).  This module turns
+them into the Chrome trace-event JSON format — loadable by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` — and, for the batch
+runner, *merges* the coordinator's recording with the per-problem
+coordinator-thread recordings and every worker process's shipped record
+into a single file with one lane per process/thread.
+
+Layout of a batch trace:
+
+* pid 0 / "coordinator" — the main-thread batch recording (pool setup,
+  aggregate metrics) plus one tid lane per coordinator thread showing the
+  per-problem lifecycle: cache probes, engine attempts, races.
+* one pid per worker process — the span tree the worker recorded while
+  solving (engine spans, saturation phases, parity solving), shipped back
+  over the result pipe.
+
+All events use the wall clock (epoch microseconds), so lanes from forked
+workers line up with the coordinator without clock translation.  Workers
+that died or timed out shipped no record; their lanes are simply absent —
+the coordinator lane still shows the attempt and its fate.
+
+The produced payload is the object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms",
+     "otherData": {"format": "...", "runs": [full run records ...]}}
+
+``otherData.runs`` carries the complete :class:`~repro.obs.RunRecord`
+dicts the trace was rendered from, so a single ``--trace`` file is both a
+Perfetto timeline *and* the machine-readable stats payload (counters,
+gauges, histograms, engine decisions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .runrecord import RunRecord
+
+__all__ = [
+    "TRACE_FORMAT",
+    "batch_trace",
+    "events_by_lane",
+    "single_trace",
+    "span_events",
+    "span_parents",
+    "validate_trace",
+    "worker_pids",
+    "write_trace",
+]
+
+#: Stamped into ``otherData.format``; bump when the lane layout changes.
+TRACE_FORMAT = "repro-trace-1"
+
+
+def _as_record_dict(record: RunRecord | Mapping[str, Any]) -> dict:
+    if isinstance(record, RunRecord):
+        return record.to_dict()
+    return dict(record)
+
+
+def span_parents(record: RunRecord | Mapping[str, Any]) -> dict[int, int | None]:
+    """``{span_id: parent_id}`` over a record's span tree.
+
+    The tree is well-formed iff exactly one span has ``parent is None``
+    (the root) and every other ``parent`` names another span in the tree —
+    the invariant the trace tests assert.
+    """
+    data = _as_record_dict(record)
+    parents: dict[int, int | None] = {}
+
+    def walk(node: Mapping[str, Any]) -> None:
+        if not node:
+            return
+        parents[node["id"]] = node.get("parent")
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(data.get("spans", {}))
+    return parents
+
+
+def span_events(record: RunRecord | Mapping[str, Any], *, pid: int,
+                tid: int | str, category: str = "repro") -> list[dict]:
+    """Flatten a record's span tree into Chrome "complete" (``ph: X``)
+    events on the given pid/tid lane.
+
+    Spans without a wall-clock anchor (never started, or written by the
+    schema-v1 layer) inherit their parent's anchor so the tree still
+    renders; unfinished spans get zero duration.
+    """
+    data = _as_record_dict(record)
+    trace_id = data.get("trace_id", "")
+    events: list[dict] = []
+
+    def walk(node: Mapping[str, Any], inherited_ts: float) -> None:
+        if not node:
+            return
+        start_ts = node.get("start_ts", inherited_ts)
+        duration = node.get("duration_s") or 0.0
+        args: dict = {"span_id": node.get("id")}
+        if trace_id:
+            args["trace_id"] = trace_id
+        if node.get("parent") is not None:
+            args["parent_id"] = node["parent"]
+        attrs = node.get("attrs")
+        if attrs:
+            args.update(attrs)
+        events.append({
+            "name": node.get("name", "?"),
+            "cat": category,
+            "ph": "X",
+            "ts": start_ts * 1e6,
+            "dur": duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for child in node.get("children", ()):
+            walk(child, start_ts)
+
+    walk(data.get("spans", {}), 0.0)
+    return events
+
+
+def _metadata_event(kind: str, pid: int, name: str,
+                    tid: int | str = 0) -> dict:
+    return {"name": kind, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def _payload(events: list[dict], runs: list[dict]) -> dict:
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": TRACE_FORMAT, "runs": runs},
+    }
+
+
+def single_trace(record: RunRecord | Mapping[str, Any], *,
+                 process_name: str = "repro") -> dict:
+    """A one-process trace payload for a single run record (the CLI's
+    ``satisfiable``/``contains`` ``--trace``)."""
+    data = _as_record_dict(record)
+    events = [_metadata_event("process_name", 0, process_name)]
+    events.extend(span_events(data, pid=0, tid=0))
+    return _payload(events, [data])
+
+
+def batch_trace(report, coordinator: RunRecord | Mapping[str, Any] | None = None,
+                ) -> dict:
+    """The merged cross-process trace of a finished batch.
+
+    ``report`` is a :class:`~repro.parallel.runner.BatchReport`;
+    ``coordinator`` the main-thread batch recording (``report.stats`` is
+    used when omitted).  Worker lanes come from each outcome's shipped
+    ``stats`` record (keyed by the worker's real pid); coordinator-thread
+    lanes from ``outcome.coord_stats``.
+    """
+    events: list[dict] = [_metadata_event("process_name", 0, "coordinator")]
+    runs: list[dict] = []
+    if coordinator is None:
+        coordinator = getattr(report, "stats", None)
+    if coordinator is not None:
+        data = _as_record_dict(coordinator)
+        events.extend(span_events(data, pid=0, tid=0))
+        runs.append(data)
+    worker_pids: dict[int, int] = {}
+    for outcome in report.outcomes:
+        coord = getattr(outcome, "coord_stats", None)
+        if coord:
+            tid = f"problem[{outcome.index}]"
+            events.append(_metadata_event("thread_name", 0,
+                                          coord.get("name", tid), tid))
+            events.extend(span_events(coord, pid=0, tid=tid))
+            runs.append(dict(coord))
+        stats = outcome.stats
+        if not stats:
+            continue  # timed-out / died workers shipped nothing
+        meta = stats.get("meta", {})
+        pid = meta.get("pid")
+        if pid is None:
+            # Cache hits and schema-v1 records have no worker pid; render
+            # them on a shared synthetic lane.
+            pid = -1
+        if pid not in worker_pids:
+            worker_pids[pid] = pid
+            label = "cache" if pid == -1 else f"worker pid={pid}"
+            events.append(_metadata_event("process_name", pid, label))
+        events.extend(span_events(stats, pid=pid,
+                                  tid=meta.get("problem", outcome.index)))
+        runs.append(dict(stats))
+    return _payload(events, runs)
+
+
+def write_trace(path: str | Path, payload: Mapping[str, Any]) -> None:
+    """Write a trace payload as JSON (atomic enough for CI artifacts)."""
+    Path(path).write_text(json.dumps(payload, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def validate_trace(payload: Mapping[str, Any]) -> list[str]:
+    """Structural lint of a trace payload; returns problem descriptions
+    (empty = valid).  Used by tests and the CI smoke gate."""
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event #{index} missing {key!r}")
+        if event.get("ph") == "X":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event #{index} has no numeric ts")
+            if event.get("dur", 0) < 0:
+                problems.append(f"event #{index} has negative dur")
+    other = payload.get("otherData", {})
+    if other.get("format") != TRACE_FORMAT:
+        problems.append("otherData.format missing or unknown")
+    return problems
+
+
+def worker_pids(payload: Mapping[str, Any]) -> set[int]:
+    """The distinct worker-process pids present in a trace payload."""
+    return {
+        event["pid"] for event in payload.get("traceEvents", ())
+        if isinstance(event.get("pid"), int) and event["pid"] > 0
+    }
+
+
+def events_by_lane(payload: Mapping[str, Any]) -> dict[tuple, list[dict]]:
+    """Group span events by ``(pid, tid)`` lane, ordered by timestamp."""
+    lanes: dict[tuple, list[dict]] = {}
+    for event in payload.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    for lane in lanes.values():
+        lane.sort(key=lambda event: event["ts"])
+    return lanes

@@ -96,6 +96,8 @@ class BatchOutcome:
     cache_hit: bool = False
     queue_wait_s: float = 0.0
     worker_time_s: float = 0.0
+    #: Wall-clock cost of the verdict-cache probe (hit or miss).
+    cache_probe_s: float = 0.0
     #: One dict per engine attempt: ``{"engine", "status"}`` with status in
     #: ``result | declined | failed | timeout | died | lost-race``.
     attempts: list[dict] = field(default_factory=list)
@@ -103,8 +105,17 @@ class BatchOutcome:
     race_winner: str | None = None
     #: Set when no engine produced a result.
     error: str | None = None
-    #: The worker's own run record (``collect_stats=True`` only).
+    #: The run record behind the verdict: the winning worker's own record,
+    #: or — on a cache hit — a minimal synthesized record annotating the
+    #: ``cache.hit`` provenance and probe latency (``collect_stats=True``).
     stats: dict | None = None
+    #: Every worker run record shipped for this problem (racing losers that
+    #: declined, exhausted ladder walks, the winner) — the trace writer
+    #: renders one process lane per record (``collect_stats=True`` only).
+    worker_records: list[dict] = field(default_factory=list)
+    #: The coordinator thread's own recording of this problem's lifecycle:
+    #: cache probe, attempts, race bookkeeping (``collect_stats=True``).
+    coord_stats: dict | None = None
 
 
 @dataclass
@@ -227,6 +238,22 @@ class BatchRunner:
 
     def _run_one(self, index: int, problem: Problem,
                  submitted: float) -> BatchOutcome:
+        if not self.collect_stats:
+            return self._solve_one(index, problem, submitted)
+        # Each coordinator thread records its problem's lifecycle — cache
+        # probe, attempts, race bookkeeping — in its own thread-local
+        # recording; the trace writer renders these as per-problem lanes
+        # under the coordinator process.
+        with obs.record(f"problem[{index}]") as recording:
+            recording.note("index", index)
+            outcome = self._solve_one(index, problem, submitted)
+            recording.note("engine", outcome.engine)
+            recording.note("cache", "hit" if outcome.cache_hit else "miss")
+        outcome.coord_stats = recording.to_run_record().to_dict()
+        return outcome
+
+    def _solve_one(self, index: int, problem: Problem,
+                   submitted: float) -> BatchOutcome:
         # Canonicalize once, before the cache probe: cache keys, worker
         # dispatch and engine admission all see the rewrite-pipeline
         # canonical form, so syntactic variants of one instance share a
@@ -235,24 +262,55 @@ class BatchRunner:
         outcome = BatchOutcome(index=index, problem=problem)
         outcome.queue_wait_s = time.perf_counter() - submitted
         if self.cache is not None:
-            cached = self.cache.get(problem)
+            with obs.span("cache.probe") as probe_span:
+                probe_started = time.perf_counter()
+                cached = self.cache.get(problem)
+                outcome.cache_probe_s = time.perf_counter() - probe_started
+                probe_span.annotate(hit=cached is not None)
             if cached is not None:
-                outcome.result = cached
+                hit_record = self._cache_hit_record(outcome)
+                # Serve provenance-annotated stats, never a stale record
+                # from whichever worker originally computed the verdict.
+                outcome.result = cached.with_stats(hit_record) \
+                    if self.collect_stats else cached
                 outcome.engine = "cache"
                 outcome.cache_hit = True
+                outcome.stats = hit_record
                 return outcome
         solve_started = time.perf_counter()
         try:
-            if self.race:
-                self._run_race(problem, outcome)
-            if outcome.result is None and outcome.error is None:
-                self._run_ladder(problem, outcome)
+            with obs.span("solve"):
+                if self.race:
+                    self._run_race(problem, outcome)
+                if outcome.result is None and outcome.error is None:
+                    self._run_ladder(problem, outcome)
         except Exception as error:  # coordinator bug — never kill the batch
             outcome.error = f"{type(error).__name__}: {error}"
         outcome.worker_time_s = time.perf_counter() - solve_started
         if outcome.result is not None and self.cache is not None:
             self.cache.put(problem, outcome.result)
         return outcome
+
+    @staticmethod
+    def _cache_hit_record(outcome: BatchOutcome) -> dict:
+        """A minimal RunRecord annotating a verdict served from the cache:
+        ``cache.hit`` provenance plus the probe latency — never the stats
+        of the worker run that originally produced the verdict."""
+        from ..obs import RunRecord
+
+        probe_s = outcome.cache_probe_s
+        return RunRecord(
+            name="cache.hit",
+            duration_s=probe_s,
+            meta={"engine": "cache", "cache": "hit",
+                  "problem": outcome.index},
+            counters={"cache.hit": 1},
+            gauges={"cache.probe_s": probe_s},
+            # A minimal root span (anchored at probe start) so the trace
+            # writer renders the hit on its synthetic cache lane.
+            spans={"name": "cache.hit", "duration_s": probe_s, "id": 0,
+                   "parent": None, "start_ts": time.time() - probe_s},
+        ).to_dict()
 
     # ------------------------------------------------------------- ladder
 
@@ -302,6 +360,7 @@ class BatchRunner:
         )
         process.start()
         child_conn.close()
+        attempt_span = obs.span("worker.attempt").start()
         current: dict | None = None
         deadline = None if self.timeout is None \
             else time.perf_counter() + self.timeout
@@ -315,6 +374,7 @@ class BatchRunner:
                         else:
                             if current is not None:
                                 current["status"] = "timeout"
+                            attempt_span.annotate(status="timeout")
                             return ("timeout",
                                     current["engine"] if current else None)
                 elif not parent_conn.poll(_POLL_S):
@@ -323,6 +383,7 @@ class BatchRunner:
                     if current is not None:
                         current["status"] = "died"
                     self._record_death(outcome, current)
+                    attempt_span.annotate(status="died")
                     return ("died", current["engine"] if current else None)
                 try:
                     message = parent_conn.recv()
@@ -330,6 +391,7 @@ class BatchRunner:
                     if current is not None:
                         current["status"] = "died"
                     self._record_death(outcome, current)
+                    attempt_span.annotate(status="died")
                     return ("died", current["engine"] if current else None)
                 kind = message[0]
                 if kind == "trying":
@@ -361,10 +423,17 @@ class BatchRunner:
                     outcome.engine = engine
                     if stats is not None:
                         outcome.stats = stats
+                        outcome.worker_records.append(stats)
+                    attempt_span.annotate(engine=engine, status="result")
                     return ("result", engine)
                 elif kind == "exhausted":
+                    stats = message[1] if len(message) > 1 else None
+                    if stats is not None:
+                        outcome.worker_records.append(stats)
+                    attempt_span.annotate(status="exhausted")
                     return ("exhausted", None)
         finally:
+            attempt_span.finish()
             parent_conn.close()
             self._reap(process)
 
@@ -406,6 +475,7 @@ class BatchRunner:
             return  # admits() raised; let the ladder sort it out
         if len(contenders) < 2:
             return
+        race_span = obs.span("race", contenders=len(contenders)).start()
         entries = []  # (engine, process, conn, attempt_dict)
         for name in contenders:
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
@@ -463,9 +533,14 @@ class BatchRunner:
                         outcome.failures.append(WorkerFailure(**message[2]))
                         pending.discard(conn)
                     elif kind == "exhausted":
+                        stats = message[1] if len(message) > 1 else None
+                        if stats is not None:
+                            outcome.worker_records.append(stats)
                         pending.discard(conn)
                     elif kind == "result":
                         _, engine, result, stats = message
+                        if stats is not None:
+                            outcome.worker_records.append(stats)
                         if result.conclusive:
                             attempt["status"] = "result"
                             for other in pending:
@@ -476,6 +551,7 @@ class BatchRunner:
                             outcome.race_winner = engine
                             if stats is not None:
                                 outcome.stats = stats
+                            race_span.annotate(winner=engine)
                             return
                         attempt["status"] = "inconclusive"
                         if stash is None:
@@ -491,6 +567,7 @@ class BatchRunner:
                 except OSError:
                     pass
                 self._reap(process)
+            race_span.finish()
         if stash is not None and outcome.result is None:
             # No conclusive winner; remember the inconclusive verdict in
             # case the ladder cannot do better.
@@ -515,7 +592,11 @@ class BatchRunner:
         for outcome in report.outcomes:
             queue_wait += outcome.queue_wait_s
             worker_time += outcome.worker_time_s
+            obs.observe("batch.queue_wait_s", outcome.queue_wait_s)
+            if not outcome.cache_hit:
+                obs.observe("batch.problem_s", outcome.worker_time_s)
             if self.cache is not None:
+                obs.observe("batch.cache.probe_s", outcome.cache_probe_s)
                 obs.count("batch.cache.hit" if outcome.cache_hit
                           else "batch.cache.miss")
             if outcome.result is None:

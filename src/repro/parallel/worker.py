@@ -19,7 +19,15 @@ Message protocol (child → parent), in order:
   is re-raised *as data* (a :class:`WorkerFailure` rendering), never as a
   live exception crossing the process boundary.
 * ``("result", engine, result, run_record_or_None)`` — a verdict.
-* ``("exhausted",)`` — every eligible engine declined or failed.
+* ``("exhausted", run_record_or_None)`` — every eligible engine declined
+  or failed; the run record (``collect_stats=True`` only) still ships so
+  the trace shows what the worker tried.
+
+With ``collect_stats=True`` the worker wraps its whole ladder walk in an
+obs recording whose run record — span tree with wall-clock anchors, the
+worker's ``pid`` in ``meta`` — rides back on the final message.  The
+parent merges these per-process records into one Chrome trace timeline
+(:func:`repro.obs.traceout.batch_trace`).
 
 The engine ladder mirrors :meth:`EngineRegistry.plan_and_run`: admitted
 engines cheapest-first, runtime declines and exceptions fall through.  It
@@ -30,6 +38,7 @@ respawned worker resumes at the next-cheapest engine.
 
 from __future__ import annotations
 
+import os
 import traceback
 from dataclasses import asdict, dataclass
 
@@ -84,14 +93,27 @@ def solve_in_child(conn, problem: Problem, exclude: frozenset[str],
     Never raises: every failure mode becomes a message (or, at worst, a
     closed pipe the parent observes as a dead worker).
     """
-    recording = obs.record("batch.worker").start() if collect_stats else None
+    recording = None
+    if collect_stats:
+        recording = obs.record("batch.worker").start()
+        recording.note("pid", os.getpid())
+
+    def finish_recording() -> dict | None:
+        nonlocal recording
+        if recording is None:
+            return None
+        recording.stop()
+        stats = recording.to_run_record().to_dict()
+        recording = None
+        return stats
+
     try:
         try:
             engines = _ladder(problem, exclude, only_engine)
         except ValueError as error:  # unknown engine name
             conn.send(("failed", only_engine or problem.engine or "?",
                        WorkerFailure.from_exception("?", error).to_dict()))
-            conn.send(("exhausted",))
+            conn.send(("exhausted", finish_recording()))
             return
         for engine in engines:
             try:
@@ -104,26 +126,29 @@ def solve_in_child(conn, problem: Problem, exclude: frozenset[str],
             if not admitted:
                 continue
             conn.send(("trying", engine.name))
+            engine_span = obs.span(f"engine.{engine.name}").start()
             try:
                 result = engine.solve(problem)
             except Exception as error:
+                engine_span.annotate(status="failed")
+                engine_span.finish()
                 conn.send(("failed", engine.name,
                            WorkerFailure.from_exception(engine.name,
                                                         error).to_dict()))
                 continue
             if result is None:
+                engine_span.annotate(status="declined")
+                engine_span.finish()
                 conn.send(("declined", engine.name, "declined at runtime"))
                 continue
-            stats = None
+            engine_span.annotate(status="result")
+            engine_span.finish()
             if recording is not None:
                 recording.note("engine", engine.name)
                 recording.note("verdict", result.verdict.value)
-                recording.stop()
-                stats = recording.to_run_record().to_dict()
-                recording = None
-            conn.send(("result", engine.name, result, stats))
+            conn.send(("result", engine.name, result, finish_recording()))
             return
-        conn.send(("exhausted",))
+        conn.send(("exhausted", finish_recording()))
     except (BrokenPipeError, OSError):
         pass  # parent went away (timeout terminate racing with a send)
     finally:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, load_schema, main
@@ -388,6 +390,51 @@ class TestBatchCommand:
         assert "== run: batch ==" in captured.err
         assert "batch.problems" in captured.err
 
+    def test_batch_trace_merges_worker_processes(self, capsys, tmp_path):
+        from repro.obs import traceout
+
+        lines = [
+            {"id": f"s{i}", "kind": "satisfiable",
+             "expr": f"p{i} and <down[q{i}]>"}
+            for i in range(6)
+        ]
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text("\n".join(json.dumps(line) for line in lines))
+        out = tmp_path / "trace.json"
+        code = main(["batch", str(corpus), "--no-cache", "--workers", "2",
+                     "--trace", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert traceout.validate_trace(payload) == []
+        # One merged timeline: coordinator lanes plus >= 2 worker processes.
+        assert len(traceout.worker_pids(payload)) >= 2
+        lanes = traceout.events_by_lane(payload)
+        assert (0, 0) in lanes
+        assert any(tid == "problem[0]" for pid, tid in lanes if pid == 0)
+
+    def test_batch_trace_renders_cache_hits(self, capsys, tmp_path):
+        from repro.obs import traceout
+
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text(json.dumps(
+            {"id": "s", "kind": "satisfiable", "expr": "p"}))
+        cache_dir = str(tmp_path / "cache")
+        out = tmp_path / "trace.json"
+        assert main(["batch", str(corpus), "--cache-dir", cache_dir,
+                     "--workers", "1"]) == 0
+        assert main(["batch", str(corpus), "--cache-dir", cache_dir,
+                     "--workers", "1", "--trace", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert traceout.validate_trace(payload) == []
+        hits = [run for run in payload["otherData"]["runs"]
+                if run.get("name") == "cache.hit"]
+        assert hits and hits[0]["counters"]["cache.hit"] == 1
+        probe_names = {event["name"]
+                       for event in payload["traceEvents"]
+                       if event.get("ph") == "X" and event["pid"] == 0}
+        assert "cache.probe" in probe_names
+
 
 class TestStatsFlags:
     def test_stats_goes_to_stderr(self, capsys):
@@ -400,33 +447,43 @@ class TestStatsFlags:
         assert "counters:" in captured.err
         assert "== run" not in captured.out
 
-    def test_trace_json_file(self, capsys, tmp_path):
+    def test_trace_file_is_chrome_format(self, capsys, tmp_path):
         import json
+
+        from repro.obs import traceout
 
         out = tmp_path / "trace.json"
         code = main(["contains", "child::a", "descendant::a",
-                     "--stats", "--trace-json", str(out)])
+                     "--stats", "--trace", str(out)])
         assert code == 0
-        data = json.loads(out.read_text())
-        assert data["meta"]["engine"] in ("expspace", "bounded")
-        assert data["meta"]["verdict"] == "unsatisfiable"
-        assert len(data["counters"]) >= 3
+        payload = json.loads(out.read_text())
+        assert traceout.validate_trace(payload) == []
+        # The machine-readable RunRecord rides along under otherData.runs.
+        run = payload["otherData"]["runs"][0]
+        assert run["meta"]["engine"] in ("expspace", "bounded")
+        assert run["meta"]["verdict"] == "unsatisfiable"
+        assert len(run["counters"]) >= 3
+        timed = [event for event in payload["traceEvents"]
+                 if event["ph"] == "X" and event["dur"] >= 0]
+        assert len(timed) >= 3
 
-        def spans(node):
-            yield node
-            for child in node.get("children", ()):
-                yield from spans(child)
+    def test_trace_json_alias_keeps_working(self, capsys, tmp_path):
+        import json
 
-        named = [s for s in spans(data["spans"])
-                 if s.get("duration_s") is not None]
-        assert len(named) >= 3
+        out = tmp_path / "trace.json"
+        code = main(["satisfiable", "self::a", "--trace-json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert "traceEvents" in payload
+        assert payload["otherData"]["runs"][0]["meta"]["verdict"] \
+            == "satisfiable"
 
-    def test_trace_json_dash_to_stderr(self, capsys):
-        code = main(["satisfiable", "p", "--trace-json", "-"])
+    def test_trace_dash_to_stderr(self, capsys):
+        code = main(["satisfiable", "p", "--trace", "-"])
         assert code == 0
         captured = capsys.readouterr()
-        assert '"schema_version"' in captured.err
-        assert '"schema_version"' not in captured.out
+        assert '"traceEvents"' in captured.err
+        assert '"traceEvents"' not in captured.out
 
     def test_stats_off_leaves_result_clean(self, capsys):
         assert main(["satisfiable", "p"]) == 0

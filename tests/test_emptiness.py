@@ -108,6 +108,36 @@ class TestAutomataEngine:
         assert counters["twoata.emptiness.games_solved"] == 1
         assert counters["dispatch.automata"] == 1
 
+    def test_saturation_phase_profile_lands_in_run_records(self):
+        result = satisfiable(parse_node("<up/up> and not <up>"), stats=True)
+        counters = result.stats["counters"]
+        assert counters["twoata.emptiness.rounds"] >= 1
+        assert counters["parity.games_solved"] >= 1
+        assert counters["parity.recursions"] >= 1
+        assert 0.0 <= result.stats["gauges"][
+            "twoata.emptiness.eval_memo_hit_rate"] <= 1.0
+        # Latency histograms with quantile summaries (per saturation round
+        # and for the whole dispatch).
+        histograms = result.stats["histograms"]
+        rounds = histograms["twoata.emptiness.round_s"]
+        assert rounds["count"] == counters["twoata.emptiness.rounds"]
+        assert rounds["p50"] is not None and rounds["p99"] is not None
+        assert rounds["p50"] <= rounds["p99"]
+        assert histograms["dispatch.solve_s"]["count"] == 1
+        # Phase spans nest under the emptiness solve.
+        from repro.obs import RunRecord
+
+        spans = {span["name"]
+                 for span in RunRecord.from_dict(result.stats).iter_spans()}
+        assert {"twoata.emptiness.saturate", "twoata.emptiness.game_build",
+                "twoata.emptiness.game_solve"} <= spans
+
+    def test_emptiness_result_reports_saturation_profile(self):
+        result = decide_emptiness(
+            build_twoata(parse_node("<up/up> and not <up>")))
+        assert result.rounds >= 1
+        assert result.evals > 0
+
     def test_too_many_states_declines(self):
         engine = AutomataEngine()
         engine_small = AutomataEngine()

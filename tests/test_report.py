@@ -1,0 +1,172 @@
+"""Tests for the perf-report reader and regression gate
+(:mod:`repro.obs.report` and the ``repro report`` CLI command)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import report as obs_report
+
+
+def _bench(runs: dict) -> dict:
+    return {"schema_version": 1, "runs": runs}
+
+
+def _run(duration=0.2, counters=None, gauges=None, histograms=None) -> dict:
+    return {
+        "duration_s": duration,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        **({"histograms": histograms} if histograms else {}),
+    }
+
+
+BASELINE = _bench({
+    "benchmarks/test_a.py::test_fast": _run(0.2, {"evals": 100}),
+    "benchmarks/test_a.py::test_slow": _run(
+        2.0, {"twoata.emptiness.rounds": 6},
+        histograms={"twoata.emptiness.round_s": {
+            "count": 6, "sum": 0.3, "min": 0.01, "max": 0.2, "mean": 0.05,
+            "p50": 0.03, "p90": 0.15, "p99": 0.2, "buckets": [[0.2, 6]]}}),
+    "benchmarks/test_a.py::test_tiny": _run(0.001, {"n": 1}),
+})
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        comparison = obs_report.compare(BASELINE, BASELINE)
+        assert comparison.ok
+        assert not comparison.warnings
+
+    def test_duration_regression_fails(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_slow"]["duration_s"] = 4.0
+        comparison = obs_report.compare(current, BASELINE, fail_pct=50.0)
+        assert not comparison.ok
+        [regression] = comparison.regressions
+        assert regression.kind == "duration"
+        assert "test_slow" in regression.detail
+
+    def test_growth_under_threshold_passes(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_slow"]["duration_s"] = 2.5
+        assert obs_report.compare(current, BASELINE, fail_pct=50.0).ok
+
+    def test_tiny_tests_never_trip_the_gate(self):
+        # 0.001s -> 0.04s is a 40x blowup but below the noise floor.
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_tiny"]["duration_s"] = 0.04
+        assert obs_report.compare(current, BASELINE, fail_pct=50.0).ok
+
+    def test_counter_drift_warns_but_passes(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_fast"]["counters"][
+            "evals"] = 500
+        comparison = obs_report.compare(current, BASELINE)
+        assert comparison.ok
+        assert any("evals" in warning for warning in comparison.warnings)
+
+    def test_disappeared_counter_warns(self):
+        current = json.loads(json.dumps(BASELINE))
+        del current["runs"]["benchmarks/test_a.py::test_fast"]["counters"][
+            "evals"]
+        comparison = obs_report.compare(current, BASELINE)
+        assert comparison.ok
+        assert any("disappeared" in warning
+                   for warning in comparison.warnings)
+
+    def test_improvements_are_reported(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_slow"]["duration_s"] = 0.5
+        comparison = obs_report.compare(current, BASELINE, fail_pct=50.0)
+        assert comparison.ok
+        assert comparison.improved
+
+    def test_missing_and_new_tests_are_notes_not_failures(self):
+        current = _bench({
+            "benchmarks/test_a.py::test_fast": _run(0.2),
+            "benchmarks/test_b.py::test_new": _run(0.3),
+        })
+        comparison = obs_report.compare(current, BASELINE)
+        assert comparison.ok
+        assert "benchmarks/test_b.py::test_new" in comparison.new_tests
+        assert "benchmarks/test_a.py::test_slow" in comparison.missing_tests
+
+
+class TestRequiredKeys:
+    def test_histogram_names_count_as_instrumentation(self):
+        assert obs_report.missing_keys(
+            BASELINE, ["twoata.emptiness.round_s"]) == []
+
+    def test_prefix_matching_over_counters(self):
+        assert obs_report.missing_keys(BASELINE, ["twoata.emptiness."]) == []
+
+    def test_unmatched_prefix_is_reported(self):
+        assert obs_report.missing_keys(BASELINE, ["games.parity."]) \
+            == ["games.parity."]
+
+
+class TestLoad:
+    def test_malformed_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            obs_report.load_bench(path)
+
+    def test_wrong_shape_raises_value_error(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"runs": [1, 2]}))
+        with pytest.raises(ValueError, match="BENCH_obs.json"):
+            obs_report.load_bench(path)
+
+    def test_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            obs_report.load_bench(tmp_path / "absent.json")
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_table_on_stdout_exit_zero(self, capsys, tmp_path):
+        path = self._write(tmp_path, "bench.json", BASELINE)
+        assert main(["report", path]) == 0
+        captured = capsys.readouterr()
+        assert "test_slow" in captured.out
+        assert "p99" in captured.out  # histogram summary in the table
+
+    def test_compare_pass_exit_zero(self, capsys, tmp_path):
+        path = self._write(tmp_path, "bench.json", BASELINE)
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert main(["report", path, "--compare", base]) == 0
+        assert "PASS" in capsys.readouterr().err
+
+    def test_compare_regression_exit_one(self, capsys, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["runs"]["benchmarks/test_a.py::test_slow"]["duration_s"] = 9.0
+        path = self._write(tmp_path, "bench.json", current)
+        base = self._write(tmp_path, "base.json", BASELINE)
+        code = main(["report", path, "--compare", base,
+                     "--fail-on-regression", "50"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAIL duration" in captured.err
+        # Diagnostics stay off the answer stream.
+        assert "FAIL" not in captured.out
+
+    def test_missing_instrumentation_exit_one(self, capsys, tmp_path):
+        path = self._write(tmp_path, "bench.json", BASELINE)
+        base = self._write(tmp_path, "base.json", BASELINE)
+        code = main(["report", path, "--compare", base,
+                     "--require-keys", "twoata.emptiness.,nonexistent."])
+        assert code == 1
+        assert "missing instrumentation" in capsys.readouterr().err
+
+    def test_malformed_input_exit_two(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{nope")
+        assert main(["report", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
