@@ -1,0 +1,102 @@
+"""E12 — the bitset emptiness kernel vs the reference oracle (DESIGN.md §11).
+
+Times the two interchangeable relation kernels of
+:func:`repro.automata.emptiness.decide_emptiness` on the same pre-built
+2ATAs and gates on the family-median speedup.  Machine noise on the E1
+family is around ±20 %, so individual points are recorded but the
+acceptance bar is the median across the family: GC is disabled during
+timing and each point is a median over repeated runs.
+
+The antichain series exercises the frontier pruning (active only on
+rank-0 automata with a monotone root — in practice the propositional
+fragment) so its ``twoata.emptiness.antichain.*`` counters land in
+``BENCH_obs.json`` with nonzero prune counts; the perf gate's
+``--require-keys`` treats losing that prefix as a build break.
+"""
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.reductions import containment_to_node_unsat
+from repro.automata import build_twoata, decide_emptiness
+from repro.xpath import parse_node, parse_path
+
+
+def _e1_ata(n: int):
+    """The E1 containment point ``up^n ⊑ up*`` through Prop. 4."""
+    alpha = parse_path("/".join(["up"] * n))
+    reduction = containment_to_node_unsat(alpha, parse_path("up*"))
+    return build_twoata(reduction.formula)
+
+
+def _median_runtime(fn, reps: int) -> float:
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return statistics.median(times)
+
+
+class TestKernelSpeedup:
+    """Bitset vs reference on identical inputs: identical answers,
+    family-median duration improvement of at least 5×."""
+
+    def test_e1_family_median_speedup(self, benchmark, record):
+        ratios: dict[int, float] = {}
+        series: dict[int, tuple] = {}
+        for n in (4, 6, 8):
+            ata = _e1_ata(n)
+            bitset = decide_emptiness(ata, kernel="bitset")
+            reference = decide_emptiness(ata, kernel="reference")
+            # The kernels must agree on everything the procedure reports
+            # (``evals`` excepted: the token-keyed memo of the bitset
+            # kernel legitimately evaluates fewer combinations).
+            assert bitset.empty and reference.empty
+            assert (bitset.rounds, bitset.entries, bitset.contexts) == \
+                (reference.rounds, reference.entries, reference.contexts)
+            fast = _median_runtime(
+                lambda: decide_emptiness(ata, kernel="bitset"), reps=9)
+            slow = _median_runtime(
+                lambda: decide_emptiness(ata, kernel="reference"), reps=5)
+            ratios[n] = slow / fast
+            obs.gauge(f"twoata.emptiness.kernel.speedup.n{n}", ratios[n])
+            series[n] = (round(fast * 1000, 2), round(slow * 1000, 2),
+                         round(ratios[n], 2))
+        family_median = statistics.median(ratios.values())
+        obs.gauge("twoata.emptiness.kernel.speedup.family_median",
+                  family_median)
+        record("E12 kernel speedup, ms (n -> (bitset, reference, ratio))",
+               series)
+        assert family_median >= 5.0, ratios
+        benchmark(lambda: None)
+
+
+class TestAntichainPruning:
+    """Frontier pruning on the rank-0 fragment: counters recorded, prune
+    rate nonzero, verdicts unchanged against the reference kernel."""
+
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_propositional_disjunction_series(self, benchmark, record, k):
+        phi = parse_node(" or ".join(f"l{i}" for i in range(k)))
+        ata = build_twoata(phi)
+        result = benchmark(decide_emptiness, ata, kernel="bitset")
+        assert not result.empty
+        assert result.pruned > 0  # the antichain actually fired
+        reference = decide_emptiness(ata, kernel="reference")
+        assert reference.empty == result.empty
+        record("antichain pruning (k-label disjunction)", {
+            "k": k,
+            "pruned": result.pruned,
+            "entries": result.entries,
+        })

@@ -42,6 +42,12 @@ from .expspace import (
     CompleteType,
     TooManyModalAtoms,
 )
+from .session import (
+    SchemaSession,
+    schema_id_of,
+    session_for,
+    reset_sessions,
+)
 from .containment import satisfiable, contains, equivalent
 from .shrink import shrink_witness, shrink_sat_witness, shrink_counterexample
 from .optimize import (
@@ -66,6 +72,7 @@ __all__ = [
     "suffixes",
     "downward_cap_satisfiable", "TypeSystem", "CompleteType",
     "TooManyModalAtoms",
+    "SchemaSession", "schema_id_of", "session_for", "reset_sessions",
     "satisfiable", "contains", "equivalent",
     "ContainmentGraph", "containment_graph", "equivalence_classes",
     "minimal_cover", "simplify_union",

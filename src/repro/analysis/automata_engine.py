@@ -68,8 +68,14 @@ class AutomataEngine(Engine):
 
     def solve(self, problem: Problem) -> SatResult | ContainmentResult | None:
         obs.note("engine", self.name)
+        # The worker-local schema session: emptiness checks over one
+        # schema share the bitset kernel's relation memos across the
+        # whole batch instead of rebuilding them per problem.
+        from .session import session_for
+
+        session = session_for(problem)
         if problem.kind is ProblemKind.SATISFIABILITY:
-            outcome = self._check(problem.phi)
+            outcome = self._check(problem.phi, session)
             if outcome is None:
                 return None
             obs.count(f"dispatch.{self.name}")
@@ -82,7 +88,7 @@ class AutomataEngine(Engine):
         from .reductions import containment_to_node_unsat
 
         reduction = containment_to_node_unsat(problem.alpha, problem.beta)
-        outcome = self._check(reduction.formula)
+        outcome = self._check(reduction.formula, session)
         if outcome is None:
             return None
         obs.count(f"dispatch.{self.name}")
@@ -93,7 +99,8 @@ class AutomataEngine(Engine):
         return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
                                  explored_up_to=tree.size, trees_checked=1)
 
-    def _check(self, phi: NodeExpr) -> tuple[bool, object, object] | None:
+    def _check(self, phi: NodeExpr,
+               session=None) -> tuple[bool, object, object] | None:
         """Emptiness of ``A_φ``: ``(empty, witness, witness_node)``, or
         ``None`` when the saturation hits its guards."""
         automaton = build_twoata(phi)
@@ -106,6 +113,7 @@ class AutomataEngine(Engine):
                 max_evals=self.max_evals,
                 max_entries=self.max_entries,
                 max_contexts=self.max_contexts,
+                shared=session.kernel_cache if session is not None else None,
             )
         except EmptinessLimit:
             obs.count(f"dispatch.{self.name}_too_large")

@@ -1,0 +1,99 @@
+"""Schema sessions: batch-shared compiled-schema state.
+
+The bitset emptiness kernel's relation algebra keys every memo on the
+process-global :func:`~repro.automata.core.automaton_base_key`, so closure
+and excursion results computed for one problem are valid for every later
+problem whose 2ATA shares path-automaton bases — which is the common case
+inside a batch over one schema, where problems mention the same labels and
+reuse the same axis sub-automata.  A :class:`SchemaSession` owns the
+:class:`~repro.automata.core.KernelCache` for one *compiled schema* (the
+alphabet partition the problems quotient the infinite label alphabet
+into, plus the EDTD when there is one) and hands it to every emptiness
+check over that schema.
+
+Sessions are **worker-local**: the registry below is a plain module-level
+dict, so each forked :class:`~repro.parallel.runner.BatchRunner` worker
+grows its own warm session per schema and nothing is ever shared (or
+pickled) across processes.  The session's ``schema_id`` — a digest of the
+EDTD fingerprint and the relevant label alphabet — also feeds the verdict
+cache fingerprint (schema v4), so cached verdicts are keyed on exactly
+the compiled-schema identity the kernel memos assume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..automata.core import KernelCache
+from ..xpath.ast import Expr
+from .problems import Problem
+
+__all__ = ["SchemaSession", "schema_id_of", "session_for", "reset_sessions"]
+
+
+def schema_id_of(*exprs: Expr, edtd=None) -> str:
+    """The compiled-schema id: a SHA-256 digest of the EDTD fingerprint
+    (when present) and the relevant label alphabet of ``exprs``.
+
+    Two problems get the same id exactly when they compile to the same
+    alphabet partition over the same schema — the precondition for their
+    emptiness checks to share a :class:`KernelCache` soundly (base keys
+    are global, so sharing is *correct* regardless; same-schema problems
+    are the ones that actually hit).
+    """
+    from ..parallel.cache import _edtd_fingerprint
+    from .engines import relevant_alphabet
+
+    payload = {
+        "schema": _edtd_fingerprint(edtd),
+        "alphabet": relevant_alphabet(*exprs, edtd=edtd),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SchemaSession:
+    """Shared state for all problems of one batch over one schema.
+
+    ``kernel_cache`` is threaded into
+    :func:`~repro.automata.emptiness.decide_emptiness` (``shared=``) by the
+    ``automata`` engine, so saturation memos survive across the problems
+    of the session instead of being rebuilt per check.
+    """
+
+    schema_id: str
+    kernel_cache: KernelCache = field(default_factory=KernelCache)
+    problems_seen: int = 0
+
+    def stats(self) -> dict[str, int]:
+        """Cache sizes plus the number of problems that used the session."""
+        return {"problems": self.problems_seen, **self.kernel_cache.stats()}
+
+
+#: Worker-local session registry; forked workers each start empty.
+_SESSIONS: dict[str, SchemaSession] = {}
+
+
+def session_for(problem: Problem) -> SchemaSession:
+    """The worker-local session for ``problem``'s compiled schema
+    (created on first use)."""
+    schema_id = schema_id_of(*problem.expressions(), edtd=problem.edtd)
+    session = _SESSIONS.get(schema_id)
+    if session is None:
+        session = SchemaSession(schema_id)
+        _SESSIONS[schema_id] = session
+        obs.count("analysis.session.created")
+    else:
+        obs.count("analysis.session.reused")
+    session.problems_seen += 1
+    return session
+
+
+def reset_sessions() -> None:
+    """Drop all worker-local sessions (tests; long-lived processes that
+    want to bound memory)."""
+    _SESSIONS.clear()

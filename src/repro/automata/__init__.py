@@ -23,7 +23,9 @@ from .normalform import (
 from .evaluate import NFEvaluator, possible_steps, loops_fixpoint
 from .core import (
     AlphabetPartition,
+    CompiledEval,
     FormulaTable,
+    KernelCache,
     nf_true,
     nf_false,
     nf_not,
@@ -56,7 +58,8 @@ __all__ = [
     "nf_subexpressions",
     "to_normal_form", "path_to_automaton", "eliminate_skips", "NormalFormError",
     "NFEvaluator", "possible_steps", "loops_fixpoint",
-    "AlphabetPartition", "FormulaTable", "nf_true", "nf_false", "nf_not",
+    "AlphabetPartition", "CompiledEval", "FormulaTable", "KernelCache",
+    "nf_true", "nf_false", "nf_not",
     "nf_and", "nf_or", "nf_and_all", "nf_or_all", "nf_intern", "nf_key",
     "automaton_base_key",
     "TwoATA", "build_twoata", "accepts", "closure",

@@ -34,6 +34,7 @@ dense keys (the emptiness checker's valuation caches).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..xpath.intern import DenseInterner
@@ -53,7 +54,9 @@ __all__ = [
     "TRUE",
     "FALSE",
     "AlphabetPartition",
+    "CompiledEval",
     "FormulaTable",
+    "KernelCache",
     "nf_true",
     "nf_false",
     "nf_not",
@@ -137,6 +140,61 @@ def _fresh_label(taken: Sequence[str], stem: str = "z") -> str:
 
 # ------------------------------------------------------- transition formulas
 
+#: :class:`CompiledEval` program opcodes: ``ALL`` is an n-ary conjunction
+#: ("every bit in the mask is set"), ``ANY`` an n-ary disjunction.
+OP_ALL = 0
+OP_ANY = 1
+
+
+@dataclass(frozen=True)
+class CompiledEval:
+    """A formula compiled to a mask/test program over a bit vector.
+
+    The input to :meth:`evaluate` is an integer whose bit ``i`` carries the
+    truth value of ``atoms[i]``.  Three tiers, cheapest first:
+
+    * ``const`` — ⊤/⊥ formulas evaluate without looking at the bits;
+    * ``pos_mask`` / ``neg_mask`` — the atoms that are top-level disjuncts
+      (any one true forces the formula true) and top-level conjuncts (any
+      one false forces it false).  These short-circuit the common flat
+      formulas entirely;
+    * ``program`` — for nested formulas, a post-order sequence of
+      ``(op, mask)`` instructions.  Instruction ``k`` computes bit
+      ``len(atoms) + k`` of the working vector: ``OP_ALL`` sets it iff
+      every bit of ``mask`` is set, ``OP_ANY`` iff some bit is.  Masks may
+      reference atom bits and the outputs of earlier instructions; the
+      last instruction's output is the formula's value.
+
+    This replaces per-node recursive formula evaluation: the recursion
+    happens once at compile time, and every later evaluation is a handful
+    of machine-integer ``&``/``==`` operations.
+    """
+
+    atoms: tuple[tuple, ...]
+    pos_mask: int
+    neg_mask: int
+    program: tuple[tuple[int, int], ...]
+    const: bool | None = None
+
+    def evaluate(self, bits: int) -> bool:
+        if self.const is not None:
+            return self.const
+        if bits & self.pos_mask:
+            return True
+        if self.neg_mask & ~bits:
+            return False
+        if not self.program:
+            # A bare atom: pos/neg masks decided it above.  A flat and/or
+            # still carries its root instruction, so reaching this point
+            # with no program means "all necessary atoms held".
+            return True
+        position = len(self.atoms)
+        for op, mask in self.program:
+            if (bits & mask) == mask if op == OP_ALL else (bits & mask):
+                bits |= 1 << position
+            position += 1
+        return bool(bits >> (position - 1) & 1)
+
 
 class FormulaTable:
     """Hash-consed positive boolean transition formulas (Definition 8).
@@ -154,13 +212,15 @@ class FormulaTable:
     the rows for ``ψ``.
     """
 
-    __slots__ = ("_nodes", "_ids", "_dual_memo", "_negate_state")
+    __slots__ = ("_nodes", "_ids", "_dual_memo", "_negate_state",
+                 "_eval_memo")
 
     def __init__(self, negate_state: Callable[[int], int] | None = None):
         self._nodes: list[tuple] = [("true",), ("false",)]
         self._ids: dict[tuple, int] = {("true",): TRUE, ("false",): FALSE}
         self._dual_memo: dict[int, int] = {TRUE: FALSE, FALSE: TRUE}
         self._negate_state = negate_state
+        self._eval_memo: dict[int, CompiledEval] = {}
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -223,6 +283,77 @@ class FormulaTable:
         memo[index] = result
         # Dualization is an involution on formulas built through it.
         memo.setdefault(result, index)
+        return result
+
+    def compile_eval(self, index: int) -> CompiledEval:
+        """Compile the stored formula into a :class:`CompiledEval`.
+
+        Shared subformulas (one hash-consed node reachable twice) compile
+        to a single program instruction; memoized per formula index, so
+        recompiling across evaluations or sibling formulas is free.
+        """
+        hit = self._eval_memo.get(index)
+        if hit is not None:
+            return hit
+        nodes = self._nodes
+        root = nodes[index]
+        if root[0] == "true":
+            result = CompiledEval((), 0, 0, (), True)
+        elif root[0] == "false":
+            result = CompiledEval((), 0, 0, (), False)
+        elif root[0] == "atom":
+            result = CompiledEval((root,), 1, 1, ())
+        else:
+            # Pass 1: dense atom bits in first-encounter (post-)order.
+            atom_bit: dict[int, int] = {}
+            order: list[tuple] = []
+
+            def gather(i: int) -> None:
+                node = nodes[i]
+                if node[0] == "atom":
+                    if i not in atom_bit:
+                        atom_bit[i] = len(order)
+                        order.append(node)
+                    return
+                for child in node[1]:
+                    gather(child)
+
+            gather(index)
+            # Pass 2: post-order instruction emission, root last.
+            width = len(order)
+            program: list[tuple[int, int]] = []
+            bit_of: dict[int, int] = dict(atom_bit)
+
+            def emit(i: int) -> int:
+                bit = bit_of.get(i)
+                if bit is not None:
+                    return bit
+                node = nodes[i]
+                mask = 0
+                for child in node[1]:
+                    mask |= 1 << emit(child)
+                program.append(
+                    (OP_ALL if node[0] == "and" else OP_ANY, mask)
+                )
+                bit = width + len(program) - 1
+                bit_of[i] = bit
+                return bit
+
+            emit(index)
+            atom_children = [1 << atom_bit[child] for child in root[1]
+                             if nodes[child][0] == "atom"]
+            flat = sum(atom_children)
+            if root[0] == "and":
+                pos_mask, neg_mask = 0, flat
+                if len(atom_children) == len(root[1]):
+                    # A flat conjunction: the neg_mask veto is complete, the
+                    # root instruction would always confirm — drop it.
+                    program = []
+            else:
+                pos_mask, neg_mask = flat, 0
+            result = CompiledEval(tuple(order), pos_mask, neg_mask,
+                                  tuple(program))
+        self._eval_memo[index] = result
         return result
 
 
@@ -311,3 +442,34 @@ def automaton_base_key(automaton: PathAutomaton) -> int:
     and transition table, ignoring the initial/final endpoints — so that
     all state-shifted variants ``π_{q,q'}`` share one key."""
     return _BASE_INTERNER.key((automaton.num_states, automaton.transitions))
+
+
+# ------------------------------------------------------- shared kernel memos
+
+
+@dataclass
+class KernelCache:
+    """Cross-problem memos for the bitset emptiness kernel.
+
+    The bitset kernel's relation algebra works on integers whose meaning is
+    fixed by the path-automaton *base* alone (bit ``q·n + q'`` ⇔ state pair
+    ``(q, q')``), so its closure and excursion memos can be keyed on the
+    process-global :func:`automaton_base_key` instead of a checker-local
+    base index — and then shared by every checker that sees the same base.
+    A :class:`~repro.analysis.session.SchemaSession` owns one instance per
+    compiled schema and threads it through
+    :func:`~repro.automata.emptiness.decide_emptiness`, so a batch of
+    problems over one schema (or one process deciding many problems
+    sequentially) saturates against warm memos.
+
+    Keys: ``rtc[(base_key, rel)]``, ``wrap[(base_key, step, rel)]`` and
+    ``tests[(base_key, mask)]`` with ``rel`` the raw relation integer.
+    """
+
+    rtc: dict[tuple[int, int], int] = field(default_factory=dict)
+    wrap: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    tests: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def stats(self) -> dict[str, int]:
+        return {"rtc": len(self.rtc), "wrap": len(self.wrap),
+                "tests": len(self.tests)}

@@ -101,55 +101,120 @@ def _attractor(game: ParityGame, player: int, targets: Iterable[Position],
     return attr
 
 
+def _bits(mask: int):
+    """Iterate the set bit indices of ``mask`` (lowest first)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 def solve_parity(game: ParityGame) -> tuple[set[Position], set[Position]]:
-    """Zielonka's algorithm.  Returns ``(win_eve, win_adam)``, a partition of
-    all positions (parity games are determined).
+    """Zielonka's algorithm on a dense integer encoding.
+
+    Positions get dense ids; every region, attractor and winning set is an
+    int bitset, so the recursion manipulates machine integers instead of
+    copying Python sets (``region - attr`` is one ``&~``, membership one
+    shift) — the per-recursion set copies that used to dominate
+    ``parity.subgame_size``-heavy solves are gone.  The public contract is
+    unchanged: ``(win_eve, win_adam)`` as sets of the caller's positions.
 
     Profiling: recursion/attractor counts and subgame sizes accumulate in
     plain locals while solving and are emitted to the obs layer once at the
-    end, so the recursion itself stays instrumentation-free.
+    end — in a ``finally``, so a solver that unwinds mid-recursion (guard
+    limits, recursion depth) still flushes what it counted.
     """
+    positions = list(game.owner)
+    index = {position: i for i, position in enumerate(positions)}
+    count = len(positions)
+    owner = [game.owner[position] for position in positions]
+    priority = [game.priority[position] for position in positions]
+    succs = [tuple(index[s] for s in game.moves[position])
+             for position in positions]
+    preds: list[list[int]] = [[] for _ in range(count)]
+    for source, targets in enumerate(succs):
+        for target in targets:
+            preds[target].append(source)
+    #: Per distinct priority (ascending), the bitset of its positions —
+    #: the min-priority scan per subgame is a mask intersection.
+    by_priority: list[tuple[int, int]] = []
+    for prio in sorted(set(priority)):
+        mask = 0
+        for i, p in enumerate(priority):
+            if p == prio:
+                mask |= 1 << i
+        by_priority.append((prio, mask))
+
     recursions = 0
     attractors = 0
     lifted = 0  # positions pulled into attractors across the whole solve
     subgame_sizes: list[int] = []
 
-    def solve(region: set[Position]) -> tuple[set[Position], set[Position]]:
+    def attract(player: int, targets: int, region: int) -> int:
+        """The ``player``-attractor of ``targets`` inside ``region``."""
+        attr = targets & region
+        degree = [-1] * count  # lazy out-degree within the region
+        frontier = list(_bits(attr))
+        while frontier:
+            position = frontier.pop()
+            for pred in preds[position]:
+                bit = 1 << pred
+                if not region & bit or attr & bit:
+                    continue
+                if owner[pred] == player:
+                    attr |= bit
+                    frontier.append(pred)
+                else:
+                    if degree[pred] < 0:
+                        degree[pred] = sum(1 for s in succs[pred]
+                                           if region >> s & 1)
+                    degree[pred] -= 1
+                    if degree[pred] == 0:
+                        attr |= bit
+                        frontier.append(pred)
+        return attr
+
+    def solve(region: int) -> tuple[int, int]:
         nonlocal recursions, attractors, lifted
         if not region:
-            return set(), set()
+            return 0, 0
         recursions += 1
-        subgame_sizes.append(len(region))
-        lowest = min(game.priority[v] for v in region)
+        subgame_sizes.append(region.bit_count())
+        for lowest, mask in by_priority:
+            best = mask & region
+            if best:
+                break
         player = lowest % 2  # 0 if the lowest priority is even (good for Eve)
         opponent = 1 - player
-        best = {v for v in region if game.priority[v] == lowest}
-        attr = _attractor(game, player, best, region)
+        attr = attract(player, best, region)
         attractors += 1
-        lifted += len(attr) - len(best & region)
-        rest = region - attr
-        win_sub = solve(rest)
+        lifted += (attr & ~best).bit_count()
+        win_sub = solve(region & ~attr)
         if not win_sub[opponent]:
-            result: tuple[set[Position], set[Position]] = (set(), set())
-            result[player].update(region)
-            return result
-        escape = _attractor(game, opponent, win_sub[opponent], region)
+            return (region, 0) if player == 0 else (0, region)
+        escape = attract(opponent, win_sub[opponent], region)
         attractors += 1
-        lifted += len(escape) - len(win_sub[opponent])
-        win_rest = solve(region - escape)
-        win_rest[opponent].update(escape)
-        return win_rest
+        lifted += (escape & ~win_sub[opponent]).bit_count()
+        win_rest = list(solve(region & ~escape))
+        win_rest[opponent] |= escape
+        return (win_rest[0], win_rest[1])
 
-    outcome = solve(game.positions)
-    if obs.is_enabled():
-        obs.count("parity.games_solved")
-        obs.count("parity.recursions", recursions)
-        obs.count("parity.attractors", attractors)
-        obs.count("parity.lifted", lifted)
-        obs.gauge("parity.positions", len(game.owner))
-        for size in subgame_sizes:
-            obs.observe("parity.subgame_size", size)
-    return outcome
+    try:
+        eve_bits, adam_bits = solve((1 << count) - 1)
+    finally:
+        # Counters flush even when the recursion above unwinds with an
+        # exception — a mid-solve failure must not silently drop the
+        # profile of the work it did perform.
+        if obs.is_enabled():
+            obs.count("parity.games_solved")
+            obs.count("parity.recursions", recursions)
+            obs.count("parity.attractors", attractors)
+            obs.count("parity.lifted", lifted)
+            obs.gauge("parity.positions", count)
+            for size in subgame_sizes:
+                obs.observe("parity.subgame_size", size)
+    return ({positions[i] for i in _bits(eve_bits)},
+            {positions[i] for i in _bits(adam_bits)})
 
 
 def solve_cobuchi(game: ParityGame) -> tuple[set[Position], set[Position]]:

@@ -83,8 +83,11 @@ __all__ = [
 #: bounded-search answers to conclusive ones.  Bumped to 3 when keys moved
 #: to rewrite-pipeline canonical forms (syntactic variants of the same
 #: problem now collide onto one entry, and the active pipeline level joined
-#: the payload).
-CACHE_SCHEMA_VERSION = 3
+#: the payload).  Bumped to 4 when the compiled-schema id
+#: (:func:`repro.analysis.session.schema_id_of`) joined the payload: the
+#: bitset kernel's batch-shared sessions key their memos on it, so cached
+#: verdicts are pinned to the same compiled-schema identity.
+CACHE_SCHEMA_VERSION = 4
 
 Result = SatResult | ContainmentResult
 
@@ -133,6 +136,7 @@ def problem_fingerprint(problem: Problem) -> str:
     level is part of the payload, so verdicts computed under different
     levels never serve each other.
     """
+    from ..analysis.session import schema_id_of
     from ..xpath import passes
 
     payload = {
@@ -140,6 +144,8 @@ def problem_fingerprint(problem: Problem) -> str:
         "kind": problem.kind.value,
         "exprs": [to_source(expr) for expr in problem.expressions()],
         "schema": _edtd_fingerprint(problem.edtd),
+        "schema_session": schema_id_of(*problem.expressions(),
+                                       edtd=problem.edtd),
         "max_nodes": problem.max_nodes,
         "engine": problem.engine or "auto",
         "engines": engine_set_fingerprint(),

@@ -211,6 +211,18 @@ class BatchRunner:
         """Decide every problem; outcomes come back in input order."""
         items = list(problems)
         outcomes: list[BatchOutcome | None] = [None] * len(items)
+        # Group the batch by compiled schema up front: the gauge tells a
+        # profile reader how much schema-session sharing the conclusive
+        # engine can expect (workers grow one warm kernel session per
+        # distinct id — see repro.analysis.session).
+        if items:
+            from ..analysis.session import schema_id_of
+
+            schema_ids = {
+                schema_id_of(*problem.expressions(), edtd=problem.edtd)
+                for problem in items
+            }
+            obs.gauge("batch.schemas", len(schema_ids))
         started = time.perf_counter()
         with obs.span("batch.run", problems=len(items), workers=self.workers,
                       race=self.race):
@@ -304,7 +316,13 @@ class BatchRunner:
             duration_s=probe_s,
             meta={"engine": "cache", "cache": "hit",
                   "problem": outcome.index},
-            counters={"cache.hit": 1},
+            # Zero-valued saturation counters: a warm verdict did no
+            # summary search this run, but reports that require the
+            # ``twoata.emptiness.`` instrumentation prefix must still
+            # find it on cache-hit records instead of misfiring.
+            counters={"cache.hit": 1,
+                      "twoata.emptiness.rounds": 0,
+                      "twoata.emptiness.evals": 0},
             gauges={"cache.probe_s": probe_s},
             # A minimal root span (anchored at probe start) so the trace
             # writer renders the hit on its synthetic cache lane.
