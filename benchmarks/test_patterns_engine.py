@@ -1,0 +1,99 @@
+"""E13 — the polynomial ``patterns`` engine vs the 2ATA ladder (DESIGN.md §12).
+
+Times containment on positive downward tree patterns — the fragment the
+``patterns`` engine answers with a homomorphism check plus canonical-model
+enumeration — against the ``automata`` engine deciding the same instances
+through Prop. 4 and 2ATA emptiness.  The family sticks to single-step
+shapes because the 2ATA engine guard-declines larger pattern pairs; even
+there the polynomial engine wins by orders of magnitude, and the
+acceptance bar is a family-median speedup of at least 10×.
+
+The ``patterns.*`` counters (admissions, embedding checks, memo-table
+cells, canonical models) land in ``BENCH_obs.json``; the perf gate's
+``--require-keys`` treats losing that prefix as a build break.
+"""
+
+import gc
+import statistics
+import time
+
+from repro import obs
+from repro.analysis import contains
+from repro.xpath import parse_path
+
+
+#: Single-step pattern containments the 2ATA engine decides without its
+#: emptiness guard tripping: both verdict polarities, both edge kinds.
+FAMILY = [
+    ("down[p]", "down"),
+    ("down*[p]", "down*"),
+    ("down*", "down"),
+    ("down", "down*"),
+]
+
+
+def _median_runtime(fn, reps: int) -> float:
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return statistics.median(times)
+
+
+class TestPatternsSpeedup:
+    """Patterns vs automata on identical single-step instances: identical
+    verdicts, family-median duration improvement of at least 10×."""
+
+    def test_single_step_family_median_speedup(self, benchmark, record):
+        ratios: dict[str, float] = {}
+        series: dict[str, tuple] = {}
+        for alpha_src, beta_src in FAMILY:
+            alpha, beta = parse_path(alpha_src), parse_path(beta_src)
+            fast_result = contains(alpha, beta, method="patterns")
+            slow_result = contains(alpha, beta, method="automata")
+            assert fast_result.conclusive and slow_result.conclusive
+            assert fast_result.verdict == slow_result.verdict, \
+                (alpha_src, beta_src)
+            fast = _median_runtime(
+                lambda: contains(alpha, beta, method="patterns"), reps=9)
+            slow = _median_runtime(
+                lambda: contains(alpha, beta, method="automata"), reps=3)
+            point = f"{alpha_src} <= {beta_src}"
+            ratios[point] = slow / fast
+            series[point] = (round(fast * 1000, 3), round(slow * 1000, 1),
+                             round(ratios[point], 1))
+        family_median = statistics.median(ratios.values())
+        obs.gauge("patterns.speedup.family_median", family_median)
+        record("E13 patterns vs automata, ms "
+               "(instance -> (patterns, automata, ratio))", series)
+        assert family_median >= 10.0, ratios
+        benchmark(lambda: None)
+
+
+class TestPatternsCounters:
+    """The engine's work counters are recorded for the perf trajectory:
+    a ladder-depth series over multi-step patterns the 2ATA engine cannot
+    touch, all answered conclusively in polynomial time."""
+
+    def test_ladder_depth_series(self, benchmark, record):
+        series: dict[int, tuple] = {}
+        for depth in (2, 4, 6):
+            alpha = parse_path("/".join(["down[p]"] * depth))
+            beta = parse_path("/".join(["down"] * depth))
+            result = contains(alpha, beta, method="patterns")
+            assert result.conclusive
+            assert result.contained
+            duration = _median_runtime(
+                lambda: contains(alpha, beta, method="patterns"), reps=5)
+            obs.gauge(f"patterns.containment_ms.depth{depth}",
+                      round(duration * 1000, 3))
+            series[depth] = round(duration * 1000, 3)
+        record("E13 patterns ladder depth, ms (depth -> median)", series)
+        benchmark(lambda: None)

@@ -121,7 +121,11 @@ class EngineRegistry:
         produces a result; an engine that *raises* mid-``solve`` is treated
         like a runtime decline — the error is recorded on its
         ``engine_decision`` entry and dispatch falls through to the next
-        admitted engine, re-raising only when no engine remains.
+        admitted engine, re-raising only when no engine remains.  A
+        :class:`EngineDeclined` escaping ``solve`` (a nested dispatch whose
+        engine declined) is a *clean* decline, not an error: the entry is
+        marked ``declined`` and ``dispatch.declined.<name>`` counted, never
+        ``dispatch.error.<name>``.
 
         Every problem is canonicalized by the rewrite pipeline
         (:mod:`repro.xpath.passes`) before admission checks and dispatch,
@@ -163,6 +167,23 @@ class EngineRegistry:
                     else original.canonical(chosen.pipeline)
                 try:
                     result = chosen.solve(solve_input)
+                except EngineDeclined as declined:
+                    # A *clean* decline surfacing as an exception — e.g. a
+                    # nested dispatch (equivalence sub-containments) whose
+                    # forced engine declined.  This is not an engine bug:
+                    # record it exactly like a ``solve() -> None`` decline
+                    # so ``engine_decision`` keeps declines and errors
+                    # distinguishable, and never count ``dispatch.error.*``.
+                    for entry in decision:
+                        if entry["name"] == chosen.name:
+                            entry["declined"] = True
+                    obs.count(f"dispatch.declined.{chosen.name}")
+                    if forced is not None:
+                        obs.note("engine_decision", {"candidates": decision,
+                                                     "chosen": None})
+                        raise
+                    last_error = declined
+                    result = None
                 except Exception as error:
                     # An engine bug or an uncaught guard must not abort the
                     # whole dispatch: record the failure on the decision
@@ -189,6 +210,7 @@ class EngineRegistry:
                     for entry in decision:
                         if entry["name"] == chosen.name:
                             entry["declined"] = True
+                    obs.count(f"dispatch.declined.{chosen.name}")
                     if forced is not None:
                         obs.note("engine_decision", {"candidates": decision,
                                                      "chosen": None})
@@ -289,6 +311,7 @@ def default_registry() -> EngineRegistry:
         from . import automata_engine as _automata  # noqa: F401
         from . import engines as _engines  # noqa: F401
         from . import expspace as _expspace  # noqa: F401
+        from . import patterns as _patterns  # noqa: F401
     return _DEFAULT
 
 

@@ -62,16 +62,24 @@ class SchemaSession:
     ``kernel_cache`` is threaded into
     :func:`~repro.automata.emptiness.decide_emptiness` (``shared=``) by the
     ``automata`` engine, so saturation memos survive across the problems
-    of the session instead of being rebuilt per check.
+    of the session instead of being rebuilt per check.  ``pattern_cache``
+    plays the same role for the ``patterns`` engine where a DTD restricts
+    labels: it holds the per-schema realizability/reachability tables and
+    the per-pattern cover-search memos
+    (:mod:`repro.analysis.patterns`), so repeated pattern
+    satisfiability checks over one schema reuse each other's work.
     """
 
     schema_id: str
     kernel_cache: KernelCache = field(default_factory=KernelCache)
+    pattern_cache: dict = field(default_factory=dict)
     problems_seen: int = 0
 
     def stats(self) -> dict[str, int]:
         """Cache sizes plus the number of problems that used the session."""
-        return {"problems": self.problems_seen, **self.kernel_cache.stats()}
+        return {"problems": self.problems_seen,
+                "pattern_entries": len(self.pattern_cache),
+                **self.kernel_cache.stats()}
 
 
 #: Worker-local session registry; forked workers each start empty.

@@ -27,9 +27,9 @@ stderr), ``--trace FILE`` (a Chrome trace-event JSON file — load it at
 https://ui.perfetto.dev — whose ``otherData.runs`` carries the full
 :class:`repro.obs.RunRecord` dicts; ``-`` for stderr; ``--trace-json`` is
 an alias kept from the format's RunRecord-only first generation), and
-``--engine NAME`` to force a registered decision engine (``expspace``,
-``automata``, ``bounded``, ``random``; the default ``auto`` lets the
-engine registry pick — see :mod:`repro.analysis.registry`), and
+``--engine NAME`` to force a registered decision engine (``patterns``,
+``expspace``, ``automata``, ``bounded``, ``random``; the default ``auto``
+lets the engine registry pick — see :mod:`repro.analysis.registry`), and
 ``--passes {none,basic,full}`` to set the session rewrite-pipeline level
 (:mod:`repro.xpath.passes`; default ``full``) applied to every expression
 before dispatch and cache keying.  ``batch`` takes the same flags with the
@@ -476,8 +476,8 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
              "(--trace-json is an alias)")
     subparser.add_argument(
         "--engine", metavar="NAME", default="auto",
-        help="force a registered decision engine (e.g. expspace, automata, "
-             "bounded, random); default: auto-select the cheapest "
+        help="force a registered decision engine (e.g. patterns, expspace, "
+             "automata, bounded, random); default: auto-select the cheapest "
              "conclusive engine that admits the input")
     subparser.add_argument(
         "--passes", choices=["none", "basic", "full"], default="full",

@@ -76,8 +76,16 @@ class Histogram:
         """The estimated ``q``-quantile (``0 <= q <= 1``); exact when all
         observations share a bucket, else interpolated within the crossing
         bucket and clamped to the observed ``[min, max]``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
         if self.count == 0:
             raise ValueError("quantile of an empty histogram")
+        if self.count == 1:
+            # Every quantile of a single observation *is* that observation.
+            # The clamp below usually lands there too, but make it
+            # structural rather than an artifact of ``min == max``: bucket
+            # interpolation has nothing to say about one sample.
+            return self.min
         target = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):

@@ -21,16 +21,22 @@ canonical JSON payload of
 * the source rendering of each input expression,
 * a schema fingerprint (root type, content models, projection),
 * the search bound (``max_nodes``) and the engine preference,
-* the set of registered engines (auto dispatch can produce a *different*
-  — typically stronger — verdict once a new engine lands, so a cache
-  written under the old engine ladder must not serve the new one),
 * the active rewrite-pipeline level (a verdict computed at ``--passes
   none`` must not serve a ``--passes full`` session and vice versa), and
 * a cache schema version (bump it when verdict semantics change).
 
-Because the key hashes the whole payload, version, engine-set and
-pipeline-level mismatches all invalidate by construction: an entry written
-under another configuration is simply never looked up.
+Because the key hashes the whole payload, version and pipeline-level
+mismatches invalidate by construction: an entry written under another
+configuration is simply never looked up.
+
+The registered engine set is *not* part of the key (it was, through
+schema v4): a conclusive verdict is a proof and stays valid no matter
+which engines exist.  Instead every entry stores the
+:func:`engine_set_fingerprint` it was computed under, and ``get`` treats
+an entry from a different engine set as a miss only when its verdict is
+*inconclusive* — a new engine (say, ``patterns``) may well turn
+``no-witness-within-bound`` into a proof, so stale inconclusive answers
+must be recomputed, while conclusive ones survive the ladder change.
 
 Since cache schema v3, callers canonicalize problems through the rewrite
 pipeline (:meth:`Problem.canonical`) before keying — the batch runner does
@@ -86,8 +92,12 @@ __all__ = [
 #: the payload).  Bumped to 4 when the compiled-schema id
 #: (:func:`repro.analysis.session.schema_id_of`) joined the payload: the
 #: bitset kernel's batch-shared sessions key their memos on it, so cached
-#: verdicts are pinned to the same compiled-schema identity.
-CACHE_SCHEMA_VERSION = 4
+#: verdicts are pinned to the same compiled-schema identity.  Bumped to 5
+#: when the ``patterns`` engine landed and the engine set moved out of the
+#: key into the stored entry: conclusive verdicts now survive engine-ladder
+#: changes while inconclusive ones are invalidated by comparing the stored
+#: :func:`engine_set_fingerprint` at ``get`` time.
+CACHE_SCHEMA_VERSION = 5
 
 Result = SatResult | ContainmentResult
 
@@ -118,9 +128,11 @@ def _edtd_fingerprint(edtd: EDTD | None) -> dict | None:
 def engine_set_fingerprint() -> str:
     """The sorted names of all registered engines, comma-joined.
 
-    Part of every cache key: an ``engine="auto"`` verdict depends on which
-    engines exist, so adding (or removing) an engine must invalidate the
-    whole cache rather than replay stale inconclusive results.
+    Stored on every cache entry (not in the key, since schema v5): an
+    ``engine="auto"`` verdict that is merely *inconclusive* depends on
+    which engines exist — a later, stronger ladder could do better — so
+    ``get`` refuses to serve inconclusive entries across an engine-set
+    change while conclusive proofs are served unconditionally.
     """
     from ..analysis.registry import default_registry
 
@@ -148,7 +160,6 @@ def problem_fingerprint(problem: Problem) -> str:
                                        edtd=problem.edtd),
         "max_nodes": problem.max_nodes,
         "engine": problem.engine or "auto",
-        "engines": engine_set_fingerprint(),
         "passes": passes.default_pipeline(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -260,6 +271,13 @@ class VerdictCache:
             # overwrites it).
             self.misses += 1
             return None
+        if result.verdict is Verdict.NO_WITNESS_WITHIN_BOUND \
+                and data.get("engines") != engine_set_fingerprint():
+            # An inconclusive verdict computed under a different engine
+            # ladder: today's ladder might prove it, so recompute.
+            # Conclusive entries are proofs and served regardless.
+            self.misses += 1
+            return None
         self._memory[key] = data
         self.hits += 1
         return result
@@ -275,6 +293,9 @@ class VerdictCache:
             data = encode_result(result)
         except ValueError:
             return False
+        # The engine ladder the verdict was computed under; ``get`` uses it
+        # to refuse stale *inconclusive* entries (see module docstring).
+        data["engines"] = engine_set_fingerprint()
         self._memory[key] = data
         try:
             self.directory.mkdir(parents=True, exist_ok=True)

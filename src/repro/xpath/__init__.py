@@ -37,7 +37,13 @@ from .measures import (
     operators_used,
     free_variables,
 )
-from .fragments import Fragment, fragment_of
+from .fragments import (
+    Fragment,
+    TreePattern,
+    compile_pattern,
+    fragment_of,
+    is_tree_pattern,
+)
 from .intern import (
     intern_expr,
     intern_key,
@@ -65,6 +71,7 @@ __all__ = [
     "subexpressions", "node_subexpressions", "labels_used", "axes_used",
     "operators_used", "free_variables",
     "Fragment", "fragment_of",
+    "TreePattern", "compile_pattern", "is_tree_pattern",
     "intern_expr", "intern_key", "is_interned", "normalize",
     "free_variables_cached", "interned_count",
     "canonical", "canonical_with_stats", "default_pipeline",

@@ -9,12 +9,33 @@ strings used throughout this library: ``'eq'``, ``'cap'``, ``'minus'``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, field
 
-from .ast import Axis, Expr
+from .ast import (
+    And,
+    Axis,
+    AxisClosure,
+    AxisStep,
+    Expr,
+    Filter,
+    Label,
+    NodeExpr,
+    PathExpr,
+    Self,
+    Seq,
+    SomePath,
+    Star,
+    Top,
+)
 from .measures import axes_used, operators_used
 
 __all__ = [
+    "EDGE_CHILD",
+    "EDGE_DESC_SELF",
+    "TreePattern",
+    "compile_pattern",
+    "is_tree_pattern",
     "Fragment",
     "ALL_OPERATORS",
     "CORE",
@@ -127,3 +148,170 @@ VERTICAL_CAP = Fragment(
 FORWARD_CAP = Fragment(
     axes=frozenset({Axis.DOWN, Axis.RIGHT}), operators=frozenset({"cap"})
 )
+
+
+# ------------------------------------------------ positive downward patterns
+#
+# The positive downward tree-pattern fragment sits strictly below
+# CoreXPath↓: child and descendant(-or-self) steps, label tests, filter
+# conjunction — no negation, no union, no ≈, no upward or sibling axes, no
+# intersection/complement, and ``(π)*`` only on the plain child step (where
+# it coincides with ``down*``).  Containment inside the fragment is
+# decidable in polynomial time up to a small canonical-model enumeration
+# (DESIGN.md §12), which is what the ``patterns`` engine exploits.
+
+#: A rigid parent→child pattern edge (exactly one tree edge).
+EDGE_CHILD = "child"
+#: A flexible descendant-or-self pattern edge (a downward path of length ≥ 0).
+EDGE_DESC_SELF = "desc-or-self"
+
+
+@dataclass(frozen=True)
+class TreePattern:
+    """A rooted positive downward tree pattern (the ``patterns`` engine IR).
+
+    Nodes are dense integers; node 0 is the root.  ``labels[v]`` is the set
+    of label tests node ``v`` must satisfy (two or more distinct labels make
+    the node — and hence the pattern — unsatisfiable, since tree nodes carry
+    exactly one label; the empty set is a wildcard).  ``edges[v]`` lists the
+    outgoing edges of ``v`` in creation order as ``(kind, target)`` pairs
+    with ``kind`` one of :data:`EDGE_CHILD` / :data:`EDGE_DESC_SELF`.
+    ``out`` is the node the compiled path selects (the root itself for node
+    expressions).
+    """
+
+    labels: tuple[frozenset[str], ...]
+    edges: tuple[tuple[tuple[str, int], ...], ...]
+    out: int
+
+    #: The pattern root; always node 0 (kept as a field for readability at
+    #: use sites).
+    root: int = field(default=0)
+
+    @property
+    def size(self) -> int:
+        """Number of pattern nodes."""
+        return len(self.labels)
+
+    @property
+    def conflicted(self) -> bool:
+        """True iff some node demands two distinct labels (pattern is
+        unsatisfiable on single-labelled trees)."""
+        return any(len(required) > 1 for required in self.labels)
+
+    @property
+    def all_labels(self) -> frozenset[str]:
+        """Every label mentioned anywhere in the pattern."""
+        return frozenset().union(*self.labels) if self.labels else frozenset()
+
+    def desc_edges(self) -> tuple[tuple[int, int], ...]:
+        """The flexible edges, as ``(source, edge_index)`` pairs."""
+        return tuple((v, i)
+                     for v in range(self.size)
+                     for i, (kind, _) in enumerate(self.edges[v])
+                     if kind == EDGE_DESC_SELF)
+
+
+class _NotAPattern(Exception):
+    """Raised internally by the recognizer on any out-of-fragment construct."""
+
+
+class _PatternBuilder:
+    """Accumulates pattern nodes/edges while walking an expression."""
+
+    def __init__(self) -> None:
+        self.labels: list[set[str]] = []
+        self.edges: list[list[tuple[str, int]]] = []
+
+    def new_node(self) -> int:
+        self.labels.append(set())
+        self.edges.append([])
+        return len(self.labels) - 1
+
+    def step(self, src: int, kind: str) -> int:
+        target = self.new_node()
+        self.edges[src].append((kind, target))
+        return target
+
+    def compile_path(self, path: PathExpr, src: int) -> int:
+        """Extend the pattern with ``path`` starting at ``src``; returns the
+        node the path ends on."""
+        if isinstance(path, Self):
+            return src
+        if isinstance(path, AxisStep):
+            if path.axis is not Axis.DOWN:
+                raise _NotAPattern
+            return self.step(src, EDGE_CHILD)
+        if isinstance(path, AxisClosure):
+            if path.axis is not Axis.DOWN:
+                raise _NotAPattern
+            return self.step(src, EDGE_DESC_SELF)
+        if isinstance(path, Star):
+            # ``(down)*`` is ``down*`` in disguise; any other starred path
+            # leaves the fragment.
+            if isinstance(path.path, AxisStep) and path.path.axis is Axis.DOWN:
+                return self.step(src, EDGE_DESC_SELF)
+            raise _NotAPattern
+        if isinstance(path, Seq):
+            return self.compile_path(path.right,
+                                     self.compile_path(path.left, src))
+        if isinstance(path, Filter):
+            target = self.compile_path(path.path, src)
+            self.compile_predicate(path.predicate, target)
+            return target
+        raise _NotAPattern
+
+    def compile_predicate(self, predicate: NodeExpr, at: int) -> None:
+        """Record the constraints ``predicate`` imposes on node ``at``."""
+        if isinstance(predicate, Top):
+            return
+        if isinstance(predicate, Label):
+            self.labels[at].add(predicate.name)
+            return
+        if isinstance(predicate, And):
+            self.compile_predicate(predicate.left, at)
+            self.compile_predicate(predicate.right, at)
+            return
+        if isinstance(predicate, SomePath):
+            # The branch dangles: its end node is existential, not selected.
+            self.compile_path(predicate.path, at)
+            return
+        raise _NotAPattern
+
+    def freeze(self, out: int) -> TreePattern:
+        return TreePattern(
+            labels=tuple(frozenset(required) for required in self.labels),
+            edges=tuple(tuple(outgoing) for outgoing in self.edges),
+            out=out,
+        )
+
+
+@functools.lru_cache(maxsize=4096)
+def compile_pattern(expr: Expr) -> TreePattern | None:
+    """Compile ``expr`` into a :class:`TreePattern`, or ``None`` when it is
+    not a positive downward tree pattern.
+
+    Path expressions compile with ``out`` at the path's end node; node
+    expressions compile to a pattern rooted (and selecting) at node 0.
+    The walk is purely syntactic — callers should canonicalize first so
+    rewrite-equivalent variants (e.g. nested filters, ``./π``) land in the
+    recognizable shape.
+    """
+    builder = _PatternBuilder()
+    root = builder.new_node()
+    try:
+        if isinstance(expr, PathExpr):
+            out = builder.compile_path(expr, root)
+        elif isinstance(expr, NodeExpr):
+            builder.compile_predicate(expr, root)
+            out = root
+        else:
+            return None
+    except _NotAPattern:
+        return None
+    return builder.freeze(out)
+
+
+def is_tree_pattern(expr: Expr) -> bool:
+    """True iff ``expr`` compiles into a positive downward tree pattern."""
+    return compile_pattern(expr) is not None

@@ -252,8 +252,10 @@ class TestEngineErrorPaths:
     def test_auto_dispatch_still_answers_declined_input(self, capsys):
         # Without forcing, the guard's decline falls through to the bounded
         # engine: the same input yields a clean (inconclusive) verdict, not
-        # an error.
-        code = main(["satisfiable", self.TOO_BIG, "--max-nodes", "2"])
+        # an error.  The ``not q`` keeps the instance outside the patterns
+        # fragment, which would otherwise answer it conclusively.
+        code = main(["satisfiable", self.TOO_BIG + " and not q",
+                     "--max-nodes", "2"])
         captured = capsys.readouterr()
         assert code == 2  # bound too small for a witness — but no crash
         assert "no-witness-within-bound" in captured.out
@@ -460,7 +462,7 @@ class TestStatsFlags:
         assert traceout.validate_trace(payload) == []
         # The machine-readable RunRecord rides along under otherData.runs.
         run = payload["otherData"]["runs"][0]
-        assert run["meta"]["engine"] in ("expspace", "bounded")
+        assert run["meta"]["engine"] in ("patterns", "expspace", "bounded")
         assert run["meta"]["verdict"] == "unsatisfiable"
         assert len(run["counters"]) >= 3
         timed = [event for event in payload["traceEvents"]

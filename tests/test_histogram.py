@@ -53,6 +53,34 @@ class TestQuantiles:
         assert data["p50"] == 0.042
         assert data["p99"] == 0.042
 
+    def test_single_observation_exact_at_every_q(self):
+        # Exactness must be structural, not an artifact of min == max
+        # clamping: every quantile of one sample *is* that sample, even at
+        # q = 0 and q = 1 and for values far inside a wide bucket.
+        h = Histogram()
+        h.observe(3.7e3)  # deep inside the (2e3, 5e3] bucket
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == 3.7e3
+
+    def test_zero_observations_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            Histogram().quantile(0.5)
+
+    def test_two_observations_stay_within_range(self):
+        h = Histogram()
+        h.observe(1e-6)
+        h.observe(4e3)  # opposite ends of the bucket ladder
+        for q in (0.0, 0.5, 1.0):
+            assert 1e-6 <= h.quantile(q) <= 4e3
+
+    def test_quantile_fraction_is_validated(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError, match="fraction"):
+            h.quantile(1.5)
+
     def test_quantiles_clamp_to_observed_range(self):
         h = Histogram()
         for value in (0.011, 0.019):

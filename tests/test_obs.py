@@ -180,9 +180,11 @@ class TestDecisionProcedureStats:
         assert result.stats is None
 
     def test_expspace_eligible_input_reports_expspace(self):
-        # CoreXPath↓(∩): dispatched to the complete Figure 2 engine.
-        result = satisfiable(parse_node("<down[p] intersect down*>"),
-                             stats=True)
+        # CoreXPath↓(∩): dispatched to the complete Figure 2 engine.  The
+        # intersection must not simplify away (down[p] ∩ down* would) or
+        # the canonical form lands in the patterns fragment instead.
+        result = satisfiable(parse_node(
+            "<down[p]/down intersect down/down[q]>"), stats=True)
         assert result.verdict is Verdict.SATISFIABLE
         assert result.stats["meta"]["engine"] == "expspace"
         assert result.stats["counters"]["dispatch.expspace"] == 1

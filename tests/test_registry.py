@@ -22,7 +22,8 @@ from repro.xpath import parse_node, parse_path
 class TestDefaultRegistry:
     def test_builtin_engines_are_registered(self):
         names = default_registry().names()
-        for expected in ("expspace", "bidirectional", "bounded", "random"):
+        for expected in ("patterns", "expspace", "automata", "bidirectional",
+                         "bounded", "random"):
             assert expected in names
 
     def test_candidates_ordered_by_cost(self):
@@ -30,15 +31,26 @@ class TestDefaultRegistry:
         candidates = default_registry().candidates(problem)
         costs = [engine.cost_hint for engine in candidates]
         assert costs == sorted(costs)
-        assert candidates[0].name == "expspace"
+        assert candidates[0].name == "patterns"
 
     def test_auto_prefers_cheapest_conclusive_engine(self):
         result = satisfiable(parse_node("p"), stats=True)
-        assert result.stats["meta"]["engine"] == "expspace"
+        assert result.stats["meta"]["engine"] == "patterns"
         decision = result.stats["meta"]["engine_decision"]
-        assert decision["chosen"] == "expspace"
+        assert decision["chosen"] == "patterns"
         assert [c["name"] for c in decision["candidates"]] == [
-            "expspace", "automata", "bidirectional", "bounded", "random"]
+            "patterns", "expspace", "automata", "bidirectional", "bounded",
+            "random"]
+
+    def test_auto_skips_patterns_outside_its_fragment(self):
+        # Negation is outside the tree-pattern fragment but inside the
+        # EXPSPACE engine's downward fragment.
+        result = satisfiable(parse_node("p and not <down[q]>"), stats=True)
+        assert result.stats["meta"]["engine"] == "expspace"
+        by_name = {c["name"]: c
+                   for c in result.stats["meta"]["engine_decision"]["candidates"]}
+        assert by_name["patterns"]["admits"] is False
+        assert "error" not in by_name["patterns"]
 
     def test_auto_falls_back_when_fragment_not_admitted(self):
         # Path complementation is outside the EXPSPACE engine's fragment.
@@ -207,6 +219,105 @@ class TestEngineExceptionFallthrough:
         registry.register(Boom2())
         with pytest.raises(KeyError, match="second bug"):
             registry.plan_and_run(self._problem())
+
+
+class _DeclinesLoudly(Engine):
+    """Simulates a clean decline surfacing as an exception — the shape a
+    nested dispatch produces when its forced engine declines."""
+
+    name = "loud-decline"
+    conclusive = True
+    cost_hint = 1
+
+    def admits(self, problem):
+        return True
+
+    def solve(self, problem):
+        raise EngineDeclined("nested dispatch declined")
+
+
+class TestDeclineVsErrorDistinction:
+    """Regression: a runtime-declining cheap engine must never be recorded
+    as a ``dispatch.error.<name>`` — declines and genuine engine errors
+    stay distinguishable in ``engine_decision``."""
+
+    def _problem(self):
+        return Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"))
+
+    def test_engine_declined_exception_is_a_clean_decline(self):
+        from repro import obs
+        registry = EngineRegistry()
+        registry.register(_DeclinesLoudly())
+        registry.register(_Answers())
+        with obs.record("run") as recording:
+            result = registry.plan_and_run(self._problem())
+        assert result.verdict is Verdict.UNSATISFIABLE
+        decision = recording.meta["engine_decision"]
+        assert decision["chosen"] == "answers"
+        by_name = {entry["name"]: entry for entry in decision["candidates"]}
+        assert by_name["loud-decline"].get("declined") is True
+        assert "error" not in by_name["loud-decline"]
+        assert recording.counters["dispatch.declined.loud-decline"] == 1
+        assert "dispatch.error.loud-decline" not in recording.counters
+
+    def test_solve_returning_none_counts_as_decline_not_error(self):
+        from repro import obs
+
+        class Declines(Engine):
+            name = "quiet-decline"
+            conclusive = True
+            cost_hint = 1
+
+            def admits(self, problem):
+                return True
+
+            def solve(self, problem):
+                return None
+
+        registry = EngineRegistry()
+        registry.register(Declines())
+        registry.register(_Answers())
+        with obs.record("run") as recording:
+            registry.plan_and_run(self._problem())
+        by_name = {entry["name"]: entry
+                   for entry in recording.meta["engine_decision"]["candidates"]}
+        assert by_name["quiet-decline"].get("declined") is True
+        assert "error" not in by_name["quiet-decline"]
+        assert recording.counters["dispatch.declined.quiet-decline"] == 1
+        assert "dispatch.error.quiet-decline" not in recording.counters
+
+    def test_forced_engine_declined_reraises_without_error_entry(self):
+        from repro import obs
+        registry = EngineRegistry()
+        registry.register(_DeclinesLoudly())
+        problem = Problem(ProblemKind.SATISFIABILITY, phi=parse_node("p"),
+                          engine="loud-decline")
+        with obs.record("run") as recording:
+            with pytest.raises(EngineDeclined):
+                registry.plan_and_run(problem)
+        by_name = {entry["name"]: entry
+                   for entry in recording.meta["engine_decision"]["candidates"]}
+        assert by_name["loud-decline"].get("declined") is True
+        assert "error" not in by_name["loud-decline"]
+
+    def test_patterns_runtime_decline_is_not_an_error(self):
+        # ``admits`` passes (pure pattern syntax) but the canonical-model
+        # guard trips at runtime: many flexible edges against a large β.
+        from repro import obs
+        from repro.analysis.patterns import PatternsEngine
+
+        alpha = parse_path("/".join(["down*[p]"] * 6))
+        beta = parse_path("down[p]/down[q]")
+        problem = Problem(ProblemKind.CONTAINMENT, alpha=alpha, beta=beta)
+        canonical = problem.canonical()
+        engine = PatternsEngine()
+        assert engine.admits(canonical)
+        with obs.record("run") as recording:
+            result = contains(alpha, beta, stats=False)
+        assert result.conclusive
+        counters = recording.counters
+        assert counters.get("dispatch.declined.patterns", 0) >= 1
+        assert "dispatch.error.patterns" not in counters
 
 
 class TestEquivalenceAggregation:
