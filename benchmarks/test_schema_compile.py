@@ -1,0 +1,231 @@
+"""E14 — compile-once CompiledSchema amortization (DESIGN.md §13).
+
+Every schema-dependent artifact — content-model NFAs, the Fig. 2 type
+frame, the Prop. 4 decorated EDTD, the 2ATA alphabet partition and the
+emptiness kernel's memo store — is built once per
+:func:`~repro.analysis.session.schema_id_of` and shared through the
+:class:`~repro.analysis.session.SchemaSession`.  This experiment measures
+what that sharing buys on a same-schema batch: for each family member the
+engine's **schema-preparation phase** (everything it does before the
+per-problem decision procedure starts) is timed **cold** — the session
+registry is reset first, so the schema recompiles from scratch, which is
+the pre-refactor per-call behaviour — and **warm** — one precompiled
+session serves the whole family, exactly what the batch runner arranges
+for its workers.
+
+Two engine families over one schema id each:
+
+* ``expspace`` — containment under a DTD.  Prep is the compiled content
+  NFAs, the Prop. 4 decorated EDTD and the Fig. 2 type frame the type
+  enumeration runs against.
+* ``automata`` — schemaless CoreXPath(*) satisfiability over the
+  alphabet ``{p, q}``.  Prep is the schema identity plus the compiled
+  2ATA alphabet partition and kernel-memo store.
+
+Gate: family-median warm speedup of the preparation phase of at least
+2× per engine, with byte-identical verdicts cold vs warm on every
+member.  End-to-end solve times are recorded alongside for context but
+deliberately **not** gated: the decision work itself — type enumeration
+for ``expspace``, summary saturation for ``automata`` — is per-problem
+by construction (it is where the paper's EXPSPACE/EXPTIME lower bounds
+live), so no amount of schema sharing can amortize it.  See
+EXPERIMENTS.md §E14 for the methodology note.
+
+The ``schema.compile.*`` counters and the ``schema.compile_s``
+histogram land in ``BENCH_obs.json`` via the autouse recording; the perf
+gate's ``--require-keys`` treats losing the prefix as a build break.
+"""
+
+import gc
+import statistics
+import time
+
+from repro import obs
+from repro.analysis.problems import Problem, ProblemKind
+from repro.analysis.reductions import containment_to_node_unsat
+from repro.analysis.registry import default_registry
+from repro.analysis.session import reset_sessions, session_for
+from repro.edtd import DTD
+from repro.parallel.cache import encode_result
+from repro.xpath import parse_node, parse_path
+
+#: A document-ish DTD: enough labels that compiling its NFAs (and the
+#: doubled decorated variants) is real work, while the formulas below stay
+#: small so the per-problem type enumeration does not drown the compile.
+SCHEMA_RULES = {
+    "doc": "front sec* back",
+    "front": "title author*",
+    "sec": "title (par | fig)*",
+    "back": "ref*",
+    "par": "eps",
+    "fig": "cap?",
+    "cap": "eps",
+    "title": "eps",
+    "author": "eps",
+    "ref": "eps",
+}
+
+#: Downward containments over the schema, both polarities.
+EXPSPACE_FAMILY = [
+    ("down[front]", "down"),
+    ("down/down[title]", "down/down"),
+    ("down[sec]/down[par]", "down/down"),
+    ("down", "down[sec]"),
+]
+
+#: Schemaless CoreXPath(*) satisfiability over one alphabet {p, q}: every
+#: member compiles to the same schema id, so one session serves all.
+#: Each member stays inside the engine's saturation guards (no declines).
+AUTOMATA_FAMILY = [
+    "p and <down[q]>",
+    "p and not <down*[q]>",
+    "p and <down*[q]>",
+    "not <down[p and q]>",
+]
+
+
+def _median_runtime(fn, reps: int) -> float:
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return statistics.median(times)
+
+
+def _expspace_prep(problem):
+    """The ``expspace`` engine's schema phase, verbatim from its ``solve``:
+    look up the session, run the Prop. 4 reduction against the compiled
+    artifact, and materialize the type frame the enumeration will use."""
+    compiled = session_for(problem).compiled
+    reduction = containment_to_node_unsat(
+        problem.alpha, problem.beta, compiled.edtd, schema=compiled)
+    compiled.type_frame(reduction.edtd)
+
+
+def _automata_prep(problem):
+    """The ``automata`` engine's schema phase: session lookup (schema id +
+    compile on a cold registry) and the alphabet-partition seed that
+    ``build_twoata`` adopts."""
+    session = session_for(problem)
+    assert session.compiled.partition is not None
+
+
+def _amortization(engine_name, prep, problems, *, prep_reps, solve_reps):
+    """Per-member timings for one engine over a same-schema family.
+
+    Returns ``index -> (prep_cold, prep_warm, solve_cold, solve_warm)``
+    in seconds.  Cold resets the session registry first (schema compiles
+    from scratch, the pre-refactor per-call behaviour); warm runs against
+    the precompiled session.  Verdicts are asserted byte-identical
+    between the cold and warm solves of every member.
+    """
+    engine = default_registry().get(engine_name)
+    results = {}
+    for index, problem in enumerate(problems):
+        def cold_prep(p=problem):
+            reset_sessions()
+            prep(p)
+
+        def cold_solve(p=problem):
+            reset_sessions()
+            return engine.solve(p)
+
+        cold_result = cold_solve()
+        assert cold_result is not None, (engine_name, index)
+        prep_cold = _median_runtime(cold_prep, prep_reps)
+        solve_cold = _median_runtime(cold_solve, solve_reps)
+
+        reset_sessions()
+        session_for(problem)  # the batch runner's per-worker precompile
+        prep(problem)
+        warm_result = engine.solve(problem)
+        assert encode_result(warm_result) == encode_result(cold_result), \
+            (engine_name, index)
+        prep_warm = _median_runtime(lambda p=problem: prep(p), prep_reps)
+        solve_warm = _median_runtime(
+            lambda p=problem: engine.solve(p), solve_reps)
+        results[index] = (prep_cold, prep_warm, solve_cold, solve_warm)
+    reset_sessions()
+    return results
+
+
+def _series_row(prep_cold, prep_warm, solve_cold, solve_warm):
+    return {
+        "prep_cold_ms": round(prep_cold * 1000, 3),
+        "prep_warm_ms": round(prep_warm * 1000, 3),
+        "prep_ratio": round(prep_cold / prep_warm, 1),
+        "solve_cold_ms": round(solve_cold * 1000, 2),
+        "solve_warm_ms": round(solve_warm * 1000, 2),
+        "solve_ratio": round(solve_cold / solve_warm, 2),
+    }
+
+
+class TestCompileAmortization:
+    """Cold vs warm per engine: byte-identical verdicts, family-median
+    warm speedup of the schema-preparation phase of at least 2×."""
+
+    def test_expspace_family(self, benchmark, record):
+        edtd = DTD(SCHEMA_RULES, root="doc")
+        problems = [Problem(ProblemKind.CONTAINMENT,
+                            alpha=parse_path(alpha), beta=parse_path(beta),
+                            edtd=edtd)
+                    for alpha, beta in EXPSPACE_FAMILY]
+        measured = _amortization("expspace", _expspace_prep, problems,
+                                 prep_reps=7, solve_reps=3)
+        series = {}
+        ratios = []
+        for index, row in measured.items():
+            alpha, beta = EXPSPACE_FAMILY[index]
+            ratios.append(row[0] / row[1])
+            series[f"{alpha} <= {beta}"] = _series_row(*row)
+        family_median = statistics.median(ratios)
+        obs.gauge("schema.compile.amortization.expspace", family_median)
+        record("E14 expspace cold vs warm (gate: prep_ratio)", series)
+        assert family_median >= 2.0, series
+        benchmark(lambda: None)
+
+    def test_automata_family(self, benchmark, record):
+        problems = [Problem(ProblemKind.SATISFIABILITY, phi=parse_node(phi))
+                    for phi in AUTOMATA_FAMILY]
+        measured = _amortization("automata", _automata_prep, problems,
+                                 prep_reps=7, solve_reps=3)
+        series = {}
+        ratios = []
+        for index, row in measured.items():
+            ratios.append(row[0] / row[1])
+            series[AUTOMATA_FAMILY[index]] = _series_row(*row)
+        family_median = statistics.median(ratios)
+        obs.gauge("schema.compile.amortization.automata", family_median)
+        record("E14 automata cold vs warm (gate: prep_ratio)", series)
+        assert family_median >= 2.0, series
+        benchmark(lambda: None)
+
+
+class TestCompileOnceAcrossTheFamily:
+    """The observability contract E14 rides on: one warm pass over a
+    same-schema family compiles exactly once, and the compile duration is
+    recorded in the ``schema.compile_s`` histogram."""
+
+    def test_counters(self, benchmark, _obs_recording):
+        engine = default_registry().get("automata")
+        problems = [Problem(ProblemKind.SATISFIABILITY, phi=parse_node(phi))
+                    for phi in AUTOMATA_FAMILY]
+        reset_sessions()
+        before = dict(_obs_recording.counters)
+        for problem in problems:
+            assert engine.solve(problem) is not None
+        compiles = _obs_recording.counters.get("schema.compile.count", 0) \
+            - before.get("schema.compile.count", 0)
+        reuses = _obs_recording.counters.get("analysis.session.reused", 0) \
+            - before.get("analysis.session.reused", 0)
+        assert compiles == 1, _obs_recording.counters
+        assert reuses == len(problems) - 1, _obs_recording.counters
+        reset_sessions()
+        benchmark(lambda: None)

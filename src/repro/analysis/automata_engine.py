@@ -66,16 +66,20 @@ class AutomataEngine(Engine):
                     and CORE_STAR_EQ.admits(problem.beta))
         return False
 
-    def solve(self, problem: Problem) -> SatResult | ContainmentResult | None:
+    def solve(self, problem: Problem,
+              session=None) -> SatResult | ContainmentResult | None:
         obs.note("engine", self.name)
         # The worker-local schema session: emptiness checks over one
-        # schema share the bitset kernel's relation memos across the
-        # whole batch instead of rebuilding them per problem.
+        # schema share the compiled alphabet partition and the bitset
+        # kernel's relation memos across the whole batch instead of
+        # rebuilding them per problem.
         from .session import session_for
 
-        session = session_for(problem)
+        if session is None:
+            session = session_for(problem)
         if problem.kind is ProblemKind.SATISFIABILITY:
-            outcome = self._check(problem.phi, session)
+            outcome = self._check(problem.phi, session,
+                                  session.compiled.partition)
             if outcome is None:
                 return None
             obs.count(f"dispatch.{self.name}")
@@ -88,7 +92,8 @@ class AutomataEngine(Engine):
         from .reductions import containment_to_node_unsat
 
         reduction = containment_to_node_unsat(problem.alpha, problem.beta)
-        outcome = self._check(reduction.formula, session)
+        outcome = self._check(reduction.formula, session,
+                              session.compiled.decorated_partition())
         if outcome is None:
             return None
         obs.count(f"dispatch.{self.name}")
@@ -99,11 +104,14 @@ class AutomataEngine(Engine):
         return ContainmentResult(Verdict.SATISFIABLE, tree, pair,
                                  explored_up_to=tree.size, trees_checked=1)
 
-    def _check(self, phi: NodeExpr,
-               session=None) -> tuple[bool, object, object] | None:
+    def _check(self, phi: NodeExpr, session=None,
+               partition=None) -> tuple[bool, object, object] | None:
         """Emptiness of ``A_φ``: ``(empty, witness, witness_node)``, or
-        ``None`` when the saturation hits its guards."""
-        automaton = build_twoata(phi)
+        ``None`` when the saturation hits its guards.  ``partition`` is the
+        compiled schema's alphabet-partition seed; :func:`build_twoata`
+        adopts it only when it matches the formula's own mentioned labels
+        exactly, so verdicts and counters are identical either way."""
+        automaton = build_twoata(phi, partition=partition)
         if automaton.num_states > self.max_states:
             obs.count(f"dispatch.{self.name}_too_large")
             return None

@@ -269,7 +269,8 @@ class BoundedEngine(Engine):
         return problem.kind in (ProblemKind.SATISFIABILITY,
                                 ProblemKind.CONTAINMENT)
 
-    def solve(self, problem: Problem) -> SatResult | ContainmentResult:
+    def solve(self, problem: Problem,
+              session=None) -> SatResult | ContainmentResult:
         obs.note("engine", self.name)
         obs.count(f"dispatch.{self.name}")
         if problem.kind is ProblemKind.SATISFIABILITY:
@@ -300,7 +301,7 @@ class RandomEngine(Engine):
     def admits(self, problem: Problem) -> bool:
         return problem.kind is ProblemKind.SATISFIABILITY
 
-    def solve(self, problem: Problem) -> SatResult:
+    def solve(self, problem: Problem, session=None) -> SatResult:
         obs.note("engine", self.name)
         obs.count(f"dispatch.{self.name}")
         assert problem.phi is not None

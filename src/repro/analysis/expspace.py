@@ -71,9 +71,18 @@ Demand = tuple[str, SimplePath]
 class TypeSystem:
     """The ``sub``/``inst``/``aux`` machinery for one input ``(φ₀, D)``."""
 
-    def __init__(self, phi0: NodeExpr, edtd: EDTD, max_modal_atoms: int = 18):
+    def __init__(self, phi0: NodeExpr, edtd: EDTD, max_modal_atoms: int = 18,
+                 frame=None):
         self.phi0 = phi0
         self.edtd = edtd
+        # ``frame`` is the schema's compiled TypeFrame: the same sorted
+        # abstract-label order, with content NFAs already built.  Using it
+        # changes nothing observable (it is a pure function of the EDTD);
+        # a frame for a different EDTD instance is ignored.
+        if frame is not None and frame.edtd is edtd:
+            self.labels: tuple[str, ...] = frame.labels
+        else:
+            self.labels = tuple(sorted(edtd.abstract_labels))
         self.subs: list[NodeExpr] = sorted(node_subexpressions(phi0), key=repr)
         self.inst: dict[NodeExpr, frozenset[SimplePath]] = {}
         all_suffixes: set[SimplePath] = set()
@@ -157,7 +166,7 @@ class TypeSystem:
     def all_types(self) -> list[CompleteType]:
         """Every complete type for ``(φ₀, D)``."""
         types: list[CompleteType] = []
-        for abstract in sorted(self.edtd.abstract_labels):
+        for abstract in self.labels:
             for bits in itertools.product(
                     (False, True), repeat=len(self.modal_atoms)):
                 assignment = dict(zip(self.modal_atoms, bits))
@@ -196,7 +205,8 @@ class TypeSystem:
 
 
 def downward_cap_satisfiable(phi0: NodeExpr, edtd: EDTD,
-                             max_modal_atoms: int = 18) -> SatResult:
+                             max_modal_atoms: int = 18,
+                             frame=None) -> SatResult:
     """Decide satisfiability of a CoreXPath↓(∩) node expression w.r.t. an
     EDTD by the (determinized) Figure 2 algorithm.  Complete: the verdict is
     always conclusive.  Returns a witness tree when satisfiable.
@@ -204,14 +214,19 @@ def downward_cap_satisfiable(phi0: NodeExpr, edtd: EDTD,
     Figure 2 tests its input at the *root*; satisfiability at an arbitrary
     node is the same as ``⟨↓*[φ₀]⟩`` at the root, which stays inside the
     downward fragment, so we run the algorithm on that wrapper.
+
+    ``frame`` may be the schema's compiled
+    :class:`~repro.edtd.compiled.TypeFrame` (label order + warm content
+    NFAs); the output is byte-identical with or without it, so the
+    frameless call doubles as the differential oracle.
     """
     from ..semantics import evaluate_nodes
     from ..xpath.ast import AxisClosure, Axis, Filter, SomePath
 
     with obs.span("expspace.setup"):
         wrapped = SomePath(Filter(AxisClosure(Axis.DOWN), phi0))
-        system = TypeSystem(wrapped, edtd, max_modal_atoms)
-        candidate_space = len(edtd.abstract_labels) * 2 ** len(system.modal_atoms)
+        system = TypeSystem(wrapped, edtd, max_modal_atoms, frame=frame)
+        candidate_space = len(system.labels) * 2 ** len(system.modal_atoms)
     obs.gauge("expspace.modal_atoms", len(system.modal_atoms))
     obs.gauge("expspace.candidate_space", candidate_space)
     if candidate_space > 60_000:
@@ -385,19 +400,27 @@ class ExpspaceEngine(Engine):
             return DOWNWARD_CAP.admits(reduction.formula)
         return False
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         from .problems import ContainmentResult, ProblemKind
         from .reductions import containment_to_node_unsat
+        from .session import session_for
 
         obs.note("engine", self.name)
+        if session is None:
+            session = session_for(problem)
+        compiled = session.compiled
+        # The compiled EDTD has the same fingerprint as the problem's (that
+        # is what the session id hashes), so it is behaviorally identical —
+        # but its content NFAs and type frame are already warm.
+        edtd = compiled.edtd if compiled.edtd is not None else problem.edtd
         if problem.kind is ProblemKind.SATISFIABILITY:
-            result = self._satisfiable(problem.phi, problem.edtd)
+            result = self._satisfiable(problem.phi, edtd, compiled)
             if result is not None:
                 obs.count(f"dispatch.{self.name}")
             return result
         reduction = containment_to_node_unsat(problem.alpha, problem.beta,
-                                              problem.edtd)
-        inner = self._satisfiable(reduction.formula, reduction.edtd)
+                                              edtd, schema=compiled)
+        inner = self._satisfiable(reduction.formula, reduction.edtd, compiled)
         if inner is None:
             return None
         obs.count(f"dispatch.{self.name}")
@@ -409,14 +432,17 @@ class ExpspaceEngine(Engine):
         return ContainmentResult(Verdict.UNSATISFIABLE,
                                  trees_checked=inner.trees_checked)
 
-    def _satisfiable(self, phi: NodeExpr, edtd: EDTD | None) -> SatResult | None:
+    def _satisfiable(self, phi: NodeExpr, edtd: EDTD | None,
+                     compiled=None) -> SatResult | None:
         from .reductions import sat_to_edtd_sat
 
         if edtd is None:
-            reduction = sat_to_edtd_sat(phi)
+            reduction = sat_to_edtd_sat(phi, schema=compiled)
+            frame = None if compiled is None \
+                else compiled.type_frame(reduction.edtd)
             try:
                 inner = downward_cap_satisfiable(reduction.formula,
-                                                 reduction.edtd)
+                                                 reduction.edtd, frame=frame)
             except TooManyModalAtoms:
                 obs.count("dispatch.expspace_too_large")
                 return None
@@ -426,8 +452,9 @@ class ExpspaceEngine(Engine):
                                  explored_up_to=tree.size,
                                  trees_checked=inner.trees_checked)
             return inner
+        frame = None if compiled is None else compiled.type_frame(edtd)
         try:
-            return downward_cap_satisfiable(phi, edtd)
+            return downward_cap_satisfiable(phi, edtd, frame=frame)
         except TooManyModalAtoms:
             obs.count("dispatch.expspace_too_large")
             return None

@@ -50,6 +50,7 @@ from typing import Iterator
 
 from .. import obs
 from ..edtd import EDTD
+from ..edtd.compiled import SchemaTables
 from ..semantics import TreeContext, compile_plan
 from ..trees import XMLTree
 from ..xpath.fragments import (
@@ -199,87 +200,10 @@ def _subsets(nodes: frozenset[int]) -> Iterator[frozenset[int]]:
             yield frozenset(combo)
 
 
-class _SchemaTables:
-    """Per-EDTD realizability and reachability tables.
-
-    ``minimal[t]`` is a smallest-effort conforming subtree spec for
-    abstract type ``t`` (absent iff ``t`` is unrealizable); ``reach[t]``
-    records how a realizable ``t``-node is reached from the root type —
-    ``None`` for the root itself, else ``(parent type, content word)``
-    with ``t`` a letter of the word.
-    """
-
-    def __init__(self, edtd: EDTD):
-        self.edtd = edtd
-        self.minimal: dict[str, _Spec] = {}
-        changed = True
-        while changed:
-            changed = False
-            for t in sorted(edtd.abstract_labels - set(self.minimal)):
-                word = self._shortest_word(t, required=None)
-                if word is not None:
-                    self.minimal[t] = (edtd.projection[t],
-                                       [self.minimal[x] for x in word])
-                    changed = True
-        self.reach: dict[str, tuple[str, tuple[str, ...]] | None] = {}
-        if edtd.root_type in self.minimal:
-            self.reach[edtd.root_type] = None
-            frontier = [edtd.root_type]
-            while frontier:
-                t = frontier.pop()
-                for t2 in sorted(set(self.minimal) - set(self.reach)):
-                    word = self._shortest_word(t, required=t2)
-                    if word is not None:
-                        self.reach[t2] = (t, word)
-                        frontier.append(t2)
-
-    def _shortest_word(self, t: str,
-                       required: str | None) -> tuple[str, ...] | None:
-        """A shortest word of realizable letters accepted by ``P(t)``,
-        containing ``required`` when given; ``None`` if there is none."""
-        nfa = self.edtd.content_nfa(t)
-        letters = sorted(self.minimal)
-        start = (frozenset(nfa.initial), required is None)
-        parents: dict[tuple, tuple | None] = {start: None}
-        queue = [start]
-        while queue:
-            state = queue.pop(0)
-            states, satisfied = state
-            if satisfied and states & nfa.accepting:
-                word: list[str] = []
-                cur: tuple | None = parents[state]
-                node = state
-                while cur is not None:
-                    word.append(cur[1])
-                    node = cur[0]
-                    cur = parents[node]
-                return tuple(reversed(word))
-            for letter in letters:
-                step = frozenset().union(
-                    *(nfa.successors(q, letter) for q in states))
-                if not step:
-                    continue
-                nxt = (step, satisfied or letter == required)
-                if nxt not in parents:
-                    parents[nxt] = (state, letter)
-                    queue.append(nxt)
-        return None
-
-    def context(self, t: str, spec: _Spec) -> tuple[_Spec, list[int]]:
-        """Wrap ``spec`` (a conforming ``t``-subtree) into a full conforming
-        document; returns the document spec and the child-index path from
-        the root down to the planted subtree."""
-        path: list[int] = []
-        while self.reach[t] is not None:
-            parent, word = self.reach[t]  # type: ignore[misc]
-            index = word.index(t)
-            children = [self.minimal[x] for x in word]
-            children[index] = spec
-            spec = (self.edtd.projection[parent], children)
-            path.append(index)
-            t = parent
-        path.reverse()
-        return spec, path
+# The per-EDTD realizability/reachability fixpoints moved into the
+# compile-once schema artifact (one instance per schema, shared by every
+# problem of a batch); the old private name stays importable.
+_SchemaTables = SchemaTables
 
 
 class _CoverSearch:
@@ -442,12 +366,14 @@ class PatternsEngine(Engine):
                     and compile_pattern(problem.beta) is not None)
         return False
 
-    def solve(self, problem: Problem) -> SatResult | ContainmentResult | None:
+    def solve(self, problem: Problem,
+              session=None) -> SatResult | ContainmentResult | None:
         obs.note("engine", self.name)
         with obs.span("patterns.solve", kind=problem.kind.value):
-            return self._solve(problem)
+            return self._solve(problem, session)
 
-    def _solve(self, problem: Problem) -> SatResult | ContainmentResult | None:
+    def _solve(self, problem: Problem,
+               session=None) -> SatResult | ContainmentResult | None:
         if problem.kind is ProblemKind.SATISFIABILITY:
             pattern = compile_pattern(problem.phi)
             if pattern is None:
@@ -457,7 +383,7 @@ class PatternsEngine(Engine):
             if problem.edtd is None:
                 result = self._sat_schemaless(pattern, problem)
             else:
-                result = self._sat_schema(pattern, problem)
+                result = self._sat_schema(pattern, problem, session)
         elif problem.kind is ProblemKind.CONTAINMENT and problem.edtd is None:
             alpha = compile_pattern(problem.alpha)
             beta = compile_pattern(problem.beta)
@@ -491,17 +417,19 @@ class PatternsEngine(Engine):
         return SatResult(Verdict.SATISFIABLE, tree, node,
                          explored_up_to=tree.size, trees_checked=1)
 
-    def _sat_schema(self, pattern: TreePattern,
-                    problem: Problem) -> SatResult | None:
+    def _sat_schema(self, pattern: TreePattern, problem: Problem,
+                    session=None) -> SatResult | None:
         if pattern.conflicted:
             return SatResult(Verdict.UNSATISFIABLE)
         from .session import session_for
 
         assert problem.edtd is not None
-        cache = session_for(problem).pattern_cache
-        tables = cache.get("tables")
-        if tables is None:
-            tables = cache["tables"] = _SchemaTables(problem.edtd)
+        if session is None:
+            session = session_for(problem)
+        # The realizability fixpoints live on the compile-once schema
+        # artifact; only the per-pattern cover memos are session state.
+        tables = session.compiled.schema_tables()
+        cache = session.pattern_cache
         if not tables.reach:  # no conforming documents at all
             return SatResult(Verdict.UNSATISFIABLE)
         search = cache.get(("cover", pattern))

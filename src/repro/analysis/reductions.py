@@ -45,6 +45,8 @@ __all__ = [
     "sat_to_edtd_sat",
     "edtd_sat_to_sat",
     "decorate",
+    "decorated_frame",
+    "permissive_frame",
     "MARKED",
     "UNMARKED",
 ]
@@ -79,10 +81,31 @@ class NodeSatReduction:
     decode: Callable[[XMLTree, int], tuple[XMLTree, tuple[int, int]]]
 
 
+def decorated_frame(edtd: EDTD,
+                    gamma: tuple[str, ...]) -> tuple[str, EDTD]:
+    """The schema half of Prop. 4 for one joint label alphabet ``gamma``:
+    the fresh super-root ``s`` and the decorated EDTD ``D̄``.  A pure
+    function of ``(edtd, gamma)`` — :meth:`repro.edtd.compiled
+    .CompiledSchema.decorated_frame` memoizes it per schema."""
+    super_root = fresh_label(
+        frozenset(edtd.concrete_labels())
+        | frozenset(decorate(p, i) for p in gamma for i in (0, 1)),
+        stem="s",
+    )
+    return super_root, _decorated_edtd(edtd, super_root)
+
+
 def containment_to_node_unsat(alpha: PathExpr, beta: PathExpr,
-                              edtd: EDTD | None = None) -> NodeSatReduction:
+                              edtd: EDTD | None = None, *,
+                              schema=None) -> NodeSatReduction:
     """Prop. 4: ``α ⊑ β`` (w.r.t. ``edtd``) iff the returned formula is
-    unsatisfiable (w.r.t. the returned EDTD)."""
+    unsatisfiable (w.r.t. the returned EDTD).
+
+    ``schema`` may be the problem's :class:`~repro.edtd.compiled
+    .CompiledSchema`; when its EDTD *is* ``edtd`` the memoized decorated
+    frame is reused instead of rebuilt (identical output either way —
+    :func:`decorated_frame` is deterministic — so the schemaless path
+    doubles as the differential oracle)."""
     gamma = set(labels_used(alpha) | labels_used(beta))
     gamma.add(fresh_label(frozenset(gamma)))
     gamma = sorted(gamma)
@@ -105,12 +128,10 @@ def containment_to_node_unsat(alpha: PathExpr, beta: PathExpr,
         out_edtd = None
         super_root = None
     else:
-        super_root = fresh_label(
-            frozenset(edtd.concrete_labels())
-            | frozenset(decorate(p, i) for p in gamma for i in (0, 1)),
-            stem="s",
-        )
-        out_edtd = _decorated_edtd(edtd, super_root)
+        if schema is not None and schema.edtd is edtd:
+            super_root, out_edtd = schema.decorated_frame(edtd, tuple(gamma))
+        else:
+            super_root, out_edtd = decorated_frame(edtd, tuple(gamma))
         formula = and_all([
             Not(Label(super_root)),
             SomePath(Filter(bar(alpha, super_root), one)),
@@ -189,16 +210,33 @@ class EDTDSatReduction:
     decode: Callable[[XMLTree, int], tuple[XMLTree, int]]
 
 
-def sat_to_edtd_sat(phi: NodeExpr) -> EDTDSatReduction:
-    """Prop. 5: plain node satisfiability reduces to the EDTD-relativized
-    version, via a maximally permissive DTD with a fresh super-root."""
-    gamma = sorted(labels_used(phi) | {fresh_label(labels_used(phi))})
+def permissive_frame(gamma: tuple[str, ...]) -> tuple[EDTD, str]:
+    """The schema half of Prop. 5: the maximally permissive DTD over
+    ``gamma`` and its fresh super-root.  A pure function of ``gamma`` —
+    :meth:`repro.edtd.compiled.CompiledSchema.permissive_frame` memoizes
+    it per schema, so one instance (with warm content NFAs) serves every
+    schemaless satisfiability over the session's alphabet."""
     super_root = fresh_label(frozenset(gamma), stem="s")
     anything = " | ".join(gamma)
     rules = {super_root: anything}
     for label in gamma:
         rules[label] = f"({anything})*"
-    edtd = EDTD.from_rules(rules, root_type=super_root)
+    return EDTD.from_rules(rules, root_type=super_root), super_root
+
+
+def sat_to_edtd_sat(phi: NodeExpr, *, schema=None) -> EDTDSatReduction:
+    """Prop. 5: plain node satisfiability reduces to the EDTD-relativized
+    version, via a maximally permissive DTD with a fresh super-root.
+
+    ``schema`` may be the problem's :class:`~repro.edtd.compiled
+    .CompiledSchema`; it memoizes the permissive frame per label alphabet
+    (the schemaless path is deterministic-identical, serving as the
+    differential oracle)."""
+    gamma = tuple(sorted(labels_used(phi) | {fresh_label(labels_used(phi))}))
+    if schema is not None:
+        edtd, super_root = schema.permissive_frame(gamma)
+    else:
+        edtd, super_root = permissive_frame(gamma)
     relativized = relativize_axes(phi, Not(Label(super_root)))
     formula = And(relativized, Not(Label(super_root)))  # type: ignore[arg-type]
 

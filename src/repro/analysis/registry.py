@@ -9,9 +9,12 @@ An :class:`Engine` wraps one decision procedure behind a uniform interface:
 * ``cost_hint`` — a rough ordering key; the registry tries admitted
   engines cheapest-first, so a complete polynomial-ish procedure beats
   exhaustive search beats random sampling;
-* ``solve(problem)`` — run it, or return ``None`` to *decline at runtime*
-  (e.g. the EXPSPACE engine's type space blows past its memory guard —
-  something ``admits`` cannot see syntactically).
+* ``solve(problem, session)`` — run it, or return ``None`` to *decline at
+  runtime* (e.g. the EXPSPACE engine's type space blows past its memory
+  guard — something ``admits`` cannot see syntactically).  ``session`` is
+  the problem's :class:`~repro.analysis.session.SchemaSession`, carrying
+  the compile-once :class:`~repro.edtd.compiled.CompiledSchema` every
+  engine consumes instead of rebuilding its per-schema machinery.
 
 :func:`plan_and_run` is the single dispatch point for the whole analysis
 API: ``satisfiable``/``contains``/``equivalent`` build a
@@ -70,8 +73,15 @@ class Engine:
         """Cheap syntactic admissibility check."""
         raise NotImplementedError
 
-    def solve(self, problem: Problem) -> Result | None:
-        """Decide ``problem``, or return ``None`` to decline at runtime."""
+    def solve(self, problem: Problem, session=None) -> Result | None:
+        """Decide ``problem``, or return ``None`` to decline at runtime.
+
+        ``session`` is the problem's
+        :class:`~repro.analysis.session.SchemaSession` (the dispatcher
+        always passes it); engines resolve it themselves via
+        :func:`~repro.analysis.session.session_for` when called directly
+        with ``session=None``.
+        """
         raise NotImplementedError
 
     def describe(self) -> dict:
@@ -161,12 +171,23 @@ class EngineRegistry:
                     chosen = engine
         last_error: Exception | None = None
         dispatch_start = time.perf_counter()
+        session = None  # the canonical problem's session, resolved lazily
         with obs.span("dispatch", problem=problem.kind.value):
+            from .session import session_for
+
             while chosen is not None:
                 solve_input = problem if chosen.pipeline is None \
                     else original.canonical(chosen.pipeline)
+                if solve_input is problem:
+                    if session is None:
+                        session = session_for(problem)
+                    attempt_session = session
+                else:
+                    # A custom-pipeline canonical form may mention a
+                    # different label alphabet — its own schema.
+                    attempt_session = session_for(solve_input)
                 try:
-                    result = chosen.solve(solve_input)
+                    result = chosen.solve(solve_input, attempt_session)
                 except EngineDeclined as declined:
                     # A *clean* decline surfacing as an exception — e.g. a
                     # nested dispatch (equivalence sub-containments) whose
@@ -252,7 +273,10 @@ class BidirectionalEngine(Engine):
     def admits(self, problem: Problem) -> bool:
         return problem.kind is ProblemKind.EQUIVALENCE
 
-    def solve(self, problem: Problem) -> ContainmentResult:
+    def solve(self, problem: Problem,
+              session=None) -> ContainmentResult:
+        # The per-direction subproblems resolve their own sessions inside
+        # the nested dispatch; the equivalence-level session is unused.
         assert problem.alpha is not None and problem.beta is not None
         forward_problem = Problem(
             ProblemKind.CONTAINMENT, alpha=problem.alpha, beta=problem.beta,

@@ -75,7 +75,8 @@ class TwoATA:
     alphabet and ``table`` the shared transition-formula store.
     """
 
-    def __init__(self, phi_prime: NFExpr):
+    def __init__(self, phi_prime: NFExpr,
+                 partition: AlphabetPartition | None = None):
         self.initial_expr = phi_prime
         self.state_exprs: list[NFExpr] = sorted(closure(phi_prime), key=repr)
         self._state_ids: dict[NFExpr, int] = {
@@ -85,7 +86,17 @@ class TwoATA:
         self._priorities = [
             1 if isinstance(expr, NFLoop) else 2 for expr in self.state_exprs
         ]
-        self.partition = AlphabetPartition.from_nf(phi_prime)
+        # A compiled schema may seed its shared partition, but only when it
+        # matches the formula's own mentioned labels exactly — then the two
+        # partitions are equal objects in all but identity, so adopting the
+        # shared one changes nothing while letting emptiness memos keyed on
+        # (base key, class mask) collide across a batch's problems.
+        own = AlphabetPartition.from_nf(phi_prime)
+        if partition is not None and partition.labels == own.labels:
+            self.partition = partition
+            obs.count("twoata.partition_shared")
+        else:
+            self.partition = own
         self.table = FormulaTable(negate_state=self._negate_state)
         self._delta_memo: dict[tuple, int] = {}
         obs.count("twoata.automata_built")
@@ -198,16 +209,21 @@ class TwoATA:
         return self.table.disj(parts)
 
 
-def build_twoata(phi: NodeExpr) -> TwoATA:
+def build_twoata(phi: NodeExpr,
+                 partition: AlphabetPartition | None = None) -> TwoATA:
     """The 2ATA ``A_φ`` for a CoreXPath(*, ≈) node expression ``φ``.
 
     ``φ' = loop(↓*[φ]/↑*)`` holds at the root iff ``φ`` holds somewhere, so
     the automaton starts at the root in state ``q_{φ'}``.
+
+    ``partition`` may be a compiled schema's shared alphabet partition; it
+    is adopted only when it equals the formula's own mentioned-label
+    partition (see :class:`TwoATA`), so results are identical either way.
     """
     with obs.span("twoata.build"):
         wrapped = Seq(Filter(AxisClosure(Axis.DOWN), phi), AxisClosure(Axis.UP))
         phi_prime: NFExpr = NFLoop(eliminate_skips(path_to_automaton(wrapped)))
-        return TwoATA(phi_prime)
+        return TwoATA(phi_prime, partition=partition)
 
 
 def accepts(automaton: TwoATA, tree: XMLTree) -> bool:

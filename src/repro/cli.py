@@ -356,6 +356,15 @@ def _cmd_batch(args) -> int:
           f"timeouts, {summary['worker_failures']} engine failures, "
           f"{summary['unsolved']} unsolved, {len(bad_records)} bad input "
           "lines)", file=sys.stderr)
+    if args.stats:
+        for entry in report.schemas:
+            reuse = entry["session_reuse"]
+            reuse_text = "n/a" if reuse is None else f"{reuse:.0%}"
+            print(f"schema {entry['schema_id'][:12]}: "
+                  f"{entry['problems']} problems, compiled once in "
+                  f"{entry['compile_s'] * 1000:.1f}ms, "
+                  f"{entry['cache_hits']} cache hits, "
+                  f"session hit rate {reuse_text}", file=sys.stderr)
     if stats is not None:
         _emit_stats(stats, args, trace_payload)
     if bad_records or report.failed:

@@ -1,6 +1,7 @@
 """Extended DTDs (Definition 2): schemas, conformance, generation."""
 
 from .edtd import EDTD, DTD, ConformanceError
+from .compiled import CompiledSchema, SchemaTables, TypeFrame, compile_schema
 from .examples import book_edtd, nested_sections_edtd, book_sample_rules
 from .generate import (
     random_conforming_tree,
@@ -13,6 +14,10 @@ __all__ = [
     "EDTD",
     "DTD",
     "ConformanceError",
+    "CompiledSchema",
+    "SchemaTables",
+    "TypeFrame",
+    "compile_schema",
     "book_edtd",
     "nested_sections_edtd",
     "book_sample_rules",

@@ -1,0 +1,336 @@
+"""Compile-once per-schema artifacts: the :class:`CompiledSchema` pipeline.
+
+The paper's schema-aware results all factor into a *per-schema* part and a
+*per-query* part: the Fig. 2 EXPSPACE construction enumerates types over
+the schema's content-model NFAs, the Prop. 4/5 reductions decorate the
+schema once per joint label alphabet, the ``patterns`` engine's cover
+search runs over per-schema realizability fixpoints, and the 2ATA
+emptiness kernel keys its memos on a per-schema alphabet partition.  Yet
+historically each engine rebuilt its schema half on every call.
+
+This module owns that schema half, built **once** per
+:func:`repro.analysis.session.schema_id_of` and cached on the
+:class:`~repro.analysis.session.SchemaSession`:
+
+* the relevant label ``alphabet`` and the mentioned-label
+  :class:`~repro.automata.core.AlphabetPartition` (the 2ATA alphabet
+  seed),
+* a fresh :class:`~repro.automata.core.KernelCache` (the emptiness
+  kernel's cross-problem memo store),
+* the content-model NFAs of the EDTD (compiled eagerly, so batch problem
+  #2 never pays the Thompson construction again),
+* :class:`SchemaTables` — the minimal-realizable-subtree and reachability
+  fixpoints the ``patterns`` engine's cover search runs on (previously
+  private to :mod:`repro.analysis.patterns`),
+* lazily derived, memoized artifacts: the Prop. 5 permissive EDTD and the
+  Prop. 4 decorated EDTD per joint label alphabet ``γ``, the decorated
+  alphabet partition, and the Fig. 2 :class:`TypeFrame` (sorted abstract
+  labels + precompiled NFAs) per (possibly derived) EDTD.
+
+The artifact is *immutable in interface*: its identity fields never change
+after :func:`compile_schema` returns, and the derived-artifact memo only
+grows monotonically with values that are pure functions of the identity
+fields — so sharing one instance across every engine and (forked) worker
+that sees the same ``schema_id`` is sound by construction.
+
+Observability: ``schema.compile.count`` counts eager compiles (a batch
+over N problems and one schema must show exactly one), ``schema.compile_s``
+records their durations, ``schema.compile.nfas`` the content NFAs
+compiled, and ``schema.compile.tables`` / ``schema.compile.reductions`` /
+``schema.compile.frames`` the lazily derived pieces (each at most once per
+schema and kind); ``schema.compile.derived_hit`` counts derived-memo hits
+and ``schema.compile.derived_s`` their build durations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .. import obs
+from .edtd import EDTD
+
+if TYPE_CHECKING:  # avoid importing the automata stack at module load
+    from ..automata.core import AlphabetPartition, KernelCache
+
+__all__ = ["CompiledSchema", "SchemaTables", "TypeFrame", "compile_schema"]
+
+
+#: ``(label, [child specs...])`` as accepted by :meth:`XMLTree.build`.
+_Spec = tuple
+
+
+class SchemaTables:
+    """Per-EDTD realizability and reachability fixpoints.
+
+    ``minimal[t]`` is a smallest-effort conforming subtree spec for
+    abstract type ``t`` (absent iff ``t`` is unrealizable); ``reach[t]``
+    records how a realizable ``t``-node is reached from the root type —
+    ``None`` for the root itself, else ``(parent type, content word)``
+    with ``t`` a letter of the word.
+
+    Pure functions of the EDTD alone, so one instance serves every pattern
+    (and every problem) over the schema; :meth:`CompiledSchema
+    .schema_tables` builds it once per compiled schema.
+    """
+
+    def __init__(self, edtd: EDTD):
+        self.edtd = edtd
+        self.minimal: dict[str, _Spec] = {}
+        changed = True
+        while changed:
+            changed = False
+            for t in sorted(edtd.abstract_labels - set(self.minimal)):
+                word = self._shortest_word(t, required=None)
+                if word is not None:
+                    self.minimal[t] = (edtd.projection[t],
+                                       [self.minimal[x] for x in word])
+                    changed = True
+        self.reach: dict[str, tuple[str, tuple[str, ...]] | None] = {}
+        if edtd.root_type in self.minimal:
+            self.reach[edtd.root_type] = None
+            frontier = [edtd.root_type]
+            while frontier:
+                t = frontier.pop()
+                for t2 in sorted(set(self.minimal) - set(self.reach)):
+                    word = self._shortest_word(t, required=t2)
+                    if word is not None:
+                        self.reach[t2] = (t, word)
+                        frontier.append(t2)
+
+    def _shortest_word(self, t: str,
+                       required: str | None) -> tuple[str, ...] | None:
+        """A shortest word of realizable letters accepted by ``P(t)``,
+        containing ``required`` when given; ``None`` if there is none."""
+        nfa = self.edtd.content_nfa(t)
+        letters = sorted(self.minimal)
+        start = (frozenset(nfa.initial), required is None)
+        parents: dict[tuple, tuple | None] = {start: None}
+        queue = [start]
+        while queue:
+            state = queue.pop(0)
+            states, satisfied = state
+            if satisfied and states & nfa.accepting:
+                word: list[str] = []
+                cur: tuple | None = parents[state]
+                node = state
+                while cur is not None:
+                    word.append(cur[1])
+                    node = cur[0]
+                    cur = parents[node]
+                return tuple(reversed(word))
+            for letter in letters:
+                step = frozenset().union(
+                    *(nfa.successors(q, letter) for q in states))
+                if not step:
+                    continue
+                nxt = (step, satisfied or letter == required)
+                if nxt not in parents:
+                    parents[nxt] = (state, letter)
+                    queue.append(nxt)
+        return None
+
+    def context(self, t: str, spec: _Spec) -> tuple[_Spec, list[int]]:
+        """Wrap ``spec`` (a conforming ``t``-subtree) into a full conforming
+        document; returns the document spec and the child-index path from
+        the root down to the planted subtree."""
+        path: list[int] = []
+        while self.reach[t] is not None:
+            parent, word = self.reach[t]  # type: ignore[misc]
+            index = word.index(t)
+            children = [self.minimal[x] for x in word]
+            children[index] = spec
+            spec = (self.edtd.projection[parent], children)
+            path.append(index)
+            t = parent
+        path.reverse()
+        return spec, path
+
+
+@dataclass(frozen=True)
+class TypeFrame:
+    """The per-schema half of the Fig. 2 type machinery: the sorted
+    abstract-label order the type enumeration iterates in, with every
+    content-model NFA compiled up front (``|D|`` is their max state
+    count).  One frame per (possibly reduction-derived) EDTD."""
+
+    edtd: EDTD
+    labels: tuple[str, ...]
+    max_states: int
+
+    @classmethod
+    def build(cls, edtd: EDTD) -> "TypeFrame":
+        labels = tuple(sorted(edtd.abstract_labels))
+        for label in labels:
+            edtd.content_nfa(label)
+        return cls(edtd, labels, edtd.max_nfa_states())
+
+    def nfa(self, label: str):
+        return self.edtd.content_nfa(label)
+
+
+@dataclass(eq=False)
+class CompiledSchema:
+    """The compile-once artifact for one ``schema_id`` (see module doc)."""
+
+    schema_id: str
+    edtd: EDTD | None
+    #: The relevant label alphabet (mentioned labels plus one fresh label
+    #: without a schema; the schema's concrete labels with one).
+    alphabet: tuple[str, ...]
+    #: Labels the problems actually mention (no fresh label): the 2ATA
+    #: alphabet seed.
+    partition: "AlphabetPartition"
+    #: The emptiness kernel's cross-problem memo store for this schema.
+    kernel_cache: "KernelCache"
+    #: Wall-clock seconds the eager compile took (set by
+    #: :func:`compile_schema`).
+    compile_s: float = 0.0
+    _derived: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------- derived memos
+
+    def _memo(self, key: tuple, counter: str, build: Callable):
+        value = self._derived.get(key)
+        if value is not None:
+            obs.count("schema.compile.derived_hit")
+            return value
+        started = time.perf_counter()
+        value = build()
+        obs.observe("schema.compile.derived_s",
+                    time.perf_counter() - started)
+        obs.count(f"schema.compile.{counter}")
+        self._derived[key] = value
+        return value
+
+    def schema_tables(self) -> SchemaTables:
+        """The realizability/reachability fixpoints (``patterns`` engine);
+        built at most once per schema."""
+        if self.edtd is None:
+            raise ValueError("schema_tables() needs an EDTD")
+        return self._memo(("tables",), "tables",
+                          lambda: SchemaTables(self.edtd))
+
+    def type_frame(self, edtd: EDTD | None = None) -> TypeFrame:
+        """The Fig. 2 :class:`TypeFrame` for ``edtd`` (default: the
+        schema's own EDTD).  Reduction-derived EDTDs obtained from
+        :meth:`permissive_frame` / :meth:`decorated_frame` are cached here,
+        so their frames are id-stable and built once."""
+        target = edtd if edtd is not None else self.edtd
+        if target is None:
+            raise ValueError("type_frame() needs an EDTD")
+        key = ("frame", id(target))
+        frame = self._derived.get(key)
+        if frame is not None and frame.edtd is target:
+            obs.count("schema.compile.derived_hit")
+            return frame
+        started = time.perf_counter()
+        frame = TypeFrame.build(target)
+        obs.observe("schema.compile.derived_s",
+                    time.perf_counter() - started)
+        obs.count("schema.compile.frames")
+        self._derived[key] = frame
+        return frame
+
+    def permissive_frame(self, gamma: tuple[str, ...]) -> tuple[EDTD, str]:
+        """The Prop. 5 maximally permissive EDTD (plus super-root) over the
+        joint label alphabet ``gamma`` — a pure function of ``gamma``, so
+        every schemaless satisfiability over this session's alphabet
+        reuses one instance (with warm content NFAs)."""
+        from ..analysis.reductions import permissive_frame
+
+        return self._memo(("prop5", gamma), "reductions",
+                          lambda: permissive_frame(gamma))
+
+    def decorated_frame(self, edtd: EDTD,
+                        gamma: tuple[str, ...]) -> tuple[str, EDTD]:
+        """The Prop. 4 decorated EDTD ``D̄`` (plus super-root) for this
+        schema and the joint label alphabet ``gamma`` of one containment
+        family.  Callers must pass this schema's own EDTD."""
+        from ..analysis.reductions import decorated_frame
+
+        return self._memo(("prop4", gamma), "reductions",
+                          lambda: decorated_frame(edtd, gamma))
+
+    def decorated_partition(self) -> "AlphabetPartition":
+        """The alphabet partition a schemaless Prop. 4 reduction formula
+        over this schema's labels mentions: both decorated variants
+        ``p#0, p#1`` of every occurring label, plus the *marked* variant of
+        the reduction's fresh label (its unmarked twin never occurs —
+        ``γ``'s fresh member only appears in the exactly-one-mark
+        disjunction).  Matches the reduction 2ATA's own partition exactly,
+        which is the sharing precondition in :class:`repro.automata
+        .twoata.TwoATA`."""
+
+        def build():
+            from ..analysis.reductions import (
+                MARKED,
+                UNMARKED,
+                decorate,
+                fresh_label,
+            )
+            from ..automata.core import AlphabetPartition
+
+            mentioned = self.partition.labels
+            fresh = fresh_label(frozenset(mentioned))
+            labels = [decorate(label, mark)
+                      for label in mentioned
+                      for mark in (UNMARKED, MARKED)]
+            labels.append(decorate(fresh, MARKED))
+            return AlphabetPartition(labels)
+
+        return self._memo(("prop4_partition",), "reductions", build)
+
+    def stats(self) -> dict:
+        """Sizes of the compiled artifact (for session stats / reports)."""
+        return {
+            "alphabet": len(self.alphabet),
+            "derived": len(self._derived),
+            "compile_s": self.compile_s,
+            **self.kernel_cache.stats(),
+        }
+
+
+def compile_schema(schema_id: str, exprs: tuple = (),
+                   edtd: EDTD | None = None, *,
+                   alphabet: tuple[str, ...] | None = None) -> CompiledSchema:
+    """Build the :class:`CompiledSchema` for ``schema_id``: the eager part
+    (alphabet, partition, kernel cache, content NFAs) now, the derived
+    reduction/table/frame artifacts lazily on first use.
+
+    ``alphabet`` may be passed by callers that already computed the
+    relevant alphabet (the session registry does, as a byproduct of the
+    schema id); otherwise it is derived from ``exprs``/``edtd``.
+    """
+    from ..automata.core import AlphabetPartition, KernelCache
+    from ..xpath.measures import labels_used
+
+    started = time.perf_counter()
+    with obs.span("schema.compile", schema=schema_id[:12]) as span:
+        if alphabet is None:
+            from ..analysis.engines import relevant_alphabet
+
+            alphabet = tuple(relevant_alphabet(*exprs, edtd=edtd))
+        if edtd is not None:
+            mentioned: list[str] = sorted(edtd.concrete_labels())
+        else:
+            used: set[str] = set()
+            for expr in exprs:
+                used |= labels_used(expr)
+            mentioned = sorted(used)
+        compiled = CompiledSchema(
+            schema_id=schema_id,
+            edtd=edtd,
+            alphabet=tuple(alphabet),
+            partition=AlphabetPartition(mentioned),
+            kernel_cache=KernelCache(),
+        )
+        if edtd is not None:
+            frame = compiled.type_frame()
+            obs.count("schema.compile.nfas", len(frame.labels))
+        span.annotate(alphabet=len(alphabet))
+    compiled.compile_s = time.perf_counter() - started
+    obs.count("schema.compile.count")
+    obs.observe("schema.compile_s", compiled.compile_s)
+    return compiled

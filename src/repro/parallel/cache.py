@@ -96,8 +96,13 @@ __all__ = [
 #: when the ``patterns`` engine landed and the engine set moved out of the
 #: key into the stored entry: conclusive verdicts now survive engine-ladder
 #: changes while inconclusive ones are invalidated by comparing the stored
-#: :func:`engine_set_fingerprint` at ``get`` time.
-CACHE_SCHEMA_VERSION = 5
+#: :func:`engine_set_fingerprint` at ``get`` time.  Bumped to 6 when the
+#: compile-once :class:`~repro.edtd.compiled.CompiledSchema` landed: every
+#: engine now consumes the per-schema artifact (partition, type frames,
+#: reduction frames, kernel memos) keyed on the same ``schema_session``
+#: id, so entries are pinned to verdicts produced under the shared-artifact
+#: regime.
+CACHE_SCHEMA_VERSION = 6
 
 Result = SatResult | ContainmentResult
 

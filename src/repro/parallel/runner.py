@@ -128,6 +128,11 @@ class BatchReport:
     race: bool
     cache_info: dict | None = None
     stats: dict | None = None
+    #: One entry per distinct compiled schema in the batch: ``{"schema_id",
+    #: "problems", "compile_s", "cache_hits", "session_reuse"}`` —
+    #: ``session_reuse`` is the measured warm-session hit rate when worker
+    #: stats were collected, else ``None``.
+    schemas: list[dict] = field(default_factory=list)
 
     def results(self) -> list[Result | None]:
         return [outcome.result for outcome in self.outcomes]
@@ -211,40 +216,104 @@ class BatchRunner:
         """Decide every problem; outcomes come back in input order."""
         items = list(problems)
         outcomes: list[BatchOutcome | None] = [None] * len(items)
-        # Group the batch by compiled schema up front: the gauge tells a
-        # profile reader how much schema-session sharing the conclusive
-        # engine can expect (workers grow one warm kernel session per
-        # distinct id — see repro.analysis.session).
+        # Group the batch by compiled schema up front and compile each
+        # distinct schema ONCE in the parent, before any worker forks: the
+        # gauge tells a profile reader how much schema-session sharing the
+        # conclusive engines can expect, fork-started workers inherit the
+        # finished CompiledSchema artifacts instead of rebuilding them per
+        # process, and the ``schema.compile.*`` counters land in the
+        # caller's (batch-level) recording where the compile-once property
+        # is assertable.
+        by_schema: dict[str, list[Problem]] = {}
+        sessions: dict[str, "SchemaSession"] = {}
         if items:
             from ..analysis.session import schema_id_of
 
-            schema_ids = {
-                schema_id_of(*problem.expressions(), edtd=problem.edtd)
-                for problem in items
-            }
-            obs.gauge("batch.schemas", len(schema_ids))
+            for problem in items:
+                canonical = problem.canonical()
+                schema_id = schema_id_of(*canonical.expressions(),
+                                         edtd=canonical.edtd)
+                by_schema.setdefault(schema_id, []).append(canonical)
+            obs.gauge("batch.schemas", len(by_schema))
         started = time.perf_counter()
-        with obs.span("batch.run", problems=len(items), workers=self.workers,
-                      race=self.race):
+        schema_summary: list[dict] = []
+        try:
+            with obs.span("batch.run", problems=len(items),
+                          workers=self.workers, race=self.race):
+                if items:
+                    from ..analysis.session import session_for
+
+                    with obs.span("batch.precompile",
+                                  schemas=len(by_schema)):
+                        for schema_id, group in by_schema.items():
+                            sessions[schema_id] = session_for(group[0])
+                    with ThreadPoolExecutor(
+                            max_workers=min(self.workers, len(items)),
+                            thread_name_prefix="batch") as pool:
+                        futures = [
+                            pool.submit(self._run_one, index, problem,
+                                        started)
+                            for index, problem in enumerate(items)
+                        ]
+                        for index, future in enumerate(futures):
+                            outcomes[index] = future.result()
+            schema_summary = self._schema_summary(by_schema, sessions,
+                                                  outcomes)
+        finally:
+            # Pool-shutdown hygiene: drop every worker-local session so a
+            # later batch — or a sequential caller after a terminated
+            # worker round — can never observe this batch's sessions.
             if items:
-                with ThreadPoolExecutor(
-                        max_workers=min(self.workers, len(items)),
-                        thread_name_prefix="batch") as pool:
-                    futures = [
-                        pool.submit(self._run_one, index, problem, started)
-                        for index, problem in enumerate(items)
-                    ]
-                    for index, future in enumerate(futures):
-                        outcomes[index] = future.result()
+                from ..analysis.session import reset_sessions
+
+                reset_sessions()
         wall = time.perf_counter() - started
         done = [outcome for outcome in outcomes if outcome is not None]
         assert len(done) == len(items)
         report = BatchReport(
             outcomes=done, wall_s=wall, workers=self.workers, race=self.race,
             cache_info=self.cache.info() if self.cache is not None else None,
+            schemas=schema_summary,
         )
         self._emit_metrics(report)
         return report
+
+    @staticmethod
+    def _schema_summary(by_schema: dict[str, list[Problem]],
+                        sessions: dict, outcomes: list) -> list[dict]:
+        """Per-schema batch figures, collected *before* the sessions are
+        reset: problem count, parent compile time, verdict-cache hits, and
+        the measured warm-session reuse rate (worker records only)."""
+        from ..analysis.session import schema_id_of
+
+        per_outcome: dict[str, list] = {}
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            schema_id = schema_id_of(*outcome.problem.expressions(),
+                                     edtd=outcome.problem.edtd)
+            per_outcome.setdefault(schema_id, []).append(outcome)
+        summary = []
+        for schema_id, group in by_schema.items():
+            rows = per_outcome.get(schema_id, [])
+            reused = compiles = observed = 0
+            for outcome in rows:
+                for record in outcome.worker_records:
+                    counters = record.get("counters") or {}
+                    observed += 1
+                    reused += counters.get("analysis.session.reused", 0)
+                    compiles += counters.get("schema.compile.count", 0)
+            session = sessions.get(schema_id)
+            summary.append({
+                "schema_id": schema_id,
+                "problems": len(group),
+                "compile_s": session.compiled.compile_s if session else 0.0,
+                "cache_hits": sum(1 for outcome in rows
+                                  if outcome.cache_hit),
+                "session_reuse": (reused / max(reused + compiles, 1))
+                if observed else None,
+            })
+        return summary
 
     # ---------------------------------------------------- one problem slot
 

@@ -93,6 +93,13 @@ def solve_in_child(conn, problem: Problem, exclude: frozenset[str],
     Never raises: every failure mode becomes a message (or, at worst, a
     closed pipe the parent observes as a dead worker).
     """
+    from ..analysis.session import discard_incomplete_sessions, session_for
+
+    # Fork hygiene, belt-and-braces with the session module's
+    # ``os.register_at_fork`` hook: a session whose compile was in flight
+    # in the parent at fork time must never be observed here.  (Under
+    # ``spawn`` the registry starts empty and this is a no-op.)
+    discard_incomplete_sessions()
     recording = None
     if collect_stats:
         recording = obs.record("batch.worker").start()
@@ -128,7 +135,10 @@ def solve_in_child(conn, problem: Problem, exclude: frozenset[str],
             conn.send(("trying", engine.name))
             engine_span = obs.span(f"engine.{engine.name}").start()
             try:
-                result = engine.solve(problem)
+                # One session per problem, shared down the ladder; under
+                # the default fork start method the parent precompiled it,
+                # so this is a registry hit, not a compile.
+                result = engine.solve(problem, session_for(problem))
             except Exception as error:
                 engine_span.annotate(status="failed")
                 engine_span.finish()

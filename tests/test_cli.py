@@ -235,7 +235,7 @@ class TestEngineErrorPaths:
             def admits(self, problem):
                 return True
 
-            def solve(self, problem):
+            def solve(self, problem, session=None):
                 raise RuntimeError("catastrophic engine bug")
 
         default_registry().register(Explodes())

@@ -60,7 +60,7 @@ class Raiser(Engine):
         return problem.kind in (ProblemKind.SATISFIABILITY,
                                 ProblemKind.CONTAINMENT)
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         raise RuntimeError("injected engine failure")
 
 
@@ -75,7 +75,7 @@ class Sleeper(Engine):
         return problem.kind in (ProblemKind.SATISFIABILITY,
                                 ProblemKind.CONTAINMENT)
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         time.sleep(60)
         raise AssertionError("sleeper was not terminated")
 

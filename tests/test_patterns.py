@@ -252,7 +252,12 @@ class TestSchemaSat:
         problem = Problem(ProblemKind.SATISFIABILITY,
                           phi=parse_node("<down[b]>"), edtd=dtd).canonical()
         session = session_for(problem)
-        assert "tables" in session.pattern_cache
+        # Realizability tables live on the compile-once schema artifact
+        # (built at most once per schema); the per-pattern cover memos
+        # stay session state.
+        tables = session.compiled.schema_tables()
+        assert tables is session.compiled.schema_tables()
+        assert any(key[0] == "cover" for key in session.pattern_cache)
         assert session.stats()["pattern_entries"] >= 2
         reset_sessions()
 

@@ -106,7 +106,7 @@ class TestRegistryMechanics:
             def admits(self, problem):
                 return True
 
-            def solve(self, problem):
+            def solve(self, problem, session=None):
                 calls.append("declines")
                 return None
 
@@ -117,7 +117,7 @@ class TestRegistryMechanics:
             def admits(self, problem):
                 return True
 
-            def solve(self, problem):
+            def solve(self, problem, session=None):
                 calls.append("answers")
                 from repro.analysis.problems import SatResult
                 return SatResult(Verdict.UNSATISFIABLE)
@@ -154,7 +154,7 @@ class _Boom(Engine):
     def admits(self, problem):
         return True
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         raise RuntimeError("engine bug")
 
 
@@ -165,7 +165,7 @@ class _Answers(Engine):
     def admits(self, problem):
         return True
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         from repro.analysis.problems import SatResult
         return SatResult(Verdict.UNSATISFIABLE)
 
@@ -211,7 +211,7 @@ class TestEngineExceptionFallthrough:
             name = "boom2"
             cost_hint = 2
 
-            def solve(self, problem):
+            def solve(self, problem, session=None):
                 raise KeyError("second bug")
 
         registry = EngineRegistry()
@@ -232,7 +232,7 @@ class _DeclinesLoudly(Engine):
     def admits(self, problem):
         return True
 
-    def solve(self, problem):
+    def solve(self, problem, session=None):
         raise EngineDeclined("nested dispatch declined")
 
 
@@ -271,7 +271,7 @@ class TestDeclineVsErrorDistinction:
             def admits(self, problem):
                 return True
 
-            def solve(self, problem):
+            def solve(self, problem, session=None):
                 return None
 
         registry = EngineRegistry()
