@@ -50,6 +50,7 @@ __all__ = [
     "MAX_SESSIONS",
     "SchemaSession",
     "discard_incomplete_sessions",
+    "registry_stats",
     "reset_sessions",
     "schema_id_of",
     "session_for",
@@ -139,6 +140,11 @@ _SESSIONS: "OrderedDict[str, SchemaSession]" = OrderedDict()
 _LOCK = threading.Lock()
 #: Schema ids whose compile is in flight in *this* process.
 _BUILDING: set[str] = set()
+#: Lifetime registry counters (this process), independent of any obs
+#: recording: the ``repro serve`` daemon's ``/stats`` endpoint reports
+#: these so a warm pass can be asserted compile-free from outside the
+#: process.  NOT reset by :func:`reset_sessions` — they count forever.
+_STATS = {"created": 0, "reused": 0, "evicted": 0}
 
 
 def session_for(problem: Problem) -> SchemaSession:
@@ -152,6 +158,7 @@ def session_for(problem: Problem) -> SchemaSession:
         if session is not None:
             _SESSIONS.move_to_end(schema_id)
             session.problems_seen += 1
+            _STATS["reused"] += 1
             obs.count("analysis.session.reused")
             obs.count("schema.compile.cache_hit")
             return session
@@ -166,9 +173,18 @@ def session_for(problem: Problem) -> SchemaSession:
             _BUILDING.discard(schema_id)
         while len(_SESSIONS) > MAX_SESSIONS:
             _SESSIONS.popitem(last=False)
+            _STATS["evicted"] += 1
             obs.count("analysis.session.evicted")
+        _STATS["created"] += 1
         obs.count("analysis.session.created")
         return session
+
+
+def registry_stats() -> dict:
+    """Resident-session count plus lifetime created/reused/evicted
+    counters for this process (see :data:`_STATS`)."""
+    with _LOCK:
+        return {"resident": len(_SESSIONS), **_STATS}
 
 
 def reset_sessions() -> None:

@@ -17,7 +17,13 @@ Commands
 * ``validate --schema FILE [--doc FILE | --xml STRING]`` — EDTD conformance.
 * ``batch INPUT.jsonl [--workers N] [--timeout S] [--race] [--cache-dir D]``
   — decide a JSONL stream of problems on a worker pool (see
-  :mod:`repro.parallel`); answers are emitted as JSONL.
+  :mod:`repro.parallel`); answers are emitted as JSONL.  With ``--server
+  ADDRESS`` the stream is shipped to a running daemon instead.
+* ``serve [--port P] [--socket PATH] …`` — the containment daemon (see
+  :mod:`repro.server`): a resident executor + verdict cache behind HTTP
+  (``/v1/solve``, ``/healthz``, ``/stats``) and the batch JSONL protocol.
+* ``cache gc|info [--cache-dir D]`` — garbage-collect the verdict cache
+  down to ``--max-entries``/``--max-bytes``, or print its totals.
 * ``report BENCH_obs.json [--compare BASELINE --fail-on-regression PCT]``
   — render the benchmark harness's per-test perf artifact as a table, or
   gate against a committed baseline (the CI perf-regression job).
@@ -216,71 +222,89 @@ def _cmd_contains(args) -> int:
 
 def _parse_batch_line(line: str, number: int, args, edtd) -> tuple:
     """One JSONL problem line -> (record_id, Problem).  Raises ValueError
-    with a line-scoped message on malformed input."""
-    from .analysis import Problem, ProblemKind, default_registry
+    with a line-scoped message on malformed input.  The record format
+    itself lives in :mod:`repro.server.protocol` (shared with the
+    daemon); this wrapper adds JSON decoding, the ``line N:`` scoping
+    and the line-number default id."""
+    from .server.protocol import parse_problem_record
 
     try:
         data = json.loads(line)
     except ValueError as error:
         raise ValueError(f"line {number}: invalid JSON: {error}") from error
-    if not isinstance(data, dict):
-        raise ValueError(f"line {number}: expected a JSON object")
-    kind_name = data.get("kind", "contains")
-    record_id = data.get("id", number)
-    max_nodes = data.get("max_nodes", args.max_nodes)
-    engine = data.get("engine", None if args.engine == "auto" else args.engine)
-    if engine is not None and engine not in default_registry().names():
-        raise ValueError(f"line {number}: unknown engine {engine!r}")
     try:
-        if kind_name == "satisfiable":
-            problem = Problem(ProblemKind.SATISFIABILITY,
-                              phi=parse_node(data["expr"]), edtd=edtd,
-                              max_nodes=max_nodes, engine=engine)
-        elif kind_name in ("contains", "equivalent"):
-            kind = (ProblemKind.CONTAINMENT if kind_name == "contains"
-                    else ProblemKind.EQUIVALENCE)
-            problem = Problem(kind, alpha=parse_path(data["alpha"]),
-                              beta=parse_path(data["beta"]), edtd=edtd,
-                              max_nodes=max_nodes, engine=engine)
-        else:
-            raise ValueError(f"unknown kind {kind_name!r} (expected "
-                             "'satisfiable', 'contains' or 'equivalent')")
-    except KeyError as error:
-        raise ValueError(
-            f"line {number}: missing field {error.args[0]!r}") from error
+        record_id, kind_name, problem = parse_problem_record(
+            data, edtd=edtd, default_max_nodes=args.max_nodes,
+            default_engine=None if args.engine == "auto" else args.engine)
     except ValueError as error:
         raise ValueError(f"line {number}: {error}") from error
+    if record_id is None:
+        record_id = number
     return record_id, kind_name, problem
 
 
 def _batch_record(record_id, kind_name, outcome) -> dict:
-    record: dict = {"id": record_id, "kind": kind_name}
-    result = outcome.result
-    if result is None:
-        record["error"] = outcome.error
-    else:
-        record["verdict"] = result.verdict.value
-        record["conclusive"] = result.conclusive
-        if kind_name in ("contains", "equivalent"):
-            record["contained"] = result.contained
-            if result.counterexample_pair is not None:
-                record["counterexample_pair"] = list(result.counterexample_pair)
-    record["engine"] = outcome.engine
-    record["cache"] = "hit" if outcome.cache_hit else "miss"
-    record["elapsed_s"] = round(outcome.worker_time_s, 6)
-    if outcome.race_winner is not None:
-        record["race_winner"] = outcome.race_winner
-    if outcome.failures:
-        record["engine_failures"] = [
-            {"engine": failure.engine, "error": failure.error_type,
-             "message": failure.message}
-            for failure in outcome.failures
-        ]
-    timeouts = [attempt["engine"] for attempt in outcome.attempts
-                if attempt["status"] == "timeout"]
-    if timeouts:
-        record["timeouts"] = timeouts
-    return record
+    from .server.protocol import outcome_record
+
+    return outcome_record(record_id, kind_name, outcome)
+
+
+def _batch_via_server(args, lines) -> int:
+    """``repro batch --server``: ship the stream to a running daemon over
+    its JSONL socket instead of spawning a local worker pool.  Records
+    come back in input order and in the same shape as a local batch
+    (default ids number the *payload* lines, since the daemon never sees
+    blanks or comments)."""
+    import time
+
+    from .server.client import ServerClient
+
+    if args.schema:
+        raise ValueError("--schema is not supported with --server; "
+                         "configure the schema on the daemon "
+                         "(repro serve --schema)")
+    payload = []
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            data = json.loads(text)
+        except ValueError:
+            # Ship it anyway: the daemon answers the same error record a
+            # local batch would emit for the malformed line.
+            payload.append(text)
+            continue
+        if isinstance(data, dict):
+            # Fold the CLI-level defaults into each record; explicit
+            # per-line fields always win, exactly as in a local batch.
+            if "max_nodes" not in data and args.max_nodes != 6:
+                data["max_nodes"] = args.max_nodes
+            if "engine" not in data and args.engine != "auto":
+                data["engine"] = args.engine
+            if "timeout" not in data and args.timeout is not None:
+                data["timeout"] = args.timeout
+            text = json.dumps(data, sort_keys=True)
+        payload.append(text)
+    client = ServerClient(args.server)
+    started = time.perf_counter()
+    records = client.solve_lines(payload)
+    wall = time.perf_counter() - started
+    out = sys.stdout
+    if args.output and args.output != "-":
+        out = open(args.output, "w", encoding="utf-8")
+    try:
+        for record in records:
+            print(json.dumps(record, sort_keys=True), file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    failed = sum(1 for record in records if "error" in record)
+    cache_hits = sum(1 for record in records if record.get("cache") == "hit")
+    print(f"batch: {len(records)} problems in {wall:.2f}s via server "
+          f"{args.server} ({cache_hits} cache hits, {failed} "
+          "errors)", file=sys.stderr)
+    return 2 if failed else 0
 
 
 def _cmd_batch(args) -> int:
@@ -299,6 +323,8 @@ def _cmd_batch(args) -> int:
     else:
         with open(args.input, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
+    if args.server:
+        return _batch_via_server(args, lines)
     problems = []
     ids: list[tuple] = []
     bad_records: list[dict] = []
@@ -369,6 +395,69 @@ def _cmd_batch(args) -> int:
         _emit_stats(stats, args, trace_payload)
     if bad_records or report.failed:
         return 2
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import ReproServer, ServerConfig
+
+    engines = tuple(name for chunk in (args.engines or [])
+                    for name in chunk.split(",") if name) or None
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        jsonl_path=args.socket, jsonl_port=args.jsonl_port,
+        workers=args.workers, timeout=args.timeout, race=args.race,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
+        schema=args.schema, passes=args.passes,
+        max_timeout=args.max_timeout, max_nodes_cap=args.max_nodes_cap,
+        default_max_nodes=args.max_nodes, engines=engines,
+        max_inflight=args.max_inflight, drain_s=args.drain_s)
+    server = ReproServer(config)
+
+    async def _serve() -> None:
+        await server.start()
+        listening = []
+        if server.http_port is not None:
+            listening.append(f"http://{config.host}:{server.http_port}")
+        if server.jsonl_path is not None:
+            listening.append(f"jsonl unix:{server.jsonl_path}")
+        if server.jsonl_port is not None:
+            listening.append(f"jsonl tcp:{config.host}:{server.jsonl_port}")
+        print(f"repro serve: listening on {', '.join(listening)} "
+              f"({server.service.workers} workers, passes "
+              f"{config.passes}); SIGTERM drains", file=sys.stderr,
+              flush=True)
+        await server.serve_forever()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .parallel import VerdictCache
+
+    cache = VerdictCache(args.cache_dir)
+    if args.cache_command == "gc":
+        summary = cache.gc(max_entries=args.max_entries,
+                           max_bytes=args.max_bytes)
+        print(json.dumps(summary, sort_keys=True))
+        print(f"cache gc: removed {summary['removed']} of "
+              f"{summary['scanned']} entries "
+              f"({summary['bytes_removed']} bytes) under {cache.directory}; "
+              f"{summary['entries']} entries / {summary['bytes']} bytes "
+              "remain", file=sys.stderr)
+        return 0
+    # "info": an unbounded gc() is a pure scan — it yields the live
+    # entry/byte totals without deleting anything.
+    summary = cache.gc()
+    info = cache.info()
+    info["entries"] = summary["entries"]
+    info["bytes"] = summary["bytes"]
+    print(json.dumps(info, sort_keys=True))
     return 0
 
 
@@ -574,8 +663,94 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the persistent verdict cache")
     batch.add_argument("--schema", help="schema applied to every problem")
     batch.add_argument("--max-nodes", type=int, default=6)
+    batch.add_argument(
+        "--server", metavar="ADDRESS", default=None,
+        help="send the stream to a running 'repro serve' daemon over its "
+             "JSONL socket (a unix socket path or host:port) instead of "
+             "spawning a local pool; executor flags (--workers, --race, "
+             "--cache-dir, --stats, --trace) are the daemon's and ignored "
+             "here, --schema must be configured on the daemon")
     _add_obs_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve", help="run the containment daemon (HTTP + JSONL socket) "
+                      "over a resident executor and verdict cache")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (0 = ephemeral; default: 8642)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="also serve the batch JSONL protocol on this "
+                            "unix socket (repro batch --server PATH)")
+    serve.add_argument("--jsonl-port", type=int, default=None, metavar="PORT",
+                       help="serve the JSONL protocol on a TCP port instead "
+                            "of a unix socket (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="executor slots (default: CPU count, max 8)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="default per-engine-attempt timeout (requests "
+                            "may override up to --max-timeout)")
+    serve.add_argument("--max-timeout", type=float, default=600.0,
+                       metavar="S",
+                       help="admission cap on per-request timeouts "
+                            "(default: 600)")
+    serve.add_argument("--race", action="store_true",
+                       help="race conclusive admitted engines per problem")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="verdict cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the verdict cache")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       metavar="N",
+                       help="bound the disk cache to N entries (GC on "
+                            "overflow)")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="B",
+                       help="bound the disk cache to B bytes (GC on "
+                            "overflow)")
+    serve.add_argument("--schema", help="schema applied to every request")
+    serve.add_argument("--passes", choices=["none", "basic", "full"],
+                       default="full",
+                       help="rewrite-pipeline level the server runs; "
+                            "requests asking for another level are "
+                            "rejected (default: full)")
+    serve.add_argument("--max-nodes", type=int, default=6,
+                       help="default search bound per request (default: 6)")
+    serve.add_argument("--max-nodes-cap", type=int, default=12, metavar="N",
+                       help="admission cap on per-request max_nodes "
+                            "(default: 12)")
+    serve.add_argument("--engines", action="append", metavar="NAME[,NAME..]",
+                       default=None,
+                       help="admit only these engines for per-request "
+                            "engine forcing (default: all registered)")
+    serve.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                       help="shed (429) beyond N concurrently admitted "
+                            "requests (default: 64)")
+    serve.add_argument("--drain-s", type=float, default=10.0, metavar="S",
+                       help="graceful-drain budget on SIGTERM "
+                            "(default: 10)")
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or garbage-collect the verdict cache")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_commands.add_parser(
+        "gc", help="delete oldest-mtime entries until the bounds hold")
+    cache_gc.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="cache directory (default: $REPRO_CACHE_DIR "
+                               "or ~/.cache/repro)")
+    cache_gc.add_argument("--max-entries", type=int, default=None,
+                          metavar="N", help="keep at most N entries")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          metavar="B", help="keep at most B bytes")
+    cache_gc.set_defaults(func=_cmd_cache)
+    cache_info = cache_commands.add_parser(
+        "info", help="print entry/byte totals and tier counters")
+    cache_info.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help="cache directory (default: "
+                                 "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_info.set_defaults(func=_cmd_cache)
 
     rep = commands.add_parser(
         "report", help="render or gate a BENCH_obs.json perf artifact")

@@ -30,6 +30,7 @@ from .runner import (
     BatchOutcome,
     BatchReport,
     BatchRunner,
+    ExecutorService,
     contains_many,
     run_batch,
     satisfiable_many,
@@ -41,6 +42,7 @@ __all__ = [
     "BatchOutcome",
     "BatchReport",
     "BatchRunner",
+    "ExecutorService",
     "VerdictCache",
     "WorkerFailure",
     "contains_many",

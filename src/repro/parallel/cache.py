@@ -1,9 +1,10 @@
-"""Persistent on-disk verdict cache for decision problems.
+"""Persistent verdict cache: a sharded on-disk store behind an LRU tier.
 
-Repeated benchmark and CI runs re-decide the same containment and
-satisfiability instances over and over; the :class:`VerdictCache` lets the
-batch runner (and anything else that dispatches :class:`Problem`\\ s) skip
-instances that were already solved under the same configuration.
+Repeated benchmark, CI, and *server* runs re-decide the same containment
+and satisfiability instances over and over; the :class:`VerdictCache` lets
+the batch runner, the resident :class:`~repro.parallel.runner
+.ExecutorService`, and the ``repro serve`` daemon skip instances that were
+already solved under the same configuration.
 
 Keys
 ----
@@ -44,6 +45,27 @@ it once per problem — so syntactic variants of the same instance (operand
 order, duplicated union members, redundant filters) collide onto one
 entry instead of each missing cold.
 
+Tiers
+-----
+
+The cache is two tiers deep:
+
+* **Memory** — a bounded LRU dict (``memory_entries``) in front of the
+  disk; the hit path of a warm key never touches the filesystem.  This is
+  the tier a long-lived daemon serves most requests from.
+* **Disk** — entries live in :data:`DEFAULT_SHARDS` subdirectory *shards*
+  (``<dir>/<xx>/<digest>.json``, shard = digest prefix mod shard count) so
+  concurrent writers spread their directory traffic and per-shard file
+  locks (``fcntl.flock`` on ``<shard>/.lock``) serialize writers on the
+  same shard without a global lock.  Legacy flat layouts (every
+  ``<digest>.json`` directly in the cache directory, PR 3 through PR 9)
+  are migrated into shards once, on first disk access.
+
+Probes and stores bump both plain attributes (``mem_hits``,
+``disk_hits``, ``misses``, ``stores``, ``evicted``, ``corrupt``) and the
+``cache.{mem_hit,disk_hit,miss,evicted,corrupt}`` obs counters (no-ops
+outside a recording).
+
 Values
 ------
 
@@ -52,9 +74,17 @@ Entries store the full result — verdict, witness / counterexample trees
 result equal to the one the engines produced.  Run-record ``stats`` are
 *not* cached; they describe one concrete run, not the problem.  Each entry
 is its own ``<digest>.json`` file written atomically (temp file +
-``os.replace``), so concurrent writers — e.g. several batch coordinator
-threads, or parallel CI jobs sharing a cache directory — never interleave
-partial writes.  Corrupt or unreadable entries are treated as misses.
+``os.replace``), so concurrent writers — batch coordinator threads,
+parallel CI jobs, a daemon and a CLI sharing one cache directory — never
+interleave partial writes.  Corrupt or truncated entries (bad JSON, or
+JSON that no longer decodes to a result) are counted, deleted, and
+treated as misses — the next ``put`` overwrites them; they can never
+raise on the hit path.
+
+The disk tier is optionally *bounded*: with ``max_entries`` and/or
+``max_bytes`` set, every store garbage-collects oldest-mtime entries
+until the cache fits again; ``repro cache gc`` runs the same collection
+one-shot from the command line.
 """
 
 from __future__ import annotations
@@ -63,8 +93,17 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 
+try:  # POSIX; the lock degrades to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from .. import obs
 from ..analysis.problems import (
     ContainmentResult,
     Problem,
@@ -78,6 +117,8 @@ from ..xpath import to_source
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_MEMORY_ENTRIES",
+    "DEFAULT_SHARDS",
     "VerdictCache",
     "default_cache_dir",
     "engine_set_fingerprint",
@@ -101,8 +142,18 @@ __all__ = [
 #: engine now consumes the per-schema artifact (partition, type frames,
 #: reduction frames, kernel memos) keyed on the same ``schema_session``
 #: id, so entries are pinned to verdicts produced under the shared-artifact
-#: regime.
+#: regime.  The sharded disk layout did NOT bump the version: the key
+#: scheme is unchanged, only where an entry's file lives moved (and the
+#: one-shot migration relocates legacy entries).
 CACHE_SCHEMA_VERSION = 6
+
+#: Disk shards: entry files live under ``<dir>/<shard>/``, shard =
+#: ``digest prefix mod DEFAULT_SHARDS`` rendered as two hex digits.
+DEFAULT_SHARDS = 16
+
+#: Bound of the in-memory LRU tier (entries, not bytes: a decoded entry is
+#: a small dict; 4096 of them are a few MB).
+DEFAULT_MEMORY_ENTRIES = 4096
 
 Result = SatResult | ContainmentResult
 
@@ -239,57 +290,219 @@ def decode_result(data: dict) -> Result:
 
 
 class VerdictCache:
-    """On-disk verdict store with an in-memory read-through layer.
+    """Two-tier verdict store: bounded LRU memory in front of sharded disk.
 
-    Thread-safe for the batch runner's usage pattern: ``get``/``put`` from
-    several coordinator threads.  The in-memory dict relies on CPython's
-    atomic dict operations; disk writes are atomic renames.
+    Thread-safe for every in-process usage pattern (batch coordinator
+    threads, the daemon's request threads) and process-safe for shared
+    cache directories (atomic renames + per-shard ``flock``).
+
+    Parameters:
+
+    * ``directory`` — disk tier root (default: :func:`default_cache_dir`).
+    * ``shards`` — subdirectory shard count (default
+      :data:`DEFAULT_SHARDS`); existing directories may be opened with any
+      count, keys land in different shards but lookups stay correct
+      because the shard of a key is recomputed, never stored.
+    * ``memory_entries`` — LRU memory-tier bound (0 disables the tier).
+    * ``max_entries`` / ``max_bytes`` — disk-tier bounds; when set, every
+      store garbage-collects oldest-mtime entries until the bound holds
+      (see :meth:`gc`).  ``None`` (the default) leaves the disk unbounded.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(self, directory: str | Path | None = None, *,
+                 shards: int = DEFAULT_SHARDS,
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be >= 0")
         self.directory = Path(directory) if directory is not None \
             else default_cache_dir()
-        self._memory: dict[str, dict] = {}
-        self.hits = 0
+        self.shards = shards
+        self.memory_entries = memory_entries
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._migrated = False
+        self.mem_hits = 0
+        self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.evicted = 0
+        self.corrupt = 0
+        self.gc_removed = 0
+
+    # ------------------------------------------------------------- layout
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers (memory + disk)."""
+        return self.mem_hits + self.disk_hits
+
+    def _shard_dir(self, key: str) -> Path:
+        return self.directory / f"{int(key[:8], 16) % self.shards:02x}"
 
     def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self._shard_dir(key) / f"{key}.json"
 
-    def get(self, problem: Problem) -> Result | None:
-        """The cached result of ``problem``, or ``None`` on a miss."""
-        key = problem_fingerprint(problem)
-        data = self._memory.get(key)
-        if data is None:
+    @contextmanager
+    def _shard_lock(self, shard_dir: Path):
+        """Exclusive advisory lock on one shard (held for writes, GC, and
+        migration; reads need no lock — entry files appear atomically)."""
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(shard_dir / ".lock", "a+b") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
             try:
-                data = json.loads(self._path(key).read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                data = None
-        if data is None:
-            self.misses += 1
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _ensure_migrated(self) -> None:
+        """One-shot migration of a legacy flat layout (PR 3 … PR 9 wrote
+        ``<digest>.json`` directly into the cache directory) into shards.
+
+        Runs at most once per cache instance, before the first disk
+        access; racing processes are safe because each file moves by
+        ``os.replace`` under its target shard's lock and a loser's missing
+        source is simply skipped.
+        """
+        if self._migrated:
+            return
+        with self._lock:
+            if self._migrated:
+                return
+            self._migrated = True
+        try:
+            legacy = [path for path in self.directory.glob("*.json")
+                      if path.is_file()]
+        except OSError:
+            return
+        moved = 0
+        for path in legacy:
+            key = path.stem
+            try:
+                int(key[:8], 16)
+            except ValueError:
+                continue  # not a digest-named entry; leave it alone
+            shard_dir = self._shard_dir(key)
+            try:
+                with self._shard_lock(shard_dir):
+                    if path.exists():
+                        os.replace(path, shard_dir / path.name)
+                        moved += 1
+            except OSError:
+                continue  # read-only directory, racing unlink, ...
+        if moved:
+            obs.count("cache.migrated", moved)
+
+    # ------------------------------------------------------------- probes
+
+    def _memory_get(self, key: str) -> dict | None:
+        if self.memory_entries == 0:
             return None
+        with self._lock:
+            data = self._memory.get(key)
+            if data is not None:
+                self._memory.move_to_end(key)
+            return data
+
+    def _memory_put(self, key: str, data: dict) -> None:
+        if self.memory_entries == 0:
+            return
+        with self._lock:
+            self._memory[key] = data
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                self.evicted += 1
+                obs.count("cache.evicted")
+
+    def _memory_drop(self, key: str) -> None:
+        with self._lock:
+            self._memory.pop(key, None)
+
+    def _served(self, data: dict, key: str) -> Result | None:
+        """Decode + engine-set-validate one entry; ``None`` refuses it."""
         try:
             result = decode_result(data)
         except (KeyError, TypeError, ValueError, IndexError):
-            # Corrupt or incompatible entry: treat as a miss (the next put
-            # overwrites it).
-            self.misses += 1
+            # Truncated or schema-incompatible entry: count it, drop it
+            # from both tiers, and let the next put overwrite the file.
+            self.corrupt += 1
+            obs.count("cache.corrupt")
+            self._memory_drop(key)
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
             return None
         if result.verdict is Verdict.NO_WITNESS_WITHIN_BOUND \
                 and data.get("engines") != engine_set_fingerprint():
             # An inconclusive verdict computed under a different engine
             # ladder: today's ladder might prove it, so recompute.
             # Conclusive entries are proofs and served regardless.
-            self.misses += 1
+            self._memory_drop(key)
             return None
-        self._memory[key] = data
-        self.hits += 1
         return result
+
+    def get(self, problem: Problem) -> Result | None:
+        """The cached result of ``problem``, or ``None`` on a miss."""
+        key = problem_fingerprint(problem)
+        data = self._memory_get(key)
+        if data is not None:
+            result = self._served(data, key)
+            if result is not None:
+                self.mem_hits += 1
+                obs.count("cache.mem_hit")
+                return result
+            self.misses += 1
+            obs.count("cache.miss")
+            return None
+        self._ensure_migrated()
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            obs.count("cache.miss")
+            return None
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("entry is not a JSON object")
+        except ValueError:
+            # Bad JSON on disk (truncated write from a pre-atomic-rename
+            # era, disk corruption, a stray hand-edited file).
+            self.corrupt += 1
+            obs.count("cache.corrupt")
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            obs.count("cache.miss")
+            return None
+        result = self._served(data, key)
+        if result is None:
+            self.misses += 1
+            obs.count("cache.miss")
+            return None
+        self._memory_put(key, data)
+        self.disk_hits += 1
+        obs.count("cache.disk_hit")
+        return result
+
+    # ------------------------------------------------------------- stores
 
     def put(self, problem: Problem, result: Result) -> bool:
         """Store ``result`` under ``problem``'s key; returns False when the
-        result cannot be serialized (exotic witness labels)."""
+        result cannot be serialized (exotic witness labels) or the disk
+        tier is unwritable (the memory tier still serves it)."""
         if problem.kind is ProblemKind.SATISFIABILITY \
                 and not isinstance(result, SatResult):
             raise TypeError("satisfiability problems cache SatResults")
@@ -301,28 +514,117 @@ class VerdictCache:
         # The engine ladder the verdict was computed under; ``get`` uses it
         # to refuse stale *inconclusive* entries (see module docstring).
         data["engines"] = engine_set_fingerprint()
-        self._memory[key] = data
+        self._memory_put(key, data)
+        self._ensure_migrated()
+        shard_dir = self._shard_dir(key)
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(data, handle, sort_keys=True)
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            with self._shard_lock(shard_dir):
+                fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(data, handle, sort_keys=True)
+                    os.replace(tmp, self._path(key))
+                except BaseException:
+                    os.unlink(tmp)
+                    raise
         except OSError:
             # A read-only or full cache directory degrades to memory-only.
             return False
         self.stores += 1
+        obs.count("cache.store")
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.gc()
         return True
 
+    # ----------------------------------------------------------------- gc
+
+    def _disk_entries(self) -> list[tuple[float, int, Path]]:
+        """Every entry file on disk as ``(mtime, size, path)`` — shards
+        plus any not-yet-migrated flat stragglers."""
+        entries: list[tuple[float, int, Path]] = []
+        roots = [self.directory]
+        try:
+            roots.extend(child for child in self.directory.iterdir()
+                         if child.is_dir())
+        except OSError:
+            return entries
+        for root in roots:
+            try:
+                for path in root.glob("*.json"):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path))
+            except OSError:
+                continue
+        return entries
+
+    def gc(self, max_entries: int | None = None,
+           max_bytes: int | None = None) -> dict:
+        """Garbage-collect the disk tier down to the given bounds
+        (defaulting to the cache's own ``max_entries``/``max_bytes``):
+        oldest-mtime entries are deleted first until both bounds hold.
+
+        Returns a summary dict (``scanned``/``removed``/``bytes_removed``/
+        ``entries``/``bytes``).  A cache with no bounds at all is a no-op
+        scan.  Deletions take the owning shard's lock; a concurrently
+        re-written entry whose file vanished under us is skipped.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        self._ensure_migrated()
+        entries = self._disk_entries()
+        total_bytes = sum(size for _, size, _ in entries)
+        removed = 0
+        bytes_removed = 0
+        if max_entries is not None or max_bytes is not None:
+            entries.sort()  # oldest mtime first
+            index = 0
+            while index < len(entries) and (
+                    (max_entries is not None
+                     and len(entries) - removed > max_entries)
+                    or (max_bytes is not None
+                        and total_bytes - bytes_removed > max_bytes)):
+                _, size, path = entries[index]
+                index += 1
+                try:
+                    with self._shard_lock(path.parent):
+                        path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                bytes_removed += size
+        if removed:
+            self.gc_removed += removed
+            obs.count("cache.gc_removed", removed)
+        return {
+            "scanned": len(entries),
+            "removed": removed,
+            "bytes_removed": bytes_removed,
+            "entries": len(entries) - removed,
+            "bytes": total_bytes - bytes_removed,
+        }
+
+    # -------------------------------------------------------------- info
+
     def info(self) -> dict:
-        """Hit/miss/store counters plus the backing directory."""
+        """Tiered hit/miss/store counters plus the backing directory."""
+        with self._lock:
+            memory_len = len(self._memory)
         return {
             "directory": str(self.directory),
+            "shards": self.shards,
             "hits": self.hits,
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evicted": self.evicted,
+            "corrupt": self.corrupt,
+            "gc_removed": self.gc_removed,
+            "memory_entries": memory_len,
+            "memory_limit": self.memory_entries,
         }

@@ -1,13 +1,17 @@
-"""The batch runner: many decision problems, one worker pool.
+"""The execution backend: many decision problems, one resident worker pool.
 
-:class:`BatchRunner` executes an iterable of
-:class:`~repro.analysis.problems.Problem`\\ s on a pool of worker
-*processes* (decision procedures are CPU-bound; threads would serialize on
-the GIL).  A pool of coordinator threads — one per worker slot — drives the
-lifecycle of each problem:
+:class:`ExecutorService` is the long-lived heart of this module: a pool of
+coordinator threads — one per worker slot — that stays resident across
+submissions and drives the lifecycle of each
+:class:`~repro.analysis.problems.Problem` it is handed, whether problems
+arrive one at a time (:meth:`ExecutorService.submit`, used by the ``repro
+serve`` daemon) or as whole batches (:meth:`ExecutorService.run`).  Worker
+*processes* are forked per engine attempt (decision procedures are
+CPU-bound; threads would serialize on the GIL):
 
 1. **Cache.** With a :class:`~repro.parallel.cache.VerdictCache` attached,
-   a hit returns the stored result without spawning a worker.
+   a hit returns the stored result without spawning a worker (and, warm,
+   without touching disk — see the cache's memory tier).
 2. **Race** (``race=True``).  All *conclusive* admitted engines start
    concurrently, one worker process each; the first conclusive verdict
    wins and the losers are terminated.  With fewer than two conclusive
@@ -15,9 +19,21 @@ lifecycle of each problem:
 3. **Ladder.**  One worker walks the admitted engines cheapest-first
    (exactly the :meth:`EngineRegistry.plan_and_run` order), falling
    through on runtime declines and engine exceptions.  The parent imposes
-   a per-engine wall-clock ``timeout``: on expiry the worker is terminated
-   and a fresh worker resumes at the next-cheapest engine — a timeout
-   degrades the answer, never the batch.
+   a per-engine wall-clock ``timeout`` (overridable per submission): on
+   expiry the worker is terminated and a fresh worker resumes at the
+   next-cheapest engine — a timeout degrades the answer, never the batch.
+
+Sessions: the coordinator warms the problem's
+:class:`~repro.analysis.session.SchemaSession` in the parent *before* any
+worker forks, so children inherit the finished
+:class:`~repro.edtd.compiled.CompiledSchema` artifact instead of
+rebuilding it per process.  Because the service is resident, sessions stay
+warm across submissions — the compile-once machinery amortizes over a
+request stream, not a single batch.  The service never resets the session
+registry; callers that want per-run hygiene (the one-shot
+:class:`BatchRunner`, pool shutdown) call
+:func:`~repro.analysis.session.reset_sessions` themselves, and
+:meth:`ExecutorService.close` does so on the way out.
 
 Every problem yields a :class:`BatchOutcome` with the result (or a
 structured error), the engine that produced it, cache/timing/attempt
@@ -29,17 +45,21 @@ Workers are forked (configurable via ``mp_context``), so engines
 registered at runtime — including test doubles — are visible to workers
 without pickling.  Only results cross the process boundary.
 
-:func:`contains_many` and :func:`satisfiable_many` are the list-in,
-list-out conveniences mirroring :func:`repro.analysis.contains` and
-:func:`repro.analysis.satisfiable`.
+:class:`BatchRunner` is the historical one-shot front-end: same
+constructor, same :meth:`BatchRunner.run` contract, now a thin wrapper
+that runs the batch on a private :class:`ExecutorService` and resets the
+session registry afterwards.  :func:`contains_many` and
+:func:`satisfiable_many` are the list-in, list-out conveniences mirroring
+:func:`repro.analysis.contains` and :func:`repro.analysis.satisfiable`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
@@ -64,6 +84,7 @@ __all__ = [
     "BatchOutcome",
     "BatchReport",
     "BatchRunner",
+    "ExecutorService",
     "contains_many",
     "run_batch",
     "satisfiable_many",
@@ -74,6 +95,10 @@ Result = SatResult | ContainmentResult
 #: Poll granularity while waiting without a timeout (also the heartbeat for
 #: detecting a worker that died without a final message).
 _POLL_S = 0.2
+
+#: Sentinel distinguishing "use the service default timeout" from an
+#: explicit ``timeout=None`` (no timeout) on :meth:`ExecutorService.submit`.
+_DEFAULT_TIMEOUT = object()
 
 
 class BatchError(RuntimeError):
@@ -163,14 +188,15 @@ class BatchReport:
         }
 
 
-class BatchRunner:
+class ExecutorService:
     """See the module docstring.
 
     Parameters:
 
-    * ``workers`` — worker-slot count (default: ``os.cpu_count()``, ≤ 8).
-    * ``timeout`` — per-engine-attempt wall-clock seconds (``None`` = no
-      timeout).
+    * ``workers`` — coordinator-thread / worker-slot count (default:
+      ``os.cpu_count()``, ≤ 8).
+    * ``timeout`` — default per-engine-attempt wall-clock seconds
+      (``None`` = no timeout); overridable per :meth:`submit`.
     * ``race`` — race conclusive admitted engines per problem.
     * ``cache`` — a :class:`VerdictCache`, a directory for one, or ``None``
       to disable caching.
@@ -209,21 +235,122 @@ class BatchRunner:
                 method = "fork" if "fork" in \
                     multiprocessing.get_all_start_methods() else "spawn"
             self._ctx = multiprocessing.get_context(method)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._next_index = 0
+        self.submitted = 0
+        self.completed = 0
+
+    # --------------------------------------------------------- lifecycle
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("ExecutorService is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="exec")
+            return self._pool
+
+    def release(self, wait: bool = True) -> None:
+        """Shut down the coordinator threads but keep the service usable —
+        the pool is recreated lazily on the next submission.  The one-shot
+        :class:`BatchRunner` calls this after every run so idle threads
+        never outlive a batch."""
+        with self._pool_lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the coordinator pool down and drop the (now orphaned)
+        warm sessions.  Idempotent; the service is unusable afterwards."""
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        from ..analysis.session import reset_sessions
+
+        reset_sessions()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ExecutorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Live service gauges: slots, lifetime submissions, in-flight."""
+        with self._state_lock:
+            submitted, completed = self.submitted, self.completed
+        return {
+            "workers": self.workers,
+            "race": self.race,
+            "timeout_s": self.timeout,
+            "submitted": submitted,
+            "completed": completed,
+            "inflight": submitted - completed,
+        }
+
+    # ------------------------------------------------------- submissions
+
+    def submit(self, problem: Problem, *,
+               timeout=_DEFAULT_TIMEOUT) -> "Future[BatchOutcome]":
+        """Enqueue one problem; returns a future resolving to its
+        :class:`BatchOutcome`.  Safe to call from concurrent threads; the
+        per-engine ``timeout`` (default: the service's) applies to this
+        submission only.  The future never raises from a solver failure —
+        errors are data on the outcome — only from a closed service."""
+        pool = self._ensure_pool()
+        with self._state_lock:
+            index = self._next_index
+            self._next_index += 1
+            self.submitted += 1
+        per_attempt = self.timeout if timeout is _DEFAULT_TIMEOUT else timeout
+        submitted_at = time.perf_counter()
+        future = pool.submit(self._run_one, index, problem, submitted_at,
+                             per_attempt)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future) -> None:
+        with self._state_lock:
+            self.completed += 1
+
+    def map(self, problems: Iterable[Problem]) -> list[BatchOutcome]:
+        """Submit every problem and wait; outcomes in input order."""
+        futures = [self.submit(problem) for problem in problems]
+        return [future.result() for future in futures]
 
     # ---------------------------------------------------------------- run
 
     def run(self, problems: Iterable[Problem]) -> BatchReport:
-        """Decide every problem; outcomes come back in input order."""
+        """Decide a whole batch; outcomes come back in input order.
+
+        Groups the batch by compiled schema up front and compiles each
+        distinct schema ONCE in this thread, before any worker forks: the
+        gauge tells a profile reader how much schema-session sharing the
+        conclusive engines can expect, fork-started workers inherit the
+        finished CompiledSchema artifacts instead of rebuilding them per
+        process, and the ``schema.compile.*`` counters land in the
+        caller's (batch-level) recording where the compile-once property
+        is assertable.  Unlike :meth:`submit`, ``run`` also emits the
+        batch-level obs metrics; it does NOT reset sessions — the one-shot
+        :class:`BatchRunner` wrapper does that.
+        """
         items = list(problems)
         outcomes: list[BatchOutcome | None] = [None] * len(items)
-        # Group the batch by compiled schema up front and compile each
-        # distinct schema ONCE in the parent, before any worker forks: the
-        # gauge tells a profile reader how much schema-session sharing the
-        # conclusive engines can expect, fork-started workers inherit the
-        # finished CompiledSchema artifacts instead of rebuilding them per
-        # process, and the ``schema.compile.*`` counters land in the
-        # caller's (batch-level) recording where the compile-once property
-        # is assertable.
         by_schema: dict[str, list[Problem]] = {}
         sessions: dict[str, "SchemaSession"] = {}
         if items:
@@ -237,36 +364,18 @@ class BatchRunner:
             obs.gauge("batch.schemas", len(by_schema))
         started = time.perf_counter()
         schema_summary: list[dict] = []
-        try:
-            with obs.span("batch.run", problems=len(items),
-                          workers=self.workers, race=self.race):
-                if items:
-                    from ..analysis.session import session_for
-
-                    with obs.span("batch.precompile",
-                                  schemas=len(by_schema)):
-                        for schema_id, group in by_schema.items():
-                            sessions[schema_id] = session_for(group[0])
-                    with ThreadPoolExecutor(
-                            max_workers=min(self.workers, len(items)),
-                            thread_name_prefix="batch") as pool:
-                        futures = [
-                            pool.submit(self._run_one, index, problem,
-                                        started)
-                            for index, problem in enumerate(items)
-                        ]
-                        for index, future in enumerate(futures):
-                            outcomes[index] = future.result()
-            schema_summary = self._schema_summary(by_schema, sessions,
-                                                  outcomes)
-        finally:
-            # Pool-shutdown hygiene: drop every worker-local session so a
-            # later batch — or a sequential caller after a terminated
-            # worker round — can never observe this batch's sessions.
+        with obs.span("batch.run", problems=len(items),
+                      workers=self.workers, race=self.race):
             if items:
-                from ..analysis.session import reset_sessions
+                from ..analysis.session import session_for
 
-                reset_sessions()
+                with obs.span("batch.precompile", schemas=len(by_schema)):
+                    for schema_id, group in by_schema.items():
+                        sessions[schema_id] = session_for(group[0])
+                futures = [self.submit(problem) for problem in items]
+                for index, future in enumerate(futures):
+                    outcomes[index] = future.result()
+        schema_summary = self._schema_summary(by_schema, sessions, outcomes)
         wall = time.perf_counter() - started
         done = [outcome for outcome in outcomes if outcome is not None]
         assert len(done) == len(items)
@@ -281,9 +390,10 @@ class BatchRunner:
     @staticmethod
     def _schema_summary(by_schema: dict[str, list[Problem]],
                         sessions: dict, outcomes: list) -> list[dict]:
-        """Per-schema batch figures, collected *before* the sessions are
-        reset: problem count, parent compile time, verdict-cache hits, and
-        the measured warm-session reuse rate (worker records only)."""
+        """Per-schema batch figures, collected while the sessions are
+        still resident: problem count, parent compile time, verdict-cache
+        hits, and the measured warm-session reuse rate (worker records
+        only)."""
         from ..analysis.session import schema_id_of
 
         per_outcome: dict[str, list] = {}
@@ -317,24 +427,24 @@ class BatchRunner:
 
     # ---------------------------------------------------- one problem slot
 
-    def _run_one(self, index: int, problem: Problem,
-                 submitted: float) -> BatchOutcome:
+    def _run_one(self, index: int, problem: Problem, submitted: float,
+                 timeout: float | None) -> BatchOutcome:
         if not self.collect_stats:
-            return self._solve_one(index, problem, submitted)
+            return self._solve_one(index, problem, submitted, timeout)
         # Each coordinator thread records its problem's lifecycle — cache
         # probe, attempts, race bookkeeping — in its own thread-local
         # recording; the trace writer renders these as per-problem lanes
         # under the coordinator process.
         with obs.record(f"problem[{index}]") as recording:
             recording.note("index", index)
-            outcome = self._solve_one(index, problem, submitted)
+            outcome = self._solve_one(index, problem, submitted, timeout)
             recording.note("engine", outcome.engine)
             recording.note("cache", "hit" if outcome.cache_hit else "miss")
         outcome.coord_stats = recording.to_run_record().to_dict()
         return outcome
 
-    def _solve_one(self, index: int, problem: Problem,
-                   submitted: float) -> BatchOutcome:
+    def _solve_one(self, index: int, problem: Problem, submitted: float,
+                   timeout: float | None) -> BatchOutcome:
         # Canonicalize once, before the cache probe: cache keys, worker
         # dispatch and engine admission all see the rewrite-pipeline
         # canonical form, so syntactic variants of one instance share a
@@ -360,17 +470,34 @@ class BatchRunner:
                 return outcome
         solve_started = time.perf_counter()
         try:
+            # Warm the schema session in the parent before any worker
+            # forks: children inherit the finished CompiledSchema, and a
+            # resident service keeps it hot for later submissions of the
+            # same schema.  (Batch runs already precompiled it — this is a
+            # registry hit; single submissions compile here, once.)
+            self._warm_session(problem)
             with obs.span("solve"):
                 if self.race:
-                    self._run_race(problem, outcome)
+                    self._run_race(problem, outcome, timeout)
                 if outcome.result is None and outcome.error is None:
-                    self._run_ladder(problem, outcome)
+                    self._run_ladder(problem, outcome, timeout)
         except Exception as error:  # coordinator bug — never kill the batch
             outcome.error = f"{type(error).__name__}: {error}"
         outcome.worker_time_s = time.perf_counter() - solve_started
         if outcome.result is not None and self.cache is not None:
             self.cache.put(problem, outcome.result)
         return outcome
+
+    @staticmethod
+    def _warm_session(problem: Problem) -> None:
+        from ..analysis.session import session_for
+
+        try:
+            session_for(problem)
+        except Exception:
+            # A schema the compiler chokes on is the engines' problem to
+            # report (as a structured failure), not the coordinator's.
+            pass
 
     @staticmethod
     def _cache_hit_record(outcome: BatchOutcome) -> dict:
@@ -401,12 +528,13 @@ class BatchRunner:
 
     # ------------------------------------------------------------- ladder
 
-    def _run_ladder(self, problem: Problem, outcome: BatchOutcome) -> None:
+    def _run_ladder(self, problem: Problem, outcome: BatchOutcome,
+                    timeout: float | None) -> None:
         """Worker-backed engine ladder with parent-enforced timeouts."""
         exclude: set[str] = {attempt["engine"] for attempt in outcome.attempts}
         while True:
             status, engine = self._attempt(problem, frozenset(exclude),
-                                           None, outcome)
+                                           None, outcome, timeout)
             if status == "result":
                 return
             if status == "exhausted":
@@ -435,7 +563,7 @@ class BatchRunner:
 
     def _attempt(self, problem: Problem, exclude: frozenset[str],
                  only_engine: str | None, outcome: BatchOutcome,
-                 ) -> tuple[str, str | None]:
+                 timeout: float | None) -> tuple[str, str | None]:
         """One worker process; returns ``(status, engine)`` where status is
         ``result | exhausted | timeout | died``."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
@@ -449,8 +577,8 @@ class BatchRunner:
         child_conn.close()
         attempt_span = obs.span("worker.attempt").start()
         current: dict | None = None
-        deadline = None if self.timeout is None \
-            else time.perf_counter() + self.timeout
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
         try:
             while True:
                 if deadline is not None:
@@ -484,8 +612,8 @@ class BatchRunner:
                 if kind == "trying":
                     current = {"engine": message[1], "status": "running"}
                     outcome.attempts.append(current)
-                    if self.timeout is not None:
-                        deadline = time.perf_counter() + self.timeout
+                    if timeout is not None:
+                        deadline = time.perf_counter() + timeout
                 elif kind == "declined":
                     if current is not None and current["engine"] == message[1]:
                         current["status"] = "declined"
@@ -544,7 +672,8 @@ class BatchRunner:
 
     # --------------------------------------------------------------- race
 
-    def _run_race(self, problem: Problem, outcome: BatchOutcome) -> None:
+    def _run_race(self, problem: Problem, outcome: BatchOutcome,
+                  timeout: float | None) -> None:
         """Race all conclusive admitted engines; first conclusive verdict
         wins, losers are terminated.  Leaves ``outcome.result`` unset when
         the race is not applicable or produced no conclusive verdict — the
@@ -579,8 +708,8 @@ class BatchRunner:
             entries.append((name, process, parent_conn, attempt))
         by_conn = {conn: (name, process, attempt)
                    for name, process, conn, attempt in entries}
-        deadline = None if self.timeout is None \
-            else time.perf_counter() + self.timeout
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
         stash: tuple[Result, str, dict | None] | None = None
         try:
             pending = set(by_conn)
@@ -705,6 +834,64 @@ class BatchRunner:
         obs.gauge("batch.worker_time_s", worker_time)
         obs.gauge("batch.wall_s", report.wall_s)
         obs.note("batch", report.summary())
+
+
+class BatchRunner:
+    """One-shot batch front-end over a private :class:`ExecutorService`.
+
+    Historically this class owned the whole coordinator machinery; the
+    resident :class:`ExecutorService` now does, and ``BatchRunner`` keeps
+    the original contract for existing callers: same constructor, and
+    :meth:`run` decides a batch then resets the worker-local session
+    registry so a later batch — or a sequential caller after a terminated
+    worker round — can never observe this batch's sessions.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float | None = None,
+        race: bool = False,
+        cache: VerdictCache | str | Path | None = None,
+        collect_stats: bool = False,
+        mp_context: str | multiprocessing.context.BaseContext | None = None,
+    ):
+        self.service = ExecutorService(
+            workers=workers, timeout=timeout, race=race, cache=cache,
+            collect_stats=collect_stats, mp_context=mp_context)
+
+    @property
+    def workers(self) -> int:
+        return self.service.workers
+
+    @property
+    def timeout(self) -> float | None:
+        return self.service.timeout
+
+    @property
+    def race(self) -> bool:
+        return self.service.race
+
+    @property
+    def cache(self) -> VerdictCache | None:
+        return self.service.cache
+
+    @property
+    def collect_stats(self) -> bool:
+        return self.service.collect_stats
+
+    def run(self, problems: Iterable[Problem]) -> BatchReport:
+        """Decide every problem; outcomes come back in input order."""
+        try:
+            return self.service.run(problems)
+        finally:
+            # Pool-shutdown hygiene, preserved from the pre-service
+            # runner: one-shot batches leave neither warm sessions nor
+            # idle coordinator threads behind.
+            self.service.release()
+            from ..analysis.session import reset_sessions
+
+            reset_sessions()
 
 
 # ------------------------------------------------------------- conveniences

@@ -1,0 +1,157 @@
+"""Clients for the ``repro serve`` daemon.
+
+:class:`ServerClient` speaks the JSONL socket protocol — the transport
+``repro batch --server ADDRESS`` uses: write request records line by
+line, read answer records back *in input order* while the server solves
+them concurrently.  ``ADDRESS`` is either a unix socket path or
+``host:port``.
+
+:class:`HttpClient` is a minimal keep-alive JSON-over-HTTP client for
+the daemon's HTTP endpoints (``/healthz``, ``/stats``, ``/v1/solve`` and
+friends); :func:`http_json` is its one-shot form.  Both are stdlib-only
+(:mod:`http.client`), built for tests, benchmarks and CI smoke — not as
+a general HTTP library.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Sequence
+
+__all__ = ["HttpClient", "ServerClient", "http_json"]
+
+
+def _split_address(address: str) -> tuple[str, int] | None:
+    """``host:port`` → ``(host, port)``; ``None`` for unix socket paths."""
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit():
+        return host or "127.0.0.1", int(port)
+    return None
+
+
+class ServerClient:
+    """Blocking JSONL-protocol client: one connection per call, answers
+    in input order."""
+
+    def __init__(self, address: str, connect_timeout: float = 10.0):
+        self.address = address
+        self.connect_timeout = connect_timeout
+
+    def _connect(self) -> socket.socket:
+        endpoint = _split_address(self.address)
+        if endpoint is not None:
+            return socket.create_connection(
+                endpoint, timeout=self.connect_timeout)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        sock.connect(self.address)
+        return sock
+
+    def solve_lines(self, lines: Sequence[str]) -> list[dict]:
+        """Send raw request lines, return one decoded answer per line.
+
+        ``lines`` must be payload lines only (no blanks or ``#`` comments
+        — the caller filters, so the 1-based sequence number the server
+        uses as the default ``id`` matches the caller's own numbering).
+        A sender thread streams the requests while this thread reads
+        answers, so a long pipeline can never deadlock on socket buffers.
+        """
+        sock = self._connect()
+        try:
+            sock.settimeout(None)
+
+            def _send() -> None:
+                try:
+                    payload = "".join(
+                        line.rstrip("\n") + "\n" for line in lines)
+                    sock.sendall(payload.encode("utf-8"))
+                    sock.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass  # the reader side reports the broken connection
+
+            sender = threading.Thread(target=_send, daemon=True)
+            sender.start()
+            records = []
+            with sock.makefile("r", encoding="utf-8") as stream:
+                for line in stream:
+                    if line.strip():
+                        records.append(json.loads(line))
+            sender.join()
+        finally:
+            sock.close()
+        if len(records) != len(lines):
+            raise RuntimeError(
+                f"server answered {len(records)} of {len(lines)} requests "
+                "(connection lost or server draining)")
+        return records
+
+    def solve_records(self, records: Sequence[dict]) -> list[dict]:
+        """Like :meth:`solve_lines`, but takes decoded request records."""
+        return self.solve_lines(
+            [json.dumps(record, sort_keys=True) for record in records])
+
+    def solve(self, record: dict) -> dict:
+        """One request record → its answer record."""
+        return self.solve_records([record])[0]
+
+
+class HttpClient:
+    """Keep-alive JSON-over-HTTP client for one daemon address."""
+
+    def __init__(self, address: str, timeout: float = 60.0):
+        endpoint = _split_address(address)
+        if endpoint is None:
+            raise ValueError(f"HTTP needs host:port, got {address!r}")
+        self.host, self.port = endpoint
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def request(self, path: str, payload: dict | None = None,
+                method: str | None = None) -> tuple[int, dict | None]:
+        """``(status, decoded body)``; reconnects once on a dropped
+        keep-alive connection."""
+        body = None if payload is None \
+            else json.dumps(payload, sort_keys=True).encode("utf-8")
+        method = method or ("POST" if body is not None else "GET")
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return (response.status,
+                        json.loads(data) if data else None)
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def http_json(address: str, path: str, payload: dict | None = None,
+              method: str | None = None,
+              timeout: float = 60.0) -> tuple[int, dict | None]:
+    """One-shot :class:`HttpClient` request."""
+    with HttpClient(address, timeout=timeout) as client:
+        return client.request(path, payload, method)

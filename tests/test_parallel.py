@@ -208,8 +208,10 @@ class TestVerdictCache:
     def test_miss_counts(self, tmp_path):
         cache = VerdictCache(tmp_path)
         assert cache.get(self._problem()) is None
-        assert cache.info() == {"directory": str(tmp_path), "hits": 0,
-                                "misses": 1, "stores": 0}
+        info = cache.info()
+        assert info["directory"] == str(tmp_path)
+        assert (info["hits"], info["misses"], info["stores"]) == (0, 1, 0)
+        assert (info["mem_hits"], info["disk_hits"]) == (0, 0)
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         problem = self._problem()
